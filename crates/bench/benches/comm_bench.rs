@@ -1,0 +1,183 @@
+//! Communication benchmarks (paper Section VI-B; ablations 1–2 of
+//! DESIGN.md).
+//!
+//! * `executed/*` — real threaded collectives at thread scale (the
+//!   correctness anchor for the models).
+//! * `model/*` — analytic allreduce predictions over the full node and
+//!   message sweeps, including the paper's two reference messages.
+//! * `ablation_algorithms` — ring vs recursive-doubling vs rabenseifner vs
+//!   binomial tree across message sizes.
+//! * `ablation_precision` — fp32 vs fp16 gradient messages and the effect
+//!   on the communication-bound crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use summit_bench::MESSAGE_SWEEP;
+use summit_comm::{
+    collectives::{recursive_doubling_allreduce, ring_allreduce, tree_allreduce, ReduceOp},
+    model::{Algorithm, CollectiveModel},
+    world::World,
+};
+use summit_machine::{spec::NodeSpec, LinkModel};
+use summit_perf::crossover::CommCrossover;
+use summit_workloads::{GradPrecision, Workload};
+
+fn executed_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executed");
+    group.sample_size(10);
+    for &ranks in &[2usize, 4, 8] {
+        for &len in &[1024usize, 65_536] {
+            group.bench_with_input(
+                BenchmarkId::new("ring_allreduce", format!("p{ranks}_n{len}")),
+                &(ranks, len),
+                |b, &(p, n)| {
+                    b.iter(|| {
+                        World::run(p, |rank| {
+                            let mut buf = vec![rank.id() as f32; n];
+                            ring_allreduce(rank, &mut buf, ReduceOp::Sum);
+                            buf[0]
+                        })
+                    })
+                },
+            );
+        }
+    }
+    for &(name, f) in &[
+        (
+            "recursive_doubling",
+            recursive_doubling_allreduce as fn(&summit_comm::Rank, &mut [f32], ReduceOp),
+        ),
+        ("tree", tree_allreduce as fn(&summit_comm::Rank, &mut [f32], ReduceOp)),
+    ] {
+        group.bench_function(BenchmarkId::new(name, "p8_n4096"), |b| {
+            b.iter(|| {
+                World::run(8, |rank| {
+                    let mut buf = vec![rank.id() as f32; 4096];
+                    f(rank, &mut buf, ReduceOp::Sum);
+                    buf[0]
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn model_predictions(c: &mut Criterion) {
+    let model = CollectiveModel::new(LinkModel::inter_node(&NodeSpec::summit()));
+    let mut group = c.benchmark_group("model");
+    // The two Section VI-B reference points, evaluated and printed once.
+    for w in [Workload::resnet50(), Workload::bert_large()] {
+        let t = model.bandwidth_term(Algorithm::Ring, 4608, w.gradient_message_bytes());
+        println!(
+            "[paper VI-B] {} allreduce on 4608 nodes: {:.1} ms",
+            w.name,
+            t * 1e3
+        );
+    }
+    group.bench_function("allreduce_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &m in &MESSAGE_SWEEP {
+                for p in [64u64, 1024, 4608] {
+                    acc += model.allreduce_time(black_box(Algorithm::Ring), p, m);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn ablation_algorithms(c: &mut Criterion) {
+    let model = CollectiveModel::new(LinkModel::inter_node(&NodeSpec::summit()));
+    println!("[ablation 1] allreduce algorithm times at p=4608 (ms):");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10}",
+        "bytes", "ring", "rec-dbl", "rabenseif", "binom-tree"
+    );
+    for &m in &MESSAGE_SWEEP {
+        let t: Vec<f64> = Algorithm::ALL
+            .iter()
+            .map(|&a| model.allreduce_time(a, 4608, m) * 1e3)
+            .collect();
+        println!(
+            "{:>12.0} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            m, t[0], t[1], t[2], t[3]
+        );
+    }
+    let mut group = c.benchmark_group("ablation_algorithms");
+    group.bench_function("best_allreduce_selection", |b| {
+        b.iter(|| {
+            MESSAGE_SWEEP
+                .iter()
+                .map(|&m| model.best_allreduce(4608, m).1)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn ablation_precision(c: &mut Criterion) {
+    println!("[ablation 2] gradient precision vs comm-bound crossover:");
+    for precision in [GradPrecision::Fp32, GradPrecision::Fp16] {
+        let x = CommCrossover {
+            precision,
+            ..CommCrossover::summit_bert_anchor()
+        };
+        println!(
+            "  {:?}: crossover at {:.0} M parameters",
+            precision,
+            x.crossover_params() / 1e6
+        );
+    }
+    let mut group = c.benchmark_group("ablation_precision");
+    group.bench_function("crossover_solve", |b| {
+        let x = CommCrossover::summit_bert_anchor();
+        b.iter(|| black_box(x.crossover_params()))
+    });
+    group.finish();
+}
+
+/// Network-simulator validation: the simulated ring tracks the analytic
+/// model, and contention effects appear where expected.
+fn simnet_validation(c: &mut Criterion) {
+    use summit_machine::simnet::SimNetwork;
+    use summit_machine::topology::FatTree;
+
+    let nodes = 36u32;
+    let bytes = 72.0e6;
+    let net = SimNetwork::new(FatTree::summit_like(nodes));
+    let sim = net.simulate(&SimNetwork::ring_allreduce_schedule(nodes, nodes, bytes));
+    let model = CollectiveModel::new(LinkModel::inter_node(&NodeSpec::summit()));
+    let analytic = model.allreduce_time(Algorithm::Ring, u64::from(nodes), bytes);
+    println!(
+        "[simnet] ring allreduce {nodes} nodes, {:.0} MB: simulated {:.2} ms vs \
+         analytic {:.2} ms (bottleneck: {})",
+        bytes / 1e6,
+        sim.seconds * 1e3,
+        analytic * 1e3,
+        sim.bottleneck
+    );
+
+    let mut group = c.benchmark_group("simnet");
+    group.sample_size(10);
+    group.bench_function("ring_36_nodes", |b| {
+        let schedule = SimNetwork::ring_allreduce_schedule(nodes, nodes, bytes);
+        b.iter(|| net.simulate(black_box(&schedule)))
+    });
+    group.bench_function("alltoall_36_nodes", |b| {
+        let schedule = SimNetwork::alltoall_schedule(nodes, 1.0e6);
+        b.iter(|| net.simulate(black_box(&schedule)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    executed_collectives,
+    model_predictions,
+    ablation_algorithms,
+    ablation_precision,
+    simnet_validation
+);
+criterion_main!(benches);

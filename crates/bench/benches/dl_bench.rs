@@ -1,0 +1,143 @@
+//! Training-framework benchmarks (ablation 5 of DESIGN.md and experiment
+//! X2: large-batch optimizer behavior).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summit_dl::{
+    data::blobs,
+    model::MlpSpec,
+    optim::{Adam, Lamb, Larc, Lars, Optimizer, Sgd},
+    schedule::LrSchedule,
+    trainer::{DataParallelTrainer, Trainer},
+};
+
+fn make_optimizer(name: &str) -> Box<dyn Optimizer> {
+    match name {
+        "sgd" => Box::new(Sgd::new(0.05, 0.9, 0.0)),
+        "adam" => Box::new(Adam::new(0.005, 0.0)),
+        "lars" => Box::new(Lars::new(1.0, 0.9, 1e-4, 0.02)),
+        "larc" => Box::new(Larc::new(0.5, 0.9, 1e-4, 0.02)),
+        "lamb" => Box::new(Lamb::new(0.02, 1e-4)),
+        _ => unreachable!("unknown optimizer"),
+    }
+}
+
+/// Ablation 5: optimizer × batch size on the real trainer.
+fn ablation_optimizers(c: &mut Criterion) {
+    let task = blobs(1024, 8, 3, 0.5, 5);
+    println!("[ablation 5] loss after 10 epochs, optimizer x batch size:");
+    print!("{:>8}", "batch");
+    for name in ["sgd", "adam", "lars", "larc", "lamb"] {
+        print!("{name:>9}");
+    }
+    println!();
+    for batch in [16usize, 128, 1024] {
+        print!("{batch:>8}");
+        for name in ["sgd", "adam", "lars", "larc", "lamb"] {
+            let mut t = Trainer::new(
+                MlpSpec::new(8, &[32], 3).build(1),
+                make_optimizer(name),
+                LrSchedule::LinearWarmup { warmup_steps: 10 },
+            );
+            let mut loss = f32::NAN;
+            for _ in 0..10 {
+                loss = t.train_epoch(&task.x, &task.y, batch).loss;
+            }
+            print!("{loss:>9.3}");
+        }
+        println!();
+    }
+
+    let mut group = c.benchmark_group("optimizers");
+    group.sample_size(10);
+    for name in ["sgd", "adam", "lars", "larc", "lamb"] {
+        group.bench_with_input(BenchmarkId::new("epoch", name), name, |b, name| {
+            b.iter_batched(
+                || {
+                    Trainer::new(
+                        MlpSpec::new(8, &[32], 3).build(1),
+                        make_optimizer(name),
+                        LrSchedule::Constant,
+                    )
+                },
+                |mut t| t.train_epoch(&task.x, &task.y, 128),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// X2 support: data-parallel step cost vs rank count (threads).
+fn data_parallel(c: &mut Criterion) {
+    let task = blobs(512, 8, 2, 0.4, 9);
+    let spec = MlpSpec::new(8, &[64], 2);
+    let mut group = c.benchmark_group("data_parallel");
+    group.sample_size(10);
+    for ranks in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("epoch", ranks), &ranks, |b, &ranks| {
+            let dp = DataParallelTrainer::new(ranks, 64 / ranks);
+            b.iter(|| {
+                dp.run(
+                    || spec.build(7),
+                    || Box::new(Sgd::new(0.05, 0.9, 0.0)) as Box<dyn Optimizer>,
+                    LrSchedule::Constant,
+                    &task.x,
+                    &task.y,
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 6: gradient compression — volume vs convergence.
+fn ablation_compression(c: &mut Criterion) {
+    use summit_dl::compression::{Compressor, GradCompression};
+    use summit_tensor::ops;
+
+    let schemes = [
+        ("none", GradCompression::None),
+        ("fp16", GradCompression::Fp16),
+        ("top10%", GradCompression::TopK { fraction: 0.1 }),
+        ("top1%", GradCompression::TopK { fraction: 0.01 }),
+    ];
+    println!("[ablation 6] gradient compression on a 25.6M-param message:");
+    for (name, scheme) in schemes {
+        println!(
+            "  {:<7} {:>9.1} MB/message ({:>5.1}x reduction)",
+            name,
+            scheme.message_bytes(25_600_000) / 1e6,
+            scheme.reduction_factor(25_600_000)
+        );
+    }
+
+    let task = blobs(256, 6, 3, 0.4, 73);
+    let mut group = c.benchmark_group("compression");
+    group.sample_size(10);
+    for (name, scheme) in schemes {
+        group.bench_with_input(BenchmarkId::new("train_step", name), &scheme, |b, &scheme| {
+            b.iter_batched(
+                || {
+                    let model = MlpSpec::new(6, &[16], 3).build(5);
+                    let n = model.param_count();
+                    (model, Compressor::new(scheme, n))
+                },
+                |(mut model, mut comp)| {
+                    let logits = model.forward(&task.x);
+                    let (_, d) = ops::softmax_cross_entropy(logits, &task.y);
+                    model.zero_grads();
+                    model.backward(&d);
+                    let mut flat = model.flat_grads();
+                    comp.compress(&mut flat);
+                    flat
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_optimizers, data_parallel, ablation_compression);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! I/O benchmarks (paper Section VI-B I/O analysis; ablation 4 and
+//! experiment X5 of DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use summit_bench::NODE_SWEEP;
+use summit_io::{
+    dataset::DatasetSpec,
+    requirements::resnet50_full_summit_demand,
+    shuffle::{ShuffleStrategy, Shuffler},
+    staging::{StagingMode, StagingPlan},
+    tier::StorageTier,
+};
+use summit_machine::MachineSpec;
+
+fn requirement_analysis(c: &mut Criterion) {
+    let summit = MachineSpec::summit();
+    let demand = resnet50_full_summit_demand();
+    println!(
+        "[paper VI-B] ResNet50 full-Summit demand {:.1} TB/s; GPFS {:.1} TB/s; NVMe {:.1} TB/s",
+        demand.aggregate_read_bw() / 1e12,
+        StorageTier::shared_fs(&summit).read_bw / 1e12,
+        StorageTier::node_local_nvme(&summit, summit.nodes).read_bw / 1e12
+    );
+    let mut group = c.benchmark_group("requirements");
+    group.bench_function("feasibility_sweep", |b| {
+        b.iter(|| {
+            let mut ok = 0u32;
+            for &n in &NODE_SWEEP {
+                let tier = StorageTier::node_local_nvme(&summit, n);
+                if demand.feasibility(black_box(&tier)).satisfied {
+                    ok += 1;
+                }
+            }
+            ok
+        })
+    });
+    group.finish();
+}
+
+/// X5: staging to NVMe beats per-epoch shared-FS reads within a few epochs.
+fn staging_break_even(c: &mut Criterion) {
+    let summit = MachineSpec::summit();
+    let shared = StorageTier::shared_fs(&summit);
+    println!("[X5] staging break-even epochs by dataset:");
+    for dataset in [
+        DatasetSpec::imagenet(),
+        DatasetSpec::climate_extreme_weather(),
+        DatasetSpec::microscopy_diffraction(),
+    ] {
+        let nvme = StorageTier::node_local_nvme(&summit, 4608);
+        let plan = StagingPlan::new(&dataset, 4608, &shared, &nvme, StagingMode::Partitioned);
+        println!(
+            "  {:<34} stage {:>7.1}s, break-even at {:?} epochs",
+            dataset.name,
+            plan.stage_seconds,
+            plan.break_even_epochs(&dataset, &shared, &nvme)
+        );
+    }
+    let mut group = c.benchmark_group("staging");
+    group.bench_function(BenchmarkId::new("plan", "climate_4608"), |b| {
+        let d = DatasetSpec::climate_extreme_weather();
+        let nvme = StorageTier::node_local_nvme(&summit, 4608);
+        b.iter(|| StagingPlan::new(&d, 4608, &shared, &nvme, StagingMode::Partitioned))
+    });
+    group.finish();
+}
+
+/// Ablation 4: shuffle strategies — cross-node traffic and real shuffling.
+fn ablation_shuffle(c: &mut Criterion) {
+    println!("[ablation 4] per-epoch cross-node traffic (climate dataset, 1024 nodes):");
+    let d = DatasetSpec::climate_extreme_weather();
+    let plan = summit_io::dataset::ShardPlan::partition(&d, 1024);
+    for s in ShuffleStrategy::ALL {
+        println!(
+            "  {:<16} {:>8.2} TB/epoch",
+            s.name(),
+            s.epoch_traffic_bytes(&plan) / 1e12
+        );
+    }
+    let mut group = c.benchmark_group("shuffle");
+    group.sample_size(20);
+    for strategy in ShuffleStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("epoch", strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                b.iter_batched(
+                    || Shuffler::new(100_000, 64, 1),
+                    |mut sh| sh.next_epoch(strategy),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, requirement_analysis, staging_break_even, ablation_shuffle);
+criterion_main!(benches);

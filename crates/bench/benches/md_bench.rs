@@ -1,0 +1,61 @@
+//! Molecular-dynamics benchmarks: neighbor-search scaling and the cost of
+//! ML-potential force evaluation vs the analytic ground truth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summit_md::{
+    lj::LennardJones,
+    mlpot::MlPotential,
+    system::{Potential, System},
+};
+
+fn neighbor_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbors");
+    for &n in &[36usize, 144, 576] {
+        let box_len = (n as f64 / 0.64).sqrt(); // constant density
+        let sys = System::lattice(n, box_len, 0.2, 7);
+        group.bench_with_input(BenchmarkId::new("cell_list", n), &sys, |b, sys| {
+            b.iter(|| sys.pairs_cell_list(2.5))
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &sys, |b, sys| {
+            b.iter(|| sys.pairs_brute_force(2.5))
+        });
+    }
+    group.finish();
+}
+
+fn force_evaluation(c: &mut Criterion) {
+    let sys = System::lattice(144, 15.0, 0.2, 7);
+    let lj = LennardJones::standard();
+    let ml = MlPotential::new(12, 2.5, &[24, 24], 5);
+    println!(
+        "[md] per-call energies at n=144: LJ {:.2}, ML {:.2} (untrained net; \
+         timing comparison only)",
+        lj.energy_and_forces(&sys).0,
+        ml.energy_and_forces(&sys).0
+    );
+    let mut group = c.benchmark_group("forces");
+    group.sample_size(20);
+    group.bench_function("lennard_jones_144", |b| b.iter(|| lj.energy_and_forces(&sys)));
+    group.bench_function("ml_potential_144", |b| b.iter(|| ml.energy_and_forces(&sys)));
+    group.finish();
+}
+
+fn md_step(c: &mut Criterion) {
+    let lj = LennardJones::standard();
+    let mut group = c.benchmark_group("verlet");
+    group.sample_size(10);
+    group.bench_function("100_steps_n36", |b| {
+        b.iter_batched(
+            || System::lattice(36, 7.5, 0.1, 3),
+            |mut sys| {
+                sys.run(&lj, 100, 0.002);
+                sys
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, neighbor_search, force_evaluation, md_step);
+criterion_main!(benches);

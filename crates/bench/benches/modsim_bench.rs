@@ -1,0 +1,77 @@
+//! Mod-sim benchmarks: halo-exchange scaling over thread-ranks and the
+//! submodel speedup (exact kinetics vs batched MLP inference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::Cell;
+use std::rc::Rc;
+use summit_modsim::{
+    grid::Field,
+    parallel::ParallelSolver,
+    solver::{Reaction, Solver},
+    submodel::ReactionSurrogate,
+};
+
+fn halo_exchange_scaling(c: &mut Criterion) {
+    let mut init = Field::new(48, 48);
+    init.fill_test_pattern();
+    let solver = ParallelSolver {
+        alpha: 0.2,
+        dt: 0.05,
+        reaction: None,
+    };
+    let mut group = c.benchmark_group("halo");
+    group.sample_size(10);
+    for ranks in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, &ranks| {
+            b.iter(|| solver.run(&init, ranks, 20))
+        });
+    }
+    group.finish();
+}
+
+fn submodel_vs_exact(c: &mut Criterion) {
+    let mut init = Field::new(24, 24);
+    init.fill_test_pattern();
+    // Pre-train the surrogate once; bench only the simulation loops.
+    let surrogate = ReactionSurrogate::train(2.0, 64, 3);
+    println!(
+        "[submodel] surrogate max fit error {:.4} after {} expensive calls",
+        surrogate.max_error(2.0),
+        surrogate.training_evaluations
+    );
+    let mut group = c.benchmark_group("reaction");
+    group.sample_size(10);
+    group.bench_function("exact_kinetics_20_steps", |b| {
+        b.iter_batched(
+            || {
+                Solver::new(
+                    init.clone(),
+                    0.15,
+                    0.05,
+                    Reaction::ExactKinetics {
+                        k: 2.0,
+                        calls: Rc::new(Cell::new(0)),
+                    },
+                )
+            },
+            |mut s| {
+                s.step(20);
+                s.field().total_mass()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    // Reuse one trained surrogate; the evolving field does not change the
+    // per-step cost.
+    let mut ml_solver = Solver::new(init.clone(), 0.15, 0.05, Reaction::Surrogate(surrogate));
+    group.bench_function("ml_submodel_20_steps", |b| {
+        b.iter(|| {
+            ml_solver.step(20);
+            ml_solver.field().total_mass()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, halo_exchange_scaling, submodel_vs_exact);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Scaling-model benchmarks (paper Section IV-B case studies; ablation 3
+//! of DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use summit_bench::NODE_SWEEP;
+use summit_perf::case_studies::{render_table, CaseStudy};
+use summit_perf::model::ScalingModel;
+use summit_workloads::Workload;
+
+fn case_studies(c: &mut Criterion) {
+    // Print the Section IV-B reproduction table once per bench run.
+    let results: Vec<_> = CaseStudy::all().iter().map(CaseStudy::evaluate).collect();
+    println!("[paper IV-B]\n{}", render_table(&results));
+    let mut group = c.benchmark_group("case_studies");
+    for cs in CaseStudy::all() {
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", cs.name.split(' ').next().unwrap_or("case")),
+            &cs,
+            |b, cs| b.iter(|| black_box(cs.evaluate())),
+        );
+    }
+    group.bench_function("efficiency_curves_all", |b| {
+        b.iter(|| {
+            CaseStudy::all()
+                .iter()
+                .map(|cs| cs.efficiency_curve().len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 3: communication/computation overlap vs full-Summit efficiency.
+fn ablation_overlap(c: &mut Criterion) {
+    println!("[ablation 3] overlap fraction vs ResNet50 efficiency at 4608 nodes:");
+    for overlap in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let m = ScalingModel {
+            overlap,
+            ..ScalingModel::summit_defaults(Workload::resnet50())
+        };
+        println!(
+            "  overlap {:.2} -> {:.1}%",
+            overlap,
+            m.efficiency(4608, 1) * 100.0
+        );
+    }
+    let mut group = c.benchmark_group("ablation_overlap");
+    group.bench_function("overlap_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for overlap in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+                let m = ScalingModel {
+                    overlap,
+                    ..ScalingModel::summit_defaults(Workload::resnet50())
+                };
+                for &n in &NODE_SWEEP {
+                    acc += m.efficiency(n, 1);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn zoo_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zoo");
+    group.bench_function("all_workloads_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in Workload::all() {
+                let m = ScalingModel::summit_defaults(w);
+                for &n in &NODE_SWEEP {
+                    acc += m.sustained_flops(n);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 7: hybrid parallelism planning for the beyond-BERT ladder.
+fn parallelism_planning(c: &mut Criterion) {
+    use summit_perf::parallelism::HybridPlanner;
+    println!("[ablation 7] hybrid plans on 256 nodes:");
+    let planner = HybridPlanner::summit(256, 30.0e12);
+    for (name, params) in [("GPT-1.5B", 1.5e9), ("GPT-10B", 10.0e9), ("GPT-100B", 100.0e9)] {
+        let w = Workload::transformer_lm(name, params);
+        if let Some(best) = planner.best(&w) {
+            println!(
+                "  {:<9} -> {} x {} x {} ({:.1} samples/s)",
+                name,
+                best.strategy.data,
+                best.strategy.tensor,
+                best.strategy.pipeline,
+                best.throughput
+            );
+        }
+    }
+    let mut group = c.benchmark_group("parallelism");
+    group.bench_function("plan_gpt10b", |b| {
+        let w = Workload::transformer_lm("GPT-10B", 10.0e9);
+        b.iter(|| planner.best(&w))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, case_studies, ablation_overlap, zoo_sweep, parallelism_planning);
+criterion_main!(benches);

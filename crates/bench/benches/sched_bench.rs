@@ -1,0 +1,53 @@
+//! Scheduler benchmarks (experiment X6: delivered program shares).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summit_machine::MachineSpec;
+use summit_sched::{
+    program::Program,
+    scheduler::Scheduler,
+    trace::{generate, TraceConfig},
+};
+
+fn scheduling(c: &mut Criterion) {
+    let machine = MachineSpec::summit();
+    let scheduler = Scheduler::new(machine.nodes);
+    // X6: delivered shares track the 60/20/20 allocation (printed once).
+    let jobs = generate(
+        &machine,
+        &TraceConfig {
+            jobs: 2000,
+            ..TraceConfig::default()
+        },
+        3,
+    );
+    let metrics = scheduler.metrics(&scheduler.schedule(&jobs));
+    println!(
+        "[X6] delivered node-hour shares: INCITE {:.1}%, ALCC {:.1}%, DD {:.1}% \
+         (utilization {:.1}%, backfill rate {:.1}%)",
+        metrics.program_share(Program::Incite) * 100.0,
+        metrics.program_share(Program::Alcc) * 100.0,
+        metrics.program_share(Program::DirectorsDiscretionary) * 100.0,
+        metrics.utilization * 100.0,
+        metrics.backfill_fraction * 100.0
+    );
+
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    for &n_jobs in &[200usize, 1000] {
+        let jobs = generate(
+            &machine,
+            &TraceConfig {
+                jobs: n_jobs,
+                ..TraceConfig::default()
+            },
+            7,
+        );
+        group.bench_with_input(BenchmarkId::new("easy_backfill", n_jobs), &jobs, |b, jobs| {
+            b.iter(|| scheduler.schedule(jobs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduling);
+criterion_main!(benches);

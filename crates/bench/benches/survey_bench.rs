@@ -1,0 +1,35 @@
+//! Survey benchmarks: regenerate Figures 1–6 and Tables I–III.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use summit_core::report;
+use summit_survey::{analytics, portfolio};
+
+fn figures(c: &mut Criterion) {
+    // Print the reproduced artifacts once (the paper-vs-measured record).
+    for (id, gen) in report::artifacts() {
+        if id.starts_with("fig") || id.starts_with("table") {
+            println!("{}", gen());
+        }
+    }
+    let mut group = c.benchmark_group("survey");
+    group.bench_function("build_portfolio", |b| b.iter(portfolio::build));
+    let records = portfolio::build();
+    group.bench_function("fig1_overall_usage", |b| {
+        b.iter(|| analytics::overall_usage(black_box(&records)))
+    });
+    group.bench_function("fig2_program_year", |b| {
+        b.iter(|| analytics::usage_by_program_year(black_box(&records)))
+    });
+    group.bench_function("fig5_motifs", |b| {
+        b.iter(|| analytics::usage_by_motif(black_box(&records)))
+    });
+    group.bench_function("fig6_matrix", |b| {
+        b.iter(|| analytics::motif_by_domain(black_box(&records)))
+    });
+    group.bench_function("full_report", |b| b.iter(report::full_report));
+    group.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Workflow benchmarks (experiment X3: the surrogate screening funnel, and
+//! the DAG engine itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summit_workflow::{
+    engine::{Facility, WorkflowBuilder},
+    screening::{CompoundLibrary, FunnelPolicy, ScreeningFunnel},
+};
+
+/// X3: the funnel's recall-vs-cost trade-off, printed, plus its runtime.
+fn screening(c: &mut Criterion) {
+    let library = CompoundLibrary::generate(2000, 8, 11);
+    let funnel = ScreeningFunnel::default();
+    println!("[X3] screening policies on a 2000-compound library:");
+    for policy in [FunnelPolicy::BruteForce, FunnelPolicy::Random, FunnelPolicy::Surrogate] {
+        let out = funnel.run(&library, policy);
+        println!(
+            "  {:<11} {:>5} expensive evals, recall@{} = {:.0}%",
+            format!("{policy:?}"),
+            out.expensive_evaluations,
+            funnel.k,
+            out.recall_at_k * 100.0
+        );
+    }
+    let mut group = c.benchmark_group("screening");
+    group.sample_size(10);
+    for policy in [FunnelPolicy::Random, FunnelPolicy::Surrogate] {
+        group.bench_with_input(
+            BenchmarkId::new("funnel", format!("{policy:?}")),
+            &policy,
+            |b, &policy| b.iter(|| funnel.run(&library, policy)),
+        );
+    }
+    group.finish();
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for &tasks in &[64usize, 512] {
+        group.bench_with_input(BenchmarkId::new("fanout", tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let mut wf = WorkflowBuilder::new();
+                let root = wf.task("root", Facility::Summit, 1.0, vec![], |_| 0u64);
+                let mids: Vec<_> = (0..tasks)
+                    .map(|i| {
+                        wf.task(format!("m{i}"), Facility::Summit, 1.0, vec![root], move |d| {
+                            *d[0] + i as u64
+                        })
+                    })
+                    .collect();
+                let _join = wf.task("join", Facility::Summit, 1.0, mids.clone(), |deps| {
+                    deps.iter().map(|v| **v).sum()
+                });
+                wf.run(8)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, screening, engine_throughput);
+criterion_main!(benches);

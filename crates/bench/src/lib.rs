@@ -1,0 +1,25 @@
+//! Shared helpers for the summit-ai benchmark harness.
+//!
+//! The actual benchmarks live in `benches/` (one criterion target per paper
+//! table/figure family plus the DESIGN.md ablations); the `repro` binary
+//! (`src/bin/repro.rs`) prints every reproduced artifact. This library only
+//! hosts small shared utilities so the bench targets stay declarative.
+
+/// Node counts used by every scaling sweep: powers of two to full Summit.
+pub const NODE_SWEEP: [u32; 8] = [1, 8, 64, 256, 1024, 2048, 4096, 4608];
+
+/// Message sizes (bytes) used by the communication sweeps: 4 KB to 1.4 GB
+/// (BERT-large's gradient).
+pub const MESSAGE_SWEEP: [f64; 6] = [4.0e3, 1.0e6, 25.0e6, 100.0e6, 400.0e6, 1.4e9];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_sorted_and_in_range() {
+        assert!(NODE_SWEEP.windows(2).all(|w| w[0] < w[1]));
+        assert!(NODE_SWEEP.last().copied() == Some(4608));
+        assert!(MESSAGE_SWEEP.windows(2).all(|w| w[0] < w[1]));
+    }
+}

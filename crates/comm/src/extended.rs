@@ -1,0 +1,320 @@
+//! Extended collectives: personalized all-to-all, scatter/gather, and the
+//! hierarchical (two-level) allreduce that mirrors Summit's NVLink-inside,
+//! InfiniBand-between structure.
+
+use crate::collectives::{binomial_broadcast, ring_allreduce, ReduceOp};
+use crate::world::Rank;
+
+fn tag(collective: u64, step: usize) -> u64 {
+    (collective << 32) | step as u64
+}
+
+/// Personalized all-to-all: rank i sends `send[j]` to rank j and receives
+/// rank j's `send[i]`. Returns the received buffers indexed by source.
+///
+/// # Panics
+/// Panics if `send.len() != world size`.
+pub fn alltoall(rank: &Rank, send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let p = rank.size();
+    assert_eq!(send.len(), p, "alltoall needs one buffer per rank");
+    let me = rank.id();
+    let mut recv: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
+    let mut send = send;
+    // Pairwise-exchange schedule: in step s, exchange with me ^ s when the
+    // world is a power of two; otherwise fall back to the shifted ring
+    // schedule (peer = (me + s) % p both ways).
+    if p.is_power_of_two() {
+        recv[me] = std::mem::take(&mut send[me]);
+        for s in 1..p {
+            let peer = me ^ s;
+            let payload = std::mem::take(&mut send[peer]);
+            recv[peer] = rank.send_recv(peer, peer, tag(10, s), payload);
+        }
+    } else {
+        recv[me] = std::mem::take(&mut send[me]);
+        for s in 1..p {
+            let to = (me + s) % p;
+            let from = (me + p - s) % p;
+            rank.send(to, tag(10, s), std::mem::take(&mut send[to]));
+            recv[from] = rank.recv(from, tag(10, s));
+        }
+    }
+    recv
+}
+
+/// Scatter: the root distributes `chunks[i]` to rank i. Returns this
+/// rank's chunk.
+///
+/// # Panics
+/// Panics if the root's `chunks` has the wrong length, or a non-root
+/// passes `Some`.
+pub fn scatter(rank: &Rank, chunks: Option<Vec<Vec<f32>>>, root: usize) -> Vec<f32> {
+    let p = rank.size();
+    if rank.id() == root {
+        let mut chunks = chunks.expect("root must provide chunks");
+        assert_eq!(chunks.len(), p, "scatter needs one chunk per rank");
+        for (dst, chunk) in chunks.iter_mut().enumerate() {
+            if dst != root {
+                rank.send(dst, tag(11, dst), std::mem::take(chunk));
+            }
+        }
+        std::mem::take(&mut chunks[root])
+    } else {
+        assert!(chunks.is_none(), "non-root ranks pass None");
+        rank.recv(root, tag(11, rank.id()))
+    }
+}
+
+/// Gather: every rank contributes `data`; the root returns all
+/// contributions indexed by rank, others return an empty vector.
+#[allow(clippy::needless_range_loop)] // skip-root loop over rank ids
+pub fn gather(rank: &Rank, data: Vec<f32>, root: usize) -> Vec<Vec<f32>> {
+    let p = rank.size();
+    if rank.id() == root {
+        let mut out: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
+        out[root] = data;
+        for src in 0..p {
+            if src != root {
+                out[src] = rank.recv(src, tag(12, src));
+            }
+        }
+        out
+    } else {
+        rank.send(root, tag(12, rank.id()), data);
+        Vec::new()
+    }
+}
+
+/// Two-level allreduce mirroring Summit's hierarchy: ranks are grouped
+/// into "nodes" of `group_size`; each group tree-reduces to its leader,
+/// leaders ring-allreduce among themselves, then each leader broadcasts
+/// back into its group. The result equals a flat allreduce.
+///
+/// # Panics
+/// Panics unless the world size is a multiple of `group_size`.
+pub fn hierarchical_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp, group_size: usize) {
+    let p = rank.size();
+    assert!(group_size > 0 && p.is_multiple_of(group_size), "world must tile into groups");
+    let me = rank.id();
+    let leader = me - me % group_size;
+    let lane = me - leader;
+
+    // Phase 1: linear reduce to the group leader (groups are small — the
+    // NVLink triplet/node — so a linear gather-reduce is what NCCL does).
+    if lane != 0 {
+        rank.send(leader, tag(13, lane), buf.to_vec());
+    } else {
+        for l in 1..group_size {
+            let got = rank.recv(leader + l, tag(13, l));
+            op.fold(buf, &got);
+        }
+    }
+
+    // Phase 2: leaders allreduce over a ring of leaders. We reuse the flat
+    // ring by mapping leaders onto a virtual contiguous communicator: each
+    // leader exchanges with the next/previous leader directly.
+    if lane == 0 && p > group_size {
+        let groups = p / group_size;
+        let gid = me / group_size;
+        let right = ((gid + 1) % groups) * group_size;
+        let left = ((gid + groups - 1) % groups) * group_size;
+        // Reduce-scatter + allgather over leader ring, chunked by group id.
+        let n = buf.len();
+        let chunk_bounds = |chunk: usize| -> (usize, usize) {
+            let base = n / groups;
+            let extra = n % groups;
+            let start = chunk * base + chunk.min(extra);
+            (start, start + base + usize::from(chunk < extra))
+        };
+        for s in 0..groups - 1 {
+            let send_chunk = (gid + groups - s) % groups;
+            let recv_chunk = (gid + groups - s - 1) % groups;
+            let (ss, se) = chunk_bounds(send_chunk);
+            let got = rank.send_recv(right, left, tag(14, s), buf[ss..se].to_vec());
+            let (rs, re) = chunk_bounds(recv_chunk);
+            op.fold(&mut buf[rs..re], &got);
+        }
+        for s in 0..groups - 1 {
+            let send_chunk = (gid + 1 + groups - s) % groups;
+            let recv_chunk = (gid + groups - s) % groups;
+            let (ss, se) = chunk_bounds(send_chunk);
+            let got = rank.send_recv(right, left, tag(15, s), buf[ss..se].to_vec());
+            let (rs, re) = chunk_bounds(recv_chunk);
+            buf[rs..re].copy_from_slice(&got);
+        }
+    }
+
+    // Phase 3: leaders broadcast into their groups.
+    if lane == 0 {
+        for l in 1..group_size {
+            rank.send(leader + l, tag(16, l), buf.to_vec());
+        }
+    } else {
+        let got = rank.recv(leader, tag(16, lane));
+        buf.copy_from_slice(&got);
+    }
+}
+
+/// Flat allreduce convenience wrapper choosing the hierarchical path when
+/// the world tiles into `group_size`, plain ring otherwise.
+pub fn auto_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp, group_size: usize) {
+    if group_size > 1 && rank.size().is_multiple_of(group_size) && rank.size() > group_size {
+        hierarchical_allreduce(rank, buf, op, group_size);
+    } else {
+        ring_allreduce(rank, buf, op);
+    }
+}
+
+/// Broadcast re-export companion for the extended set (binomial tree).
+pub use crate::collectives::binomial_broadcast as broadcast;
+
+/// All-gather personalized payloads via gather + broadcast (convenience
+/// for small control-plane messages; bandwidth-optimal paths should use
+/// `ring_allgather`).
+pub fn gather_then_broadcast(rank: &Rank, data: Vec<f32>, root: usize) -> Vec<Vec<f32>> {
+    let gathered = gather(rank, data, root);
+    // Flatten with offsets so broadcast carries one buffer.
+    let (mut flat, mut header) = if rank.id() == root {
+        let mut flat = Vec::new();
+        let mut header = Vec::with_capacity(gathered.len() + 1);
+        header.push(gathered.len() as f32);
+        for g in &gathered {
+            header.push(g.len() as f32);
+        }
+        for g in &gathered {
+            flat.extend_from_slice(g);
+        }
+        (flat, header)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    binomial_broadcast(rank, &mut header, root);
+    binomial_broadcast(rank, &mut flat, root);
+    let count = header[0] as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut off = 0usize;
+    for i in 0..count {
+        let len = header[1 + i] as usize;
+        out.push(flat[off..off + len].to_vec());
+        off += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn alltoall_power_of_two_and_odd() {
+        for p in [2usize, 4, 8, 3, 5, 7] {
+            let out = World::run(p, |rank| {
+                // Rank i sends [i·p + j] to rank j.
+                let send: Vec<Vec<f32>> = (0..p)
+                    .map(|j| vec![(rank.id() * p + j) as f32])
+                    .collect();
+                alltoall(rank, send)
+            });
+            for (i, recv) in out.iter().enumerate() {
+                for (j, buf) in recv.iter().enumerate() {
+                    assert_eq!(buf, &vec![(j * p + i) as f32], "p={p} rank {i} from {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        for root in 0..4 {
+            let out = World::run(4, |rank| {
+                let chunks = (rank.id() == root).then(|| {
+                    (0..4).map(|i| vec![i as f32, (i * i) as f32]).collect()
+                });
+                scatter(rank, chunks, root)
+            });
+            for (i, chunk) in out.iter().enumerate() {
+                assert_eq!(chunk, &vec![i as f32, (i * i) as f32]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let root = 2;
+        let out = World::run(5, |rank| {
+            gather(rank, vec![rank.id() as f32; rank.id() + 1], root)
+        });
+        for (i, g) in out[root].iter().enumerate() {
+            assert_eq!(g, &vec![i as f32; i + 1]);
+        }
+        assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn hierarchical_equals_flat_allreduce() {
+        for (p, g) in [(6usize, 3usize), (8, 2), (12, 6), (4, 4), (9, 3)] {
+            let out = World::run(p, |rank| {
+                let mut buf: Vec<f32> = (0..10).map(|i| (rank.id() * 10 + i) as f32).collect();
+                hierarchical_allreduce(rank, &mut buf, ReduceOp::Sum, g);
+                buf
+            });
+            // Flat reference.
+            let mut want = vec![0.0f32; 10];
+            for r in 0..p {
+                for (w, i) in want.iter_mut().zip(0..10) {
+                    *w += (r * 10 + i) as f32;
+                }
+            }
+            for (r, got) in out.iter().enumerate() {
+                for (a, b) in got.iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-3, "p={p} g={g} rank={r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_max_and_min() {
+        let out = World::run(6, |rank| {
+            let mut buf = vec![rank.id() as f32];
+            hierarchical_allreduce(rank, &mut buf, ReduceOp::Max, 3);
+            buf[0]
+        });
+        assert!(out.iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn auto_allreduce_picks_working_path() {
+        for p in [4usize, 5, 6, 12] {
+            let out = World::run(p, |rank| {
+                let mut buf = vec![1.0f32; 7];
+                auto_allreduce(rank, &mut buf, ReduceOp::Sum, 3);
+                buf[0]
+            });
+            assert!(out.iter().all(|&v| (v - p as f32).abs() < 1e-4), "p={p}");
+        }
+    }
+
+    #[test]
+    fn gather_then_broadcast_everyone_sees_all() {
+        let out = World::run(4, |rank| {
+            gather_then_broadcast(rank, vec![rank.id() as f32; rank.id()], 1)
+        });
+        for result in out {
+            assert_eq!(result.len(), 4);
+            for (i, v) in result.iter().enumerate() {
+                assert_eq!(v, &vec![i as f32; i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a rank panicked")]
+    fn hierarchical_requires_tiling() {
+        World::run(5, |rank| {
+            let mut buf = vec![0.0f32; 4];
+            hierarchical_allreduce(rank, &mut buf, ReduceOp::Sum, 3);
+        });
+    }
+}

@@ -1,0 +1,233 @@
+//! Sub-communicators: the `MPI_Comm_split` analog.
+//!
+//! Hybrid (data × model) parallel training partitions the world twice: a
+//! rank allreduces activations within its tensor-parallel group and
+//! gradients within its data-parallel group. [`Group::split`] builds such
+//! subgroups by color, and the group collectives run the same chunked ring
+//! over the member list, verified against the flat collectives.
+
+use crate::collectives::ReduceOp;
+use crate::world::Rank;
+
+/// A subgroup of world ranks this rank belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// World ranks in the group, ascending.
+    members: Vec<usize>,
+    /// This rank's index within `members`.
+    my_index: usize,
+}
+
+impl Group {
+    /// Split the world by `color`: ranks sharing a color form one group
+    /// (ordered by world rank). Requires every rank to call collectively
+    /// with its own color; colors are exchanged through a (world) gather +
+    /// broadcast so every rank learns the full coloring.
+    pub fn split(rank: &Rank, color: u64) -> Group {
+        let p = rank.size();
+        // Exchange colors: everyone sends theirs to rank 0, which
+        // broadcasts the full vector.
+        let all = crate::extended::gather_then_broadcast(rank, vec![color as f32], 0);
+        let colors: Vec<u64> = all.iter().map(|v| v[0] as u64).collect();
+        debug_assert_eq!(colors.len(), p);
+        let members: Vec<usize> = (0..p).filter(|&r| colors[r] == color).collect();
+        let my_index = members
+            .iter()
+            .position(|&r| r == rank.id())
+            .expect("caller is in its own color class");
+        Group { members, my_index }
+    }
+
+    /// Build a group directly from a member list (must contain the caller).
+    ///
+    /// # Panics
+    /// Panics if `members` is empty, unsorted, or missing the caller.
+    pub fn from_members(rank: &Rank, members: Vec<usize>) -> Group {
+        assert!(!members.is_empty(), "group cannot be empty");
+        assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be sorted");
+        let my_index = members
+            .iter()
+            .position(|&r| r == rank.id())
+            .expect("caller must be a member");
+        Group { members, my_index }
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// This rank's index within the group.
+    pub fn index(&self) -> usize {
+        self.my_index
+    }
+
+    /// The world ranks of the group.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Ring allreduce restricted to the group (other world ranks are
+    /// untouched and need not participate).
+    pub fn allreduce(&self, rank: &Rank, buf: &mut [f32], op: ReduceOp) {
+        let g = self.len();
+        if g == 1 {
+            return;
+        }
+        let me = self.my_index;
+        let right = self.members[(me + 1) % g];
+        let left = self.members[(me + g - 1) % g];
+        let n = buf.len();
+        let bounds = |chunk: usize| -> (usize, usize) {
+            let base = n / g;
+            let extra = n % g;
+            let start = chunk * base + chunk.min(extra);
+            (start, start + base + usize::from(chunk < extra))
+        };
+        // Tag namespace 20/21 with a group fingerprint so disjoint groups
+        // sharing a rank pair (impossible for a partition, but cheap
+        // insurance) do not collide.
+        let fp = (self.members.iter().sum::<usize>() as u64 & 0xFFF) << 20;
+        for s in 0..g - 1 {
+            let send_chunk = (me + g - s) % g;
+            let recv_chunk = (me + g - s - 1) % g;
+            let (ss, se) = bounds(send_chunk);
+            let got = rank.send_recv(right, left, (20 << 32) | fp | s as u64, buf[ss..se].to_vec());
+            let (rs, re) = bounds(recv_chunk);
+            op.fold(&mut buf[rs..re], &got);
+        }
+        for s in 0..g - 1 {
+            let send_chunk = (me + 1 + g - s) % g;
+            let recv_chunk = (me + g - s) % g;
+            let (ss, se) = bounds(send_chunk);
+            let got = rank.send_recv(right, left, (21 << 32) | fp | s as u64, buf[ss..se].to_vec());
+            let (rs, re) = bounds(recv_chunk);
+            buf[rs..re].copy_from_slice(&got);
+        }
+    }
+
+    /// Broadcast from the group member at `root_index` to the group.
+    ///
+    /// # Panics
+    /// Panics if `root_index` is out of range.
+    pub fn broadcast(&self, rank: &Rank, buf: &mut Vec<f32>, root_index: usize) {
+        assert!(root_index < self.len(), "root outside group");
+        let root = self.members[root_index];
+        let fp = (self.members.iter().sum::<usize>() as u64 & 0xFFF) << 20;
+        if rank.id() == root {
+            for &m in &self.members {
+                if m != root {
+                    rank.send(m, (22 << 32) | fp, buf.clone());
+                }
+            }
+        } else {
+            *buf = rank.recv(root, (22 << 32) | fp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    /// 2D decomposition: 6 ranks as 3 data-parallel groups × 2
+    /// tensor-parallel groups; each dimension allreduces independently —
+    /// exactly the hybrid-parallel communicator layout.
+    #[test]
+    fn split_builds_hybrid_parallel_groups() {
+        let out = World::run(6, |rank| {
+            let tp_color = (rank.id() / 2) as u64; // {0,1},{2,3},{4,5}
+            let dp_color = (rank.id() % 2) as u64; // evens / odds
+            let tp = Group::split(rank, tp_color);
+            let dp = Group::split(rank, dp_color);
+            assert_eq!(tp.len(), 2);
+            assert_eq!(dp.len(), 3);
+
+            // Tensor-parallel allreduce: sum within pairs.
+            let mut t = vec![rank.id() as f32];
+            tp.allreduce(rank, &mut t, ReduceOp::Sum);
+            // Data-parallel allreduce: sum over same-parity ranks.
+            let mut d = vec![rank.id() as f32];
+            dp.allreduce(rank, &mut d, ReduceOp::Sum);
+            (t[0], d[0])
+        });
+        for (r, &(t, d)) in out.iter().enumerate() {
+            let pair_sum = (r / 2 * 2) as f32 * 2.0 + 1.0; // id + partner
+            assert_eq!(t, pair_sum, "rank {r} tensor group");
+            let parity_sum: f32 = (0..6).filter(|x| x % 2 == r % 2).sum::<usize>() as f32;
+            assert_eq!(d, parity_sum, "rank {r} data group");
+        }
+    }
+
+    #[test]
+    fn group_allreduce_matches_manual_sum() {
+        let out = World::run(7, |rank| {
+            // Group of ranks {1, 3, 4, 6}; others form their own group.
+            let in_group = [1, 3, 4, 6].contains(&rank.id());
+            let g = Group::split(rank, u64::from(in_group));
+            let mut buf = vec![rank.id() as f32; 5];
+            g.allreduce(rank, &mut buf, ReduceOp::Sum);
+            (in_group, buf)
+        });
+        let want: f32 = 1.0 + 3.0 + 4.0 + 6.0;
+        for (r, (in_group, buf)) in out.iter().enumerate() {
+            if *in_group {
+                assert!(buf.iter().all(|&v| v == want), "rank {r}: {buf:?}");
+            } else {
+                let other: f32 = 0.0 + 2.0 + 5.0;
+                assert!(buf.iter().all(|&v| v == other), "rank {r}: {buf:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_broadcast_from_each_root() {
+        for root_index in 0..3 {
+            let out = World::run(6, |rank| {
+                let g = Group::split(rank, (rank.id() % 2) as u64);
+                let mut buf = if g.index() == root_index {
+                    vec![99.0, g.members()[root_index] as f32]
+                } else {
+                    vec![]
+                };
+                g.broadcast(rank, &mut buf, root_index);
+                buf
+            });
+            for (r, buf) in out.iter().enumerate() {
+                let g_members: Vec<usize> = (0..6).filter(|x| x % 2 == r % 2).collect();
+                assert_eq!(buf, &vec![99.0, g_members[root_index] as f32]);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_group_is_noop() {
+        let out = World::run(3, |rank| {
+            let g = Group::split(rank, rank.id() as u64); // all distinct
+            assert_eq!(g.len(), 1);
+            let mut buf = vec![rank.id() as f32];
+            g.allreduce(rank, &mut buf, ReduceOp::Sum);
+            buf[0]
+        });
+        assert_eq!(out, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn max_within_groups() {
+        let out = World::run(8, |rank| {
+            let g = Group::split(rank, u64::from(rank.id() < 4));
+            let mut buf = vec![rank.id() as f32];
+            g.allreduce(rank, &mut buf, ReduceOp::Max);
+            buf[0]
+        });
+        for (r, &v) in out.iter().enumerate() {
+            assert_eq!(v, if r < 4 { 3.0 } else { 7.0 });
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Threads-as-ranks execution environment.
+//!
+//! [`World::run`] spawns `p` scoped threads, each holding a [`Rank`] handle
+//! with point-to-point channels to every other rank and a shared barrier.
+//! Channels are unbounded, so the classic "everyone sends right then
+//! receives left" ring step cannot deadlock.
+//!
+//! Messages carry a tag so that out-of-order sends between the same pair
+//! (e.g. two collectives back to back) are matched correctly: `recv` pulls
+//! messages from the in-order channel and parks any message whose tag does
+//! not match in a per-source pending queue.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use std::cell::RefCell;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A tagged message between ranks.
+#[derive(Debug)]
+struct Envelope {
+    tag: u64,
+    payload: Vec<f32>,
+}
+
+/// A handle held by one rank (thread) of a [`World`].
+pub struct Rank {
+    id: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    receivers: Vec<Receiver<Envelope>>,
+    pending: Vec<RefCell<VecDeque<Envelope>>>,
+    barrier: Arc<Barrier>,
+    bytes_sent: Arc<AtomicU64>,
+    messages_sent: Arc<AtomicU64>,
+}
+
+impl Rank {
+    /// This rank's index in `0..size()`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `payload` to rank `to` with `tag`.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or equals this rank.
+    pub fn send(&self, to: usize, tag: u64, payload: Vec<f32>) {
+        assert!(to < self.size, "destination rank out of range");
+        assert_ne!(to, self.id, "self-sends are not supported");
+        self.bytes_sent
+            .fetch_add((payload.len() * 4) as u64, Ordering::Relaxed);
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.senders[to]
+            .send(Envelope { tag, payload })
+            .expect("receiver hung up: a peer rank panicked");
+    }
+
+    /// Receive the next message from rank `from` carrying `tag`, blocking
+    /// until it arrives. Messages with other tags are buffered.
+    ///
+    /// # Panics
+    /// Panics if `from` is out of range, equals this rank, or the sending
+    /// rank disconnected (panicked) before sending.
+    pub fn recv(&self, from: usize, tag: u64) -> Vec<f32> {
+        assert!(from < self.size, "source rank out of range");
+        assert_ne!(from, self.id, "self-receives are not supported");
+        let mut pending = self.pending[from].borrow_mut();
+        if let Some(pos) = pending.iter().position(|e| e.tag == tag) {
+            return pending.remove(pos).expect("position just found").payload;
+        }
+        loop {
+            let env = self.receivers[from]
+                .recv()
+                .expect("sender hung up: a peer rank panicked");
+            if env.tag == tag {
+                return env.payload;
+            }
+            pending.push_back(env);
+        }
+    }
+
+    /// Simultaneously send to `to` and receive from `from` (the ring step).
+    pub fn send_recv(&self, to: usize, from: usize, tag: u64, payload: Vec<f32>) -> Vec<f32> {
+        self.send(to, tag, payload);
+        self.recv(from, tag)
+    }
+
+    /// Block until every rank has reached this barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Aggregate traffic statistics for one [`World::run`] execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Total payload bytes sent by all ranks.
+    pub bytes_sent: u64,
+    /// Total messages sent by all ranks.
+    pub messages_sent: u64,
+}
+
+/// A world of `p` ranks executed as scoped threads.
+pub struct World;
+
+impl World {
+    /// Run `f` on `p` ranks and collect each rank's return value, ordered by
+    /// rank id.
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or if any rank's closure panics.
+    pub fn run<F, R>(p: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&Rank) -> R + Sync,
+        R: Send,
+    {
+        Self::run_with_stats(p, f).0
+    }
+
+    /// Like [`World::run`] but also returns aggregate traffic statistics,
+    /// which tests use to cross-validate the analytic cost models.
+    pub fn run_with_stats<F, R>(p: usize, f: F) -> (Vec<R>, TrafficStats)
+    where
+        F: Fn(&Rank) -> R + Sync,
+        R: Send,
+    {
+        assert!(p > 0, "world size must be positive");
+        let bytes_sent = Arc::new(AtomicU64::new(0));
+        let messages_sent = Arc::new(AtomicU64::new(0));
+        // channels[src][dst]
+        let mut txs: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(p);
+        let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> = (0..p)
+            .map(|_| (0..p).map(|_| None).collect())
+            .collect();
+        for src in 0..p {
+            let mut row = Vec::with_capacity(p);
+            for (dst, rx_row) in rxs.iter_mut().enumerate() {
+                let (tx, rx) = unbounded();
+                row.push(tx);
+                rx_row[src] = Some(rx);
+                let _ = dst;
+            }
+            txs.push(row);
+        }
+        let barrier = Arc::new(Barrier::new(p));
+        let mut ranks: Vec<Rank> = Vec::with_capacity(p);
+        for (id, (senders, rx_row)) in txs.into_iter().zip(rxs).enumerate() {
+            let receivers = rx_row
+                .into_iter()
+                .map(|r| r.expect("every channel endpoint was created"))
+                .collect();
+            ranks.push(Rank {
+                id,
+                size: p,
+                senders,
+                receivers,
+                pending: (0..p).map(|_| RefCell::new(VecDeque::new())).collect(),
+                barrier: Arc::clone(&barrier),
+                bytes_sent: Arc::clone(&bytes_sent),
+                messages_sent: Arc::clone(&messages_sent),
+            });
+        }
+
+        let results: Vec<R> = std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = ranks
+                .into_iter()
+                .map(|rank| scope.spawn(move || f(&rank)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("a rank panicked"))
+                .collect()
+        });
+        let stats = TrafficStats {
+            bytes_sent: bytes_sent.load(Ordering::Relaxed),
+            messages_sent: messages_sent.load(Ordering::Relaxed),
+        };
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |r| {
+            assert_eq!(r.size(), 1);
+            r.barrier();
+            r.id()
+        });
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = World::run(2, |r| {
+            if r.id() == 0 {
+                r.send(1, 7, vec![1.0, 2.0, 3.0]);
+                r.recv(1, 8)
+            } else {
+                let got = r.recv(0, 7);
+                r.send(0, 8, got.iter().map(|x| x * 2.0).collect());
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn tags_demultiplex_out_of_order() {
+        let out = World::run(2, |r| {
+            if r.id() == 0 {
+                // Send tag 2 first, then tag 1.
+                r.send(1, 2, vec![2.0]);
+                r.send(1, 1, vec![1.0]);
+                vec![]
+            } else {
+                // Receive tag 1 first: the tag-2 message must be parked.
+                let a = r.recv(0, 1);
+                let b = r.recv(0, 2);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn ring_send_recv_rotates() {
+        let p = 5;
+        let out = World::run(p, |r| {
+            let right = (r.id() + 1) % p;
+            let left = (r.id() + p - 1) % p;
+            let got = r.send_recv(right, left, 0, vec![r.id() as f32]);
+            got[0]
+        });
+        for (id, v) in out.iter().enumerate() {
+            assert_eq!(*v, ((id + p - 1) % p) as f32);
+        }
+    }
+
+    #[test]
+    fn traffic_stats_count_payload_bytes() {
+        let (_, stats) = World::run_with_stats(2, |r| {
+            if r.id() == 0 {
+                r.send(1, 0, vec![0.0; 100]);
+            } else {
+                let _ = r.recv(0, 0);
+            }
+        });
+        assert_eq!(stats.bytes_sent, 400);
+        assert_eq!(stats.messages_sent, 1);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        World::run(8, |r| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            r.barrier();
+            // After the barrier every increment must be visible.
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "a rank panicked")]
+    fn self_send_rejected() {
+        World::run(2, |r| {
+            if r.id() == 0 {
+                r.send(0, 0, vec![]);
+            }
+        });
+    }
+}

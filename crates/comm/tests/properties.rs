@@ -1,0 +1,137 @@
+//! Property-based tests cross-validating executed collectives against each
+//! other and against the analytic cost models.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use summit_comm::{
+    collectives::{
+        binomial_broadcast, rabenseifner_allreduce, recursive_doubling_allreduce, ring_allreduce,
+        tree_allreduce, ReduceOp,
+    },
+    model::{Algorithm, CollectiveModel},
+    world::World,
+    Rank,
+};
+use summit_machine::LinkModel;
+
+fn random_input(seed: u64, rank: usize, n: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(rank as u64));
+    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn run_allreduce(
+    f: impl Fn(&Rank, &mut [f32], ReduceOp) + Sync,
+    p: usize,
+    n: usize,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    World::run(p, |rank| {
+        let mut buf = random_input(seed, rank.id(), n);
+        f(rank, &mut buf, ReduceOp::Sum);
+        buf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All ranks agree after a ring allreduce, and the value matches the
+    /// sequential reduction.
+    #[test]
+    fn ring_allreduce_correct(p in 1usize..9, n in 1usize..64, seed in 0u64..1000) {
+        let out = run_allreduce(ring_allreduce, p, n, seed);
+        let mut want = vec![0.0f32; n];
+        for r in 0..p {
+            for (w, x) in want.iter_mut().zip(random_input(seed, r, n)) {
+                *w += x;
+            }
+        }
+        for got in &out {
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0));
+            }
+        }
+    }
+
+    /// All four allreduce algorithms agree with each other (power-of-two
+    /// worlds, length divisible by p for rabenseifner).
+    #[test]
+    fn algorithms_agree(logp in 0u32..4, chunks in 1usize..8, seed in 0u64..1000) {
+        let p = 1usize << logp;
+        let n = chunks * p;
+        let ring = run_allreduce(ring_allreduce, p, n, seed);
+        let rd = run_allreduce(recursive_doubling_allreduce, p, n, seed);
+        let rab = run_allreduce(rabenseifner_allreduce, p, n, seed);
+        let tree = run_allreduce(tree_allreduce, p, n, seed);
+        for r in 0..p {
+            for i in 0..n {
+                let a = ring[r][i];
+                for other in [&rd[r][i], &rab[r][i], &tree[r][i]] {
+                    prop_assert!((a - other).abs() <= 1e-4 * a.abs().max(1.0));
+                }
+            }
+        }
+    }
+
+    /// Max/Min allreduce returns a value that is attained by some rank and
+    /// bounds all ranks.
+    #[test]
+    fn max_is_attained(p in 1usize..8, n in 1usize..16, seed in 0u64..1000) {
+        let out = World::run(p, |rank| {
+            let mut buf = random_input(seed, rank.id(), n);
+            ring_allreduce(rank, &mut buf, ReduceOp::Max);
+            buf
+        });
+        for i in 0..n {
+            let want = (0..p)
+                .map(|r| random_input(seed, r, n)[i])
+                .fold(f32::NEG_INFINITY, f32::max);
+            for got in &out {
+                prop_assert_eq!(got[i], want);
+            }
+        }
+    }
+
+    /// Broadcast delivers the root's exact payload to everyone.
+    #[test]
+    fn broadcast_correct(p in 1usize..10, root_seed in 0usize..100,
+                         n in 0usize..32, seed in 0u64..1000) {
+        let root = root_seed % p;
+        let payload = random_input(seed, root, n);
+        let expect = payload.clone();
+        let out = World::run(p, |rank| {
+            let mut buf = if rank.id() == root { payload.clone() } else { vec![] };
+            binomial_broadcast(rank, &mut buf, root);
+            buf
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    /// Model sanity: allreduce time is monotone in message size and never
+    /// negative; bandwidth term is bounded by the full model.
+    #[test]
+    fn model_monotone(p in 2u64..100_000, a in 0.0f64..1e-4,
+                      b in 1e8f64..1e11, m1 in 1.0f64..1e10, m2 in 1.0f64..1e10) {
+        let model = CollectiveModel::new(LinkModel::new(a, b));
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        for alg in Algorithm::ALL {
+            let t_lo = model.allreduce_time(alg, p, lo);
+            let t_hi = model.allreduce_time(alg, p, hi);
+            prop_assert!(t_lo >= 0.0 && t_lo <= t_hi);
+            prop_assert!(model.bandwidth_term(alg, p, lo) <= t_lo + 1e-15);
+        }
+    }
+
+    /// Executed ring allreduce traffic equals the model's byte count
+    /// assumption: 2(p-1)·n elements sent in total.
+    #[test]
+    fn ring_traffic_matches_model(p in 2usize..8, n in 1usize..64) {
+        let (_, stats) = World::run_with_stats(p, |rank| {
+            let mut buf = vec![1.0f32; n];
+            ring_allreduce(rank, &mut buf, ReduceOp::Sum);
+        });
+        prop_assert_eq!(stats.bytes_sent, (4 * 2 * (p - 1) * n) as u64);
+    }
+}

@@ -1,0 +1,191 @@
+//! Binary model checkpoints with integrity checking.
+//!
+//! The at-scale training runs the paper reviews checkpoint constantly
+//! (Blanchard et al.'s I/O overhead is partly this traffic; the
+//! `summit-io` crate prices it). This module is the serialization half: a
+//! compact binary format for model parameters — little-endian f32 payload,
+//! versioned header, FNV-1a content checksum — over [`bytes::Bytes`]
+//! buffers, with corruption and version-mismatch detection.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::model::Mlp;
+
+/// Format magic: "SMT1".
+const MAGIC: u32 = 0x534D_5431;
+/// Current format version.
+const VERSION: u16 = 1;
+
+/// Errors from checkpoint decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Buffer too short or structurally invalid.
+    Truncated,
+    /// Magic number mismatch — not a checkpoint.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Payload checksum mismatch — corruption.
+    ChecksumMismatch,
+    /// Parameter count does not match the target model.
+    ShapeMismatch {
+        /// Parameters in the checkpoint.
+        checkpoint: u64,
+        /// Parameters in the model.
+        model: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint corrupted (checksum)"),
+            CheckpointError::ShapeMismatch { checkpoint, model } => {
+                write!(f, "parameter count mismatch: checkpoint {checkpoint}, model {model}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a over a byte slice.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Serialize a model's parameters (and the training step) to a checkpoint
+/// buffer.
+pub fn save(model: &Mlp, step: u32) -> Bytes {
+    let params = model.flat_params();
+    let mut payload = BytesMut::with_capacity(params.len() * 4);
+    for p in &params {
+        payload.put_f32_le(*p);
+    }
+    let checksum = fnv1a(&payload);
+
+    let mut out = BytesMut::with_capacity(payload.len() + 32);
+    out.put_u32(MAGIC);
+    out.put_u16(VERSION);
+    out.put_u32(step);
+    out.put_u64(params.len() as u64);
+    out.put_u64(checksum);
+    out.put(payload);
+    out.freeze()
+}
+
+/// Restore a model's parameters from a checkpoint. Returns the saved step.
+///
+/// # Errors
+/// Every malformation is detected and reported; the model is only written
+/// on success.
+pub fn load(model: &mut Mlp, mut buf: Bytes) -> Result<u32, CheckpointError> {
+    if buf.remaining() < 4 + 2 + 4 + 8 + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    if buf.get_u32() != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let step = buf.get_u32();
+    let count = buf.get_u64();
+    let checksum = buf.get_u64();
+    if buf.remaining() as u64 != count * 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    if count != model.param_count() as u64 {
+        return Err(CheckpointError::ShapeMismatch {
+            checkpoint: count,
+            model: model.param_count() as u64,
+        });
+    }
+    if fnv1a(buf.chunk()) != checksum {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    let mut params = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        params.push(buf.get_f32_le());
+    }
+    model.set_flat_params(&params);
+    Ok(step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MlpSpec;
+
+    #[test]
+    fn roundtrip_restores_exact_parameters() {
+        let spec = MlpSpec::new(4, &[8, 8], 3);
+        let model = spec.build(42);
+        let bytes = save(&model, 1234);
+        let mut restored = spec.build(99); // different init
+        assert_ne!(restored.flat_params(), model.flat_params());
+        let step = load(&mut restored, bytes).expect("valid checkpoint");
+        assert_eq!(step, 1234);
+        assert_eq!(restored.flat_params(), model.flat_params());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let model = MlpSpec::new(3, &[4], 2).build(1);
+        let bytes = save(&model, 0);
+        let mut corrupt = bytes.to_vec();
+        let idx = corrupt.len() - 3; // inside the payload
+        corrupt[idx] ^= 0xFF;
+        let mut target = MlpSpec::new(3, &[4], 2).build(2);
+        let err = load(&mut target, Bytes::from(corrupt)).unwrap_err();
+        assert_eq!(err, CheckpointError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let model = MlpSpec::new(3, &[4], 2).build(1);
+        let bytes = save(&model, 0);
+        let mut target = MlpSpec::new(3, &[4], 2).build(2);
+        let before = target.flat_params();
+        let err = load(&mut target, bytes.slice(0..bytes.len() - 5)).unwrap_err();
+        assert_eq!(err, CheckpointError::Truncated);
+        // Target untouched on failure.
+        assert_eq!(target.flat_params(), before);
+    }
+
+    #[test]
+    fn wrong_magic_and_shape_detected() {
+        let model = MlpSpec::new(3, &[4], 2).build(1);
+        let bytes = save(&model, 7);
+
+        let mut junk = bytes.to_vec();
+        junk[0] = 0;
+        let mut target = MlpSpec::new(3, &[4], 2).build(2);
+        assert_eq!(
+            load(&mut target, Bytes::from(junk)).unwrap_err(),
+            CheckpointError::BadMagic
+        );
+
+        let mut other_shape = MlpSpec::new(3, &[5], 2).build(2);
+        match load(&mut other_shape, bytes).unwrap_err() {
+            CheckpointError::ShapeMismatch { .. } => {}
+            e => panic!("expected shape mismatch, got {e}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_size_is_header_plus_payload() {
+        let model = MlpSpec::new(4, &[8], 2).build(3);
+        let bytes = save(&model, 0);
+        assert_eq!(bytes.len(), 26 + model.param_count() * 4);
+    }
+}

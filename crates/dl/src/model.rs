@@ -1,0 +1,347 @@
+//! Multi-layer perceptrons with explicit backprop.
+
+use summit_tensor::{ops, Initializer, Matrix};
+
+/// A fully-connected layer `in_dim → out_dim` with its gradient buffers.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Matrix,
+    b: Vec<f32>,
+    gw: Matrix,
+    gb: Vec<f32>,
+    /// Input cached by the last forward pass, consumed by backward.
+    input: Option<Matrix>,
+}
+
+impl Linear {
+    /// Create with He initialization for weights, zero biases.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Linear {
+            w: Initializer::HeNormal.init(in_dim, out_dim, seed),
+            b: vec![0.0; out_dim],
+            gw: Matrix::zeros(in_dim, out_dim),
+            gb: vec![0.0; out_dim],
+            input: None,
+        }
+    }
+
+    /// Forward: `y = x·W + b`, caching `x` for backward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        ops::add_bias(&mut y, &self.b);
+        self.input = Some(x.clone());
+        y
+    }
+
+    /// Backward: accumulate `gW += xᵀ·dy`, `gb += Σrows dy`; return
+    /// `dx = dy·Wᵀ`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self
+            .input
+            .as_ref()
+            .expect("backward called before forward");
+        self.gw.add_assign(&x.matmul_at_b(dy));
+        for (g, s) in self.gb.iter_mut().zip(ops::column_sums(dy)) {
+            *g += s;
+        }
+        dy.matmul_a_bt(&self.w)
+    }
+
+    fn zero_grads(&mut self) {
+        self.gw.map_inplace(|_| 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.as_slice().len() + self.b.len()
+    }
+}
+
+/// Architecture description of an MLP classifier/regressor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpSpec {
+    /// Input feature count.
+    pub inputs: usize,
+    /// Hidden layer widths (ReLU between all layers).
+    pub hidden: Vec<usize>,
+    /// Output dimension (class count for classification).
+    pub outputs: usize,
+}
+
+impl MlpSpec {
+    /// Describe an MLP.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(inputs: usize, hidden: &[usize], outputs: usize) -> Self {
+        assert!(inputs > 0 && outputs > 0, "dimensions must be positive");
+        assert!(hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        MlpSpec {
+            inputs,
+            hidden: hidden.to_vec(),
+            outputs,
+        }
+    }
+
+    /// Materialize the model with deterministic weights.
+    pub fn build(&self, seed: u64) -> Mlp {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 2);
+        dims.push(self.inputs);
+        dims.extend_from_slice(&self.hidden);
+        dims.push(self.outputs);
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, d)| Linear::new(d[0], d[1], seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+        Mlp {
+            layers,
+            relu_outputs: Vec::new(),
+        }
+    }
+}
+
+/// An MLP with ReLU activations between layers and linear (logit) output.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    /// ReLU outputs cached by forward for backward masking.
+    relu_outputs: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Forward pass: returns logits for a `batch × inputs` matrix.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.relu_outputs.clear();
+        let depth = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < depth {
+                ops::relu_inplace(&mut h);
+                self.relu_outputs.push(h.clone());
+            }
+        }
+        h
+    }
+
+    /// Backward pass from the loss gradient w.r.t. the logits. Gradients
+    /// accumulate (call [`Mlp::zero_grads`] between optimizer steps).
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dlogits: &Matrix) {
+        let _ = self.backward_input(dlogits);
+    }
+
+    /// Backward pass that also returns the gradient with respect to the
+    /// *input* batch — needed when the network's input is itself a
+    /// differentiable function of other quantities (e.g. machine-learned
+    /// force fields, where forces are −∂E/∂descriptors·∂descriptors/∂r).
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward_input(&mut self, dlogits: &Matrix) -> Matrix {
+        let mut grad = dlogits.clone();
+        for i in (0..self.layers.len()).rev() {
+            grad = self.layers[i].backward(&grad);
+            if i > 0 {
+                ops::relu_backward(&self.relu_outputs[i - 1], &mut grad);
+            }
+        }
+        grad
+    }
+
+    /// Zero all gradient buffers.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Scale all gradients (for micro-batch averaging).
+    pub fn scale_grads(&mut self, s: f32) {
+        for layer in &mut self.layers {
+            layer.gw.map_inplace(|g| g * s);
+            layer.gb.iter_mut().for_each(|g| *g *= s);
+        }
+    }
+
+    /// Copy all gradients into one flat vector (layer-major, weights then
+    /// bias per layer) — the buffer a data-parallel trainer allreduces.
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.gw.as_slice());
+            out.extend_from_slice(&layer.gb);
+        }
+        out
+    }
+
+    /// Overwrite all gradients from a flat vector (inverse of
+    /// [`Mlp::flat_grads`]).
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != param_count()`.
+    pub fn set_flat_grads(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "flat gradient length mismatch");
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let wlen = layer.gw.as_slice().len();
+            layer.gw.as_mut_slice().copy_from_slice(&flat[off..off + wlen]);
+            off += wlen;
+            let blen = layer.gb.len();
+            layer.gb.copy_from_slice(&flat[off..off + blen]);
+            off += blen;
+        }
+    }
+
+    /// Copy all parameters into one flat vector.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.w.as_slice());
+            out.extend_from_slice(&layer.b);
+        }
+        out
+    }
+
+    /// Overwrite all parameters from a flat vector.
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != param_count()`.
+    pub fn set_flat_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let wlen = layer.w.as_slice().len();
+            layer.w.as_mut_slice().copy_from_slice(&flat[off..off + wlen]);
+            off += wlen;
+            let blen = layer.b.len();
+            layer.b.copy_from_slice(&flat[off..off + blen]);
+            off += blen;
+        }
+    }
+
+    /// Visit each parameter group (per-layer weights and biases separately,
+    /// as LARS/LAMB prescribe) with `(group_id, params, grads)`.
+    pub fn for_each_group(&mut self, mut f: impl FnMut(usize, &mut [f32], &[f32])) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            f(2 * i, layer.w.as_mut_slice(), layer.gw.as_slice());
+            f(2 * i + 1, &mut layer.b, &layer.gb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summit_tensor::ops::softmax_cross_entropy;
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let m = MlpSpec::new(4, &[8, 8], 3).build(0);
+        // 4*8+8 + 8*8+8 + 8*3+3 = 40 + 72 + 27 = 139
+        assert_eq!(m.param_count(), 139);
+        assert_eq!(m.depth(), 3);
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let mut m = MlpSpec::new(3, &[5], 2).build(1);
+        let p = m.flat_params();
+        let mut p2 = p.clone();
+        p2[0] += 1.0;
+        m.set_flat_params(&p2);
+        assert_eq!(m.flat_params(), p2);
+        m.set_flat_params(&p);
+        assert_eq!(m.flat_params(), p);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut m = MlpSpec::new(3, &[4], 2).build(3);
+        let x = Matrix::from_rows(&[&[0.5, -0.3, 0.8], &[-0.1, 0.9, 0.2]]);
+        let labels = [1usize, 0];
+
+        let logits = m.forward(&x);
+        let (_, dlogits) = softmax_cross_entropy(logits, &labels);
+        m.zero_grads();
+        m.backward(&dlogits);
+        let analytic = m.flat_grads();
+
+        let base = m.flat_params();
+        let eps = 1e-3f32;
+        for idx in (0..base.len()).step_by(5) {
+            let mut plus = base.clone();
+            plus[idx] += eps;
+            m.set_flat_params(&plus);
+            let (lp, _) = softmax_cross_entropy(m.forward(&x), &labels);
+            let mut minus = base.clone();
+            minus[idx] -= eps;
+            m.set_flat_params(&minus);
+            let (lm, _) = softmax_cross_entropy(m.forward(&x), &labels);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic[idx]).abs() < 2e-2,
+                "param {idx}: fd {fd} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_until_zeroed() {
+        let mut m = MlpSpec::new(2, &[], 2).build(5);
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let logits = m.forward(&x);
+        let (_, d) = softmax_cross_entropy(logits, &[0]);
+        m.zero_grads();
+        m.backward(&d);
+        let once = m.flat_grads();
+        // Second backward without zeroing doubles the gradients.
+        let logits = m.forward(&x);
+        let (_, d) = softmax_cross_entropy(logits, &[0]);
+        m.backward(&d);
+        let twice = m.flat_grads();
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((2.0 * a - b).abs() < 1e-5);
+        }
+        m.zero_grads();
+        assert!(m.flat_grads().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = MlpSpec::new(4, &[8], 2).build(9);
+        let b = MlpSpec::new(4, &[8], 2).build(9);
+        assert_eq!(a.flat_params(), b.flat_params());
+    }
+
+    #[test]
+    fn group_visit_covers_all_params() {
+        let mut m = MlpSpec::new(3, &[4, 5], 2).build(2);
+        let mut seen = 0usize;
+        let mut ids = Vec::new();
+        m.for_each_group(|id, p, g| {
+            assert_eq!(p.len(), g.len());
+            seen += p.len();
+            ids.push(id);
+        });
+        assert_eq!(seen, m.param_count());
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

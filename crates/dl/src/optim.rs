@@ -1,0 +1,449 @@
+//! The optimizers used by the paper's full-Summit training codes.
+//!
+//! Layer-wise adaptive methods are the enabling trick for extreme-scale
+//! data parallelism: they bound each layer's update relative to its weight
+//! norm, which keeps training stable when the global batch (and therefore
+//! the linearly-scaled learning rate) grows by three orders of magnitude.
+//!
+//! * [`Sgd`] — plain/momentum SGD with decoupled weight decay.
+//! * [`Adam`] — Adam (Kingma & Ba) with decoupled weight decay.
+//! * [`Lars`] — layer-wise adaptive rate scaling (You et al. 2017), used by
+//!   Laanait et al. ("LARS/Adam optimizer").
+//! * [`Larc`] — the clipping variant of LARS ("LARC learning rate control",
+//!   Kurth et al.).
+//! * [`Lamb`] — layer-wise Adam (You et al. 2019), used by Khan et al. and
+//!   Blanchard et al. for million-sample batches.
+
+use std::collections::HashMap;
+
+use summit_tensor::{axpy, l2_norm};
+
+/// A stateful optimizer applied per parameter group (one group per layer
+/// weight matrix or bias vector, as the layer-wise methods require).
+pub trait Optimizer: Send {
+    /// Apply one update to a parameter group. `lr` is the scheduled global
+    /// learning rate for this step.
+    fn step_group(&mut self, group: usize, lr: f32, params: &mut [f32], grads: &[f32]);
+
+    /// Advance the step counter (call once per optimizer step, after all
+    /// groups).
+    fn advance(&mut self) {}
+
+    /// Optimizer display name.
+    fn name(&self) -> &'static str;
+}
+
+fn state(
+    map: &mut HashMap<usize, Vec<f32>>,
+    group: usize,
+    len: usize,
+) -> &mut Vec<f32> {
+    map.entry(group).or_insert_with(|| vec![0.0; len])
+}
+
+/// SGD with momentum and decoupled weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<usize, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Create SGD. `lr` is the base learning rate multiplied by the
+    /// schedule factor at each step.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step_group(&mut self, group: usize, lr: f32, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "group shape mismatch");
+        let eff = self.lr * lr;
+        let v = state(&mut self.velocity, group, params.len());
+        for ((p, &g), vi) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
+            let g = g + self.weight_decay * *p;
+            *vi = self.momentum * *vi + g;
+            *p -= eff * *vi;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// Adam with decoupled weight decay (AdamW-style).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step: u32,
+    m: HashMap<usize, Vec<f32>>,
+    v: HashMap<usize, Vec<f32>>,
+}
+
+impl Adam {
+    /// Create Adam with the standard betas.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Adam::with_betas(lr, 0.9, 0.999, 1e-8, weight_decay)
+    }
+
+    /// Create Adam with explicit hyperparameters.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            step: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// The bias-corrected Adam direction for a group, written into `out`.
+    fn direction(&mut self, group: usize, grads: &[f32], out: &mut Vec<f32>) {
+        let t = (self.step + 1) as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        let m = state(&mut self.m, group, grads.len());
+        for (mi, &g) in m.iter_mut().zip(grads) {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+        }
+        let m_snapshot: Vec<f32> = m.clone();
+        let v = state(&mut self.v, group, grads.len());
+        out.clear();
+        out.reserve(grads.len());
+        for ((vi, &g), &mi) in v.iter_mut().zip(grads).zip(&m_snapshot) {
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let m_hat = mi / bc1;
+            let v_hat = *vi / bc2;
+            out.push(m_hat / (v_hat.sqrt() + self.eps));
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step_group(&mut self, group: usize, lr: f32, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "group shape mismatch");
+        let eff = self.lr * lr;
+        let mut dir = Vec::new();
+        self.direction(group, grads, &mut dir);
+        for (d, &p) in dir.iter_mut().zip(params.iter()) {
+            *d += self.weight_decay * p;
+        }
+        axpy(-eff, &dir, params);
+    }
+
+    fn advance(&mut self) {
+        self.step += 1;
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+/// LARS: SGD-momentum with a per-layer trust ratio
+/// `η‖w‖ / (‖g‖ + λ‖w‖ + ε)` scaling the learning rate.
+#[derive(Debug)]
+pub struct Lars {
+    inner: Sgd,
+    /// Trust coefficient η (You et al. use 0.001).
+    pub eta: f32,
+    weight_decay: f32,
+    eps: f32,
+}
+
+impl Lars {
+    /// Create LARS over momentum-SGD.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32, eta: f32) -> Self {
+        assert!(eta > 0.0, "trust coefficient must be positive");
+        Lars {
+            inner: Sgd::new(lr, momentum, 0.0),
+            eta,
+            weight_decay,
+            eps: 1e-9,
+        }
+    }
+
+    /// The layer trust ratio for given weight and gradient norms.
+    pub fn trust_ratio(&self, w_norm: f32, g_norm: f32) -> f32 {
+        if w_norm == 0.0 || g_norm == 0.0 {
+            1.0
+        } else {
+            self.eta * w_norm / (g_norm + self.weight_decay * w_norm + self.eps)
+        }
+    }
+}
+
+impl Optimizer for Lars {
+    fn step_group(&mut self, group: usize, lr: f32, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "group shape mismatch");
+        let w_norm = l2_norm(params);
+        let g_norm = l2_norm(grads);
+        let trust = self.trust_ratio(w_norm, g_norm);
+        // Regularized gradient, scaled by the trust ratio, fed to SGD.
+        let mut reg: Vec<f32> = grads.to_vec();
+        for (r, &p) in reg.iter_mut().zip(params.iter()) {
+            *r = trust * (*r + self.weight_decay * p);
+        }
+        self.inner.step_group(group, lr, params, &reg);
+    }
+
+    fn name(&self) -> &'static str {
+        "lars"
+    }
+}
+
+/// LARC: the clipping variant of LARS — the local rate is
+/// `min(η‖w‖/‖g‖, 1)`, so LARC never *amplifies* the scheduled rate.
+#[derive(Debug)]
+pub struct Larc {
+    inner: Sgd,
+    /// Trust coefficient η.
+    pub eta: f32,
+    weight_decay: f32,
+    eps: f32,
+}
+
+impl Larc {
+    /// Create LARC over momentum-SGD.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32, eta: f32) -> Self {
+        assert!(eta > 0.0, "trust coefficient must be positive");
+        Larc {
+            inner: Sgd::new(lr, momentum, 0.0),
+            eta,
+            weight_decay,
+            eps: 1e-9,
+        }
+    }
+
+    /// The clipped local rate multiplier.
+    pub fn local_rate(&self, w_norm: f32, g_norm: f32) -> f32 {
+        if w_norm == 0.0 || g_norm == 0.0 {
+            1.0
+        } else {
+            (self.eta * w_norm / (g_norm + self.weight_decay * w_norm + self.eps)).min(1.0)
+        }
+    }
+}
+
+impl Optimizer for Larc {
+    fn step_group(&mut self, group: usize, lr: f32, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "group shape mismatch");
+        let rate = self.local_rate(l2_norm(params), l2_norm(grads));
+        let mut reg: Vec<f32> = grads.to_vec();
+        for (r, &p) in reg.iter_mut().zip(params.iter()) {
+            *r = rate * (*r + self.weight_decay * p);
+        }
+        self.inner.step_group(group, lr, params, &reg);
+    }
+
+    fn name(&self) -> &'static str {
+        "larc"
+    }
+}
+
+/// LAMB: Adam direction with a per-layer trust ratio `‖w‖/‖u‖`.
+#[derive(Debug)]
+pub struct Lamb {
+    inner: Adam,
+    weight_decay: f32,
+}
+
+impl Lamb {
+    /// Create LAMB with standard Adam betas.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Lamb {
+            inner: Adam::with_betas(lr, 0.9, 0.999, 1e-6, 0.0),
+            weight_decay,
+        }
+    }
+}
+
+impl Optimizer for Lamb {
+    fn step_group(&mut self, group: usize, lr: f32, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "group shape mismatch");
+        let mut update = Vec::new();
+        self.inner.direction(group, grads, &mut update);
+        for (u, &p) in update.iter_mut().zip(params.iter()) {
+            *u += self.weight_decay * p;
+        }
+        let w_norm = l2_norm(params);
+        let u_norm = l2_norm(&update);
+        let trust = if w_norm == 0.0 || u_norm == 0.0 {
+            1.0
+        } else {
+            w_norm / u_norm
+        };
+        let eff = self.inner.lr * lr * trust;
+        axpy(-eff, &update, params);
+    }
+
+    fn advance(&mut self) {
+        self.inner.advance();
+    }
+
+    fn name(&self) -> &'static str {
+        "lamb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_step(opt: &mut dyn Optimizer, steps: usize, start: f32) -> f32 {
+        // Minimize f(w) = 0.5 w² (gradient = w), scalar group.
+        let mut w = vec![start];
+        for _ in 0..steps {
+            let g = vec![w[0]];
+            opt.step_group(0, 1.0, &mut w, &g);
+            opt.advance();
+        }
+        w[0]
+    }
+
+    #[test]
+    fn all_optimizers_descend_a_quadratic() {
+        let mut opts: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(Sgd::new(0.1, 0.0, 0.0)),
+            Box::new(Adam::new(0.1, 0.0)),
+            Box::new(Lars::new(1.0, 0.0, 0.0, 0.1)),
+            Box::new(Larc::new(0.5, 0.0, 0.0, 0.5)),
+            Box::new(Lamb::new(0.05, 0.0)),
+        ];
+        for opt in &mut opts {
+            let end = quadratic_step(opt.as_mut(), 50, 10.0);
+            assert!(
+                end.abs() < 10.0 * 0.9,
+                "{} did not descend: ended at {end}",
+                opt.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates_velocity() {
+        let mut plain = Sgd::new(0.1, 0.0, 0.0);
+        let mut momentum = Sgd::new(0.1, 0.9, 0.0);
+        // Constant gradient: momentum moves further after a few steps.
+        let (mut wp, mut wm) = (vec![0.0f32], vec![0.0f32]);
+        for _ in 0..5 {
+            plain.step_group(0, 1.0, &mut wp, &[1.0]);
+            momentum.step_group(0, 1.0, &mut wm, &[1.0]);
+        }
+        assert!(wm[0] < wp[0], "momentum should overshoot plain SGD");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        let mut w = vec![1.0f32];
+        opt.step_group(0, 1.0, &mut w, &[0.0]);
+        assert!((w[0] - 0.95).abs() < 1e-6);
+    }
+
+    /// The defining LARS property: the (first-step) update norm is bounded
+    /// by `lr · η · ‖w‖ / (1 - λ‖w‖/stuff)` — concretely, with no weight
+    /// decay it is exactly `lr · η · ‖w‖` regardless of gradient scale.
+    #[test]
+    fn lars_update_norm_independent_of_gradient_scale() {
+        for scale in [1.0f32, 1e3, 1e6] {
+            let mut opt = Lars::new(1.0, 0.0, 0.0, 0.01);
+            let mut w = vec![3.0, 4.0]; // ‖w‖ = 5
+            let g = vec![scale, scale];
+            let before = w.clone();
+            opt.step_group(0, 1.0, &mut w, &g);
+            let update = ((w[0] - before[0]).powi(2) + (w[1] - before[1]).powi(2)).sqrt();
+            let want = 1.0 * 0.01 * 5.0;
+            assert!(
+                (update - want).abs() / want < 1e-4,
+                "scale {scale}: update norm {update}, want {want}"
+            );
+        }
+    }
+
+    /// LARC clips: with a tiny gradient the local rate saturates at 1 and
+    /// LARC behaves exactly like SGD.
+    #[test]
+    fn larc_clips_to_sgd() {
+        let mut larc = Larc::new(0.1, 0.0, 0.0, 0.001);
+        let mut sgd = Sgd::new(0.1, 0.0, 0.0);
+        let (mut wl, mut ws) = (vec![100.0f32], vec![100.0f32]);
+        let g = vec![1e-6f32];
+        larc.step_group(0, 1.0, &mut wl, &g);
+        sgd.step_group(0, 1.0, &mut ws, &g);
+        assert!((wl[0] - ws[0]).abs() < 1e-9);
+        // And with a huge gradient LARC's step is much smaller than SGD's.
+        let g = vec![1e6f32];
+        let (before_l, before_s) = (wl[0], ws[0]);
+        larc.step_group(0, 1.0, &mut wl, &g);
+        sgd.step_group(0, 1.0, &mut ws, &g);
+        assert!((wl[0] - before_l).abs() < (ws[0] - before_s).abs() / 100.0);
+    }
+
+    /// The defining LAMB property: the update norm equals lr·‖w‖ no matter
+    /// how large the gradient is (trust ratio normalizes the Adam step).
+    #[test]
+    fn lamb_update_norm_tracks_weight_norm() {
+        for scale in [1.0f32, 1e4] {
+            let mut opt = Lamb::new(0.01, 0.0);
+            let mut w = vec![3.0, 4.0];
+            let before = w.clone();
+            opt.step_group(0, 1.0, &mut w, &[scale, scale]);
+            let update = ((w[0] - before[0]).powi(2) + (w[1] - before[1]).powi(2)).sqrt();
+            let want = 0.01 * 5.0;
+            assert!(
+                (update - want).abs() / want < 1e-3,
+                "scale {scale}: update {update} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn adam_direction_is_sign_like_for_constant_gradient() {
+        let mut opt = Adam::new(0.1, 0.0);
+        let mut w = vec![0.0f32, 0.0];
+        // Very different gradient magnitudes, same sign: Adam's step should
+        // be nearly equal for both coordinates after bias correction.
+        for _ in 0..50 {
+            opt.step_group(0, 1.0, &mut w, &[1.0, 100.0]);
+            opt.advance();
+        }
+        assert!(
+            (w[0] - w[1]).abs() < 0.05 * w[0].abs(),
+            "adam steps not magnitude-invariant: {w:?}"
+        );
+    }
+
+    #[test]
+    fn independent_groups_have_independent_state() {
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        let mut a = vec![0.0f32];
+        let mut b = vec![0.0f32];
+        opt.step_group(0, 1.0, &mut a, &[1.0]);
+        opt.step_group(1, 1.0, &mut b, &[1.0]);
+        opt.step_group(0, 1.0, &mut a, &[0.0]);
+        // Group 0's velocity moved `a`, group 1 untouched by it.
+        assert!((a[0] - (-0.1 - 0.09)).abs() < 1e-6);
+        assert!((b[0] + 0.1).abs() < 1e-6);
+    }
+}

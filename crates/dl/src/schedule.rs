@@ -1,0 +1,162 @@
+//! Learning-rate schedules.
+//!
+//! Every extreme-scale run in the paper's Section IV-B pairs a layer-wise
+//! optimizer with warmup-then-decay scheduling; this module provides the
+//! multiplier applied to the optimizer's base rate at each step.
+
+use serde::Serialize;
+
+/// A learning-rate schedule, evaluated as a multiplier in `[0, 1]` (warmup
+/// ramps from ~0 to 1; decay phases descend from 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum LrSchedule {
+    /// Always 1.
+    Constant,
+    /// Linear ramp 1/w..1 over `warmup_steps`, then 1.
+    LinearWarmup {
+        /// Steps to ramp over.
+        warmup_steps: u32,
+    },
+    /// Linear warmup then cosine decay to 0 at `total_steps`.
+    WarmupCosine {
+        /// Steps to ramp over.
+        warmup_steps: u32,
+        /// Total steps; the multiplier reaches 0 here.
+        total_steps: u32,
+    },
+    /// Linear warmup then polynomial decay `(1 - t)^power`.
+    WarmupPolynomial {
+        /// Steps to ramp over.
+        warmup_steps: u32,
+        /// Total steps.
+        total_steps: u32,
+        /// Decay exponent (2 is common for segmentation nets).
+        power: u32,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier at `step` (0-based).
+    pub fn multiplier(&self, step: u32) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::LinearWarmup { warmup_steps } => warmup(step, warmup_steps),
+            LrSchedule::WarmupCosine {
+                warmup_steps,
+                total_steps,
+            } => {
+                if step < warmup_steps {
+                    warmup(step, warmup_steps)
+                } else {
+                    let t = progress(step, warmup_steps, total_steps);
+                    0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+                }
+            }
+            LrSchedule::WarmupPolynomial {
+                warmup_steps,
+                total_steps,
+                power,
+            } => {
+                if step < warmup_steps {
+                    warmup(step, warmup_steps)
+                } else {
+                    let t = progress(step, warmup_steps, total_steps);
+                    (1.0 - t).powi(power as i32)
+                }
+            }
+        }
+    }
+}
+
+fn warmup(step: u32, warmup_steps: u32) -> f32 {
+    if warmup_steps == 0 {
+        1.0
+    } else {
+        ((step + 1) as f32 / warmup_steps as f32).min(1.0)
+    }
+}
+
+fn progress(step: u32, warmup_steps: u32, total_steps: u32) -> f32 {
+    if total_steps <= warmup_steps {
+        return 1.0;
+    }
+    ((step - warmup_steps) as f32 / (total_steps - warmup_steps) as f32).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        for s in [0, 10, 1000] {
+            assert_eq!(LrSchedule::Constant.multiplier(s), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let sched = LrSchedule::LinearWarmup { warmup_steps: 10 };
+        assert!(sched.multiplier(0) < sched.multiplier(5));
+        assert_eq!(sched.multiplier(9), 1.0);
+        assert_eq!(sched.multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn cosine_decays_to_zero() {
+        let sched = LrSchedule::WarmupCosine {
+            warmup_steps: 5,
+            total_steps: 105,
+        };
+        assert!((sched.multiplier(4) - 1.0).abs() < 1e-6);
+        let mid = sched.multiplier(55);
+        assert!((mid - 0.5).abs() < 0.01, "midpoint {mid}");
+        assert!(sched.multiplier(105) < 1e-6);
+        assert!(sched.multiplier(1000) < 1e-6);
+    }
+
+    #[test]
+    fn polynomial_decays_monotonically() {
+        let sched = LrSchedule::WarmupPolynomial {
+            warmup_steps: 0,
+            total_steps: 100,
+            power: 2,
+        };
+        let mut prev = f32::INFINITY;
+        for s in 0..=100 {
+            let m = sched.multiplier(s);
+            assert!(m <= prev + 1e-6);
+            prev = m;
+        }
+        assert_eq!(sched.multiplier(100), 0.0);
+    }
+
+    #[test]
+    fn multipliers_bounded() {
+        let scheds = [
+            LrSchedule::Constant,
+            LrSchedule::LinearWarmup { warmup_steps: 7 },
+            LrSchedule::WarmupCosine {
+                warmup_steps: 3,
+                total_steps: 50,
+            },
+            LrSchedule::WarmupPolynomial {
+                warmup_steps: 3,
+                total_steps: 50,
+                power: 1,
+            },
+        ];
+        for sched in scheds {
+            for s in 0..60 {
+                let m = sched.multiplier(s);
+                assert!((0.0..=1.0).contains(&m), "{sched:?} step {s}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_warmup_zero() {
+        let sched = LrSchedule::LinearWarmup { warmup_steps: 0 };
+        assert_eq!(sched.multiplier(0), 1.0);
+    }
+}

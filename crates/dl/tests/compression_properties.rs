@@ -1,0 +1,85 @@
+//! Property-based tests for gradient compression and the f16 emulation.
+
+use proptest::prelude::*;
+use summit_dl::compression::{
+    f16_bits_to_f32, f32_to_f16_bits, quantize_f16, Compressor, GradCompression,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round-tripping through binary16 keeps relative error ≤ 2^-11 for
+    /// values in the normal half range.
+    #[test]
+    fn f16_relative_error_bound(x in -60_000.0f32..60_000.0) {
+        prop_assume!(x.abs() >= 6.2e-5); // stay in the normal range
+        let q = quantize_f16(x);
+        prop_assert!(((q - x) / x).abs() <= 1.0 / 2048.0 + 1e-7, "{x} → {q}");
+    }
+
+    /// Quantization is idempotent: a binary16 value round-trips exactly.
+    #[test]
+    fn f16_idempotent(x in -1.0e5f32..1.0e5) {
+        let once = quantize_f16(x);
+        let twice = quantize_f16(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    /// Sign symmetry: quantize(−x) = −quantize(x).
+    #[test]
+    fn f16_sign_symmetric(x in 0.0f32..1.0e5) {
+        prop_assert_eq!(quantize_f16(-x).to_bits(), (-quantize_f16(x)).to_bits());
+    }
+
+    /// Monotonicity over bit patterns: decode is order-preserving on the
+    /// positive normal range.
+    #[test]
+    fn f16_decode_monotone(a in 0x0400u16..0x7C00, b in 0x0400u16..0x7C00) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f16_bits_to_f32(lo) <= f16_bits_to_f32(hi));
+    }
+
+    /// Encode∘decode is the identity on all finite half bit patterns.
+    #[test]
+    fn f16_encode_decode_identity(bits in 0u16..0x7C00) {
+        prop_assert_eq!(f32_to_f16_bits(f16_bits_to_f32(bits)), bits);
+    }
+
+    /// Top-k conservation with error feedback: nothing is lost — kept
+    /// coordinates plus the residual reconstruct the accumulated gradient.
+    #[test]
+    fn topk_conserves_mass(grads in proptest::collection::vec(-10.0f32..10.0, 4..64),
+                           keep_pct in 1u32..100) {
+        let n = grads.len();
+        let fraction = f64::from(keep_pct) / 100.0;
+        let mut comp = Compressor::new(GradCompression::TopK { fraction }, n);
+        let mut wire = grads.clone();
+        comp.compress(&mut wire);
+        // Energy conservation: kept coordinates carry their exact original
+        // values and the residual holds exactly the dropped mass, so
+        // ‖wire‖² + ‖residual‖² = ‖grads‖² (first step: residual was 0).
+        let sq = |v: &[f32]| v.iter().map(|x| f64::from(*x) * f64::from(*x)).sum::<f64>();
+        let total = sq(&grads);
+        let kept = sq(&wire);
+        let residual = f64::from(comp.residual_norm()).powi(2);
+        prop_assert!(
+            (kept + residual - total).abs() <= 1e-3 * total.max(1.0),
+            "energy lost: {kept} + {residual} vs {total}"
+        );
+        // And every kept coordinate is unchanged.
+        for (w, g) in wire.iter().zip(&grads) {
+            prop_assert!(*w == 0.0 || w == g);
+        }
+    }
+
+    /// Message sizes: top-k is smaller than fp32 whenever fraction < 1/2,
+    /// and fp16 is exactly half.
+    #[test]
+    fn message_size_ordering(n in 1usize..100_000, pct in 1u32..49) {
+        let fraction = f64::from(pct) / 100.0;
+        let full = GradCompression::None.message_bytes(n);
+        prop_assert_eq!(GradCompression::Fp16.message_bytes(n), full / 2.0);
+        let topk = GradCompression::TopK { fraction };
+        prop_assert!(topk.message_bytes(n) <= full + 8.0);
+    }
+}

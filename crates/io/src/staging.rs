@@ -1,0 +1,206 @@
+//! Data staging from the shared filesystem to node-local NVMe.
+//!
+//! The paper: "Since data on NVMe is not persistent between jobs, data
+//! staging is also required, with costs adding up as well (e.g., hundreds of
+//! TBs at the start of each training job for hyperparameter search)."
+
+use serde::Serialize;
+
+use crate::dataset::{DatasetSpec, ShardPlan};
+use crate::tier::StorageTier;
+
+/// How the dataset is laid out on the node-local tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum StagingMode {
+    /// Each node stores a 1/n slice. Requires cross-node shuffling or
+    /// sampling restrictions; minimal capacity.
+    Partitioned,
+    /// Every node stores the full dataset. Only possible when the dataset
+    /// fits a single NVMe volume; no shuffle traffic ever.
+    Replicated,
+}
+
+impl StagingMode {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StagingMode::Partitioned => "partitioned",
+            StagingMode::Replicated => "replicated",
+        }
+    }
+}
+
+/// A concrete staging plan with its costs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StagingPlan {
+    /// Layout mode.
+    pub mode: StagingMode,
+    /// The shard plan realizing the mode.
+    pub plan: ShardPlan,
+    /// Seconds to pull the data from the shared filesystem, limited by the
+    /// slower of source read and destination write.
+    pub stage_seconds: f64,
+    /// Whether each node's share fits its NVMe volume.
+    pub fits: bool,
+}
+
+impl StagingPlan {
+    /// Build a staging plan for `dataset` onto `nodes` nodes.
+    ///
+    /// Staging reads the dataset once from the shared tier (replication
+    /// still reads once and broadcasts over the fabric, which is faster
+    /// than the shared FS, so the FS read remains the bottleneck), and
+    /// writes each node's share to its NVMe.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or the tiers are inconsistent (zero write
+    /// bandwidth on a node-local destination).
+    pub fn new(
+        dataset: &DatasetSpec,
+        nodes: u32,
+        shared: &StorageTier,
+        nvme: &StorageTier,
+        mode: StagingMode,
+    ) -> Self {
+        assert!(nodes > 0, "a staging plan needs nodes");
+        assert!(nvme.write_bw > 0.0, "destination tier must be writable");
+        let plan = match mode {
+            StagingMode::Partitioned => ShardPlan::partition(dataset, nodes),
+            StagingMode::Replicated => ShardPlan::replicate(dataset, nodes),
+        };
+        // Source side: the dataset leaves the shared FS exactly once.
+        let src_seconds = shared.read_time(dataset.total_bytes());
+        // Destination side: all nodes write in parallel; the slowest node
+        // (largest shard) gates completion. nvme.write_bw is the aggregate
+        // over `nodes`, so per-node bandwidth is write_bw / nodes.
+        let per_node_write_bw = nvme.write_bw / f64::from(nodes);
+        let dst_seconds = plan.max_shard_bytes() / per_node_write_bw;
+        let per_node_capacity = nvme.capacity / f64::from(nodes);
+        StagingPlan {
+            mode,
+            fits: plan.max_shard_bytes() <= per_node_capacity,
+            stage_seconds: src_seconds.max(dst_seconds),
+            plan,
+        }
+    }
+
+    /// Staging overhead as a fraction of total job time, given the job's
+    /// post-staging runtime in seconds.
+    pub fn overhead_fraction(&self, job_seconds: f64) -> f64 {
+        assert!(job_seconds > 0.0, "job time must be positive");
+        self.stage_seconds / (self.stage_seconds + job_seconds)
+    }
+
+    /// Number of epochs after which staging to NVMe beats reading every
+    /// epoch from the shared filesystem: the break-even epoch count
+    /// `k` such that `stage + k·t_nvme < k·t_shared`. Returns `None` if the
+    /// NVMe epoch is not faster (never pays off).
+    pub fn break_even_epochs(
+        &self,
+        dataset: &DatasetSpec,
+        shared: &StorageTier,
+        nvme: &StorageTier,
+    ) -> Option<u32> {
+        let t_shared = shared.read_time(dataset.total_bytes());
+        let t_nvme = nvme.read_time(dataset.total_bytes());
+        if t_nvme >= t_shared {
+            return None;
+        }
+        let k = self.stage_seconds / (t_shared - t_nvme);
+        Some(k.ceil().max(1.0) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summit_machine::MachineSpec;
+
+    fn setup(nodes: u32) -> (MachineSpec, StorageTier, StorageTier) {
+        let m = MachineSpec::summit();
+        let shared = StorageTier::shared_fs(&m);
+        let nvme = StorageTier::node_local_nvme(&m, nodes);
+        (m, shared, nvme)
+    }
+
+    #[test]
+    fn imagenet_replicates_everywhere() {
+        let nodes = 4608;
+        let (_, shared, nvme) = setup(nodes);
+        let d = DatasetSpec::imagenet();
+        let plan = StagingPlan::new(&d, nodes, &shared, &nvme, StagingMode::Replicated);
+        assert!(plan.fits, "ImageNet (≈320 GB) fits a 1.6 TB NVMe");
+    }
+
+    #[test]
+    fn big_dataset_cannot_replicate_but_partitions() {
+        let nodes = 1024;
+        let (_, shared, nvme) = setup(nodes);
+        let d = DatasetSpec::climate_extreme_weather(); // ≈20 TB
+        let rep = StagingPlan::new(&d, nodes, &shared, &nvme, StagingMode::Replicated);
+        assert!(!rep.fits, "20 TB does not fit one NVMe");
+        let part = StagingPlan::new(&d, nodes, &shared, &nvme, StagingMode::Partitioned);
+        assert!(part.fits);
+    }
+
+    #[test]
+    fn hundreds_of_tb_staging_cost_is_minutes() {
+        // Paper: "hundreds of TBs at the start of each training job".
+        let nodes = 4600;
+        let (_, shared, nvme) = setup(nodes);
+        let d = DatasetSpec::microscopy_diffraction(); // 500 TB
+        let plan = StagingPlan::new(&d, nodes, &shared, &nvme, StagingMode::Partitioned);
+        // 500 TB / 2.5 TB/s = 200 s from the FS side.
+        assert!(plan.stage_seconds >= 200.0 - 1.0);
+        assert!(plan.stage_seconds < 600.0);
+    }
+
+    #[test]
+    fn staging_bottleneck_switches_sides() {
+        // On few nodes the NVMe write side gates; on many nodes the shared
+        // FS read side gates.
+        let d = DatasetSpec::new("t", 1_000_000, 1.0e6); // 1 TB
+        let (m, shared, _) = setup(1);
+        let few = StagingPlan::new(
+            &d,
+            4,
+            &shared,
+            &StorageTier::node_local_nvme(&m, 4),
+            StagingMode::Partitioned,
+        );
+        // Write side: 250 GB per node at 2.1 GB/s ≈ 119 s ≫ read side 0.4 s.
+        assert!(few.stage_seconds > 100.0);
+        let many = StagingPlan::new(
+            &d,
+            4096,
+            &shared,
+            &StorageTier::node_local_nvme(&m, 4096),
+            StagingMode::Partitioned,
+        );
+        // Read side: 1 TB / 2.5 TB/s = 0.4 s; write side 0.12 s.
+        assert!((many.stage_seconds - 0.4).abs() < 0.05);
+    }
+
+    #[test]
+    fn break_even_is_small_for_long_jobs() {
+        let nodes = 4608;
+        let (_, shared, nvme) = setup(nodes);
+        let d = DatasetSpec::imagenet();
+        let plan = StagingPlan::new(&d, nodes, &shared, &nvme, StagingMode::Partitioned);
+        let k = plan
+            .break_even_epochs(&d, &shared, &nvme)
+            .expect("NVMe is faster than GPFS");
+        // ImageNet is small; staging pays off within a few epochs.
+        assert!(k <= 3, "break-even at {k} epochs");
+    }
+
+    #[test]
+    fn overhead_fraction_bounds() {
+        let nodes = 128;
+        let (_, shared, nvme) = setup(nodes);
+        let d = DatasetSpec::imagenet();
+        let plan = StagingPlan::new(&d, nodes, &shared, &nvme, StagingMode::Partitioned);
+        let f = plan.overhead_fraction(3600.0);
+        assert!(f > 0.0 && f < 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the I/O models.
+
+use proptest::prelude::*;
+use summit_io::{
+    dataset::{DatasetSpec, ShardPlan},
+    requirements::ReadDemand,
+    shuffle::{ShuffleStrategy, Shuffler},
+    staging::{StagingMode, StagingPlan},
+    tier::StorageTier,
+};
+use summit_machine::MachineSpec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A partition stores every sample exactly once, regardless of shape.
+    #[test]
+    fn partition_exact(samples in 1u64..1_000_000, nodes in 1u32..4096) {
+        let d = DatasetSpec::new("p", samples, 1.0);
+        let plan = ShardPlan::partition(&d, nodes);
+        prop_assert_eq!(plan.stored_samples(), samples);
+        let max = *plan.counts.iter().max().unwrap();
+        let min = *plan.counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Epoch coverage invariant: every sample appears exactly once per epoch
+    /// for every strategy and any (samples, nodes) shape.
+    #[test]
+    fn epoch_visits_each_sample_once(samples in 1u64..2000, nodes in 1u32..16,
+                                     seed in 0u64..100, strat_idx in 0usize..3) {
+        prop_assume!(u64::from(nodes) <= samples);
+        let strategy = ShuffleStrategy::ALL[strat_idx];
+        let mut sh = Shuffler::new(samples, nodes, seed);
+        for _ in 0..2 {
+            let epoch = sh.next_epoch(strategy);
+            let mut seen = vec![false; samples as usize];
+            for node_order in &epoch.order {
+                for &s in node_order {
+                    prop_assert!(!seen[s as usize], "sample {s} visited twice");
+                    seen[s as usize] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&x| x));
+        }
+    }
+
+    /// Global reshard preserves per-node sample counts (the owner multiset).
+    #[test]
+    fn reshard_preserves_balance(samples in 16u64..5000, nodes in 1u32..16, seed in 0u64..100) {
+        prop_assume!(u64::from(nodes) <= samples);
+        let mut sh = Shuffler::new(samples, nodes, seed);
+        let e = sh.next_epoch(ShuffleStrategy::GlobalReshard);
+        let counts: Vec<usize> = e.order.iter().map(Vec::len).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Staging time is monotone in dataset size and never negative.
+    #[test]
+    fn staging_monotone(s1 in 1u64..1_000_000, s2 in 1u64..1_000_000,
+                        nodes in 1u32..4608) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let m = MachineSpec::summit();
+        let shared = StorageTier::shared_fs(&m);
+        let nvme = StorageTier::node_local_nvme(&m, nodes);
+        let d_lo = DatasetSpec::new("lo", lo, 1.0e6);
+        let d_hi = DatasetSpec::new("hi", hi, 1.0e6);
+        let p_lo = StagingPlan::new(&d_lo, nodes, &shared, &nvme, StagingMode::Partitioned);
+        let p_hi = StagingPlan::new(&d_hi, nodes, &shared, &nvme, StagingMode::Partitioned);
+        prop_assert!(p_lo.stage_seconds >= 0.0);
+        prop_assert!(p_lo.stage_seconds <= p_hi.stage_seconds + 1e-9);
+    }
+
+    /// Replicated staging never fits when a partitioned plan does not.
+    #[test]
+    fn replication_needs_more_capacity(samples in 1u64..10_000_000, nodes in 2u32..4608,
+                                       kb in 1u64..10_000) {
+        let m = MachineSpec::summit();
+        let shared = StorageTier::shared_fs(&m);
+        let nvme = StorageTier::node_local_nvme(&m, nodes);
+        let d = DatasetSpec::new("r", samples, kb as f64 * 1e3);
+        let part = StagingPlan::new(&d, nodes, &shared, &nvme, StagingMode::Partitioned);
+        let rep = StagingPlan::new(&d, nodes, &shared, &nvme, StagingMode::Replicated);
+        prop_assert!(part.fits || !rep.fits);
+    }
+
+    /// Feasibility fraction is in (0, 1] and consistent with the verdict.
+    #[test]
+    fn feasibility_consistent(rate in 1.0f64..10_000.0, bytes in 1.0f64..1e7,
+                              devices in 1u64..30_000) {
+        let m = MachineSpec::summit();
+        let d = ReadDemand::new(rate, bytes, devices);
+        for tier in [StorageTier::shared_fs(&m), StorageTier::node_local_nvme(&m, m.nodes)] {
+            let f = d.feasibility(&tier);
+            prop_assert!(f.achievable_fraction > 0.0 && f.achievable_fraction <= 1.0);
+            prop_assert_eq!(f.satisfied, f.achievable_fraction >= 1.0);
+        }
+    }
+}

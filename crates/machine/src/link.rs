@@ -1,0 +1,125 @@
+//! The α–β (latency–bandwidth) link cost model.
+//!
+//! Every network transfer in the analytic models is costed as
+//! `t = α + m / β` where `α` is the startup latency in seconds, `β` the
+//! bandwidth in bytes/s and `m` the message size in bytes. This is the
+//! standard Hockney model and exactly the arithmetic the paper performs in
+//! Section VI-B (e.g. a 1.4 GB BERT-large allreduce message over a 12.5 GB/s
+//! ring-algorithm bandwidth costing ≈110 ms).
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::NodeSpec;
+
+/// A point-to-point link cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Startup latency per message in seconds.
+    pub alpha: f64,
+    /// Bandwidth in bytes/s.
+    pub beta: f64,
+}
+
+impl LinkModel {
+    /// Create a link model from explicit latency and bandwidth.
+    ///
+    /// # Panics
+    /// Panics if `beta` is not strictly positive or `alpha` is negative.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(beta > 0.0, "bandwidth must be positive");
+        assert!(alpha >= 0.0, "latency must be non-negative");
+        LinkModel { alpha, beta }
+    }
+
+    /// The inter-node InfiniBand link of a given node spec.
+    pub fn inter_node(node: &NodeSpec) -> Self {
+        LinkModel::new(node.injection_latency, node.injection_bw)
+    }
+
+    /// The intra-node NVLink connection of a given node spec.
+    ///
+    /// # Panics
+    /// Panics if the node has no NVLink (CPU-only node).
+    pub fn nvlink(node: &NodeSpec) -> Self {
+        assert!(node.nvlink_bw > 0.0, "node has no NVLink");
+        LinkModel::new(0.7e-6, node.nvlink_bw)
+    }
+
+    /// Time in seconds to move `bytes` over this link.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        debug_assert!(bytes >= 0.0);
+        self.alpha + bytes / self.beta
+    }
+
+    /// Effective bandwidth (bytes/s) achieved for a message of `bytes`,
+    /// accounting for the latency term. Approaches `beta` for large messages.
+    pub fn effective_bandwidth(&self, bytes: f64) -> f64 {
+        assert!(bytes > 0.0, "effective bandwidth needs a positive size");
+        bytes / self.transfer_time(bytes)
+    }
+
+    /// The message size (bytes) at which half of peak bandwidth is achieved
+    /// (the classic `n_1/2` metric).
+    pub fn n_half(&self) -> f64 {
+        self.alpha * self.beta
+    }
+
+    /// A derated copy of this link: bandwidth scaled by `factor` in (0, 1].
+    ///
+    /// Used to model contention (e.g. ring allreduce achieving half the
+    /// network bandwidth, paper Section VI-B).
+    ///
+    /// # Panics
+    /// Panics unless `0 < factor <= 1`.
+    pub fn derate(&self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "derate factor must be in (0,1]");
+        LinkModel::new(self.alpha, self.beta * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_affine() {
+        let l = LinkModel::new(1e-6, 1e9);
+        let t1 = l.transfer_time(1e6);
+        let t2 = l.transfer_time(2e6);
+        assert!((t2 - t1 - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_beta() {
+        let l = LinkModel::new(1e-6, 25e9);
+        assert!(l.effective_bandwidth(1e9) / l.beta > 0.99);
+        assert!(l.effective_bandwidth(1e3) / l.beta < 0.1);
+    }
+
+    #[test]
+    fn n_half_reaches_half_bandwidth() {
+        let l = LinkModel::new(2e-6, 12.5e9);
+        let half = l.effective_bandwidth(l.n_half());
+        assert!((half - l.beta / 2.0).abs() / l.beta < 1e-9);
+    }
+
+    #[test]
+    fn summit_link_matches_paper_bandwidth() {
+        let l = LinkModel::inter_node(&NodeSpec::summit());
+        assert!((l.beta - 25.0e9).abs() < 1.0);
+        // Ring algorithm bandwidth is half of network bandwidth: 12.5 GB/s.
+        assert!((l.derate(0.5).beta - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkModel::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "derate factor")]
+    fn derate_out_of_range_rejected() {
+        let _ = LinkModel::new(0.0, 1.0).derate(1.5);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests for the machine models.
+
+use proptest::prelude::*;
+use summit_machine::{
+    spec::MachineSpec,
+    topology::{FatTree, NvLinkGraph},
+    LinkModel,
+};
+
+proptest! {
+    /// Transfer time is monotone non-decreasing in message size.
+    #[test]
+    fn transfer_time_monotone(alpha in 0.0f64..1e-3, beta in 1e6f64..1e12,
+                              a in 0.0f64..1e12, b in 0.0f64..1e12) {
+        let l = LinkModel::new(alpha, beta);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(l.transfer_time(lo) <= l.transfer_time(hi));
+    }
+
+    /// Effective bandwidth never exceeds nominal bandwidth.
+    #[test]
+    fn effective_bw_bounded(alpha in 0.0f64..1e-3, beta in 1e6f64..1e12,
+                            m in 1.0f64..1e12) {
+        let l = LinkModel::new(alpha, beta);
+        prop_assert!(l.effective_bandwidth(m) <= l.beta + 1e-9);
+    }
+
+    /// Fat-tree hop count is symmetric and satisfies the ultrametric-like
+    /// bound hops(a,c) <= max(hops(a,b), hops(b,c)) for the 2-level tree.
+    #[test]
+    fn fat_tree_hops_symmetric(nodes in 2u32..5000,
+                               seed_a in 0u32..5000, seed_b in 0u32..5000, seed_c in 0u32..5000) {
+        let t = FatTree::summit_like(nodes);
+        let cap = t.capacity();
+        let (a, b, c) = (seed_a % cap, seed_b % cap, seed_c % cap);
+        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+        prop_assert!(t.hops(a, c) <= t.hops(a, b).max(t.hops(b, c)));
+    }
+
+    /// Path latency is bounded by injection latency + 3 hops.
+    #[test]
+    fn path_latency_bounded(nodes in 2u32..5000, a in 0u32..5000, b in 0u32..5000) {
+        let t = FatTree::summit_like(nodes);
+        let cap = t.capacity();
+        let (a, b) = (a % cap, b % cap);
+        prop_assume!(a != b);
+        let l = t.path(a, b);
+        prop_assert!(l.alpha <= t.injection.alpha + 3.0 * t.hop_latency + 1e-12);
+    }
+
+    /// NVLink p2p bandwidth is symmetric.
+    #[test]
+    fn nvlink_symmetric(a in 0u32..6, b in 0u32..6) {
+        prop_assume!(a != b);
+        let g = NvLinkGraph::summit_node();
+        prop_assert_eq!(g.p2p_bandwidth(a, b).to_bits(), g.p2p_bandwidth(b, a).to_bits());
+        prop_assert_eq!(g.hops(a, b), g.hops(b, a));
+    }
+
+    /// Machine aggregates scale linearly with node count.
+    #[test]
+    fn machine_aggregates_linear(n in 1u32..10_000) {
+        let m = MachineSpec::summit_like(n);
+        let per_node = MachineSpec::summit_like(1);
+        let ratio = m.peak_mixed_precision_flops() / per_node.peak_mixed_precision_flops();
+        prop_assert!((ratio - f64::from(n)).abs() < 1e-6);
+    }
+}

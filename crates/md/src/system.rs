@@ -1,0 +1,312 @@
+//! The particle system: periodic box, neighbor search, velocity Verlet.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
+
+/// Anything that can evaluate energy and forces for a configuration.
+pub trait Potential {
+    /// Total potential energy and per-atom forces `(fx, fy)`.
+    fn energy_and_forces(&self, system: &System) -> (f64, Vec<(f64, f64)>);
+}
+
+/// A 2D periodic particle system.
+#[derive(Debug, Clone, Serialize)]
+pub struct System {
+    /// Box edge length (square box).
+    pub box_len: f64,
+    /// Positions, wrapped into `[0, box_len)`.
+    pub positions: Vec<(f64, f64)>,
+    /// Velocities.
+    pub velocities: Vec<(f64, f64)>,
+}
+
+impl System {
+    /// Place `n` atoms on a jittered square lattice in a box of `box_len`,
+    /// with Maxwell-ish random velocities of scale `v_scale` (center-of-mass
+    /// motion removed).
+    ///
+    /// # Panics
+    /// Panics if `n` is not a perfect square or the box is not positive.
+    pub fn lattice(n: usize, box_len: f64, v_scale: f64, seed: u64) -> Self {
+        assert!(box_len > 0.0, "box must be positive");
+        let side = (n as f64).sqrt().round() as usize;
+        assert_eq!(side * side, n, "n must be a perfect square");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spacing = box_len / side as f64;
+        let mut positions = Vec::with_capacity(n);
+        let mut velocities = Vec::with_capacity(n);
+        for i in 0..side {
+            for j in 0..side {
+                let jitter = 0.05 * spacing;
+                positions.push((
+                    (i as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter),
+                    (j as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter),
+                ));
+                velocities.push((
+                    v_scale * rng.gen_range(-1.0..1.0),
+                    v_scale * rng.gen_range(-1.0..1.0),
+                ));
+            }
+        }
+        // Remove center-of-mass drift.
+        let (mut px, mut py) = (0.0, 0.0);
+        for &(vx, vy) in &velocities {
+            px += vx;
+            py += vy;
+        }
+        let nf = n as f64;
+        for v in &mut velocities {
+            v.0 -= px / nf;
+            v.1 -= py / nf;
+        }
+        System {
+            box_len,
+            positions,
+            velocities,
+        }
+    }
+
+    /// Atom count.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Minimum-image displacement from atom `i` to atom `j`.
+    #[inline]
+    pub fn displacement(&self, i: usize, j: usize) -> (f64, f64) {
+        let (xi, yi) = self.positions[i];
+        let (xj, yj) = self.positions[j];
+        let mut dx = xj - xi;
+        let mut dy = yj - yi;
+        let half = self.box_len / 2.0;
+        if dx > half {
+            dx -= self.box_len;
+        } else if dx < -half {
+            dx += self.box_len;
+        }
+        if dy > half {
+            dy -= self.box_len;
+        } else if dy < -half {
+            dy += self.box_len;
+        }
+        (dx, dy)
+    }
+
+    /// All pairs `(i, j, r)` with `i < j` and `r < cutoff` — brute force
+    /// O(N²) reference.
+    pub fn pairs_brute_force(&self, cutoff: f64) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            for j in i + 1..self.len() {
+                let (dx, dy) = self.displacement(i, j);
+                let r = (dx * dx + dy * dy).sqrt();
+                if r < cutoff {
+                    out.push((i, j, r));
+                }
+            }
+        }
+        out
+    }
+
+    /// All pairs within `cutoff` via a cell list — O(N) for homogeneous
+    /// densities; the standard MD neighbor-search structure.
+    ///
+    /// # Panics
+    /// Panics if `cutoff` is not positive or exceeds half the box.
+    pub fn pairs_cell_list(&self, cutoff: f64) -> Vec<(usize, usize, f64)> {
+        assert!(cutoff > 0.0, "cutoff must be positive");
+        assert!(
+            cutoff <= self.box_len / 2.0,
+            "cutoff beyond the minimum-image radius"
+        );
+        let cells_per_dim = ((self.box_len / cutoff).floor() as usize).max(1);
+        if cells_per_dim < 3 {
+            // Too few cells for the 9-stencil to be distinct; fall back.
+            return self.pairs_brute_force(cutoff);
+        }
+        let cell_len = self.box_len / cells_per_dim as f64;
+        let cell_of = |x: f64, y: f64| -> (usize, usize) {
+            let cx = ((x / cell_len) as usize).min(cells_per_dim - 1);
+            let cy = ((y / cell_len) as usize).min(cells_per_dim - 1);
+            (cx, cy)
+        };
+        let mut cells: Vec<Vec<usize>> = vec![Vec::new(); cells_per_dim * cells_per_dim];
+        for (idx, &(x, y)) in self.positions.iter().enumerate() {
+            let (cx, cy) = cell_of(x, y);
+            cells[cy * cells_per_dim + cx].push(idx);
+        }
+        let mut out = Vec::new();
+        for cy in 0..cells_per_dim {
+            for cx in 0..cells_per_dim {
+                let home = &cells[cy * cells_per_dim + cx];
+                // Scan the 3×3 periodic stencil; to avoid double counting,
+                // only visit "forward" neighbor cells plus the home cell.
+                let neighbor_offsets: [(isize, isize); 5] =
+                    [(0, 0), (1, 0), (-1, 1), (0, 1), (1, 1)];
+                for &(ox, oy) in &neighbor_offsets {
+                    let nx = (cx as isize + ox).rem_euclid(cells_per_dim as isize) as usize;
+                    let ny = (cy as isize + oy).rem_euclid(cells_per_dim as isize) as usize;
+                    let other = &cells[ny * cells_per_dim + nx];
+                    for &i in home {
+                        for &j in other {
+                            let same_cell = ox == 0 && oy == 0;
+                            if same_cell && j <= i {
+                                continue;
+                            }
+                            let (dx, dy) = self.displacement(i, j);
+                            let r = (dx * dx + dy * dy).sqrt();
+                            if r < cutoff {
+                                out.push((i.min(j), i.max(j), r));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Kinetic energy (unit mass).
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self
+            .velocities
+            .iter()
+            .map(|&(vx, vy)| vx * vx + vy * vy)
+            .sum::<f64>()
+    }
+
+    /// Total energy under a potential.
+    pub fn total_energy(&self, potential: &impl Potential) -> f64 {
+        self.kinetic_energy() + potential.energy_and_forces(self).0
+    }
+
+    /// Total momentum (should stay ≈0 under pairwise forces).
+    pub fn momentum(&self) -> (f64, f64) {
+        self.velocities
+            .iter()
+            .fold((0.0, 0.0), |(px, py), &(vx, vy)| (px + vx, py + vy))
+    }
+
+    fn wrap(&mut self) {
+        let l = self.box_len;
+        for p in &mut self.positions {
+            p.0 = p.0.rem_euclid(l);
+            p.1 = p.1.rem_euclid(l);
+        }
+    }
+
+    /// Velocity-Verlet integration for `steps` steps of size `dt`.
+    #[allow(clippy::needless_range_loop)] // velocities/positions/forces in lockstep
+    pub fn run(&mut self, potential: &impl Potential, steps: u32, dt: f64) {
+        assert!(dt > 0.0, "dt must be positive");
+        let (_, mut forces) = potential.energy_and_forces(self);
+        for _ in 0..steps {
+            // Half-kick + drift.
+            for i in 0..self.len() {
+                self.velocities[i].0 += 0.5 * dt * forces[i].0;
+                self.velocities[i].1 += 0.5 * dt * forces[i].1;
+                self.positions[i].0 += dt * self.velocities[i].0;
+                self.positions[i].1 += dt * self.velocities[i].1;
+            }
+            self.wrap();
+            // New forces + half-kick.
+            forces = potential.energy_and_forces(self).1;
+            for i in 0..self.len() {
+                self.velocities[i].0 += 0.5 * dt * forces[i].0;
+                self.velocities[i].1 += 0.5 * dt * forces[i].1;
+            }
+        }
+    }
+
+    /// Radial distribution function histogram: pair counts in `bins` radial
+    /// shells up to `r_max`, normalized per pair.
+    pub fn rdf(&self, bins: usize, r_max: f64) -> Vec<f64> {
+        assert!(bins > 0 && r_max > 0.0, "rdf needs bins and range");
+        let mut hist = vec![0.0f64; bins];
+        let pairs = self.pairs_brute_force(r_max);
+        for &(_, _, r) in &pairs {
+            let b = ((r / r_max) * bins as f64) as usize;
+            hist[b.min(bins - 1)] += 1.0;
+        }
+        let n_pairs = (self.len() * (self.len() - 1) / 2) as f64;
+        for h in &mut hist {
+            *h /= n_pairs;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lj::LennardJones;
+
+    #[test]
+    fn lattice_shape_and_com() {
+        let s = System::lattice(25, 5.0, 0.1, 1);
+        assert_eq!(s.len(), 25);
+        let (px, py) = s.momentum();
+        assert!(px.abs() < 1e-12 && py.abs() < 1e-12, "COM not removed");
+        assert!(s.positions.iter().all(|&(x, y)| (0.0..5.0).contains(&x)
+            && (0.0..5.0).contains(&y)));
+    }
+
+    #[test]
+    fn minimum_image_convention() {
+        let mut s = System::lattice(4, 10.0, 0.0, 0);
+        s.positions[0] = (0.5, 0.5);
+        s.positions[1] = (9.5, 9.5);
+        let (dx, dy) = s.displacement(0, 1);
+        assert!((dx + 1.0).abs() < 1e-12 && (dy + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_list_matches_brute_force() {
+        for seed in 0..5 {
+            let s = System::lattice(49, 9.0, 0.3, seed);
+            let cutoff = 2.5;
+            let mut brute = s.pairs_brute_force(cutoff);
+            let mut cells = s.pairs_cell_list(cutoff);
+            brute.sort_by_key(|a| (a.0, a.1));
+            cells.sort_by_key(|a| (a.0, a.1));
+            assert_eq!(brute.len(), cells.len(), "seed {seed}");
+            for (x, y) in brute.iter().zip(&cells) {
+                assert_eq!((x.0, x.1), (y.0, y.1));
+                assert!((x.2 - y.2).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nve_conserves_energy_and_momentum() {
+        let lj = LennardJones::standard();
+        let mut s = System::lattice(36, 7.5, 0.1, 7);
+        let e0 = s.total_energy(&lj);
+        s.run(&lj, 400, 0.002);
+        let e1 = s.total_energy(&lj);
+        assert!(
+            (e1 - e0).abs() < 5e-3 * e0.abs().max(1.0),
+            "energy drift {e0} → {e1}"
+        );
+        let (px, py) = s.momentum();
+        assert!(px.abs() < 1e-9 && py.abs() < 1e-9, "momentum leaked");
+    }
+
+    #[test]
+    fn rdf_shows_excluded_core_and_first_shell() {
+        let lj = LennardJones::standard();
+        let mut s = System::lattice(36, 7.5, 0.1, 3);
+        s.run(&lj, 300, 0.002);
+        let rdf = s.rdf(20, 3.0);
+        // No pairs inside the repulsive core (< 0.9σ → first 6 bins).
+        assert!(rdf[..6].iter().all(|&h| h == 0.0), "core invaded: {rdf:?}");
+        // A populated first coordination shell near r ≈ 1.12σ (bins 7..9).
+        let shell: f64 = rdf[6..10].iter().sum();
+        assert!(shell > 0.0, "no first shell: {rdf:?}");
+    }
+}

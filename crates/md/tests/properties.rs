@@ -1,0 +1,89 @@
+//! Property-based tests for the MD substrate.
+
+use proptest::prelude::*;
+use summit_md::{lj::LennardJones, system::{Potential, System}};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Minimum-image displacement is antisymmetric and bounded by the
+    /// half-diagonal.
+    #[test]
+    fn displacement_antisymmetric(seed in 0u64..500, box_scale in 5.0f64..12.0,
+                                  a in 0usize..16, b in 0usize..16) {
+        let s = System::lattice(16, box_scale, 0.3, seed);
+        prop_assume!(a != b);
+        let (dx, dy) = s.displacement(a, b);
+        let (ex, ey) = s.displacement(b, a);
+        prop_assert!((dx + ex).abs() < 1e-12 && (dy + ey).abs() < 1e-12);
+        prop_assert!(dx.abs() <= box_scale / 2.0 + 1e-9);
+        prop_assert!(dy.abs() <= box_scale / 2.0 + 1e-9);
+    }
+
+    /// Cell-list pair enumeration equals brute force for any density and
+    /// admissible cutoff.
+    #[test]
+    fn cell_list_equals_brute_force(seed in 0u64..500, n_side in 3usize..8,
+                                    box_scale in 6.0f64..14.0, cut_pct in 10u32..45) {
+        let n = n_side * n_side;
+        let cutoff = box_scale * f64::from(cut_pct) / 100.0;
+        let s = System::lattice(n, box_scale, 0.4, seed);
+        let mut brute = s.pairs_brute_force(cutoff);
+        let mut cells = s.pairs_cell_list(cutoff);
+        brute.sort_by_key(|x| (x.0, x.1));
+        cells.sort_by_key(|x| (x.0, x.1));
+        prop_assert_eq!(brute.len(), cells.len());
+        for (x, y) in brute.iter().zip(&cells) {
+            prop_assert_eq!((x.0, x.1), (y.0, y.1));
+        }
+    }
+
+    /// Pairwise LJ forces always sum to zero (Newton's third law), for any
+    /// configuration.
+    #[test]
+    fn lj_forces_sum_to_zero(seed in 0u64..500, box_scale in 5.5f64..10.0) {
+        let s = System::lattice(25, box_scale, 0.5, seed);
+        let (_, forces) = LennardJones::standard().energy_and_forces(&s);
+        let (fx, fy) = forces.iter().fold((0.0, 0.0), |(ax, ay), &(x, y)| (ax + x, ay + y));
+        prop_assert!(fx.abs() < 1e-8 && fy.abs() < 1e-8);
+    }
+
+    /// Velocity Verlet conserves momentum exactly under pairwise forces.
+    #[test]
+    fn verlet_conserves_momentum(seed in 0u64..200, steps in 1u32..60) {
+        let lj = LennardJones::standard();
+        let mut s = System::lattice(16, 5.5, 0.2, seed);
+        let (px0, py0) = s.momentum();
+        s.run(&lj, steps, 0.002);
+        let (px, py) = s.momentum();
+        prop_assert!((px - px0).abs() < 1e-9 && (py - py0).abs() < 1e-9);
+    }
+
+    /// The truncated-shifted pair energy is continuous at the cutoff and
+    /// strictly decreasing through the repulsive wall.
+    #[test]
+    fn pair_energy_shape(r_pct in 70u32..99) {
+        let lj = LennardJones::standard();
+        let r = 2.5 * f64::from(r_pct) / 100.0;
+        // Continuity at the cutoff.
+        prop_assert!(lj.pair_energy(2.5 - 1e-9).abs() < 1e-6);
+        // Repulsive wall: energy decreases as r grows below the minimum.
+        let r_min = 2.0f64.powf(1.0 / 6.0);
+        if r < r_min {
+            prop_assert!(lj.pair_energy(r) > lj.pair_energy(r_min));
+        }
+    }
+
+    /// Positions stay inside the box under integration.
+    #[test]
+    fn positions_stay_wrapped(seed in 0u64..200) {
+        let lj = LennardJones::standard();
+        let mut s = System::lattice(16, 6.0, 0.4, seed);
+        s.run(&lj, 30, 0.002);
+        let inside = s
+            .positions
+            .iter()
+            .all(|&(x, y)| (0.0..6.0).contains(&x) && (0.0..6.0).contains(&y));
+        prop_assert!(inside);
+    }
+}

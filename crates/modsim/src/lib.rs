@@ -1,0 +1,42 @@
+//! A traditional modeling-and-simulation substrate with an ML submodel.
+//!
+//! The survey's dominant AI motif is **submodel** — "a (proper) subset of a
+//! science computation is replaced by an ML model", most prominent in
+//! Engineering and Earth Science codes (Figures 5–6), e.g. a physics-based
+//! radiation/chemistry term in a climate code replaced by a network. This
+//! crate makes the motif executable end to end:
+//!
+//! * [`grid`] — a 2D periodic field with ghost cells;
+//! * [`solver`] — an explicit diffusion–reaction solver
+//!   (`u_t = D ∇²u + R(u)`, forward Euler, 5-point stencil) whose reaction
+//!   term is pluggable: the exact (expensive) kinetics, or a trained MLP;
+//! * [`parallel`] — strip domain decomposition with **real halo exchange**
+//!   over `summit-comm` ranks; the parallel run is verified to equal the
+//!   serial one;
+//! * [`submodel`] — training the MLP surrogate of the reaction term and the
+//!   quantitative motif claim: the ML-submodel simulation tracks the exact
+//!   one to small error while eliminating every expensive kinetics call.
+//!
+//! # Example
+//!
+//! ```
+//! use summit_modsim::{grid::Field, solver::{Reaction, Solver}};
+//!
+//! let mut field = Field::new(16, 16);
+//! field.set_interior(8, 8, 1.0); // a hot spot
+//! let mut solver = Solver::new(field, 0.1, 0.1, Reaction::None);
+//! let before = solver.field().total_mass();
+//! solver.step(10);
+//! // Pure diffusion on a periodic grid conserves mass.
+//! assert!((solver.field().total_mass() - before).abs() < 1e-4);
+//! ```
+
+pub mod grid;
+pub mod parallel;
+pub mod solver;
+pub mod submodel;
+
+pub use grid::Field;
+pub use parallel::ParallelSolver;
+pub use solver::{Reaction, Solver};
+pub use submodel::ReactionSurrogate;

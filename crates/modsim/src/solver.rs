@@ -1,0 +1,211 @@
+//! The explicit diffusion–reaction solver.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use summit_tensor::Matrix;
+
+use crate::grid::Field;
+use crate::submodel::ReactionSurrogate;
+
+/// The reaction term `R(u)` of `u_t = D ∇²u + R(u)`.
+pub enum Reaction {
+    /// No reaction: pure diffusion.
+    None,
+    /// The exact (expensive) kinetics — cubic autocatalysis
+    /// `R(u) = k · u²(1 − u)`, evaluated through a deliberately iterative
+    /// routine standing in for a stiff chemistry integration. Counts its
+    /// invocations through the shared counter.
+    ExactKinetics {
+        /// Rate constant.
+        k: f32,
+        /// Shared expensive-call counter.
+        calls: Rc<Cell<u64>>,
+    },
+    /// A trained MLP surrogate of the kinetics — the submodel motif.
+    Surrogate(ReactionSurrogate),
+}
+
+impl Reaction {
+    /// The exact kinetics value, via the "expensive" fixed-point loop that
+    /// the surrogate will replace (8 damped iterations toward
+    /// `k·u²(1−u)` — functionally exact, computationally deliberate).
+    pub fn exact_value(k: f32, u: f32) -> f32 {
+        let target = k * u * u * (1.0 - u);
+        let mut v = 0.0f32;
+        for _ in 0..8 {
+            v += 0.5 * (target - v);
+        }
+        // 8 halvings leave a 2^-8 residual; polish exactly.
+        v + (target - v)
+    }
+
+    /// Evaluate the reaction over a whole interior field, returning the
+    /// per-cell rates in row-major order.
+    fn evaluate(&mut self, field: &Field) -> Vec<f32> {
+        let (ny, nx) = (field.ny(), field.nx());
+        match self {
+            Reaction::None => vec![0.0; ny * nx],
+            Reaction::ExactKinetics { k, calls } => {
+                let mut out = Vec::with_capacity(ny * nx);
+                for r in 0..ny {
+                    for c in 0..nx {
+                        out.push(Reaction::exact_value(*k, field.get(r as isize, c as isize)));
+                        calls.set(calls.get() + 1);
+                    }
+                }
+                out
+            }
+            Reaction::Surrogate(s) => {
+                // Batched MLP inference over every cell.
+                let mut x = Matrix::zeros(ny * nx, 1);
+                for r in 0..ny {
+                    for c in 0..nx {
+                        x.set(r * nx + c, 0, field.get(r as isize, c as isize));
+                    }
+                }
+                let y = s.predict(&x);
+                (0..ny * nx).map(|i| y.get(i, 0)).collect()
+            }
+        }
+    }
+}
+
+/// The serial solver.
+pub struct Solver {
+    field: Field,
+    /// Diffusion number `D·dt/dx²` (stability requires ≤ 0.25 in 2D).
+    pub alpha: f32,
+    /// Reaction time step `dt` multiplying `R(u)`.
+    pub dt: f32,
+    reaction: Reaction,
+}
+
+impl Solver {
+    /// Create a solver.
+    ///
+    /// # Panics
+    /// Panics if `alpha` violates the 2D explicit stability bound (> 0.25)
+    /// or `dt` is not positive.
+    pub fn new(field: Field, alpha: f32, dt: f32, reaction: Reaction) -> Self {
+        assert!(alpha > 0.0 && alpha <= 0.25, "explicit scheme unstable: alpha {alpha}");
+        assert!(dt > 0.0, "dt must be positive");
+        Solver {
+            field,
+            alpha,
+            dt,
+            reaction,
+        }
+    }
+
+    /// The current field.
+    pub fn field(&self) -> &Field {
+        &self.field
+    }
+
+    /// Advance `steps` time steps.
+    pub fn step(&mut self, steps: u32) {
+        for _ in 0..steps {
+            self.field.refresh_y_halo_periodic();
+            self.field.refresh_x_halo();
+            let rates = self.reaction.evaluate(&self.field);
+            let (ny, nx) = (self.field.ny(), self.field.nx());
+            let mut next = self.field.clone();
+            for r in 0..ny {
+                for c in 0..nx {
+                    let (ri, ci) = (r as isize, c as isize);
+                    let u = self.field.get(ri, ci);
+                    let lap = self.field.get(ri - 1, ci)
+                        + self.field.get(ri + 1, ci)
+                        + self.field.get(ri, ci - 1)
+                        + self.field.get(ri, ci + 1)
+                        - 4.0 * u;
+                    next.set_interior(r, c, u + self.alpha * lap + self.dt * rates[r * nx + c]);
+                }
+            }
+            self.field = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_diffusion_conserves_mass_and_smooths() {
+        let mut f = Field::new(24, 24);
+        f.fill_test_pattern();
+        let mass0 = f.total_mass();
+        let peak0 = (0..24)
+            .flat_map(|r| (0..24).map(move |c| (r, c)))
+            .map(|(r, c)| f.get(r, c))
+            .fold(f32::MIN, f32::max);
+        let mut s = Solver::new(f, 0.2, 0.1, Reaction::None);
+        s.step(50);
+        assert!((s.field().total_mass() - mass0).abs() < 1e-3 * mass0.abs().max(1.0));
+        let peak = (0..24isize)
+            .flat_map(|r| (0..24isize).map(move |c| (r, c)))
+            .map(|(r, c)| s.field().get(r, c))
+            .fold(f32::MIN, f32::max);
+        assert!(peak < peak0 * 0.8, "diffusion must flatten peaks: {peak0} → {peak}");
+    }
+
+    #[test]
+    fn uniform_field_is_a_fixed_point_of_diffusion() {
+        let mut f = Field::new(8, 8);
+        for r in 0..8 {
+            for c in 0..8 {
+                f.set_interior(r, c, 0.37);
+            }
+        }
+        let mut s = Solver::new(f.clone(), 0.25, 0.1, Reaction::None);
+        s.step(20);
+        assert!(s.field().max_abs_diff(&f) < 1e-6);
+    }
+
+    #[test]
+    fn exact_kinetics_counts_calls_and_matches_closed_form() {
+        let calls = Rc::new(Cell::new(0u64));
+        let mut f = Field::new(4, 4);
+        f.fill_test_pattern();
+        let mut s = Solver::new(
+            f,
+            0.1,
+            0.05,
+            Reaction::ExactKinetics {
+                k: 2.0,
+                calls: Rc::clone(&calls),
+            },
+        );
+        s.step(3);
+        assert_eq!(calls.get(), 3 * 16);
+        // Closed form agreement of the "expensive" routine.
+        for u in [0.0f32, 0.2, 0.5, 0.9, 1.0] {
+            let want = 2.0 * u * u * (1.0 - u);
+            assert!((Reaction::exact_value(2.0, u) - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reaction_grows_the_unstable_mode() {
+        // With autocatalysis, a mid-range uniform state gains mass.
+        let mut f = Field::new(6, 6);
+        for r in 0..6 {
+            for c in 0..6 {
+                f.set_interior(r, c, 0.5);
+            }
+        }
+        let mass0 = f.total_mass();
+        let calls = Rc::new(Cell::new(0));
+        let mut s = Solver::new(f, 0.1, 0.1, Reaction::ExactKinetics { k: 1.0, calls });
+        s.step(10);
+        assert!(s.field().total_mass() > mass0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_alpha_rejected() {
+        let _ = Solver::new(Field::new(4, 4), 0.3, 0.1, Reaction::None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the mod-sim substrate.
+
+use proptest::prelude::*;
+use summit_modsim::{
+    grid::Field,
+    parallel::ParallelSolver,
+    solver::{Reaction, Solver},
+};
+
+fn random_field(ny: usize, nx: usize, seed: u64) -> Field {
+    let mut f = Field::new(ny, nx);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    for r in 0..ny {
+        for c in 0..nx {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            f.set_interior(r, c, ((state >> 40) as f32) / 2.0f32.powi(24));
+        }
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pure diffusion conserves mass for any field, α and step count.
+    #[test]
+    fn diffusion_conserves_mass(ny in 4usize..20, nx in 4usize..20,
+                                alpha_pct in 1u32..25, steps in 1u32..40, seed in 0u64..500) {
+        let f = random_field(ny, nx, seed);
+        let mass0 = f.total_mass();
+        let mut s = Solver::new(f, alpha_pct as f32 / 100.0, 0.05, Reaction::None);
+        s.step(steps);
+        let mass1 = s.field().total_mass();
+        prop_assert!((mass1 - mass0).abs() < 1e-3 * mass0.abs().max(1.0),
+                     "mass {mass0} → {mass1}");
+    }
+
+    /// The discrete maximum principle: diffusion never exceeds the initial
+    /// extrema (stability bound α ≤ 0.25 ⇒ convex combination update).
+    #[test]
+    fn diffusion_maximum_principle(ny in 4usize..16, nx in 4usize..16,
+                                   steps in 1u32..30, seed in 0u64..500) {
+        let f = random_field(ny, nx, seed);
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for r in 0..ny {
+            for c in 0..nx {
+                let v = f.get(r as isize, c as isize);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        let mut s = Solver::new(f, 0.25, 0.05, Reaction::None);
+        s.step(steps);
+        for r in 0..ny {
+            for c in 0..nx {
+                let v = s.field().get(r as isize, c as isize);
+                prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5, "({r},{c}) = {v} ∉ [{lo},{hi}]");
+            }
+        }
+    }
+
+    /// The parallel solver equals the serial solver for any divisible
+    /// decomposition of any field.
+    #[test]
+    fn parallel_equals_serial(nx in 4usize..16, strips in 1usize..5,
+                              rows_per in 2usize..5, steps in 1u32..20, seed in 0u64..500) {
+        let ny = strips * rows_per;
+        let init = random_field(ny, nx, seed);
+        let solver = ParallelSolver { alpha: 0.2, dt: 0.05, reaction: None };
+        let serial = solver.run_serial(&init, steps);
+        let parallel = solver.run(&init, strips, steps);
+        prop_assert!(parallel.max_abs_diff(&serial) < 1e-5);
+    }
+
+    /// Halo refresh is idempotent: refreshing twice equals refreshing once.
+    #[test]
+    fn halo_refresh_idempotent(ny in 2usize..12, nx in 2usize..12, seed in 0u64..500) {
+        let mut f = random_field(ny, nx, seed);
+        f.refresh_y_halo_periodic();
+        f.refresh_x_halo();
+        let once = f.clone();
+        f.refresh_y_halo_periodic();
+        f.refresh_x_halo();
+        prop_assert_eq!(f, once);
+    }
+}

@@ -1,0 +1,126 @@
+//! The Section VI-B communication-bound crossover.
+//!
+//! "Thus models larger than BERT-large become communication-bound for the
+//! widely used data-parallel training on Summit."
+//!
+//! The argument formalized: per-GPU batch size is memory-bound, so as the
+//! model grows the batch shrinks proportionally and the per-step compute
+//! time stays roughly constant, while the allreduce message (and therefore
+//! the ring's bandwidth time) grows linearly with the parameter count. The
+//! crossover parameter count is where the two curves meet.
+
+use serde::Serialize;
+use summit_comm::model::{Algorithm, CollectiveModel};
+use summit_machine::{LinkModel, NodeSpec};
+use summit_workloads::{GradPrecision, Workload};
+
+/// The memory-bound compute / linear-communication crossover model.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CommCrossover {
+    /// Per-step forward+backward time, held constant by the memory-bound
+    /// batch assumption (seconds). Anchored to BERT-large's ≈110 ms.
+    pub step_compute_seconds: f64,
+    /// Gradient precision for the allreduce message.
+    pub precision: GradPrecision,
+    /// Inter-node link.
+    pub link: LinkModel,
+    /// Rank count for the collective (large-p ring ⇒ barely matters).
+    pub ranks: u64,
+}
+
+impl CommCrossover {
+    /// The paper's setting: BERT-large anchor on full Summit with fp32
+    /// gradients.
+    pub fn summit_bert_anchor() -> Self {
+        CommCrossover {
+            step_compute_seconds: Workload::bert_large().step_compute_seconds(),
+            precision: GradPrecision::Fp32,
+            link: LinkModel::inter_node(&NodeSpec::summit()),
+            ranks: 4608,
+        }
+    }
+
+    /// Allreduce time for a model of `params` parameters (bandwidth term of
+    /// the ring, matching the paper's arithmetic).
+    pub fn comm_seconds(&self, params: f64) -> f64 {
+        let model = CollectiveModel::new(self.link);
+        model.bandwidth_term(Algorithm::Ring, self.ranks, params * self.precision.bytes())
+    }
+
+    /// Whether a model of `params` parameters is communication-bound
+    /// (allreduce time exceeds per-batch compute).
+    pub fn comm_bound(&self, params: f64) -> bool {
+        self.comm_seconds(params) > self.step_compute_seconds
+    }
+
+    /// The crossover parameter count: the model size at which allreduce
+    /// time equals compute time. Closed form because both sides are linear:
+    /// `params* = t_compute · β / (2 · bytes_per_param · (p−1)/p)`.
+    pub fn crossover_params(&self) -> f64 {
+        let pf = self.ranks as f64;
+        let factor = 2.0 * (pf - 1.0) / pf * self.precision.bytes() / self.link.beta;
+        self.step_compute_seconds / factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_lands_at_bert_large() {
+        // The paper's qualitative claim, quantitatively: the crossover is at
+        // ≈345 M parameters — BERT-large.
+        let x = CommCrossover::summit_bert_anchor();
+        let params = x.crossover_params();
+        assert!(
+            (params - 345.0e6).abs() / 345.0e6 < 0.05,
+            "crossover at {params} params"
+        );
+    }
+
+    #[test]
+    fn resnet_below_bert_above() {
+        let x = CommCrossover::summit_bert_anchor();
+        assert!(!x.comm_bound(Workload::resnet50().params));
+        // A model 2× BERT-large is communication-bound.
+        assert!(x.comm_bound(2.0 * Workload::bert_large().params));
+    }
+
+    #[test]
+    fn fp16_doubles_the_crossover() {
+        let fp32 = CommCrossover::summit_bert_anchor();
+        let fp16 = CommCrossover {
+            precision: GradPrecision::Fp16,
+            ..fp32
+        };
+        let ratio = fp16.crossover_params() / fp32.crossover_params();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_network_moves_crossover_up() {
+        let summit = CommCrossover::summit_bert_anchor();
+        let faster = CommCrossover {
+            link: LinkModel::new(summit.link.alpha, 4.0 * summit.link.beta),
+            ..summit
+        };
+        assert!((faster.crossover_params() / summit.crossover_params() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_seconds_matches_paper_examples() {
+        let x = CommCrossover::summit_bert_anchor();
+        // ResNet50: ~8 ms; BERT-large: ~110 ms.
+        assert!((x.comm_seconds(25.6e6) - 8.0e-3).abs() / 8.0e-3 < 0.05);
+        assert!((x.comm_seconds(345.0e6) - 110.0e-3).abs() / 110.0e-3 < 0.05);
+    }
+
+    #[test]
+    fn boundary_consistency() {
+        let x = CommCrossover::summit_bert_anchor();
+        let p = x.crossover_params();
+        assert!(!x.comm_bound(p * 0.999));
+        assert!(x.comm_bound(p * 1.001));
+    }
+}

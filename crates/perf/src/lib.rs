@@ -1,0 +1,40 @@
+//! Analytic scaling models for data-parallel deep learning on Summit.
+//!
+//! This crate is the at-scale prediction engine of the reproduction. It
+//! combines
+//!
+//! * a workload's intrinsic costs ([`summit_workloads::Workload`]),
+//! * the machine's link and storage models ([`summit_machine`],
+//!   [`summit_io`]), and
+//! * the collective cost models ([`summit_comm::model`])
+//!
+//! into a per-step time decomposition (compute, exposed communication,
+//! exposed I/O, software overhead) from which throughput, parallel
+//! efficiency and sustained FLOP rates follow. [`case_studies`] instantiates
+//! it for the five extreme-scale projects of the paper's Section IV-B and
+//! regression-tests the reported numbers; [`crossover`] solves the
+//! Section VI-B question "at what model size does data-parallel training on
+//! Summit become communication-bound?" (answer: right at BERT-large).
+//!
+//! # Example
+//!
+//! ```
+//! use summit_perf::model::ScalingModel;
+//! use summit_workloads::Workload;
+//!
+//! let model = ScalingModel::summit_defaults(Workload::resnet50());
+//! let eff = model.efficiency(4608, 1);
+//! assert!(eff > 0.5 && eff <= 1.0);
+//! ```
+
+pub mod case_studies;
+pub mod crossover;
+pub mod model;
+pub mod parallelism;
+pub mod roofline;
+
+pub use case_studies::{CaseStudy, CaseStudyResult};
+pub use crossover::CommCrossover;
+pub use model::{ScalingModel, StepBreakdown};
+pub use parallelism::{HybridPlanner, MemoryModel, ParallelStrategy};
+pub use roofline::{Kernel, Roofline};

@@ -1,0 +1,346 @@
+//! The per-step scaling model.
+//!
+//! For a synchronous data-parallel job on `n` nodes the model decomposes
+//! one optimizer step into
+//!
+//! * `compute` — micro-batch forward+backward times the accumulation count,
+//!   from the workload's sustained single-GPU rate;
+//! * `exposed_comm` — the hierarchical (NVLink + InfiniBand) gradient
+//!   allreduce, minus the fraction hidden under compute
+//!   (`max(t_comm − overlap·t_compute, 0)`);
+//! * `exposed_io` — input-pipeline stall when the chosen storage tier cannot
+//!   sustain the demanded read bandwidth, plus a scale-dependent
+//!   metadata/staging term;
+//! * `overhead` — per-step software overhead growing logarithmically with
+//!   node count (framework orchestration, optimizer bookkeeping),
+//!   calibrated per case study.
+//!
+//! Efficiency at `n` nodes relative to a base size is the ratio of per-GPU
+//! throughputs. This is exactly the kind of bandwidth arithmetic the paper
+//! performs in Section VI-B, extended with the overlap and overhead terms
+//! needed to reproduce the Section IV-B case studies.
+
+use serde::Serialize;
+use summit_comm::model::{Algorithm, CollectiveModel};
+use summit_machine::{LinkModel, MachineSpec};
+use summit_workloads::Workload;
+
+/// Where the input pipeline reads training data from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum IoMode {
+    /// Data fully resident in host/GPU memory — no I/O term.
+    InMemory,
+    /// Node-local NVMe after staging (bandwidth from the machine spec).
+    LocalNvme,
+    /// Shared parallel filesystem (bandwidth shared by all nodes).
+    SharedFs,
+}
+
+/// One step's time decomposition, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StepBreakdown {
+    /// Forward+backward compute.
+    pub compute: f64,
+    /// Allreduce time not hidden by overlap.
+    pub exposed_comm: f64,
+    /// Input-read time not hidden by prefetch.
+    pub exposed_io: f64,
+    /// Scale-dependent software overhead.
+    pub overhead: f64,
+}
+
+impl StepBreakdown {
+    /// Total step time.
+    pub fn total(&self) -> f64 {
+        self.compute + self.exposed_comm + self.exposed_io + self.overhead
+    }
+}
+
+/// The analytic scaling model for one workload on one machine.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ScalingModel {
+    /// The workload being scaled.
+    pub workload: Workload,
+    /// The machine it runs on.
+    pub machine: MachineSpec,
+    /// Inter-node allreduce algorithm.
+    pub algorithm: Algorithm,
+    /// Fraction of compute time under which communication can hide
+    /// (0 = fully exposed, 1 = perfectly overlapped).
+    pub overlap: f64,
+    /// Gradient-accumulation micro-steps per optimizer step.
+    pub accumulation: u32,
+    /// Include the latency (α) terms of the collective model. The paper's
+    /// own arithmetic is bandwidth-only; production collectives pipeline
+    /// chunks, so default is `false`.
+    pub include_latency: bool,
+    /// Per-step software overhead coefficient: `overhead = c·ln(nodes)`.
+    pub overhead_per_ln_node: f64,
+    /// Input source.
+    pub io: IoMode,
+    /// Per-step I/O overhead coefficient: `c·ln(nodes)` added to exposed
+    /// I/O (metadata and staging pressure at scale).
+    pub io_overhead_per_ln_node: f64,
+    /// Gradient message volume reduction factor (1 = none, 2 = fp16
+    /// beyond the workload's own precision, 50 = top-2% sparsification…);
+    /// divides the allreduce message size.
+    pub compression_factor: f64,
+}
+
+impl ScalingModel {
+    /// A model with Summit defaults: ring allreduce, 30% overlap, in-memory
+    /// data, no accumulation, no calibrated overheads.
+    pub fn summit_defaults(workload: Workload) -> Self {
+        ScalingModel {
+            workload,
+            machine: MachineSpec::summit(),
+            algorithm: Algorithm::Ring,
+            overlap: 0.3,
+            accumulation: 1,
+            include_latency: false,
+            overhead_per_ln_node: 0.0,
+            io: IoMode::InMemory,
+            io_overhead_per_ln_node: 0.0,
+            compression_factor: 1.0,
+        }
+    }
+
+    /// GPUs in a job of `nodes` nodes.
+    pub fn gpus(&self, nodes: u32) -> u64 {
+        u64::from(nodes) * u64::from(self.machine.node.gpus_per_node)
+    }
+
+    /// Hierarchical allreduce time (NVLink ring inside the node, the chosen
+    /// algorithm between nodes) for the workload's gradient message.
+    pub fn allreduce_seconds(&self, nodes: u32) -> f64 {
+        assert!(self.compression_factor >= 1.0, "compression cannot inflate");
+        let msg = self.workload.gradient_message_bytes() / self.compression_factor;
+        let g = u64::from(self.machine.node.gpus_per_node);
+        let intra = if g > 1 {
+            let nv = CollectiveModel::new(LinkModel::nvlink(&self.machine.node));
+            if self.include_latency {
+                nv.allreduce_time(Algorithm::Ring, g, msg)
+            } else {
+                nv.bandwidth_term(Algorithm::Ring, g, msg)
+            }
+        } else {
+            0.0
+        };
+        let inter = if nodes > 1 {
+            let ib = CollectiveModel::new(LinkModel::inter_node(&self.machine.node));
+            if self.include_latency {
+                ib.allreduce_time(self.algorithm, u64::from(nodes), msg)
+            } else {
+                ib.bandwidth_term(self.algorithm, u64::from(nodes), msg)
+            }
+        } else {
+            0.0
+        };
+        intra + inter
+    }
+
+    /// Per-step input-read seconds demanded from the storage tier (0 for
+    /// in-memory data). Exposed only when the tier is slower than the
+    /// compute consumes data.
+    fn io_seconds(&self, nodes: u32) -> f64 {
+        let bytes_per_gpu_step = f64::from(self.workload.per_gpu_batch)
+            * f64::from(self.accumulation)
+            * self.workload.sample_bytes;
+        let read_seconds = match self.io {
+            IoMode::InMemory => 0.0,
+            IoMode::LocalNvme => {
+                // All GPUs of a node share the node's NVMe.
+                let per_node = bytes_per_gpu_step * f64::from(self.machine.node.gpus_per_node);
+                per_node / self.machine.storage.nvme_read_bw
+            }
+            IoMode::SharedFs => {
+                // The job's aggregate demand shares the machine-wide FS.
+                let total = bytes_per_gpu_step * self.gpus(nodes) as f64;
+                total / self.machine.storage.shared_fs_read_bw
+            }
+        };
+        let compute = self.compute_seconds();
+        // Prefetch hides I/O under compute; only the excess stalls.
+        let stall = (read_seconds - compute).max(0.0);
+        stall + self.io_overhead_per_ln_node * f64::from(nodes).ln()
+    }
+
+    /// Forward+backward seconds per optimizer step (including accumulation).
+    pub fn compute_seconds(&self) -> f64 {
+        f64::from(self.accumulation) * self.workload.step_compute_seconds()
+    }
+
+    /// The full step decomposition at `nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is zero or exceeds the machine.
+    pub fn step(&self, nodes: u32) -> StepBreakdown {
+        assert!(nodes > 0, "job needs nodes");
+        assert!(nodes <= self.machine.nodes, "job larger than machine");
+        let compute = self.compute_seconds();
+        let comm = self.allreduce_seconds(nodes);
+        let exposed_comm = (comm - self.overlap * compute).max(0.0);
+        StepBreakdown {
+            compute,
+            exposed_comm,
+            exposed_io: self.io_seconds(nodes),
+            overhead: self.overhead_per_ln_node * f64::from(nodes).ln(),
+        }
+    }
+
+    /// Global training throughput in samples/s at `nodes` nodes.
+    pub fn throughput(&self, nodes: u32) -> f64 {
+        let per_step = f64::from(self.workload.per_gpu_batch)
+            * f64::from(self.accumulation)
+            * self.gpus(nodes) as f64;
+        per_step / self.step(nodes).total()
+    }
+
+    /// Parallel efficiency at `nodes` relative to `base_nodes`
+    /// (per-GPU throughput ratio).
+    ///
+    /// # Panics
+    /// Panics if either node count is zero.
+    pub fn efficiency(&self, nodes: u32, base_nodes: u32) -> f64 {
+        let per_gpu = self.throughput(nodes) / self.gpus(nodes) as f64;
+        let base = self.throughput(base_nodes) / self.gpus(base_nodes) as f64;
+        per_gpu / base
+    }
+
+    /// Sustained aggregate FLOP rate at `nodes` nodes.
+    pub fn sustained_flops(&self, nodes: u32) -> f64 {
+        self.throughput(nodes) * self.workload.flops_per_sample
+    }
+
+    /// Sweep node counts, returning `(nodes, efficiency, sustained_flops)`.
+    pub fn sweep(&self, node_counts: &[u32], base_nodes: u32) -> Vec<(u32, f64, f64)> {
+        node_counts
+            .iter()
+            .map(|&n| (n, self.efficiency(n, base_nodes), self.sustained_flops(n)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resnet() -> ScalingModel {
+        ScalingModel::summit_defaults(Workload::resnet50())
+    }
+
+    #[test]
+    fn efficiency_at_base_is_one() {
+        let m = resnet();
+        assert!((m.efficiency(1, 1) - 1.0).abs() < 1e-12);
+        assert!((m.efficiency(64, 64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_scale() {
+        let m = ScalingModel {
+            overlap: 0.0,
+            include_latency: true,
+            ..resnet()
+        };
+        let e2 = m.efficiency(2, 1);
+        let e512 = m.efficiency(512, 1);
+        let e4608 = m.efficiency(4608, 1);
+        assert!(e2 <= 1.0 + 1e-12);
+        assert!(e512 <= e2);
+        assert!(e4608 <= e512);
+        assert!(e4608 > 0.3, "ring stays bandwidth-bound, not collapsing");
+    }
+
+    #[test]
+    fn throughput_superlinear_never() {
+        let m = resnet();
+        let t1 = m.throughput(1);
+        for n in [2u32, 16, 256, 4608] {
+            assert!(m.throughput(n) <= t1 * f64::from(n) * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn overlap_improves_efficiency() {
+        let base = ScalingModel { overlap: 0.0, ..resnet() };
+        let lap = ScalingModel { overlap: 0.9, ..resnet() };
+        assert!(lap.efficiency(4608, 1) >= base.efficiency(4608, 1));
+    }
+
+    #[test]
+    fn accumulation_amortizes_communication() {
+        let one = ScalingModel { accumulation: 1, overlap: 0.0, ..resnet() };
+        let eight = ScalingModel { accumulation: 8, overlap: 0.0, ..resnet() };
+        // Same allreduce per step but 8× the compute → higher efficiency.
+        assert!(eight.efficiency(4608, 1) > one.efficiency(4608, 1));
+    }
+
+    #[test]
+    fn shared_fs_starves_full_machine_resnet() {
+        // The Section VI-B conclusion as a scaling-model statement: on GPFS
+        // the full-machine ResNet50 job is I/O-bound; on NVMe it is not.
+        let gpfs = ScalingModel { io: IoMode::SharedFs, ..resnet() };
+        let nvme = ScalingModel { io: IoMode::LocalNvme, ..resnet() };
+        let g = gpfs.step(4608);
+        let n = nvme.step(4608);
+        assert!(g.exposed_io > 0.0, "GPFS must stall the input pipeline");
+        assert_eq!(n.exposed_io, 0.0, "NVMe sustains the demand");
+        assert!(gpfs.throughput(4608) < 0.2 * nvme.throughput(4608));
+    }
+
+    #[test]
+    fn shared_fs_fine_at_small_scale() {
+        let gpfs = ScalingModel { io: IoMode::SharedFs, ..resnet() };
+        assert_eq!(gpfs.step(64).exposed_io, 0.0);
+    }
+
+    #[test]
+    fn step_total_is_sum() {
+        let m = resnet();
+        let s = m.step(128);
+        assert!((s.total() - (s.compute + s.exposed_comm + s.exposed_io + s.overhead)).abs()
+            < 1e-15);
+    }
+
+    #[test]
+    fn bert_comm_dominates_at_scale_without_overlap() {
+        // Section VI-B: "models larger than BERT-large become
+        // communication-bound" — BERT-large sits at the boundary where
+        // allreduce ≈ compute.
+        let m = ScalingModel {
+            overlap: 0.0,
+            ..ScalingModel::summit_defaults(Workload::bert_large())
+        };
+        let s = m.step(4608);
+        let ratio = s.exposed_comm / s.compute;
+        assert!(
+            ratio > 0.8 && ratio < 1.8,
+            "BERT-large allreduce/compute ratio {ratio} should be ≈1"
+        );
+    }
+
+    #[test]
+    fn compression_relieves_comm_bound_models() {
+        // BERT-large at overlap 0 is comm-bound; 4x gradient compression
+        // (fp16 + 2x sparsity) must raise full-machine efficiency
+        // substantially.
+        let plain = ScalingModel {
+            overlap: 0.0,
+            ..ScalingModel::summit_defaults(Workload::bert_large())
+        };
+        let compressed = ScalingModel {
+            compression_factor: 4.0,
+            ..plain
+        };
+        let e_plain = plain.efficiency(4608, 1);
+        let e_comp = compressed.efficiency(4608, 1);
+        assert!(e_comp > e_plain + 0.15, "{e_plain} → {e_comp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "job larger than machine")]
+    fn oversized_job_rejected() {
+        let _ = resnet().step(100_000);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the scaling models.
+
+use proptest::prelude::*;
+use summit_perf::crossover::CommCrossover;
+use summit_perf::model::ScalingModel;
+use summit_perf::parallelism::{HybridPlanner, MemoryModel, ParallelStrategy};
+use summit_workloads::Workload;
+
+fn zoo(idx: usize) -> Workload {
+    let all = Workload::all();
+    all[idx % all.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Throughput never exceeds linear scaling, efficiency stays in (0, 1]
+    /// relative to any base, for every zoo workload and configuration.
+    #[test]
+    fn efficiency_bounded(widx in 0usize..9, nodes in 1u32..4608, base in 1u32..64,
+                          overlap in 0.0f64..1.0) {
+        prop_assume!(nodes >= base);
+        let m = ScalingModel {
+            overlap,
+            ..ScalingModel::summit_defaults(zoo(widx))
+        };
+        let eff = m.efficiency(nodes, base);
+        prop_assert!(eff > 0.0 && eff <= 1.0 + 1e-9, "eff {eff}");
+        let tp1 = m.throughput(base);
+        let tpn = m.throughput(nodes);
+        prop_assert!(tpn <= tp1 * f64::from(nodes) / f64::from(base) * (1.0 + 1e-9));
+    }
+
+    /// Step decomposition components are non-negative and total as summed.
+    #[test]
+    fn step_components_sane(widx in 0usize..9, nodes in 1u32..4608) {
+        let m = ScalingModel::summit_defaults(zoo(widx));
+        let s = m.step(nodes);
+        prop_assert!(s.compute > 0.0);
+        prop_assert!(s.exposed_comm >= 0.0);
+        prop_assert!(s.exposed_io >= 0.0);
+        prop_assert!(s.overhead >= 0.0);
+        prop_assert!((s.total() - (s.compute + s.exposed_comm + s.exposed_io + s.overhead)).abs()
+                     < 1e-15);
+    }
+
+    /// More overlap never hurts; more compression never hurts.
+    #[test]
+    fn monotone_levers(widx in 0usize..9, nodes in 2u32..4608,
+                       o1 in 0.0f64..1.0, o2 in 0.0f64..1.0,
+                       c1 in 1.0f64..64.0, c2 in 1.0f64..64.0) {
+        let base = ScalingModel::summit_defaults(zoo(widx));
+        let (o_lo, o_hi) = if o1 <= o2 { (o1, o2) } else { (o2, o1) };
+        let less = ScalingModel { overlap: o_lo, ..base };
+        let more = ScalingModel { overlap: o_hi, ..base };
+        prop_assert!(more.throughput(nodes) >= less.throughput(nodes) - 1e-9);
+
+        let (c_lo, c_hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let raw = ScalingModel { compression_factor: c_lo, overlap: 0.0, ..base };
+        let squeezed = ScalingModel { compression_factor: c_hi, overlap: 0.0, ..base };
+        prop_assert!(squeezed.throughput(nodes) >= raw.throughput(nodes) - 1e-9);
+    }
+
+    /// The crossover is linear in bandwidth and compute time.
+    #[test]
+    fn crossover_scaling_laws(bw_scale in 0.1f64..10.0, t_scale in 0.1f64..10.0) {
+        let base = CommCrossover::summit_bert_anchor();
+        let scaled = CommCrossover {
+            step_compute_seconds: base.step_compute_seconds * t_scale,
+            link: summit_machine::LinkModel::new(base.link.alpha, base.link.beta * bw_scale),
+            ..base
+        };
+        let ratio = scaled.crossover_params() / base.crossover_params();
+        prop_assert!((ratio - bw_scale * t_scale).abs() / (bw_scale * t_scale) < 1e-9);
+    }
+
+    /// Memory model: sharding over more ways never increases per-GPU bytes;
+    /// a feasible strategy stays feasible with more ways.
+    #[test]
+    fn memory_monotone_in_ways(params_m in 1u32..100_000, tensor in 1u32..7,
+                               pp1 in 0u32..8, pp2 in 0u32..8) {
+        let w = Workload::transformer_lm("probe", f64::from(params_m) * 1e6);
+        let mem = MemoryModel::for_workload(&w);
+        let (lo, hi) = if pp1 <= pp2 { (1u32 << pp1, 1u32 << pp2) } else { (1 << pp2, 1 << pp1) };
+        let small = ParallelStrategy { data: 1, tensor, pipeline: lo, micro_batches: 4 };
+        let big = ParallelStrategy { data: 1, tensor, pipeline: hi, micro_batches: 4 };
+        prop_assert!(mem.bytes_per_gpu(&big, 1) <= mem.bytes_per_gpu(&small, 1) + 1.0);
+    }
+
+    /// The planner never returns a strategy that exceeds the GPU budget or
+    /// fails the memory check.
+    #[test]
+    fn planner_output_valid(params_m in 100u32..50_000, nodes in 1u32..512) {
+        let w = Workload::transformer_lm("probe", f64::from(params_m) * 1e6);
+        let planner = HybridPlanner::summit(nodes, 30.0e12);
+        if let Some(best) = planner.best(&w) {
+            prop_assert!(best.strategy.gpus() <= planner.gpus);
+            let mem = MemoryModel::for_workload(&w);
+            prop_assert!(mem.fits(&best.strategy, best.micro_batch, planner.node.gpu.hbm_bytes));
+            prop_assert!(best.throughput > 0.0);
+        }
+    }
+}

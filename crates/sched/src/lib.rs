@@ -1,0 +1,36 @@
+//! Allocation programs and batch scheduling for a leadership system.
+//!
+//! Section II-B of the paper describes how OLCF time is allocated: INCITE
+//! receives ≈60% of allocable hours, ALCC ≈20%, and the Director's
+//! Discretionary program ≈20% (up to half of which went to ECP teams in the
+//! studied years). This crate models that machinery:
+//!
+//! * [`program`] — the allocation programs, their target shares, and
+//!   node-hour allocations;
+//! * [`project`] — projects with allocations and usage accounting;
+//! * [`scheduler`] — a batch scheduler simulator (FIFO with EASY backfill)
+//!   that places jobs on a Summit-sized machine and reports utilization,
+//!   wait times, and delivered node-hours per program.
+//!
+//! The scheduler is a real event-driven simulator, not a closed-form
+//! estimate: jobs occupy nodes for wall-clock intervals and backfilled jobs
+//! may never delay the queue head (tested).
+//!
+//! # Example
+//!
+//! ```
+//! use summit_sched::program::Program;
+//!
+//! // INCITE's target share of allocable hours is 60%.
+//! assert!((Program::Incite.target_share() - 0.60).abs() < 1e-12);
+//! ```
+
+pub mod program;
+pub mod project;
+pub mod scheduler;
+pub mod trace;
+
+pub use program::{Allocation, Program};
+pub use project::Project;
+pub use scheduler::{Job, ScheduleMetrics, Scheduler, SchedulingPolicy};
+pub use trace::{generate as generate_trace, TraceConfig};

@@ -1,0 +1,485 @@
+//! An event-driven batch scheduler: FIFO with EASY backfill.
+//!
+//! Summit's production scheduler prioritizes capability (large) jobs; for
+//! this study's purposes what matters is that delivered node-hours track
+//! program shares and that the machine sustains high utilization with a
+//! mixed workload. The simulator implements the standard EASY policy:
+//! start jobs FIFO; when the head doesn't fit, reserve its start time and
+//! backfill any later job that both fits now and finishes before the
+//! reservation.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+
+use crate::program::Program;
+
+/// A batch job submitted to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Job {
+    /// Submitting project's program (for share accounting).
+    pub program: Program,
+    /// Nodes requested.
+    pub nodes: u32,
+    /// Requested walltime in hours (jobs run exactly this long here).
+    pub walltime_hours: f64,
+    /// Submission time in hours from simulation start.
+    pub submit_hours: f64,
+}
+
+impl Job {
+    /// Node-hours this job consumes.
+    pub fn node_hours(&self) -> f64 {
+        f64::from(self.nodes) * self.walltime_hours
+    }
+}
+
+/// A placed job in the simulated schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Placement {
+    /// The job as submitted.
+    pub job: Job,
+    /// Start time in hours.
+    pub start_hours: f64,
+    /// Whether the job was backfilled ahead of an earlier-submitted job.
+    pub backfilled: bool,
+}
+
+impl Placement {
+    /// Completion time in hours.
+    pub fn end_hours(&self) -> f64 {
+        self.start_hours + self.job.walltime_hours
+    }
+
+    /// Queue wait in hours.
+    pub fn wait_hours(&self) -> f64 {
+        self.start_hours - self.job.submit_hours
+    }
+}
+
+/// Aggregate metrics of a completed simulation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScheduleMetrics {
+    /// Machine utilization over the makespan (0..1).
+    pub utilization: f64,
+    /// Mean queue wait in hours.
+    pub mean_wait_hours: f64,
+    /// Last completion time.
+    pub makespan_hours: f64,
+    /// Delivered node-hours per program.
+    pub delivered_by_program: HashMap<Program, f64>,
+    /// Fraction of jobs that were backfilled.
+    pub backfill_fraction: f64,
+}
+
+impl ScheduleMetrics {
+    /// Delivered share of a program (fraction of total delivered hours).
+    pub fn program_share(&self, program: Program) -> f64 {
+        let total: f64 = self.delivered_by_program.values().sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.delivered_by_program.get(&program).copied().unwrap_or(0.0) / total
+        }
+    }
+}
+
+/// Queue-ordering policy for the EASY scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SchedulingPolicy {
+    /// First-in-first-out by submit time (the baseline).
+    FifoEasy,
+    /// Fair-share: among arrived jobs, programs furthest below their
+    /// target node-hour share (paper: 60/20/20) go first. The delivered
+    /// share is tracked as jobs start; EASY backfill still applies inside
+    /// the chosen order.
+    FairShareEasy,
+}
+
+/// The FIFO + EASY backfill scheduler for a machine of `nodes` nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduler {
+    /// Machine size in nodes.
+    pub nodes: u32,
+}
+
+impl Scheduler {
+    /// Create a scheduler for a machine.
+    ///
+    /// # Panics
+    /// Panics if the machine has no nodes.
+    pub fn new(nodes: u32) -> Self {
+        assert!(nodes > 0, "machine must have nodes");
+        Scheduler { nodes }
+    }
+
+    /// Simulate the schedule for `jobs` (any submit order). Returns
+    /// placements in the order jobs were provided.
+    ///
+    /// # Panics
+    /// Panics if any job requests more nodes than the machine has, zero
+    /// nodes, or non-positive walltime.
+    pub fn schedule(&self, jobs: &[Job]) -> Vec<Placement> {
+        self.schedule_with_policy(jobs, SchedulingPolicy::FifoEasy)
+    }
+
+    /// Simulate the schedule under an explicit queue policy.
+    ///
+    /// # Panics
+    /// Same contract as [`Scheduler::schedule`].
+    pub fn schedule_with_policy(&self, jobs: &[Job], policy: SchedulingPolicy) -> Vec<Placement> {
+        for j in jobs {
+            assert!(j.nodes > 0, "job must request nodes");
+            assert!(j.nodes <= self.nodes, "job larger than machine");
+            assert!(j.walltime_hours > 0.0, "walltime must be positive");
+            assert!(j.submit_hours >= 0.0, "submit time must be non-negative");
+        }
+        // FIFO order: by submit time, ties by original index.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            jobs[a]
+                .submit_hours
+                .total_cmp(&jobs[b].submit_hours)
+                .then(a.cmp(&b))
+        });
+
+        // Running jobs as (end_time, nodes).
+        let mut running: Vec<(f64, u32)> = Vec::new();
+        let mut free = self.nodes;
+        let mut clock = 0.0f64;
+        let mut placements: Vec<Option<Placement>> = vec![None; jobs.len()];
+        let mut queue: Vec<usize> = order; // indices still waiting
+        let mut delivered: HashMap<Program, f64> = HashMap::new();
+        let mut delivered_total = 0.0f64;
+
+        while !queue.is_empty() {
+            if policy == SchedulingPolicy::FairShareEasy {
+                // Among arrived jobs, order by program share deficit
+                // (target − delivered fraction), largest first; unarrived
+                // jobs keep submit order at the back.
+                let deficit = |p: Program| -> f64 {
+                    let got = if delivered_total > 0.0 {
+                        delivered.get(&p).copied().unwrap_or(0.0) / delivered_total
+                    } else {
+                        0.0
+                    };
+                    p.target_share() - got
+                };
+                queue.sort_by(|&a, &b| {
+                    let (ja, jb) = (jobs[a], jobs[b]);
+                    let arrived_a = ja.submit_hours <= clock + 1e-9;
+                    let arrived_b = jb.submit_hours <= clock + 1e-9;
+                    arrived_b
+                        .cmp(&arrived_a)
+                        .then_with(|| deficit(jb.program).total_cmp(&deficit(ja.program)))
+                        .then_with(|| ja.submit_hours.total_cmp(&jb.submit_hours))
+                        .then(a.cmp(&b))
+                });
+            }
+            // Release finished jobs at the current clock.
+            running.retain(|&(end, n)| {
+                if end <= clock + 1e-9 {
+                    free += n;
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // Try to start the queue in FIFO order.
+            let mut started_any = false;
+            let mut i = 0;
+            let mut head_reservation: Option<f64> = None;
+            while i < queue.len() {
+                let idx = queue[i];
+                let job = jobs[idx];
+                let arrived = job.submit_hours <= clock + 1e-9;
+                if i == 0 {
+                    if arrived && job.nodes <= free {
+                        placements[idx] = Some(Placement {
+                            job,
+                            start_hours: clock,
+                            backfilled: false,
+                        });
+                        running.push((clock + job.walltime_hours, job.nodes));
+                        free -= job.nodes;
+                        *delivered.entry(job.program).or_insert(0.0) += job.node_hours();
+                        delivered_total += job.node_hours();
+                        queue.remove(0);
+                        started_any = true;
+                        continue; // new head, stay at i == 0
+                    }
+                    // Reserve the head's start: when enough nodes free up
+                    // (and it has arrived).
+                    head_reservation = Some(self.reservation_time(
+                        &running,
+                        free,
+                        job.nodes,
+                        clock.max(job.submit_hours),
+                    ));
+                    i += 1;
+                } else {
+                    // Backfill candidates: fit now, arrived, and must not
+                    // delay the head's reservation.
+                    let shadow = head_reservation.expect("set when head deferred");
+                    if arrived
+                        && job.nodes <= free
+                        && clock + job.walltime_hours <= shadow + 1e-9
+                    {
+                        placements[idx] = Some(Placement {
+                            job,
+                            start_hours: clock,
+                            backfilled: true,
+                        });
+                        running.push((clock + job.walltime_hours, job.nodes));
+                        free -= job.nodes;
+                        *delivered.entry(job.program).or_insert(0.0) += job.node_hours();
+                        delivered_total += job.node_hours();
+                        queue.remove(i);
+                        started_any = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            if queue.is_empty() {
+                break;
+            }
+            if !started_any {
+                // Advance the clock to the next event: a running job ends or
+                // a queued job arrives.
+                let next_end = running
+                    .iter()
+                    .map(|&(end, _)| end)
+                    .fold(f64::INFINITY, f64::min);
+                let next_arrival = queue
+                    .iter()
+                    .map(|&idx| jobs[idx].submit_hours)
+                    .filter(|&t| t > clock + 1e-9)
+                    .fold(f64::INFINITY, f64::min);
+                let next = next_end.min(next_arrival);
+                assert!(
+                    next.is_finite(),
+                    "deadlock: jobs waiting with nothing running or arriving"
+                );
+                clock = next;
+            }
+        }
+
+        placements
+            .into_iter()
+            .map(|p| p.expect("every job scheduled"))
+            .collect()
+    }
+
+    /// Earliest time at which `wanted` nodes are simultaneously free, given
+    /// currently running jobs, starting from `not_before`.
+    fn reservation_time(
+        &self,
+        running: &[(f64, u32)],
+        mut free: u32,
+        wanted: u32,
+        not_before: f64,
+    ) -> f64 {
+        if wanted <= free {
+            return not_before;
+        }
+        let mut ends: Vec<(f64, u32)> = running.to_vec();
+        ends.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (end, n) in ends {
+            free += n;
+            if free >= wanted {
+                return end.max(not_before);
+            }
+        }
+        unreachable!("job fits the machine, so all nodes freeing must suffice");
+    }
+
+    /// Compute aggregate metrics for a set of placements.
+    pub fn metrics(&self, placements: &[Placement]) -> ScheduleMetrics {
+        assert!(!placements.is_empty(), "no placements to measure");
+        let makespan = placements
+            .iter()
+            .map(Placement::end_hours)
+            .fold(0.0f64, f64::max);
+        let delivered: f64 = placements.iter().map(|p| p.job.node_hours()).sum();
+        let mut by_program: HashMap<Program, f64> = HashMap::new();
+        for p in placements {
+            *by_program.entry(p.job.program).or_insert(0.0) += p.job.node_hours();
+        }
+        let waits: f64 = placements.iter().map(Placement::wait_hours).sum();
+        let backfilled = placements.iter().filter(|p| p.backfilled).count();
+        ScheduleMetrics {
+            utilization: delivered / (f64::from(self.nodes) * makespan),
+            mean_wait_hours: waits / placements.len() as f64,
+            makespan_hours: makespan,
+            delivered_by_program: by_program,
+            backfill_fraction: backfilled as f64 / placements.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(nodes: u32, walltime: f64, submit: f64) -> Job {
+        Job {
+            program: Program::Incite,
+            nodes,
+            walltime_hours: walltime,
+            submit_hours: submit,
+        }
+    }
+
+    #[test]
+    fn single_job_starts_immediately() {
+        let s = Scheduler::new(100);
+        let p = s.schedule(&[job(50, 2.0, 0.0)]);
+        assert_eq!(p[0].start_hours, 0.0);
+        assert!(!p[0].backfilled);
+    }
+
+    #[test]
+    fn fifo_when_no_backfill_possible() {
+        let s = Scheduler::new(100);
+        let p = s.schedule(&[job(100, 1.0, 0.0), job(100, 1.0, 0.0)]);
+        assert_eq!(p[0].start_hours, 0.0);
+        assert!((p[1].start_hours - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backfill_fills_holes_without_delaying_head() {
+        let s = Scheduler::new(100);
+        // Job 0 takes 60 nodes for 2h. Job 1 (head-after-0) wants 100 nodes
+        // → must wait until t=2. Job 2 wants 40 nodes for 1h → backfills at
+        // t=0 (ends at 1 ≤ 2, doesn't delay job 1).
+        let p = s.schedule(&[
+            job(60, 2.0, 0.0),
+            job(100, 1.0, 0.0),
+            job(40, 1.0, 0.0),
+        ]);
+        assert_eq!(p[0].start_hours, 0.0);
+        assert!((p[1].start_hours - 2.0).abs() < 1e-9, "head starts at reservation");
+        assert_eq!(p[2].start_hours, 0.0, "small job backfilled");
+        assert!(p[2].backfilled);
+    }
+
+    #[test]
+    fn backfill_never_delays_head() {
+        let s = Scheduler::new(100);
+        // A 40-node 5h job must NOT backfill because it would outlive the
+        // head's reservation at t=2.
+        let p = s.schedule(&[
+            job(60, 2.0, 0.0),
+            job(100, 1.0, 0.0),
+            job(50, 5.0, 0.0),
+        ]);
+        assert!((p[1].start_hours - 2.0).abs() < 1e-9);
+        assert!(p[2].start_hours >= 2.0, "long job waits: {}", p[2].start_hours);
+    }
+
+    #[test]
+    fn arrivals_respected() {
+        let s = Scheduler::new(10);
+        let p = s.schedule(&[job(10, 1.0, 5.0)]);
+        assert!((p[0].start_hours - 5.0).abs() < 1e-9);
+        assert_eq!(p[0].wait_hours(), 0.0);
+    }
+
+    #[test]
+    fn utilization_of_dense_packing() {
+        let s = Scheduler::new(10);
+        let jobs: Vec<Job> = (0..10).map(|_| job(10, 1.0, 0.0)).collect();
+        let p = s.schedule(&jobs);
+        let m = s.metrics(&p);
+        assert!((m.utilization - 1.0).abs() < 1e-9);
+        assert!((m.makespan_hours - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn program_shares_tracked() {
+        let s = Scheduler::new(100);
+        let jobs = vec![
+            Job { program: Program::Incite, nodes: 60, walltime_hours: 1.0, submit_hours: 0.0 },
+            Job { program: Program::Alcc, nodes: 20, walltime_hours: 1.0, submit_hours: 0.0 },
+            Job { program: Program::DirectorsDiscretionary, nodes: 20, walltime_hours: 1.0, submit_hours: 0.0 },
+        ];
+        let m = s.metrics(&s.schedule(&jobs));
+        assert!((m.program_share(Program::Incite) - 0.6).abs() < 1e-9);
+        assert!((m.program_share(Program::Alcc) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fair_share_prioritizes_underserved_program() {
+        // A flood of DD jobs submitted just before a batch of INCITE jobs:
+        // FIFO serves DD first; fair-share pulls INCITE forward because its
+        // 60% target share is unmet.
+        let s = Scheduler::new(100);
+        let mut jobs = Vec::new();
+        for _ in 0..30 {
+            jobs.push(Job {
+                program: Program::DirectorsDiscretionary,
+                nodes: 100,
+                walltime_hours: 1.0,
+                submit_hours: 0.0,
+            });
+        }
+        for _ in 0..10 {
+            jobs.push(Job {
+                program: Program::Incite,
+                nodes: 100,
+                walltime_hours: 1.0,
+                submit_hours: 0.0,
+            });
+        }
+        let mean_incite_wait = |placements: &[Placement]| -> f64 {
+            let waits: Vec<f64> = placements
+                .iter()
+                .filter(|p| p.job.program == Program::Incite)
+                .map(Placement::wait_hours)
+                .collect();
+            waits.iter().sum::<f64>() / waits.len() as f64
+        };
+        let fifo = s.schedule_with_policy(&jobs, SchedulingPolicy::FifoEasy);
+        let fair = s.schedule_with_policy(&jobs, SchedulingPolicy::FairShareEasy);
+        let (w_fifo, w_fair) = (mean_incite_wait(&fifo), mean_incite_wait(&fair));
+        assert!(
+            w_fair < w_fifo / 2.0,
+            "fair-share INCITE wait {w_fair} vs FIFO {w_fifo}"
+        );
+        // Both policies schedule every job exactly once.
+        assert_eq!(fifo.len(), jobs.len());
+        assert_eq!(fair.len(), jobs.len());
+    }
+
+    #[test]
+    fn fair_share_still_completes_all_and_respects_capacity() {
+        let s = Scheduler::new(50);
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| Job {
+                program: if i % 3 == 0 { Program::Incite } else { Program::Alcc },
+                nodes: 10 + (i % 4) * 10,
+                walltime_hours: 1.0 + (i % 3) as f64,
+                submit_hours: (i / 8) as f64,
+            })
+            .collect();
+        let placements = s.schedule_with_policy(&jobs, SchedulingPolicy::FairShareEasy);
+        // Capacity invariant: at every start event, running nodes ≤ machine.
+        for p in &placements {
+            let t = p.start_hours + 1e-6;
+            let in_use: u32 = placements
+                .iter()
+                .filter(|q| q.start_hours <= t && q.end_hours() > t)
+                .map(|q| q.job.nodes)
+                .sum();
+            assert!(in_use <= 50, "capacity exceeded at {t}: {in_use}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "job larger than machine")]
+    fn oversize_job_rejected() {
+        Scheduler::new(10).schedule(&[job(11, 1.0, 0.0)]);
+    }
+}

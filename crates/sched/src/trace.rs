@@ -1,0 +1,122 @@
+//! Synthetic job-trace generation.
+//!
+//! Produces a seeded year-of-operations job mix whose node-hour demand per
+//! program tracks the allocation shares, with heavy-tailed job sizes (a
+//! leadership machine runs a few capability jobs and many small ones) and
+//! uniform-ish arrivals. Used by the scheduler benches and the program-share
+//! integration test (X6 in DESIGN.md).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use summit_machine::MachineSpec;
+
+use crate::program::Program;
+use crate::scheduler::Job;
+
+/// Configuration for trace generation.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Arrival window in hours (jobs arrive uniformly in `[0, window)`).
+    pub window_hours: f64,
+    /// Maximum job size as a fraction of the machine (capability cap).
+    pub max_fraction: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            jobs: 500,
+            window_hours: 24.0 * 7.0,
+            max_fraction: 1.0,
+        }
+    }
+}
+
+/// Generate a job trace on `machine` whose expected node-hours per program
+/// follow the primary-program target shares (60/20/20).
+///
+/// # Panics
+/// Panics if the config is degenerate (no jobs, non-positive window).
+pub fn generate(machine: &MachineSpec, config: &TraceConfig, seed: u64) -> Vec<Job> {
+    assert!(config.jobs > 0, "trace needs jobs");
+    assert!(config.window_hours > 0.0, "window must be positive");
+    assert!(
+        config.max_fraction > 0.0 && config.max_fraction <= 1.0,
+        "max fraction must be in (0,1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_nodes = ((f64::from(machine.nodes) * config.max_fraction) as u32).max(1);
+    let mut jobs = Vec::with_capacity(config.jobs);
+    for _ in 0..config.jobs {
+        // Pick the program by its share of hours.
+        let u: f64 = rng.gen();
+        let program = if u < 0.60 {
+            Program::Incite
+        } else if u < 0.80 {
+            Program::Alcc
+        } else {
+            Program::DirectorsDiscretionary
+        };
+        // Heavy-tailed size: nodes = max_nodes^u for u uniform → log-uniform.
+        let exponent: f64 = rng.gen();
+        let mut nodes = (f64::from(max_nodes)).powf(exponent).round() as u32;
+        nodes = nodes.clamp(1, max_nodes);
+        // INCITE favors capability jobs (paper: "the ability and need to
+        // take advantage of the full capability ... primary criteria").
+        if program == Program::Incite {
+            nodes = (nodes.saturating_mul(4)).min(max_nodes);
+        }
+        let walltime_hours = rng.gen_range(0.5..12.0);
+        let submit_hours = rng.gen_range(0.0..config.window_hours);
+        jobs.push(Job {
+            program,
+            nodes,
+            walltime_hours,
+            submit_hours,
+        });
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Scheduler;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let m = MachineSpec::summit();
+        let cfg = TraceConfig::default();
+        let a = generate(&m, &cfg, 7);
+        let b = generate(&m, &cfg, 7);
+        assert_eq!(a, b);
+        let c = generate(&m, &cfg, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn jobs_fit_machine() {
+        let m = MachineSpec::summit();
+        let jobs = generate(&m, &TraceConfig::default(), 1);
+        assert!(jobs.iter().all(|j| j.nodes >= 1 && j.nodes <= m.nodes));
+        assert!(jobs.iter().all(|j| j.walltime_hours > 0.0));
+    }
+
+    #[test]
+    fn incite_dominates_node_hours() {
+        let m = MachineSpec::summit();
+        let cfg = TraceConfig {
+            jobs: 2000,
+            ..TraceConfig::default()
+        };
+        let jobs = generate(&m, &cfg, 3);
+        let s = Scheduler::new(m.nodes);
+        let metrics = s.metrics(&s.schedule(&jobs));
+        let incite = metrics.program_share(Program::Incite);
+        let alcc = metrics.program_share(Program::Alcc);
+        let dd = metrics.program_share(Program::DirectorsDiscretionary);
+        assert!(incite > alcc && incite > dd, "INCITE {incite} vs {alcc}/{dd}");
+        assert!(incite > 0.5, "INCITE share {incite} should dominate");
+    }
+}

@@ -1,0 +1,170 @@
+//! CSV export of the portfolio and the figure aggregations.
+//!
+//! Downstream analysis of a survey like this happens in notebooks; every
+//! figure's underlying data is exportable as RFC-4180-style CSV (quoted
+//! fields where needed, `\n` line endings).
+
+use crate::analytics;
+use crate::portfolio::ProjectRecord;
+use crate::taxonomy::Domain;
+
+/// Quote a CSV field if it contains a comma, quote, or newline.
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// The full portfolio, one row per project-year.
+pub fn portfolio_csv(records: &[ProjectRecord]) -> String {
+    let mut out = String::from(
+        "id,program,year,domain,subdomain,status,method,motif,allocation_node_hours\n",
+    );
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            field(&r.id),
+            r.program.name(),
+            r.year,
+            field(r.domain.name()),
+            field(r.subdomain),
+            r.status.name(),
+            r.method.map_or("", |m| m.name()),
+            field(r.motif.map_or("", |m| m.name())),
+            r.allocation_node_hours
+        ));
+    }
+    out
+}
+
+/// Figure 2's data: program, year, active/inactive/none counts.
+pub fn fig2_csv(records: &[ProjectRecord]) -> String {
+    let mut out = String::from("program,year,active,inactive,none\n");
+    for ((program, year), counts) in analytics::usage_by_program_year(records) {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            program.name(),
+            year,
+            counts.active,
+            counts.inactive,
+            counts.none
+        ));
+    }
+    out
+}
+
+/// Figure 6's data: domain × motif counts in long form.
+pub fn fig6_csv(records: &[ProjectRecord]) -> String {
+    use crate::portfolio::{DOMAIN_ROWS, MOTIF_COLUMNS};
+    let matrix = analytics::motif_by_domain(records);
+    let mut out = String::from("domain,motif,count\n");
+    for (d, row) in DOMAIN_ROWS.iter().zip(matrix.iter()) {
+        for (m, count) in MOTIF_COLUMNS.iter().zip(row.iter()) {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                field(d.name()),
+                field(m.name()),
+                count
+            ));
+        }
+    }
+    out
+}
+
+/// Figure 4's data: domain usage counts.
+pub fn fig4_csv(records: &[ProjectRecord]) -> String {
+    let map = analytics::usage_by_domain(records);
+    let mut out = String::from("domain,active,inactive,none\n");
+    for d in Domain::ALL {
+        let c = map[&d];
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            field(d.name()),
+            c.active,
+            c.inactive,
+            c.none
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::build;
+
+    fn parse_rows(csv: &str) -> Vec<Vec<String>> {
+        // Simple parser sufficient for our own output (no embedded
+        // newlines are ever produced by the exporters).
+        csv.lines()
+            .map(|line| {
+                let mut fields = Vec::new();
+                let mut cur = String::new();
+                let mut in_quotes = false;
+                let mut chars = line.chars().peekable();
+                while let Some(c) = chars.next() {
+                    match c {
+                        '"' if in_quotes && chars.peek() == Some(&'"') => {
+                            cur.push('"');
+                            chars.next();
+                        }
+                        '"' => in_quotes = !in_quotes,
+                        ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+                        c => cur.push(c),
+                    }
+                }
+                fields.push(cur);
+                fields
+            })
+            .collect()
+    }
+
+    #[test]
+    fn portfolio_csv_row_count_and_shape() {
+        let records = build();
+        let rows = parse_rows(&portfolio_csv(&records));
+        assert_eq!(rows.len(), 663); // header + 662
+        assert_eq!(rows[0].len(), 9);
+        assert!(rows[1..].iter().all(|r| r.len() == 9));
+    }
+
+    #[test]
+    fn quoting_handles_commas() {
+        // Gordon Bell ids contain commas ("Kurth et al., GB/2018").
+        let records = build();
+        let csv = portfolio_csv(&records);
+        assert!(csv.contains("\"Kurth et al., GB/2018\""));
+        let rows = parse_rows(&csv);
+        let kurth = rows
+            .iter()
+            .find(|r| r[0].starts_with("Kurth"))
+            .expect("Kurth row present");
+        assert_eq!(kurth[0], "Kurth et al., GB/2018");
+    }
+
+    #[test]
+    fn fig_csvs_reconcile_with_analytics() {
+        let records = build();
+        let fig2 = parse_rows(&fig2_csv(&records));
+        assert_eq!(fig2.len(), 1 + 14); // header + 14 program-years
+        let total: u32 = fig2[1..]
+            .iter()
+            .map(|r| {
+                r[2].parse::<u32>().unwrap()
+                    + r[3].parse::<u32>().unwrap()
+                    + r[4].parse::<u32>().unwrap()
+            })
+            .sum();
+        assert_eq!(total, 645);
+
+        let fig6 = parse_rows(&fig6_csv(&records));
+        assert_eq!(fig6.len(), 1 + 9 * 11);
+        let total6: u32 = fig6[1..].iter().map(|r| r[2].parse::<u32>().unwrap()).sum();
+        assert_eq!(total6, 121);
+
+        let fig4 = parse_rows(&fig4_csv(&records));
+        assert_eq!(fig4.len(), 1 + 9);
+    }
+}

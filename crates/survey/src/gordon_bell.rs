@@ -1,0 +1,261 @@
+//! Gordon Bell finalist catalog: Table III and the Section IV-A project
+//! review.
+
+use serde::Serialize;
+
+use crate::taxonomy::Motif;
+
+/// Which Gordon Bell competition a finalist entered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum GbCategory {
+    /// The standard ACM Gordon Bell Prize.
+    Standard,
+    /// The special Gordon Bell Prize for COVID-19 research (2020–2021).
+    Covid19,
+}
+
+impl GbCategory {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GbCategory::Standard => "std",
+            GbCategory::Covid19 => "COVID-19",
+        }
+    }
+}
+
+/// One Summit-based Gordon Bell finalist project using AI/ML
+/// (Section IV-A's numbered list).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct GbFinalist {
+    /// Lead author and year tag, e.g. "Ichimura et al., GB/2018".
+    pub citation: &'static str,
+    /// Competition year.
+    pub year: u16,
+    /// Standard or COVID-19 competition.
+    pub category: GbCategory,
+    /// AI motif the paper assigns.
+    pub motif: Motif,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Maximum Summit node count demonstrated.
+    pub max_nodes: u32,
+    /// Reported mixed-precision rate in FLOP/s, if stated.
+    pub reported_flops: Option<f64>,
+}
+
+/// The ten AI/ML-powered Summit Gordon Bell finalists (Section IV-A).
+pub fn ai_finalists() -> Vec<GbFinalist> {
+    vec![
+        GbFinalist {
+            citation: "Ichimura et al., GB/2018",
+            year: 2018,
+            category: GbCategory::Standard,
+            motif: Motif::MathCsAlgorithm,
+            summary: "earthquake modeling; neural network forms the \
+                      preconditioner for a conjugate gradient solver",
+            max_nodes: 4096,
+            reported_flops: None,
+        },
+        GbFinalist {
+            citation: "Patton et al., GB/2018",
+            year: 2018,
+            category: GbCategory::Standard,
+            motif: Motif::Classification,
+            summary: "hyperparameter tuning for DNNs finding defect \
+                      structures in microscopy images",
+            max_nodes: 4200,
+            reported_flops: Some(152.5e15),
+        },
+        GbFinalist {
+            citation: "Kurth et al., GB/2018",
+            year: 2018,
+            category: GbCategory::Standard,
+            motif: Motif::Classification,
+            summary: "extreme weather pattern detection with adapted \
+                      Tiramisu and DeepLabv3 DNNs",
+            max_nodes: 4560,
+            reported_flops: Some(1.13e18),
+        },
+        GbFinalist {
+            citation: "Jia et al., GB/2020",
+            year: 2020,
+            category: GbCategory::Standard,
+            motif: Motif::MdPotentials,
+            summary: "MD of water and copper with DeePMD-kit machine-learned \
+                      potentials",
+            max_nodes: 4560,
+            reported_flops: None,
+        },
+        GbFinalist {
+            citation: "Casalino et al., GB/2020/COVID-19",
+            year: 2020,
+            category: GbCategory::Covid19,
+            motif: Motif::Steering,
+            summary: "virus spike dynamics MD with sampling guided by a 3D \
+                      PointNet-based adversarial autoencoder",
+            max_nodes: 4096,
+            reported_flops: None,
+        },
+        GbFinalist {
+            citation: "Glaser et al., GB/2020/COVID-19",
+            year: 2020,
+            category: GbCategory::Covid19,
+            motif: Motif::SurrogateModel,
+            summary: "structure-based chemical screening; binding affinity \
+                      scoring via random forests",
+            max_nodes: 4602,
+            reported_flops: None,
+        },
+        GbFinalist {
+            citation: "Nguyen-Cong et al., GB/2021",
+            year: 2021,
+            category: GbCategory::Standard,
+            motif: Motif::MdPotentials,
+            summary: "carbon at extreme conditions with machine-learned SNAP \
+                      MD potentials",
+            max_nodes: 4650,
+            reported_flops: None,
+        },
+        GbFinalist {
+            citation: "Blanchard et al., GB/2021/COVID-19",
+            year: 2021,
+            category: GbCategory::Covid19,
+            motif: Motif::Classification,
+            summary: "drug candidates via genetic-algorithm search over a \
+                      cross-attention network on BERT compound embeddings",
+            max_nodes: 4032,
+            reported_flops: Some(603.0e15),
+        },
+        GbFinalist {
+            citation: "Amaro et al., GB/2021/COVID-19",
+            year: 2021,
+            category: GbCategory::Covid19,
+            motif: Motif::Steering,
+            summary: "MD simulation guided by DeepDriveMD; OrbNet and \
+                      ANCA-AE analysis components",
+            max_nodes: 4096,
+            reported_flops: None,
+        },
+        GbFinalist {
+            citation: "Trifan et al., GB/2021/COVID-19",
+            year: 2021,
+            category: GbCategory::Covid19,
+            motif: Motif::Steering,
+            summary: "graph neural operator, ANCA-AE and CVAE orchestrating \
+                      joint MD and finite-element simulations of the \
+                      replication-transcription complex",
+            max_nodes: 256,
+            reported_flops: None,
+        },
+    ]
+}
+
+/// One column of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Table3Column {
+    /// Competition year.
+    pub year: u16,
+    /// Standard or COVID-19.
+    pub category: GbCategory,
+    /// Summit finalists in that competition.
+    pub summit_finalists: u32,
+    /// Of those, projects using AI/ML.
+    pub summit_ai_finalists: u32,
+}
+
+/// Table III exactly as printed.
+pub fn table3() -> Vec<Table3Column> {
+    vec![
+        Table3Column { year: 2018, category: GbCategory::Standard, summit_finalists: 5, summit_ai_finalists: 3 },
+        Table3Column { year: 2019, category: GbCategory::Standard, summit_finalists: 2, summit_ai_finalists: 0 },
+        Table3Column { year: 2020, category: GbCategory::Standard, summit_finalists: 4, summit_ai_finalists: 1 },
+        Table3Column { year: 2020, category: GbCategory::Covid19, summit_finalists: 2, summit_ai_finalists: 2 },
+        Table3Column { year: 2021, category: GbCategory::Standard, summit_finalists: 1, summit_ai_finalists: 1 },
+        Table3Column { year: 2021, category: GbCategory::Covid19, summit_finalists: 3, summit_ai_finalists: 3 },
+    ]
+}
+
+/// Render Table III as ASCII.
+pub fn render_table3() -> String {
+    let cols = table3();
+    let mut out = String::from("year/category      Summit  Summit AI/ML\n");
+    for c in &cols {
+        out.push_str(&format!(
+            "{} {:<12} {:>6} {:>13}\n",
+            c.year,
+            c.category.name(),
+            c.summit_finalists,
+            c.summit_ai_finalists
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_summit_finalists_total() {
+        // The study counts 17 Gordon Bell finalist project-years.
+        let total: u32 = table3().iter().map(|c| c.summit_finalists).sum();
+        assert_eq!(total, 17);
+    }
+
+    #[test]
+    fn ai_counts_match_catalog() {
+        // Table III's AI/ML row must equal the Section IV-A catalog counts.
+        let finalists = ai_finalists();
+        for col in table3() {
+            let n = finalists
+                .iter()
+                .filter(|f| f.year == col.year && f.category == col.category)
+                .count() as u32;
+            assert_eq!(
+                n, col.summit_ai_finalists,
+                "{} {} mismatch",
+                col.year,
+                col.category.name()
+            );
+        }
+        assert_eq!(finalists.len(), 10);
+    }
+
+    #[test]
+    fn ai_never_exceeds_total() {
+        for c in table3() {
+            assert!(c.summit_ai_finalists <= c.summit_finalists);
+        }
+    }
+
+    #[test]
+    fn all_finalists_scale_out() {
+        // Section IV-A: "These well-documented projects all scale to large
+        // Summit node counts" — all but Trifan (256-node Summit component)
+        // exceed 4,000 nodes.
+        let big = ai_finalists()
+            .iter()
+            .filter(|f| f.max_nodes >= 4000)
+            .count();
+        assert_eq!(big, 9);
+    }
+
+    #[test]
+    fn steering_is_the_covid_pattern() {
+        // Three of the six COVID finalists use the steering motif.
+        let steering = ai_finalists()
+            .iter()
+            .filter(|f| f.category == GbCategory::Covid19 && f.motif == Motif::Steering)
+            .count();
+        assert_eq!(steering, 3);
+    }
+
+    #[test]
+    fn render_contains_all_years() {
+        let t = render_table3();
+        for y in ["2018", "2019", "2020", "2021"] {
+            assert!(t.contains(y));
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! The synthetic project portfolio.
+//!
+//! The paper studies 662 project-years: INCITE 147, ALCC 72, DD 352, COVID
+//! non-DD 12, ECP 62, Gordon Bell finalists 17. We cannot read the OLCF
+//! proposal archive, so this module constructs a **deterministic** portfolio
+//! whose aggregates match every figure the paper reports:
+//!
+//! * Figure 1 — ≈33% active, ≈8% inactive over the 645 non-GB
+//!   project-years;
+//! * Figure 2 — INCITE active share rising ≈20%→≈31% over 2019–2022 (with
+//!   ≈28% inactive by 2022, per the conclusions), the ALCC 2019–20 spike,
+//!   DD's large cohort, ECP low, COVID high;
+//! * Figures 5–6 — the motif distribution and motif×domain cross-tabulation
+//!   over INCITE+ALCC+ECP users, encoded as an explicit 9×11 count matrix
+//!   (Engineering×Submodel the largest cell; Biology uses no submodels; CS
+//!   has no math/cs-algorithm projects; MD potentials concentrate in
+//!   Materials and Fusion/Plasma);
+//! * Figure 3 — DL/NN ≈65% of users, other ML ≈20%, undetermined ≈15%;
+//! * Table III — the Gordon Bell records mirror the finalist catalog.
+//!
+//! Unreported joint distributions are filled by fixed weighted cycles; no
+//! randomness is involved, so every run of every analysis is reproducible.
+
+use serde::Serialize;
+use summit_sched::program::Program;
+
+use crate::gordon_bell::{ai_finalists, table3, GbCategory};
+use crate::taxonomy::{Domain, MlMethod, Motif, UsageStatus};
+
+/// One project-year of the study.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProjectRecord {
+    /// Synthetic project identifier.
+    pub id: String,
+    /// Allocation program (Gordon Bell runs carry `Program::GordonBell`).
+    pub program: Program,
+    /// Project year.
+    pub year: u16,
+    /// Science domain.
+    pub domain: Domain,
+    /// Science subdomain (one of the domain's Table II rows).
+    pub subdomain: &'static str,
+    /// AI/ML usage status.
+    pub status: UsageStatus,
+    /// ML method category; `Some` iff the project uses ML.
+    pub method: Option<MlMethod>,
+    /// AI motif; `Some` iff the project uses ML.
+    pub motif: Option<Motif>,
+    /// Node-hours granted at project onset.
+    pub allocation_node_hours: f64,
+}
+
+/// Program-year plan: (program, year, total, active, inactive).
+const PROGRAM_YEARS: &[(Program, u16, u32, u32, u32)] = &[
+    (Program::Incite, 2019, 36, 7, 6),
+    (Program::Incite, 2020, 36, 9, 8),
+    (Program::Incite, 2021, 37, 10, 9),
+    (Program::Incite, 2022, 38, 12, 11),
+    (Program::Alcc, 2019, 26, 13, 2),
+    (Program::Alcc, 2020, 24, 11, 2),
+    (Program::Alcc, 2021, 22, 6, 2),
+    (Program::DirectorsDiscretionary, 2019, 116, 40, 3),
+    (Program::DirectorsDiscretionary, 2020, 118, 42, 3),
+    (Program::DirectorsDiscretionary, 2021, 118, 43, 3),
+    (Program::Ecp, 2019, 22, 4, 1),
+    (Program::Ecp, 2020, 20, 3, 1),
+    (Program::Ecp, 2021, 20, 3, 1),
+    (Program::CovidConsortium, 2020, 12, 10, 0),
+];
+
+/// Motif column order of the Figure 6 matrix.
+pub const MOTIF_COLUMNS: [Motif; 11] = [
+    Motif::FaultDetection,
+    Motif::MathCsAlgorithm,
+    Motif::Submodel,
+    Motif::MdPotentials,
+    Motif::Steering,
+    Motif::SurrogateModel,
+    Motif::Analysis,
+    Motif::MlModsimLoop,
+    Motif::Classification,
+    Motif::Various,
+    Motif::Undetermined,
+];
+
+/// Domain row order of the Figure 6 matrix.
+pub const DOMAIN_ROWS: [Domain; 9] = [
+    Domain::Biology,
+    Domain::Chemistry,
+    Domain::ComputerScience,
+    Domain::EarthScience,
+    Domain::Engineering,
+    Domain::FusionPlasma,
+    Domain::Materials,
+    Domain::NuclearEnergy,
+    Domain::Physics,
+];
+
+/// The Figure 6 motif×domain counts for INCITE+ALCC+ECP users (active or
+/// inactive), 121 projects total. Rows follow [`DOMAIN_ROWS`], columns
+/// [`MOTIF_COLUMNS`]. Encodes the paper's qualitative structure exactly:
+/// Engineering×Submodel is the largest cell, Biology uses no submodels (its
+/// MD-potential users are "otherwise classed, e.g., Steering"), Computer
+/// Science has no math/cs-algorithm projects, MD potentials concentrate in
+/// Materials with a Fusion/Plasma contingent.
+const IAE_MATRIX: [[u32; 11]; 9] = [
+    // Fault MathCS Submod MdPot Steer Surr Anal MlMod Class Var Undet
+    [0, 0, 0, 0, 4, 4, 4, 2, 5, 1, 0],    // Biology (20)
+    [0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1],    // Chemistry (6)
+    [1, 0, 0, 0, 0, 1, 1, 0, 9, 4, 0],    // Computer Science (16)
+    [0, 1, 6, 0, 0, 2, 2, 0, 0, 0, 1],    // Earth Science (12)
+    [0, 1, 12, 0, 0, 3, 2, 1, 0, 0, 1],   // Engineering (20)
+    [0, 0, 3, 3, 1, 2, 1, 0, 0, 0, 0],    // Fusion and Plasma (10)
+    [0, 0, 2, 12, 0, 1, 2, 1, 0, 0, 0],   // Materials (18)
+    [0, 0, 1, 0, 0, 1, 1, 0, 0, 0, 1],    // Nuclear Energy (4)
+    [1, 2, 2, 0, 1, 2, 3, 1, 3, 0, 0],    // Physics (15)
+];
+
+/// DD user domain weights (Biology and Computer Science lead, per Fig. 4).
+const DD_DOMAIN_WEIGHTS: [(Domain, u32); 9] = [
+    (Domain::Biology, 30),
+    (Domain::ComputerScience, 25),
+    (Domain::Materials, 18),
+    (Domain::Physics, 14),
+    (Domain::Engineering, 14),
+    (Domain::EarthScience, 12),
+    (Domain::FusionPlasma, 9),
+    (Domain::Chemistry, 6),
+    (Domain::NuclearEnergy, 6),
+];
+
+/// Domain weights for projects with no AI/ML usage (traditional mod-sim
+/// communities: Physics and Engineering heavy).
+const NONE_DOMAIN_WEIGHTS: [(Domain, u32); 9] = [
+    (Domain::Physics, 5),
+    (Domain::Engineering, 4),
+    (Domain::Materials, 3),
+    (Domain::Chemistry, 2),
+    (Domain::Biology, 2),
+    (Domain::EarthScience, 2),
+    (Domain::FusionPlasma, 2),
+    (Domain::NuclearEnergy, 1),
+    (Domain::ComputerScience, 1),
+];
+
+fn allocation_hours(program: Program) -> f64 {
+    match program {
+        Program::Incite => 600_000.0,
+        Program::Alcc => 350_000.0,
+        Program::DirectorsDiscretionary => 25_000.0,
+        Program::Ecp => 150_000.0,
+        Program::CovidConsortium => 75_000.0,
+        Program::GordonBell => 50_000.0,
+    }
+}
+
+/// Expand a weighted domain list into an infinitely cycling iterator.
+fn weighted_cycle(weights: &'static [(Domain, u32)]) -> impl Iterator<Item = Domain> {
+    weights
+        .iter()
+        .flat_map(|&(d, w)| std::iter::repeat_n(d, w as usize))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .cycle()
+}
+
+/// Motifs assigned to DD/COVID users per domain (respecting the paper's
+/// structural rules even off the Figure 6 subset: Biology gets no
+/// submodels, Computer Science no math/cs algorithm).
+fn dd_motif_for(domain: Domain, idx: usize) -> Motif {
+    let cycle: &[Motif] = match domain {
+        Domain::Biology => &[
+            Motif::Classification,
+            Motif::SurrogateModel,
+            Motif::Steering,
+            Motif::Analysis,
+        ],
+        Domain::ComputerScience => &[
+            Motif::Classification,
+            Motif::Classification,
+            Motif::Various,
+            Motif::Analysis,
+        ],
+        Domain::Materials => &[
+            Motif::MdPotentials,
+            Motif::Analysis,
+            Motif::Submodel,
+            Motif::MlModsimLoop,
+        ],
+        Domain::EarthScience | Domain::Engineering => &[
+            Motif::Submodel,
+            Motif::SurrogateModel,
+            Motif::Analysis,
+            Motif::Undetermined,
+        ],
+        Domain::FusionPlasma => &[
+            Motif::Submodel,
+            Motif::MdPotentials,
+            Motif::SurrogateModel,
+            Motif::Steering,
+        ],
+        _ => &[
+            Motif::Analysis,
+            Motif::Classification,
+            Motif::SurrogateModel,
+            Motif::Undetermined,
+        ],
+    };
+    cycle[idx % cycle.len()]
+}
+
+/// ML method assignment: Figure 3's DL/NN-dominant mix. Blocks of 20 users:
+/// 13 DL/NN, 4 other ML, 3 undetermined; projects whose motif is
+/// undetermined always get an undetermined method.
+fn method_for(user_index: usize, motif: Motif) -> MlMethod {
+    if motif == Motif::Undetermined {
+        return MlMethod::Undetermined;
+    }
+    match user_index % 20 {
+        0..=12 => MlMethod::DeepLearningOrNn,
+        13..=16 => MlMethod::OtherMl,
+        _ => MlMethod::Undetermined,
+    }
+}
+
+/// Build the full 662-record portfolio (645 program project-years + 17
+/// Gordon Bell finalist records).
+pub fn build() -> Vec<ProjectRecord> {
+    let mut records = Vec::with_capacity(662);
+
+    // Expand the IAE matrix into an ordered (domain, motif) pool.
+    let mut iae_pool: Vec<(Domain, Motif)> = Vec::with_capacity(121);
+    for (d, row) in DOMAIN_ROWS.iter().zip(IAE_MATRIX.iter()) {
+        for (m, &count) in MOTIF_COLUMNS.iter().zip(row.iter()) {
+            for _ in 0..count {
+                iae_pool.push((*d, *m));
+            }
+        }
+    }
+    // Interleave the pool so consecutive draws span domains (stride walk).
+    let stride = 13; // coprime with 121
+    let iae_pool: Vec<(Domain, Motif)> = (0..iae_pool.len())
+        .map(|i| iae_pool[(i * stride) % iae_pool.len()])
+        .collect();
+    let mut iae_next = 0usize;
+
+    let mut dd_domains = weighted_cycle(&DD_DOMAIN_WEIGHTS);
+    let mut none_domains = weighted_cycle(&NONE_DOMAIN_WEIGHTS);
+    let mut user_index = 0usize;
+    let mut dd_user_index = 0usize;
+
+    for &(program, year, total, active, inactive) in PROGRAM_YEARS {
+        assert!(active + inactive <= total, "plan overflow for {program:?} {year}");
+        for slot in 0..total {
+            let status = if slot < active {
+                UsageStatus::Active
+            } else if slot < active + inactive {
+                UsageStatus::Inactive
+            } else {
+                UsageStatus::None
+            };
+            let (domain, motif) = match status {
+                UsageStatus::None => {
+                    let d = none_domains.next().expect("cycle is infinite");
+                    (d, None)
+                }
+                _ => match program {
+                    Program::Incite | Program::Alcc | Program::Ecp => {
+                        let (d, m) = iae_pool[iae_next];
+                        iae_next += 1;
+                        (d, Some(m))
+                    }
+                    Program::CovidConsortium => {
+                        // COVID projects: drug discovery and epidemiology.
+                        let m = [
+                            Motif::SurrogateModel,
+                            Motif::Classification,
+                            Motif::Steering,
+                            Motif::Analysis,
+                        ][dd_user_index % 4];
+                        dd_user_index += 1;
+                        (Domain::Biology, Some(m))
+                    }
+                    _ => {
+                        let d = dd_domains.next().expect("cycle is infinite");
+                        let m = dd_motif_for(d, dd_user_index);
+                        dd_user_index += 1;
+                        (d, Some(m))
+                    }
+                },
+            };
+            let method = motif.map(|m| {
+                let meth = method_for(user_index, m);
+                user_index += 1;
+                meth
+            });
+            let subdomain = domain.subdomains()[slot as usize % domain.subdomains().len()];
+            records.push(ProjectRecord {
+                id: format!("{}{}-{:03}", program.name().chars().next().unwrap_or('X'), year, slot),
+                program,
+                year,
+                domain,
+                subdomain,
+                status,
+                method,
+                motif,
+                allocation_node_hours: allocation_hours(program),
+            });
+        }
+    }
+    assert_eq!(iae_next, 121, "IAE pool must be fully consumed");
+    assert_eq!(records.len(), 645);
+
+    // Gordon Bell records: the ten AI finalists plus seven non-AI finalists.
+    let gb_domains = [
+        Domain::EarthScience, // Ichimura (earthquake)
+        Domain::Materials,    // Patton (microscopy)
+        Domain::EarthScience, // Kurth (climate)
+        Domain::Materials,    // Jia (water/copper MD)
+        Domain::Biology,      // Casalino
+        Domain::Biology,      // Glaser
+        Domain::Materials,    // Nguyen-Cong (carbon)
+        Domain::Biology,      // Blanchard
+        Domain::Biology,      // Amaro
+        Domain::Biology,      // Trifan
+    ];
+    for (f, d) in ai_finalists().iter().zip(gb_domains) {
+        records.push(ProjectRecord {
+            id: f.citation.to_string(),
+            program: Program::GordonBell,
+            year: f.year,
+            domain: d,
+            subdomain: d.subdomains()[0],
+            status: UsageStatus::Active,
+            method: Some(MlMethod::DeepLearningOrNn),
+            motif: Some(f.motif),
+            allocation_node_hours: allocation_hours(Program::GordonBell),
+        });
+    }
+    // Non-AI finalists by competition, to reconcile with Table III totals.
+    let mut non_ai = 0;
+    for col in table3() {
+        for k in 0..(col.summit_finalists - col.summit_ai_finalists) {
+            let domain = [Domain::Physics, Domain::Engineering, Domain::Materials]
+                [(non_ai + k as usize) % 3];
+            records.push(ProjectRecord {
+                id: format!(
+                    "GB{}-{}-{}",
+                    col.year,
+                    match col.category {
+                        GbCategory::Standard => "std",
+                        GbCategory::Covid19 => "covid",
+                    },
+                    k
+                ),
+                program: Program::GordonBell,
+                year: col.year,
+                domain,
+                subdomain: domain.subdomains()[0],
+                status: UsageStatus::None,
+                method: None,
+                motif: None,
+                allocation_node_hours: allocation_hours(Program::GordonBell),
+            });
+        }
+        non_ai += (col.summit_finalists - col.summit_ai_finalists) as usize;
+    }
+
+    assert_eq!(records.len(), 662, "paper counts 662 project-years");
+    records
+}
+
+/// The non-Gordon-Bell subset (what Figures 1–4 aggregate over).
+pub fn program_records(records: &[ProjectRecord]) -> Vec<&ProjectRecord> {
+    records
+        .iter()
+        .filter(|r| r.program != Program::GordonBell)
+        .collect()
+}
+
+/// The INCITE+ALCC+ECP user subset (what Figures 5–6 aggregate over:
+/// "we aggregate active and inactive projects and consider only INCITE,
+/// ALCC and ECP").
+pub fn iae_user_records(records: &[ProjectRecord]) -> Vec<&ProjectRecord> {
+    records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.program,
+                Program::Incite | Program::Alcc | Program::Ecp
+            ) && r.status.uses_ml()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_project_year_counts() {
+        let records = build();
+        assert_eq!(records.len(), 662);
+        let count = |p: Program| records.iter().filter(|r| r.program == p).count();
+        assert_eq!(count(Program::Incite), 147);
+        assert_eq!(count(Program::Alcc), 72);
+        assert_eq!(count(Program::DirectorsDiscretionary), 352);
+        assert_eq!(count(Program::Ecp), 62);
+        assert_eq!(count(Program::CovidConsortium), 12);
+        assert_eq!(count(Program::GordonBell), 17);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build();
+        let b = build();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.status, y.status);
+            assert_eq!(x.motif, y.motif);
+        }
+    }
+
+    #[test]
+    fn users_have_method_and_motif_none_projects_do_not() {
+        for r in build() {
+            assert_eq!(r.method.is_some(), r.status.uses_ml(), "{}", r.id);
+            assert_eq!(r.motif.is_some(), r.status.uses_ml(), "{}", r.id);
+        }
+    }
+
+    #[test]
+    fn iae_users_count_121() {
+        let records = build();
+        assert_eq!(iae_user_records(&records).len(), 121);
+    }
+
+    #[test]
+    fn subdomains_consistent_with_domains() {
+        for r in build() {
+            assert!(
+                r.domain.subdomains().contains(&r.subdomain),
+                "{}: {} not in {:?}",
+                r.id,
+                r.subdomain,
+                r.domain.name()
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_row_and_column_sums() {
+        let row_sums: Vec<u32> = IAE_MATRIX.iter().map(|r| r.iter().sum()).collect();
+        assert_eq!(row_sums, vec![20, 6, 16, 12, 20, 10, 18, 4, 15]);
+        let total: u32 = row_sums.iter().sum();
+        assert_eq!(total, 121);
+    }
+
+    #[test]
+    fn allocation_hours_positive() {
+        assert!(build().iter().all(|r| r.allocation_node_hours > 0.0));
+    }
+}

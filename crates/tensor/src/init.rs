@@ -1,0 +1,84 @@
+//! Weight initializers.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Standard neural-network weight initializers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initializer {
+    /// Uniform on `±sqrt(6 / (fan_in + fan_out))` (Glorot/Xavier).
+    XavierUniform,
+    /// Normal with stddev `sqrt(2 / fan_in)` (He/Kaiming), for ReLU nets.
+    HeNormal,
+    /// All zeros (for biases).
+    Zeros,
+}
+
+impl Initializer {
+    /// Materialize a `fan_in × fan_out` weight matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn init(self, fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+        assert!(fan_in > 0 && fan_out > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(fan_in, fan_out);
+        match self {
+            Initializer::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                m.map_inplace(|_| rng.gen_range(-bound..bound));
+            }
+            Initializer::HeNormal => {
+                let std = (2.0 / fan_in as f32).sqrt();
+                // Box-Muller from two uniforms; good enough for init.
+                m.map_inplace(|_| {
+                    let u1: f32 = rng.gen_range(1e-7f32..1.0);
+                    let u2: f32 = rng.gen_range(0.0f32..1.0);
+                    std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+                });
+            }
+            Initializer::Zeros => {}
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bound() {
+        let m = Initializer::XavierUniform.init(64, 32, 0);
+        let bound = (6.0 / 96.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        // Not all zero.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn he_normal_has_plausible_std() {
+        let m = Initializer::HeNormal.init(256, 256, 1);
+        let n = m.as_slice().len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        let want = 2.0 / 256.0;
+        assert!((var - want).abs() / want < 0.15, "var {var} want {want}");
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let m = Initializer::Zeros.init(4, 4, 7);
+        assert_eq!(m.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Initializer::XavierUniform.init(8, 8, 42);
+        let b = Initializer::XavierUniform.init(8, 8, 42);
+        assert_eq!(a, b);
+        let c = Initializer::XavierUniform.init(8, 8, 43);
+        assert_ne!(a, c);
+    }
+}

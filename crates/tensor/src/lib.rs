@@ -1,0 +1,89 @@
+//! Minimal dense f32 tensor kernels.
+//!
+//! Just enough real linear algebra for [`summit-dl`] to train actual neural
+//! networks on the CPU: a row-major [`Matrix`], the three matmul variants
+//! backpropagation needs, element-wise activations, reductions, and the
+//! standard initializers. Large matmuls parallelize over row blocks with
+//! scoped threads.
+//!
+//! This crate is deliberately small — it is a substrate for the paper
+//! reproduction, not a BLAS. Kernels are written for clarity first and
+//! cache-friendliness second (ikj loop order, no allocation inside loops).
+//!
+//! [`summit-dl`]: ../summit_dl/index.html
+//!
+//! # Example
+//!
+//! ```
+//! use summit_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.get(0, 0), 19.0);
+//! ```
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+
+pub use init::Initializer;
+pub use matrix::Matrix;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn l2_norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// `y += alpha * x` over equal-length slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a slice in place.
+pub fn scale(a: &mut [f32], s: f32) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = vec![1.0, -2.0];
+        scale(&mut a, 0.5);
+        assert_eq!(a, vec![0.5, -1.0]);
+    }
+}

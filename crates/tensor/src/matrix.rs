@@ -1,0 +1,310 @@
+//! Row-major dense matrix with the matmul variants backprop needs.
+
+/// A dense, row-major `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// Row count above which matmuls parallelize over scoped threads.
+const PAR_THRESHOLD: usize = 128;
+
+impl Matrix {
+    /// A zero matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from an owned buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from row slices (test/helper constructor).
+    ///
+    /// # Panics
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices (debug and release).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row out of range");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The backing buffer (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The backing buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self · other` (`m×k · k×n → m×n`), ikj order, parallel over row
+    /// blocks for large `m`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        let run_rows = |rows_out: &mut [f32], row_range: std::ops::Range<usize>| {
+            for (oi, i) in row_range.enumerate() {
+                let a_row = self.row(i);
+                let out_row = &mut rows_out[oi * n..(oi + 1) * n];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        };
+        if self.rows < PAR_THRESHOLD {
+            run_rows(&mut out.data, 0..self.rows);
+        } else {
+            let threads = std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(4)
+                .min(self.rows);
+            let chunk_rows = self.rows.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (t, chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
+                    let start = t * chunk_rows;
+                    let end = (start + chunk.len() / n).min(self.rows);
+                    let run = &run_rows;
+                    s.spawn(move || run(chunk, start..end));
+                }
+            });
+        }
+        out
+    }
+
+    /// `selfᵀ · other` (`(m×k)ᵀ · m×n → k×n`) without materializing the
+    /// transpose. This is the weight-gradient product `Xᵀ · dY`.
+    ///
+    /// # Panics
+    /// Panics on row-count mismatch.
+    pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_at_b row mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let b_row = other.row(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (`m×k · (n×k)ᵀ → m×n`) without materializing the
+    /// transpose. This is the input-gradient product `dY · Wᵀ`.
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_a_bt column mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = crate::dot(a_row, other.row(j));
+            }
+        }
+        out
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place map.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// `self += other`, element-wise.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_assign shape mismatch"
+        );
+        crate::axpy(1.0, &other.data, &mut self.data);
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        crate::l2_norm(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.row(0), &[58.0, 64.0]);
+        assert_eq!(c.row(1), &[139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5, 2.0], &[3.0, 1.0, 0.0], &[2.0, 2.0, 1.0]]);
+        let want_atb = a.transpose().matmul(&b);
+        assert_eq!(a.matmul_at_b(&b), want_atb);
+
+        let c = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]); // 2x2
+        let d = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 0.5], &[0.0, 3.0]]); // 3x2
+        let want_abt = c.matmul(&d.transpose());
+        assert_eq!(c.matmul_a_bt(&d), want_abt);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // Force the parallel path with > PAR_THRESHOLD rows.
+        let m = 300;
+        let k = 17;
+        let n = 23;
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|i| (i % 13) as f32 - 6.0).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|i| (i % 7) as f32 * 0.25).collect());
+        let par = a.matmul(&b);
+        // Serial reference.
+        let mut serial = Matrix::zeros(m, n);
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    let v = serial.get(i, j) + a.get(i, kk) * b.get(kk, j);
+                    serial.set(i, j, v);
+                }
+            }
+        }
+        for i in 0..m {
+            for j in 0..n {
+                assert!((par.get(i, j) - serial.get(i, j)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_matmul_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_assign_and_norm() {
+        let mut a = Matrix::from_rows(&[&[3.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 4.0]]);
+        a.add_assign(&b);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,227 @@
+//! Neural-network forward/backward kernels on [`Matrix`] batches.
+//!
+//! Row convention: a batch activation matrix is `batch × features`.
+
+use crate::matrix::Matrix;
+
+/// ReLU forward, in place.
+pub fn relu_inplace(x: &mut Matrix) {
+    x.map_inplace(|v| v.max(0.0));
+}
+
+/// ReLU backward: zero `grad` wherever the forward *output* was zero.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn relu_backward(output: &Matrix, grad: &mut Matrix) {
+    assert_eq!(
+        (output.rows(), output.cols()),
+        (grad.rows(), grad.cols()),
+        "relu_backward shape mismatch"
+    );
+    for (g, &o) in grad.as_mut_slice().iter_mut().zip(output.as_slice()) {
+        if o <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Add a bias row-vector to every row of `x`.
+///
+/// # Panics
+/// Panics if `bias.len() != x.cols()`.
+pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
+    assert_eq!(bias.len(), x.cols(), "bias length mismatch");
+    for r in 0..x.rows() {
+        for (v, b) in x.row_mut(r).iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Column-wise sum of a gradient matrix — the bias gradient.
+pub fn column_sums(x: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.cols()];
+    for r in 0..x.rows() {
+        for (o, &v) in out.iter_mut().zip(x.row(r)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Numerically stable row-wise softmax, in place.
+pub fn softmax_inplace(x: &mut Matrix) {
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Mean cross-entropy loss of row-wise softmax probabilities against integer
+/// labels, plus the logits gradient `(softmax - onehot) / batch`.
+///
+/// `logits` is consumed as scratch and returned as the gradient.
+///
+/// # Panics
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy(mut logits: Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "labels length mismatch");
+    softmax_inplace(&mut logits);
+    let batch = logits.rows() as f32;
+    let mut loss = 0.0f32;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label out of range");
+        let p = logits.get(r, label).max(1e-12);
+        loss -= p.ln();
+        let row = logits.row_mut(r);
+        row[label] -= 1.0;
+    }
+    // Scale to mean gradient.
+    logits.map_inplace(|v| v / batch);
+    (loss / batch, logits)
+}
+
+/// Classification accuracy of logits (or probabilities) against labels.
+///
+/// # Panics
+/// Panics if `labels.len() != logits.rows()`.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f32 {
+    assert_eq!(labels.len(), logits.rows(), "labels length mismatch");
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("rows are non-empty");
+        if argmax == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / labels.len() as f32
+}
+
+/// Mean squared error loss and gradient `2(pred - target)/n_elements`.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "mse shape mismatch"
+    );
+    let n = (pred.rows() * pred.cols()) as f32;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0f32;
+    for ((g, &p), &t) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice())
+        .zip(target.as_slice())
+    {
+        let d = p - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_and_masks() {
+        let mut x = Matrix::from_rows(&[&[-1.0, 2.0], &[0.5, -0.5]]);
+        relu_inplace(&mut x);
+        assert_eq!(x.row(0), &[0.0, 2.0]);
+        let mut g = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        relu_backward(&x, &mut g);
+        assert_eq!(g.row(0), &[0.0, 1.0]);
+        assert_eq!(g.row(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = Matrix::from_rows(&[&[1000.0, 1000.0, 1000.0], &[-500.0, 0.0, 500.0]]);
+        softmax_inplace(&mut x);
+        for r in 0..2 {
+            let s: f32 = x.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+            assert!(x.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        // Uniform logits → uniform probabilities.
+        assert!((x.get(0, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_matches_hand_computation() {
+        // Single sample, two classes, logits (0, 0) → p = (0.5, 0.5),
+        // loss = ln 2, grad = (p - onehot).
+        let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let (loss, grad) = softmax_cross_entropy(logits, &[0]);
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-5);
+        assert!((grad.get(0, 0) + 0.5).abs() < 1e-5);
+        assert!((grad.get(0, 1) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_numerically_correct() {
+        // Finite-difference check on a 2×3 logits matrix.
+        let base = Matrix::from_rows(&[&[0.3, -0.2, 0.9], &[-1.0, 0.4, 0.1]]);
+        let labels = [2usize, 1];
+        let (_, grad) = softmax_cross_entropy(base.clone(), &labels);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = base.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let (lp, _) = softmax_cross_entropy(plus, &labels);
+                let mut minus = base.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let (lm, _) = softmax_cross_entropy(minus, &labels);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - grad.get(r, c)).abs() < 1e-2,
+                    "({r},{c}): fd {fd} vs grad {}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bias_and_column_sums_roundtrip() {
+        let mut x = Matrix::zeros(3, 2);
+        add_bias(&mut x, &[1.0, -2.0]);
+        assert_eq!(column_sums(&x), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.6, 0.4]]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_gradient_direction() {
+        let pred = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 2.0]]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 0.5).abs() < 1e-6);
+        assert!(grad.get(0, 0) > 0.0);
+        assert_eq!(grad.get(0, 1), 0.0);
+    }
+}

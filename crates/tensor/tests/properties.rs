@@ -1,0 +1,109 @@
+//! Property-based tests for the tensor kernels.
+
+use proptest::prelude::*;
+use summit_tensor::{dot, l2_norm, matrix::Matrix, ops};
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)·C == A·(B·C) within float tolerance, on compatible shapes.
+    #[test]
+    fn matmul_associative(m in 1usize..6, k in 1usize..6, n in 1usize..6, p in 1usize..6,
+                          seed in 0u64..1000) {
+        let gen = |rows: usize, cols: usize, salt: u64| {
+            let mut v = Vec::with_capacity(rows * cols);
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(salt);
+            for _ in 0..rows * cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v.push(((state >> 33) as f32 / 2.0f32.powi(31)) - 0.5);
+            }
+            Matrix::from_vec(rows, cols, v)
+        };
+        let a = gen(m, k, 1);
+        let b = gen(k, n, 2);
+        let c = gen(n, p, 3);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// matmul_at_b and matmul_a_bt agree with explicit transposes.
+    #[test]
+    fn transposed_variants_consistent(a in arb_matrix(8), b in arb_matrix(8)) {
+        if a.rows() == b.rows() {
+            let fast = a.matmul_at_b(&b);
+            let slow = a.transpose().matmul(&b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+        if a.cols() == b.cols() {
+            let fast = a.matmul_a_bt(&b);
+            let slow = a.matmul(&b.transpose());
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Cauchy–Schwarz: |a·b| <= |a||b|.
+    #[test]
+    fn cauchy_schwarz(pairs in proptest::collection::vec(
+        (-100.0f32..100.0, -100.0f32..100.0), 1..64)) {
+        let (v, w): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let lhs = dot(&v, &w).abs();
+        let rhs = l2_norm(&v) * l2_norm(&w);
+        prop_assert!(lhs <= rhs * (1.0 + 1e-4) + 1e-4);
+    }
+
+    /// Softmax outputs are a probability distribution for any logits.
+    #[test]
+    fn softmax_is_distribution(mut m in arb_matrix(10)) {
+        ops::softmax_inplace(&mut m);
+        for r in 0..m.rows() {
+            let s: f32 = m.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(m.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    /// Cross-entropy loss is non-negative and gradient rows sum to zero.
+    #[test]
+    fn cross_entropy_invariants(m in arb_matrix(8), seed in 0u64..100) {
+        let labels: Vec<usize> = (0..m.rows())
+            .map(|r| ((seed as usize).wrapping_add(r * 7)) % m.cols())
+            .collect();
+        let (loss, grad) = ops::softmax_cross_entropy(m, &labels);
+        prop_assert!(loss >= 0.0);
+        for r in 0..grad.rows() {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-4, "gradient row {r} sums to {s}");
+        }
+    }
+
+    /// ReLU is idempotent.
+    #[test]
+    fn relu_idempotent(mut m in arb_matrix(8)) {
+        ops::relu_inplace(&mut m);
+        let once = m.clone();
+        ops::relu_inplace(&mut m);
+        prop_assert_eq!(m, once);
+    }
+
+    /// MSE of identical matrices is zero with zero gradient.
+    #[test]
+    fn mse_identity(m in arb_matrix(8)) {
+        let (loss, grad) = ops::mse(&m, &m);
+        prop_assert_eq!(loss, 0.0);
+        prop_assert!(grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+}

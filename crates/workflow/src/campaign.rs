@@ -1,0 +1,201 @@
+//! The full iterative drug-discovery campaign (IMPECCABLE end to end).
+//!
+//! Saadi et al.'s pipeline is not a one-shot funnel: it is "an iterative
+//! loop infused with AI/ML methods" — each round docks the surrogate's
+//! current best candidates, the new labels retrain the surrogate, and the
+//! sharpened model picks the next round. This module runs that loop and
+//! schedules one round's tasks on the engine (docking on Summit, training
+//! on a companion system), reporting both recall-vs-round and the
+//! simulated campaign makespan.
+
+use std::collections::HashMap;
+
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+use serde::Serialize;
+use summit_dl::{model::MlpSpec, optim::Adam, schedule::LrSchedule, trainer::Trainer};
+use summit_tensor::Matrix;
+
+use crate::engine::{simulate_schedule, Facility, WorkflowBuilder};
+use crate::screening::CompoundLibrary;
+
+/// Configuration of the iterative campaign.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CampaignConfig {
+    /// Compounds docked per round.
+    pub batch_per_round: usize,
+    /// Rounds to run.
+    pub rounds: u32,
+    /// Top-K recall target.
+    pub k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            batch_per_round: 100,
+            rounds: 5,
+            k: 50,
+            seed: 3,
+        }
+    }
+}
+
+/// Per-round progress.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RoundReport {
+    /// Round index (0 = random seed round).
+    pub round: u32,
+    /// Cumulative expensive evaluations.
+    pub docked: usize,
+    /// Cumulative recall of the true top-K among docked compounds.
+    pub recall_at_k: f64,
+}
+
+/// Outcome of the campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignOutcome {
+    /// Progress per round.
+    pub rounds: Vec<RoundReport>,
+    /// Simulated makespan of one round's task graph, seconds.
+    pub round_makespan_seconds: f64,
+}
+
+/// Run the iterative active-learning screening campaign.
+///
+/// # Panics
+/// Panics if the total docking budget exceeds the library.
+pub fn run_campaign(library: &CompoundLibrary, config: &CampaignConfig) -> CampaignOutcome {
+    let n = library.len();
+    let total_budget = config.batch_per_round * (config.rounds as usize + 1);
+    assert!(total_budget <= n, "budget exceeds library");
+    let truth = library.true_top_k(config.k);
+    let dim = {
+        // Probe the descriptor width from a 1-row slice.
+        library_features(library).cols()
+    };
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut docked: Vec<usize> = Vec::new();
+    let mut rounds = Vec::with_capacity(config.rounds as usize + 1);
+
+    // Round 0: random seed batch.
+    let mut all: Vec<usize> = (0..n).collect();
+    all.shuffle(&mut rng);
+    docked.extend_from_slice(&all[..config.batch_per_round]);
+    rounds.push(report(0, &docked, &truth, config.k));
+
+    let mut surrogate = Trainer::new(
+        MlpSpec::new(dim, &[32, 16], 1).build(config.seed),
+        Box::new(Adam::new(0.01, 1e-5)),
+        LrSchedule::Constant,
+    );
+
+    for round in 1..=config.rounds {
+        // Retrain on everything docked so far.
+        let mut x = Matrix::zeros(docked.len(), dim);
+        let mut y = Matrix::zeros(docked.len(), 1);
+        for (row, &i) in docked.iter().enumerate() {
+            x.row_mut(row)
+                .copy_from_slice(library_features(library).row(i));
+            y.set(row, 0, library.dock(i));
+        }
+        for _ in 0..150 {
+            surrogate.train_regression_batch(&x, &y);
+        }
+        // Score undocked compounds, dock the surrogate's best batch.
+        let pred = surrogate.predict(library_features(library));
+        let mut candidates: Vec<(usize, f32)> = (0..n)
+            .filter(|i| !docked.contains(i))
+            .map(|i| (i, pred.get(i, 0)))
+            .collect();
+        candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+        docked.extend(candidates.iter().take(config.batch_per_round).map(|&(i, _)| i));
+        rounds.push(report(round, &docked, &truth, config.k));
+    }
+
+    // Schedule one round's task graph: parallel docking tasks on Summit,
+    // surrogate training on Andes, selection locally.
+    let mut wf: WorkflowBuilder<u32> = WorkflowBuilder::new();
+    let dock_tasks: Vec<_> = (0..config.batch_per_round.min(32))
+        .map(|i| wf.task(format!("dock-{i}"), Facility::Summit, 1800.0, vec![], |_| 0))
+        .collect();
+    let train = wf.task("retrain surrogate", Facility::Andes, 900.0, dock_tasks.clone(), |_| 1);
+    let _select = wf.task("select next batch", Facility::Andes, 60.0, vec![train], |_| 2);
+    let caps = HashMap::from([(Facility::Summit, 16), (Facility::Andes, 1)]);
+    let (_, round_makespan_seconds) = simulate_schedule(&wf.specs(), &caps);
+
+    CampaignOutcome {
+        rounds,
+        round_makespan_seconds,
+    }
+}
+
+fn report(round: u32, docked: &[usize], truth: &[usize], k: usize) -> RoundReport {
+    let hits = truth.iter().filter(|t| docked.contains(t)).count();
+    RoundReport {
+        round,
+        docked: docked.len(),
+        recall_at_k: hits as f64 / k as f64,
+    }
+}
+
+/// The library's feature matrix (cached per call site via the library).
+fn library_features(library: &CompoundLibrary) -> &Matrix {
+    library.features()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_improves_monotonically_and_beats_random() {
+        let library = CompoundLibrary::generate(1500, 8, 11);
+        let config = CampaignConfig::default();
+        let outcome = run_campaign(&library, &config);
+        assert_eq!(outcome.rounds.len(), 6);
+        // Recall never decreases (docked set only grows).
+        for w in outcome.rounds.windows(2) {
+            assert!(w[1].recall_at_k >= w[0].recall_at_k);
+        }
+        // The final recall must far exceed the random expectation for the
+        // same budget (600/1500 = 40%).
+        let final_recall = outcome.rounds.last().unwrap().recall_at_k;
+        assert!(final_recall > 0.7, "final recall {final_recall}");
+        // And active learning must have improved on the random round 0.
+        assert!(final_recall > outcome.rounds[0].recall_at_k + 0.3);
+    }
+
+    #[test]
+    fn round_makespan_reflects_capacity() {
+        let library = CompoundLibrary::generate(800, 8, 2);
+        let outcome = run_campaign(
+            &library,
+            &CampaignConfig {
+                batch_per_round: 64,
+                rounds: 1,
+                k: 20,
+                seed: 5,
+            },
+        );
+        // 32 docking tasks on 16 slots = 2 waves of 1800 s, then 900 + 60.
+        assert!((outcome.round_makespan_seconds - (2.0 * 1800.0 + 900.0 + 60.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget exceeds library")]
+    fn oversubscribed_campaign_rejected() {
+        let library = CompoundLibrary::generate(100, 4, 0);
+        run_campaign(
+            &library,
+            &CampaignConfig {
+                batch_per_round: 30,
+                rounds: 4,
+                k: 10,
+                seed: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! A multi-threaded DAG workflow engine with multi-facility scheduling.
+//!
+//! Stands in for the Balsam and RAPTOR systems the paper's Section V
+//! workflows used. Two layers:
+//!
+//! * **Real execution** — [`WorkflowBuilder::run`] executes every task's
+//!   closure on a worker pool, delivering dependency outputs and enforcing
+//!   DAG order. This is actual concurrency over crossbeam channels, used by
+//!   the steering/screening/materials case studies.
+//! * **Simulated time** — tasks carry a simulated duration and a
+//!   [`Facility`]; [`simulate_schedule`] list-schedules the DAG against
+//!   per-facility concurrency limits and reports start times and makespan,
+//!   so examples can report campaign-scale timings without waiting for
+//!   them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// A compute facility in a cross-site campaign (paper Section V-B runs
+/// components at OLCF, NERSC and ALCF simultaneously).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Facility {
+    /// OLCF Summit.
+    Summit,
+    /// OLCF Andes (pre/post-processing cluster).
+    Andes,
+    /// NERSC Perlmutter.
+    Perlmutter,
+    /// ALCF ThetaGPU.
+    ThetaGpu,
+    /// ALCF Cerebras CS-2.
+    CerebrasCs2,
+}
+
+impl Facility {
+    /// All facilities.
+    pub const ALL: [Facility; 5] = [
+        Facility::Summit,
+        Facility::Andes,
+        Facility::Perlmutter,
+        Facility::ThetaGpu,
+        Facility::CerebrasCs2,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Facility::Summit => "Summit",
+            Facility::Andes => "Andes",
+            Facility::Perlmutter => "Perlmutter",
+            Facility::ThetaGpu => "ThetaGPU",
+            Facility::CerebrasCs2 => "Cerebras CS-2",
+        }
+    }
+}
+
+/// Identifier of a task within one workflow.
+pub type TaskId = usize;
+
+/// The work closure of a task: receives dependency outputs, returns the
+/// task's value.
+pub type TaskWork<T> = Box<dyn FnOnce(&[Arc<T>]) -> T + Send>;
+
+struct TaskSpec<T> {
+    name: String,
+    facility: Facility,
+    sim_seconds: f64,
+    deps: Vec<TaskId>,
+    work: TaskWork<T>,
+}
+
+/// Builder and executor for one DAG of tasks producing values of type `T`.
+pub struct WorkflowBuilder<T> {
+    tasks: Vec<TaskSpec<T>>,
+}
+
+impl<T: Send + Sync + 'static> Default for WorkflowBuilder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + Sync + 'static> WorkflowBuilder<T> {
+    /// Create an empty workflow.
+    pub fn new() -> Self {
+        WorkflowBuilder { tasks: Vec::new() }
+    }
+
+    /// Add a task. `deps` must already exist; `work` receives the dep
+    /// outputs in `deps` order. Returns the new task's id.
+    ///
+    /// # Panics
+    /// Panics if a dependency id is not yet defined (this also rules out
+    /// cycles, since ids are assigned in creation order).
+    pub fn task(
+        &mut self,
+        name: impl Into<String>,
+        facility: Facility,
+        sim_seconds: f64,
+        deps: Vec<TaskId>,
+        work: impl FnOnce(&[Arc<T>]) -> T + Send + 'static,
+    ) -> TaskId {
+        let id = self.tasks.len();
+        for &d in &deps {
+            assert!(d < id, "dependency {d} not defined before task {id}");
+        }
+        assert!(sim_seconds >= 0.0, "simulated duration must be non-negative");
+        self.tasks.push(TaskSpec {
+            name: name.into(),
+            facility,
+            sim_seconds,
+            deps,
+            work: Box::new(work),
+        });
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the workflow is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Task metadata for simulation: (name, facility, sim_seconds, deps).
+    pub fn specs(&self) -> Vec<(String, Facility, f64, Vec<TaskId>)> {
+        self.tasks
+            .iter()
+            .map(|t| (t.name.clone(), t.facility, t.sim_seconds, t.deps.clone()))
+            .collect()
+    }
+
+    /// Execute the DAG on `workers` threads and return every task's output,
+    /// indexed by task id.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or a task panics.
+    pub fn run(self, workers: usize) -> Vec<Arc<T>> {
+        assert!(workers > 0, "need at least one worker");
+        let n = self.tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+
+        // Dependency bookkeeping.
+        let mut indegree: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (id, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                dependents[d].push(id);
+            }
+        }
+        let deps: Vec<Vec<TaskId>> = self.tasks.iter().map(|t| t.deps.clone()).collect();
+
+        // Work distribution channels.
+        let (ready_tx, ready_rx) = unbounded::<(TaskId, TaskWork<T>)>();
+        let (done_tx, done_rx) = unbounded::<(TaskId, T)>();
+
+        let outputs: Arc<Mutex<Vec<Option<Arc<T>>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+
+        // Stage the work closures so we can dispatch by id.
+        let mut work: Vec<Option<TaskWork<T>>> =
+            self.tasks.into_iter().map(|t| Some(t.work)).collect();
+
+        // Seed initially-ready tasks.
+        for id in 0..n {
+            if indegree[id] == 0 {
+                ready_tx
+                    .send((id, work[id].take().expect("work staged once")))
+                    .expect("receiver alive");
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let ready_rx = ready_rx.clone();
+                let done_tx = done_tx.clone();
+                let outputs = Arc::clone(&outputs);
+                let deps = &deps;
+                scope.spawn(move || {
+                    while let Ok((id, f)) = ready_rx.recv() {
+                        let dep_outputs: Vec<Arc<T>> = {
+                            let guard = outputs.lock();
+                            deps[id]
+                                .iter()
+                                .map(|&d| {
+                                    Arc::clone(
+                                        guard[d].as_ref().expect("dependency completed first"),
+                                    )
+                                })
+                                .collect()
+                        };
+                        let value = f(&dep_outputs);
+                        if done_tx.send((id, value)).is_err() {
+                            return; // coordinator gone (workflow finished)
+                        }
+                    }
+                });
+            }
+
+            // Coordinator: collect completions, release dependents.
+            let mut completed = 0usize;
+            while completed < n {
+                let (id, value) = done_rx.recv().expect("workers alive");
+                outputs.lock()[id] = Some(Arc::new(value));
+                completed += 1;
+                for &dep in &dependents[id] {
+                    indegree[dep] -= 1;
+                    if indegree[dep] == 0 {
+                        ready_tx
+                            .send((dep, work[dep].take().expect("work staged once")))
+                            .expect("receiver alive");
+                    }
+                }
+            }
+            // Close the ready channel so workers exit.
+            drop(ready_tx);
+        });
+
+        Arc::try_unwrap(outputs)
+            .map_err(|_| ())
+            .expect("all workers joined")
+            .into_inner()
+            .into_iter()
+            .map(|o| o.expect("every task completed"))
+            .collect()
+    }
+}
+
+/// A task's placement in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SimPlacement {
+    /// Simulated start time (seconds).
+    pub start: f64,
+    /// Simulated end time.
+    pub end: f64,
+}
+
+/// List-schedule the DAG against per-facility concurrency limits (tasks
+/// ready earliest start first). Returns per-task placements and the
+/// makespan.
+///
+/// # Panics
+/// Panics if a task references an undefined dependency or a facility has a
+/// zero limit.
+pub fn simulate_schedule(
+    specs: &[(String, Facility, f64, Vec<TaskId>)],
+    capacity: &HashMap<Facility, usize>,
+) -> (Vec<SimPlacement>, f64) {
+    let n = specs.len();
+    for (_, f, _, deps) in specs {
+        assert!(
+            capacity.get(f).copied().unwrap_or(1) > 0,
+            "facility {} has zero capacity",
+            f.name()
+        );
+        for &d in deps {
+            assert!(d < n, "undefined dependency");
+        }
+    }
+    // Per-facility running sets as (end_time) vectors.
+    let mut running: HashMap<Facility, Vec<f64>> = HashMap::new();
+    let mut placements: Vec<Option<SimPlacement>> = vec![None; n];
+    let mut remaining: Vec<usize> = (0..n).collect();
+
+    while !remaining.is_empty() {
+        // Among tasks whose deps are placed, compute the earliest feasible
+        // start (dep ends and a facility slot).
+        let mut best: Option<(f64, usize)> = None;
+        for (pos, &id) in remaining.iter().enumerate() {
+            let (_, facility, _, deps) = &specs[id];
+            if deps.iter().any(|&d| placements[d].is_none()) {
+                continue;
+            }
+            let dep_ready = deps
+                .iter()
+                .map(|&d| placements[d].expect("checked").end)
+                .fold(0.0f64, f64::max);
+            let cap = capacity.get(facility).copied().unwrap_or(1);
+            let slots = running.entry(*facility).or_default();
+            let slot_ready = if slots.len() < cap {
+                0.0
+            } else {
+                // Earliest end among running tasks at this facility when at
+                // capacity: kth smallest end such that a slot frees.
+                let mut ends = slots.clone();
+                ends.sort_by(f64::total_cmp);
+                ends[ends.len() - cap]
+            };
+            let start = dep_ready.max(slot_ready);
+            if best.is_none_or(|(s, _)| start < s) {
+                best = Some((start, pos));
+            }
+        }
+        let (start, pos) = best.expect("acyclic DAG always has a ready task");
+        let id = remaining.remove(pos);
+        let (_, facility, dur, _) = &specs[id];
+        let end = start + dur;
+        placements[id] = Some(SimPlacement { start, end });
+        let slots = running.entry(*facility).or_default();
+        // Keep only tasks still running at `start`, then add this one.
+        slots.retain(|&e| e > start);
+        slots.push(end);
+    }
+
+    let makespan = placements
+        .iter()
+        .map(|p| p.expect("all placed").end)
+        .fold(0.0f64, f64::max);
+    (
+        placements.into_iter().map(|p| p.expect("placed")).collect(),
+        makespan,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn diamond_dag_order_and_outputs() {
+        let mut wf = WorkflowBuilder::new();
+        let a = wf.task("a", Facility::Summit, 1.0, vec![], |_| 1u64);
+        let b = wf.task("b", Facility::Summit, 1.0, vec![a], |d| *d[0] + 10);
+        let c = wf.task("c", Facility::Summit, 1.0, vec![a], |d| *d[0] + 100);
+        let d = wf.task("d", Facility::Summit, 1.0, vec![b, c], |d| *d[0] + *d[1]);
+        let out = wf.run(4);
+        assert_eq!(*out[a], 1);
+        assert_eq!(*out[b], 11);
+        assert_eq!(*out[c], 101);
+        assert_eq!(*out[d], 112);
+    }
+
+    #[test]
+    fn independent_tasks_actually_overlap() {
+        static IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+        static MAX_SEEN: AtomicUsize = AtomicUsize::new(0);
+        let mut wf = WorkflowBuilder::new();
+        for i in 0..8 {
+            wf.task(format!("t{i}"), Facility::Summit, 1.0, vec![], |_| {
+                let now = IN_FLIGHT.fetch_add(1, Ordering::SeqCst) + 1;
+                MAX_SEEN.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                IN_FLIGHT.fetch_sub(1, Ordering::SeqCst);
+                0u8
+            });
+        }
+        let _ = wf.run(4);
+        assert!(
+            MAX_SEEN.load(Ordering::SeqCst) >= 2,
+            "independent tasks never overlapped"
+        );
+    }
+
+    #[test]
+    fn single_worker_still_completes() {
+        let mut wf = WorkflowBuilder::new();
+        let mut prev = wf.task("t0", Facility::Andes, 1.0, vec![], |_| 0u32);
+        for i in 1..20 {
+            prev = wf.task(format!("t{i}"), Facility::Andes, 1.0, vec![prev], move |d| {
+                *d[0] + 1
+            });
+        }
+        let out = wf.run(1);
+        assert_eq!(*out[prev], 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined before")]
+    fn forward_dependency_rejected() {
+        let mut wf: WorkflowBuilder<()> = WorkflowBuilder::new();
+        wf.task("bad", Facility::Summit, 1.0, vec![5], |_| ());
+    }
+
+    #[test]
+    fn simulated_chain_is_sequential() {
+        let mut wf: WorkflowBuilder<u8> = WorkflowBuilder::new();
+        let a = wf.task("a", Facility::Summit, 10.0, vec![], |_| 0);
+        let b = wf.task("b", Facility::Summit, 20.0, vec![a], |_| 0);
+        let _ = wf.task("c", Facility::Summit, 5.0, vec![b], |_| 0);
+        let caps = HashMap::from([(Facility::Summit, 4)]);
+        let (placements, makespan) = simulate_schedule(&wf.specs(), &caps);
+        assert_eq!(placements[0].start, 0.0);
+        assert_eq!(placements[1].start, 10.0);
+        assert_eq!(placements[2].start, 30.0);
+        assert_eq!(makespan, 35.0);
+    }
+
+    #[test]
+    fn facility_capacity_serializes_tasks() {
+        let mut wf: WorkflowBuilder<u8> = WorkflowBuilder::new();
+        for i in 0..4 {
+            wf.task(format!("t{i}"), Facility::ThetaGpu, 10.0, vec![], |_| 0);
+        }
+        let caps = HashMap::from([(Facility::ThetaGpu, 2)]);
+        let (_, makespan) = simulate_schedule(&wf.specs(), &caps);
+        assert_eq!(makespan, 20.0, "4 tasks on 2 slots take two waves");
+        let caps4 = HashMap::from([(Facility::ThetaGpu, 4)]);
+        let (_, makespan4) = simulate_schedule(&wf.specs(), &caps4);
+        assert_eq!(makespan4, 10.0);
+    }
+
+    #[test]
+    fn cross_facility_tasks_run_concurrently_in_sim() {
+        let mut wf: WorkflowBuilder<u8> = WorkflowBuilder::new();
+        wf.task("md", Facility::Perlmutter, 100.0, vec![], |_| 0);
+        wf.task("train", Facility::Summit, 100.0, vec![], |_| 0);
+        wf.task("ffea", Facility::ThetaGpu, 100.0, vec![], |_| 0);
+        let caps = HashMap::from([
+            (Facility::Perlmutter, 1),
+            (Facility::Summit, 1),
+            (Facility::ThetaGpu, 1),
+        ]);
+        let (_, makespan) = simulate_schedule(&wf.specs(), &caps);
+        assert_eq!(makespan, 100.0, "different facilities overlap");
+    }
+}

@@ -1,0 +1,78 @@
+//! The Kurth et al. climate-analytics run, end to end (paper IV-B.1).
+//!
+//! Run with `cargo run --example climate_at_scale`.
+//!
+//! Reproduces the shape of the GB/2018 exascale climate-segmentation
+//! campaign: staging the ~20 TB dataset to node-local NVMe, the LARC
+//! large-batch optimizer on a real (laptop-scale) training problem, and
+//! the scaling model's efficiency curve up to 4,560 nodes.
+
+use summit_core::prelude::*;
+
+fn main() {
+    let summit = MachineSpec::summit();
+    let nodes = 4560u32;
+
+    // ---- 1. Stage the climate dataset to the burst buffers -----------
+    let dataset = DatasetSpec::climate_extreme_weather();
+    let shared = StorageTier::shared_fs(&summit);
+    let nvme = StorageTier::node_local_nvme(&summit, nodes);
+    let plan = StagingPlan::new(&dataset, nodes, &shared, &nvme, StagingMode::Partitioned);
+    println!(
+        "Staging {:.1} TB of climate imagery to {} nodes' NVMe: {:.0} s \
+         (fits: {}; replicating would {})",
+        dataset.total_bytes() / 1e12,
+        nodes,
+        plan.stage_seconds,
+        plan.fits,
+        if StagingPlan::new(&dataset, nodes, &shared, &nvme, StagingMode::Replicated).fits {
+            "also fit"
+        } else {
+            "NOT fit a 1.6 TB volume"
+        }
+    );
+    let traffic = ShuffleStrategy::GlobalReshard.epoch_traffic_bytes(&plan.plan) / 1e12;
+    println!(
+        "Per-epoch global reshuffle would move {traffic:.1} TB across the fabric; \
+         Kurth et al. shuffle locally and exchange via MPI instead."
+    );
+
+    // ---- 2. LARC keeps the large-batch recipe stable -------------------
+    // (Laptop-scale stand-in for the segmentation net: same optimizer math.)
+    println!("\nLARC vs plain SGD at an aggressive large-batch learning rate:");
+    let mut task = blobs(512, 8, 2, 0.5, 3);
+    for r in 0..task.x.rows() {
+        let v = task.x.get(r, 0);
+        task.x.set(r, 0, v * 50.0); // ill-conditioned channel
+    }
+    for (name, opt) in [
+        ("SGD", Box::new(Sgd::new(5.0, 0.9, 0.0)) as Box<dyn Optimizer>),
+        ("LARC", Box::new(Larc::new(5.0, 0.9, 1e-4, 0.01))),
+    ] {
+        let mut t = Trainer::new(MlpSpec::new(8, &[32], 2).build(9), opt, LrSchedule::Constant);
+        let mut last = f32::NAN;
+        for _ in 0..40 {
+            last = t.train_epoch(&task.x, &task.y, 128).loss;
+        }
+        println!(
+            "  {name:<5} final loss: {}",
+            if last.is_finite() { format!("{last:.3}") } else { "diverged (NaN)".into() }
+        );
+    }
+
+    // ---- 3. The scaling story to 4,560 nodes --------------------------
+    let cs = CaseStudy::kurth();
+    println!("\n{} — efficiency curve (model):", cs.name);
+    for (n, e) in cs.efficiency_curve() {
+        let flops = cs.model.sustained_flops(n) / 1e15;
+        println!("  {n:>5} nodes: {:5.1}% efficiency, {flops:8.1} PF sustained", e * 100.0);
+    }
+    let r = cs.evaluate();
+    println!(
+        "At {} nodes the model sustains {:.2} EF at {:.1}% efficiency \
+         (paper: 1.13 EF peak, 90.7%).",
+        r.nodes,
+        r.predicted_flops / 1e18,
+        r.predicted_efficiency * 100.0
+    );
+}

@@ -1,0 +1,64 @@
+//! The IMPECCABLE-style drug-discovery funnel (paper Section V-C).
+//!
+//! Run with `cargo run --example drug_discovery`.
+//!
+//! A compound library is screened three ways — brute force, random
+//! downselection, and the paper's surrogate-model funnel — and the
+//! recall-vs-cost trade-off is printed. This is the "surrogate model
+//! computes docking scores to downselect the set of compounds to evaluate
+//! by the more precise but more expensive MD simulations" workflow.
+
+use summit_core::prelude::*;
+
+fn main() {
+    let library = CompoundLibrary::generate(4000, 8, 2026);
+    println!(
+        "Screening a library of {} compounds for the true top-50…\n",
+        library.len()
+    );
+    println!(
+        "{:<12} {:>18} {:>12} {:>14}",
+        "policy", "expensive evals", "recall@50", "cost vs brute"
+    );
+
+    let funnel = ScreeningFunnel {
+        seed_set: 300,
+        shortlist: 300,
+        k: 50,
+        seed: 9,
+    };
+    for policy in [
+        FunnelPolicy::BruteForce,
+        FunnelPolicy::Random,
+        FunnelPolicy::Surrogate,
+    ] {
+        let out = funnel.run(&library, policy);
+        println!(
+            "{:<12} {:>18} {:>11.0}% {:>13.1}%",
+            format!("{policy:?}"),
+            out.expensive_evaluations,
+            out.recall_at_k * 100.0,
+            out.expensive_evaluations as f64 / library.len() as f64 * 100.0
+        );
+    }
+
+    println!(
+        "\nThe surrogate funnel recovers most of the true leads at a fraction \
+         of the docking/MD budget — the quantitative story behind Glaser et \
+         al. (GB/2020) and Saadi et al. (IMPECCABLE)."
+    );
+
+    // Show the steering component too (DeepDriveMD within the same loop).
+    println!("\nDeepDriveMD-style steering of sampling toward a rare state:");
+    let campaign = SteeringLoop::new(SteeringConfig::default());
+    for policy in [SteeringPolicy::Random, SteeringPolicy::MlSteered] {
+        let out = campaign.run(policy);
+        println!(
+            "  {:<10} {:>4} simulations -> {:>3} rare-state samples (closest approach {:.2})",
+            format!("{policy:?}"),
+            out.simulations,
+            out.rare_hits,
+            out.best_distance
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! The fault-detection motif, end to end (Table I, row 1).
+//!
+//! Run with `cargo run --example fault_detection`.
+//!
+//! A fleet of simulated solver runs streams residual telemetry; an MLP
+//! detector trained on labeled runs flags defective executions (spikes,
+//! stalls, divergence) and is compared against the naive "residual went
+//! up" threshold rule.
+
+use summit_workflow::fault::{
+    evaluate_threshold, fleet, simulate_run, FaultDetector, FaultKind,
+};
+
+fn sparkline(values: &[f32]) -> String {
+    let blocks = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    let max = values.iter().cloned().fold(f32::MIN, f32::max).max(1e-12);
+    values
+        .iter()
+        .map(|v| blocks[((v / max) * 7.0).round().clamp(0.0, 7.0) as usize])
+        .collect()
+}
+
+fn main() {
+    println!("Telemetry signatures (residual norm over 80 steps):");
+    for (label, fault) in [
+        ("healthy", None),
+        ("spike", Some(FaultKind::Spike)),
+        ("stall", Some(FaultKind::Stall)),
+        ("divergence", Some(FaultKind::Divergence)),
+    ] {
+        let run = simulate_run(80, fault, 11);
+        println!("  {label:<11} |{}|", sparkline(&run.residuals));
+    }
+
+    println!("\nTraining the detector on 200 labeled runs…");
+    let train = fleet(200, 100, 10);
+    let test = fleet(200, 100, 8888);
+    let mut detector = FaultDetector::train(&train, 5);
+    let ml = detector.evaluate(&test);
+    let rule = evaluate_threshold(&test, 1.0);
+
+    println!("\n{:<22} {:>10} {:>10} {:>8}", "detector", "precision", "recall", "F1");
+    println!(
+        "{:<22} {:>9.1}% {:>9.1}% {:>8.2}",
+        "MLP on window stats",
+        ml.precision() * 100.0,
+        ml.recall() * 100.0,
+        ml.f1()
+    );
+    println!(
+        "{:<22} {:>9.1}% {:>9.1}% {:>8.2}",
+        "threshold rule",
+        rule.precision() * 100.0,
+        rule.recall() * 100.0,
+        rule.f1()
+    );
+    println!(
+        "\nThe threshold rule only sees spikes; the learned detector also \
+         catches stalls and slow divergence — the paper's fault-detection \
+         motif in action."
+    );
+}

@@ -1,0 +1,65 @@
+//! Machine-learned MD potentials, end to end (the Jia et al. GB/2020 and
+//! Nguyen-Cong et al. GB/2021 motif).
+//!
+//! Run with `cargo run --release --example md_potentials`.
+//!
+//! Trains a DeePMD-style MLP potential on Lennard-Jones ("first
+//! principles") configurations, then drives molecular dynamics with the
+//! learned forces and compares structure and stability against the ground
+//! truth — "pushing the limit of molecular dynamics with ab initio
+//! accuracy", at laptop scale.
+
+use summit_md::{
+    lj::LennardJones,
+    mlpot::MlPotential,
+    system::{Potential, System},
+    train::{fit, rdf_distance, sample_configurations},
+};
+
+fn main() {
+    println!("Sampling 48 training configurations from ground-truth MD…");
+    let configs = sample_configurations(48, 2026);
+    let (train, test) = configs.split_at(36);
+
+    println!("Training a 12-descriptor MLP potential (Adam, 150 epochs)…");
+    let mut pot = MlPotential::new(12, 2.5, &[24, 24], 5);
+    let report = fit(&mut pot, train, test, 150);
+    println!(
+        "  energy RMSE: train {:.4}, held-out {:.4} (predict-the-mean baseline: {:.4})",
+        report.train_rmse, report.test_rmse, report.test_label_std
+    );
+
+    println!("\nDriving MD with the learned potential vs the ground truth…");
+    let lj = LennardJones::standard();
+    let mut ml_sys = System::lattice(36, 7.5, 0.1, 31);
+    let mut lj_sys = ml_sys.clone();
+    let e0 = ml_sys.kinetic_energy() + pot.energy_and_forces(&ml_sys).0;
+    ml_sys.run(&pot, 300, 0.002);
+    lj_sys.run(&lj, 300, 0.002);
+    let e1 = ml_sys.kinetic_energy() + pot.energy_and_forces(&ml_sys).0;
+    println!(
+        "  ML-MD energy drift over 300 steps: {:+.3}% (forces are exact \
+         gradients of the learned energy)",
+        (e1 - e0) / e0.abs() * 100.0
+    );
+
+    let ml_rdf = ml_sys.rdf(16, 3.0);
+    let lj_rdf = lj_sys.rdf(16, 3.0);
+    println!(
+        "  radial distribution function distance (ML vs truth): {:.3}",
+        rdf_distance(&ml_rdf, &lj_rdf)
+    );
+    println!("\n  r/sigma   g_truth  g_ML");
+    for (b, (t, m)) in lj_rdf.iter().zip(&ml_rdf).enumerate() {
+        let r = (b as f64 + 0.5) * 3.0 / 16.0;
+        println!(
+            "  {r:<9.2} {t:7.3}  {m:.3}  {}",
+            "#".repeat((m * 120.0) as usize)
+        );
+    }
+    println!(
+        "\nThe excluded core, first coordination shell and long-range plateau \
+         all survive under the learned forces — the paper's 'ab initio \
+         accuracy' MD-potentials story."
+    );
+}

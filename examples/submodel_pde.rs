@@ -1,0 +1,92 @@
+//! The submodel motif on a domain-decomposed PDE (the survey's top motif).
+//!
+//! Run with `cargo run --example submodel_pde`.
+//!
+//! A diffusion–reaction field is advanced three ways: serially with the
+//! exact (expensive) kinetics, in parallel over 4 thread-ranks with real
+//! halo exchange, and with an MLP submodel replacing the kinetics — the
+//! "physics-based [term] in a climate code replaced by ML model" pattern,
+//! with the expensive-call accounting made explicit.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use summit_modsim::{
+    grid::Field,
+    parallel::ParallelSolver,
+    solver::{Reaction, Solver},
+    submodel::ReactionSurrogate,
+};
+
+fn render(field: &Field) -> String {
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    let mut out = String::new();
+    for r in (0..field.ny()).step_by(2) {
+        out.push_str("  ");
+        for c in 0..field.nx() {
+            let v = field.get(r as isize, c as isize).clamp(0.0, 1.0);
+            out.push(glyphs[(v * 7.0).round() as usize]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let k = 2.0f32;
+    let steps = 120u32;
+    let mut init = Field::new(32, 48);
+    init.fill_test_pattern();
+    println!("Initial field (two Gaussian bumps):\n{}", render(&init));
+
+    // ---- 1. Exact kinetics, counting the expensive calls ---------------
+    let calls = Rc::new(Cell::new(0u64));
+    let mut exact = Solver::new(
+        init.clone(),
+        0.15,
+        0.05,
+        Reaction::ExactKinetics {
+            k,
+            calls: Rc::clone(&calls),
+        },
+    );
+    exact.step(steps);
+    println!(
+        "Exact kinetics after {steps} steps: {} expensive calls\n{}",
+        calls.get(),
+        render(exact.field())
+    );
+
+    // ---- 2. The ML submodel -------------------------------------------
+    let surrogate = ReactionSurrogate::train(k, 64, 3);
+    println!(
+        "Training the submodel took {} expensive calls (max fit error {:.4}).",
+        surrogate.training_evaluations,
+        surrogate.max_error(k)
+    );
+    let mut ml = Solver::new(init.clone(), 0.15, 0.05, Reaction::Surrogate(surrogate));
+    ml.step(steps);
+    let err = ml.field().max_abs_diff(exact.field());
+    println!(
+        "Submodel run reproduces the exact field to max error {err:.4} — with \
+         64 expensive calls instead of {}.",
+        calls.get()
+    );
+
+    // ---- 3. Parallel execution with real halo exchange ------------------
+    fn kinetics(u: f32) -> f32 {
+        Reaction::exact_value(2.0, u)
+    }
+    let solver = ParallelSolver {
+        alpha: 0.15,
+        dt: 0.05,
+        reaction: Some(kinetics),
+    };
+    let serial = solver.run_serial(&init, steps);
+    let parallel = solver.run(&init, 4, steps);
+    println!(
+        "4-rank halo-exchange run matches the serial solver to max error {:.2e} \
+         (real message passing between thread-ranks).",
+        parallel.max_abs_diff(&serial)
+    );
+}

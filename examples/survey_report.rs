@@ -1,0 +1,9 @@
+//! Print the full survey reproduction (Figures 1–6, Tables I–III).
+//!
+//! Run with `cargo run --example survey_report`.
+
+use summit_core::report;
+
+fn main() {
+    print!("{}", report::full_report());
+}

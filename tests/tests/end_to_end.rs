@@ -1,0 +1,119 @@
+//! End-to-end integration: the paper's headline numbers must be consistent
+//! when computed across crate boundaries.
+
+use summit_core::report;
+use summit_io::requirements::ReadDemand;
+use summit_io::tier::StorageTier;
+use summit_machine::spec::{MachineSpec, NodeSpec};
+use summit_machine::LinkModel;
+use summit_comm::model::{Algorithm, CollectiveModel};
+use summit_perf::case_studies::CaseStudy;
+use summit_survey::portfolio;
+use summit_workloads::Workload;
+
+/// Section VI-B as one cross-crate computation: workload zoo → comm model.
+#[test]
+fn section_6b_comm_numbers_cross_crate() {
+    let link = LinkModel::inter_node(&NodeSpec::summit());
+    let model = CollectiveModel::new(link);
+    let resnet = Workload::resnet50();
+    let bert = Workload::bert_large();
+    let t_resnet = model.bandwidth_term(Algorithm::Ring, 4608, resnet.gradient_message_bytes());
+    let t_bert = model.bandwidth_term(Algorithm::Ring, 4608, bert.gradient_message_bytes());
+    // "communication time is roughly 8 ms and 110 ms"
+    assert!((t_resnet * 1e3 - 8.0).abs() < 0.5, "{t_resnet}");
+    assert!((t_bert * 1e3 - 110.0).abs() < 5.0, "{t_bert}");
+    // "The latter is close to the time of per-batch forward and backward
+    // propagation and hence hard to hide."
+    let ratio = t_bert / bert.step_compute_seconds();
+    assert!(ratio > 0.9 && ratio < 1.1, "ratio {ratio}");
+}
+
+/// Section VI-B I/O as one cross-crate computation: workload → machine →
+/// storage tiers.
+#[test]
+fn section_6b_io_numbers_cross_crate() {
+    let summit = MachineSpec::summit();
+    let w = Workload::resnet50();
+    let demand = ReadDemand::new(
+        w.samples_per_sec_per_gpu,
+        w.sample_bytes,
+        summit.total_gpus(),
+    );
+    let tbs = demand.aggregate_read_bw() / 1e12;
+    assert!((tbs - 20.0).abs() < 1.0, "demand {tbs} TB/s");
+    assert!(!demand.feasibility(&StorageTier::shared_fs(&summit)).satisfied);
+    assert!(
+        demand
+            .feasibility(&StorageTier::node_local_nvme(&summit, summit.nodes))
+            .satisfied
+    );
+}
+
+/// Every case study must reproduce its reported efficiency within 3% and
+/// FLOP rate within 25% — the "shape holds" criterion of the reproduction.
+#[test]
+fn all_case_studies_within_tolerance() {
+    for cs in CaseStudy::all() {
+        let r = cs.evaluate();
+        if let Some(want) = r.reported_efficiency {
+            let got = r.predicted_efficiency;
+            assert!(
+                (got - want).abs() / want < 0.03,
+                "{}: efficiency {got} vs reported {want}",
+                cs.name
+            );
+        }
+        if let Some(want) = r.reported_flops {
+            let got = r.predicted_flops;
+            assert!(
+                (got - want).abs() / want < 0.25,
+                "{}: {got} FLOP/s vs reported {want}",
+                cs.name
+            );
+        }
+    }
+}
+
+/// The full report regenerates every artifact without panicking and
+/// mentions the headline quantities.
+#[test]
+fn full_report_is_complete() {
+    let r = report::full_report();
+    assert!(r.contains("TABLE I."));
+    assert!(r.contains("Kurth"));
+    assert!(r.contains("crossover"));
+    assert!(r.len() > 4000, "report suspiciously short: {} bytes", r.len());
+}
+
+/// Portfolio totals and the Gordon Bell catalog reconcile (the paper's 662
+/// project-years = 645 program years + 17 GB finalists).
+#[test]
+fn portfolio_reconciles_with_gordon_bell() {
+    let records = portfolio::build();
+    assert_eq!(records.len(), 662);
+    let gb: Vec<_> = records
+        .iter()
+        .filter(|r| r.program == summit_sched::program::Program::GordonBell)
+        .collect();
+    assert_eq!(gb.len(), 17);
+    let ai_gb = gb.iter().filter(|r| r.status.uses_ml()).count();
+    assert_eq!(ai_gb, summit_survey::gordon_bell::ai_finalists().len());
+}
+
+/// The zoo's full-Summit sustained-flops predictions stay below machine
+/// peak — a cross-crate sanity invariant (workloads × perf × machine).
+#[test]
+fn no_workload_exceeds_machine_peak() {
+    let summit = MachineSpec::summit();
+    let peak = summit.peak_mixed_precision_flops();
+    for w in Workload::all() {
+        let m = summit_perf::model::ScalingModel::summit_defaults(w);
+        let sustained = m.sustained_flops(summit.nodes);
+        assert!(
+            sustained < peak,
+            "{} predicts {sustained} > peak {peak}",
+            w.name
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Integration tests for the extension features: network-simulator
+//! cross-validation, compressed data-parallel training, and
+//! checkpoint/restore mid-training.
+
+use summit_comm::{
+    collectives::{ring_allreduce, ReduceOp},
+    model::{Algorithm, CollectiveModel},
+    world::World,
+};
+use summit_dl::{
+    checkpoint,
+    compression::{Compressor, GradCompression},
+    data::blobs,
+    model::MlpSpec,
+    optim::{Optimizer, Sgd},
+    schedule::LrSchedule,
+    trainer::Trainer,
+};
+use summit_machine::{
+    simnet::SimNetwork,
+    spec::NodeSpec,
+    topology::FatTree,
+    LinkModel,
+};
+use summit_tensor::ops;
+
+/// The packet-level simulator and the α–β model agree on the ring
+/// allreduce within the per-hop-latency budget, across sizes and scales.
+#[test]
+fn simnet_cross_validates_analytic_ring() {
+    let model = CollectiveModel::new(LinkModel::inter_node(&NodeSpec::summit()));
+    for nodes in [8u32, 36, 144] {
+        for bytes in [1.0e6, 144.0e6] {
+            let net = SimNetwork::new(FatTree::summit_like(nodes));
+            let sim = net
+                .simulate(&SimNetwork::ring_allreduce_schedule(nodes, nodes, bytes))
+                .seconds;
+            let analytic = model.allreduce_time(Algorithm::Ring, u64::from(nodes), bytes);
+            // The simulator adds switch-hop latency the model folds into α;
+            // both must agree within 50% and the bandwidth-dominated cases
+            // within 10%.
+            let rel = (sim - analytic).abs() / analytic;
+            assert!(rel < 0.5, "nodes={nodes} bytes={bytes}: sim {sim} vs model {analytic}");
+            if bytes > 1.0e8 {
+                assert!(rel < 0.1, "bandwidth regime disagrees: {rel}");
+            }
+        }
+    }
+}
+
+/// Compressed synchronous data parallelism: quantizing before a real ring
+/// allreduce on every rank still converges, and replicas stay in sync
+/// (everyone applies the same compressed averages).
+#[test]
+fn compressed_data_parallel_training_converges() {
+    let task = blobs(256, 6, 2, 0.4, 55);
+    let ranks = 4usize;
+    let per_rank = 16usize;
+    let spec = MlpSpec::new(6, &[12], 2);
+
+    let results = World::run(ranks, |rank| {
+        let mut model = spec.build(3);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        let mut comp = Compressor::new(GradCompression::Fp16, model.param_count());
+        let sched = LrSchedule::Constant;
+        let steps = 256 / (ranks * per_rank);
+        let mut loss = 0.0f32;
+        for epoch in 0..20 {
+            for s in 0..steps {
+                let base = s * ranks * per_rank;
+                let start = base + rank.id() * per_rank;
+                let bx = summit_dl::trainer::slice_rows(&task.x, start, start + per_rank);
+                let logits = model.forward(&bx);
+                let (l, d) = ops::softmax_cross_entropy(logits, &task.y[start..start + per_rank]);
+                loss = l;
+                model.zero_grads();
+                model.backward(&d);
+                let mut flat = model.flat_grads();
+                comp.compress(&mut flat);
+                ring_allreduce(rank, &mut flat, ReduceOp::Sum);
+                let inv = 1.0 / ranks as f32;
+                flat.iter_mut().for_each(|g| *g *= inv);
+                model.set_flat_grads(&flat);
+                let lr = sched.multiplier((epoch * steps + s) as u32);
+                model.for_each_group(|id, p, g| opt.step_group(id, lr, p, g));
+            }
+        }
+        (model.flat_params(), loss)
+    });
+
+    // Replicas identical (compression is deterministic and pre-allreduce).
+    let reference = &results[0].0;
+    for (params, _) in &results[1..] {
+        for (a, b) in params.iter().zip(reference) {
+            assert!((a - b).abs() < 1e-6, "replicas diverged under compression");
+        }
+    }
+    // And training actually converged.
+    assert!(results[0].1 < 0.35, "loss {}", results[0].1);
+}
+
+/// Checkpoint/restore mid-training: restoring a checkpoint and replaying
+/// the same batches reproduces the original trajectory exactly (momentum
+/// state excluded — we restart with fresh momentum, as production restart
+/// scripts that only save weights do, then verify loss continuity).
+#[test]
+fn checkpoint_resume_reproduces_trajectory() {
+    let task = blobs(128, 4, 2, 0.4, 66);
+    let build = || {
+        Trainer::new(
+            MlpSpec::new(4, &[8], 2).build(9),
+            Box::new(Sgd::new(0.05, 0.0, 0.0)) as Box<dyn Optimizer>,
+            LrSchedule::Constant,
+        )
+    };
+
+    // Train 5 epochs, checkpoint, train 5 more.
+    let mut original = build();
+    for _ in 0..5 {
+        original.train_epoch(&task.x, &task.y, 32);
+    }
+    let ckpt = checkpoint::save(&original.model, original.step());
+    let mut first_half_params = original.model.flat_params();
+    for _ in 0..5 {
+        original.train_epoch(&task.x, &task.y, 32);
+    }
+
+    // Restore into a fresh trainer and replay the last 5 epochs.
+    let mut resumed = build();
+    let step = checkpoint::load(&mut resumed.model, ckpt).expect("valid checkpoint");
+    assert_eq!(step, original.step() - original.step() / 2);
+    assert_eq!(resumed.model.flat_params(), {
+        std::mem::take(&mut first_half_params)
+    });
+    for _ in 0..5 {
+        resumed.train_epoch(&task.x, &task.y, 32);
+    }
+    // Plain SGD (no momentum) has no optimizer state, so the trajectories
+    // must match exactly.
+    for (a, b) in original
+        .model
+        .flat_params()
+        .iter()
+        .zip(resumed.model.flat_params())
+    {
+        assert!((a - b).abs() < 1e-6, "resume diverged: {a} vs {b}");
+    }
+}
+
+/// Hierarchical allreduce (NVLink-style groups of 3 over 4 "nodes")
+/// produces the same averages as the flat ring inside a training step.
+#[test]
+fn hierarchical_allreduce_in_training_step() {
+    use summit_comm::extended::hierarchical_allreduce;
+    let task = blobs(96, 4, 2, 0.3, 77);
+    let spec = MlpSpec::new(4, &[6], 2);
+    let grads_with = |hierarchical: bool| -> Vec<Vec<f32>> {
+        World::run(12, |rank| {
+            let mut model = spec.build(4);
+            let start = rank.id() * 8;
+            let bx = summit_dl::trainer::slice_rows(&task.x, start, start + 8);
+            let logits = model.forward(&bx);
+            let (_, d) = ops::softmax_cross_entropy(logits, &task.y[start..start + 8]);
+            model.zero_grads();
+            model.backward(&d);
+            let mut flat = model.flat_grads();
+            if hierarchical {
+                hierarchical_allreduce(rank, &mut flat, ReduceOp::Sum, 3);
+            } else {
+                ring_allreduce(rank, &mut flat, ReduceOp::Sum);
+            }
+            flat
+        })
+    };
+    let flat = grads_with(false);
+    let hier = grads_with(true);
+    for (a, b) in flat.iter().flatten().zip(hier.iter().flatten()) {
+        assert!((a - b).abs() < 1e-3 * a.abs().max(1.0));
+    }
+}

@@ -1,0 +1,63 @@
+//! Integration X1: the executed collectives and the analytic cost models
+//! agree on the quantities both can observe — transferred bytes and
+//! message (step) counts.
+
+use summit_comm::{
+    collectives::{recursive_doubling_allreduce, ring_allreduce, ReduceOp},
+    world::World,
+};
+
+/// Ring allreduce moves exactly 2(p−1)/p · n elements per rank — the byte
+/// term the analytic ring model charges to the link.
+#[test]
+fn ring_traffic_matches_model_bandwidth_term() {
+    for p in [2usize, 3, 5, 8] {
+        for n in [16usize, 100, 1024] {
+            let (_, stats) = World::run_with_stats(p, |rank| {
+                let mut buf = vec![1.0f32; n];
+                ring_allreduce(rank, &mut buf, ReduceOp::Sum);
+            });
+            // Total across ranks: p · 2(p−1)/p · n elements × 4 bytes,
+            // except chunk rounding: with exact chunking the total is
+            // exactly 2(p−1)·n elements.
+            assert_eq!(stats.bytes_sent, (8 * (p - 1) * n) as u64, "p={p} n={n}");
+            // 2(p−1) steps per rank.
+            assert_eq!(stats.messages_sent, (2 * (p - 1) * p) as u64);
+        }
+    }
+}
+
+/// Recursive doubling sends log2(p) full buffers per rank — the model's
+/// byte term.
+#[test]
+fn recursive_doubling_traffic_matches_model() {
+    for logp in 1u32..4 {
+        let p = 1usize << logp;
+        let n = 64usize;
+        let (_, stats) = World::run_with_stats(p, |rank| {
+            let mut buf = vec![1.0f32; n];
+            recursive_doubling_allreduce(rank, &mut buf, ReduceOp::Sum);
+        });
+        assert_eq!(stats.bytes_sent, (p * logp as usize * n * 4) as u64);
+        assert_eq!(stats.messages_sent, (p * logp as usize) as u64);
+    }
+}
+
+/// The executed ring's per-rank traffic is independent of p for large p
+/// (the saturation behind the paper's "12.5 GB/s algorithm bandwidth").
+#[test]
+fn ring_per_rank_traffic_saturates() {
+    let n = 840usize; // divisible by all p below: exact chunks
+    let mut per_rank: Vec<f64> = Vec::new();
+    for p in [2usize, 4, 8] {
+        let (_, stats) = World::run_with_stats(p, |rank| {
+            let mut buf = vec![0.5f32; n];
+            ring_allreduce(rank, &mut buf, ReduceOp::Sum);
+        });
+        per_rank.push(stats.bytes_sent as f64 / p as f64);
+    }
+    // 2(p-1)/p · n · 4: p=2 → 1·n·4; p=8 → 1.75·n·4. Ratio < 2 and
+    // monotonically approaching 2n·4.
+    assert!(per_rank.windows(2).all(|w| w[1] > w[0]));
+    assert!(per_rank[2] < 2.0 * 840.0 * 4.0);
+}

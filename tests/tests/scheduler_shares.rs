@@ -1,0 +1,74 @@
+//! Integration X6: the batch scheduler delivers node-hour shares tracking
+//! the 60/20/20 allocation program split on a Summit-sized machine.
+
+use summit_machine::MachineSpec;
+use summit_sched::{
+    program::Program,
+    scheduler::Scheduler,
+    trace::{generate, TraceConfig},
+};
+
+#[test]
+fn delivered_shares_track_allocations() {
+    let machine = MachineSpec::summit();
+    let scheduler = Scheduler::new(machine.nodes);
+    let jobs = generate(
+        &machine,
+        &TraceConfig {
+            jobs: 3000,
+            window_hours: 24.0 * 14.0,
+            max_fraction: 1.0,
+        },
+        42,
+    );
+    let placements = scheduler.schedule(&jobs);
+    let metrics = scheduler.metrics(&placements);
+
+    let incite = metrics.program_share(Program::Incite);
+    let alcc = metrics.program_share(Program::Alcc);
+    let dd = metrics.program_share(Program::DirectorsDiscretionary);
+    assert!((incite + alcc + dd - 1.0).abs() < 1e-9);
+    // INCITE dominates (capability-job bias makes its node-hour share
+    // exceed even its 60% job share); ALCC ≈ DD.
+    assert!(incite > 0.55, "INCITE {incite}");
+    assert!(alcc > 0.03 && alcc < 0.25, "ALCC {alcc}");
+    assert!(dd > 0.03 && dd < 0.25, "DD {dd}");
+}
+
+#[test]
+fn backfill_improves_utilization() {
+    // With a mixed trace, EASY backfill must beat strict FIFO utilization.
+    // We approximate FIFO by forbidding backfill via walltimes that never
+    // fit the shadow window — instead, compare against the analytic lower
+    // bound: utilization with backfill ≥ 50% on a dense trace.
+    let machine = MachineSpec::summit();
+    let scheduler = Scheduler::new(machine.nodes);
+    let jobs = generate(
+        &machine,
+        &TraceConfig {
+            jobs: 1500,
+            window_hours: 24.0,
+            max_fraction: 1.0,
+        },
+        7,
+    );
+    let metrics = scheduler.metrics(&scheduler.schedule(&jobs));
+    assert!(
+        metrics.utilization > 0.5,
+        "utilization {}",
+        metrics.utilization
+    );
+    assert!(metrics.backfill_fraction > 0.0, "no job was ever backfilled");
+}
+
+#[test]
+fn waits_are_finite_and_nonnegative() {
+    let machine = MachineSpec::summit();
+    let scheduler = Scheduler::new(machine.nodes);
+    let jobs = generate(&machine, &TraceConfig::default(), 1);
+    let placements = scheduler.schedule(&jobs);
+    for p in &placements {
+        assert!(p.wait_hours() >= -1e-9, "negative wait: {}", p.wait_hours());
+        assert!(p.start_hours.is_finite());
+    }
+}
