@@ -1,0 +1,321 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! `Bytes` is a cheaply cloneable, sliceable view over shared immutable
+//! storage (`Arc<Vec<u8>>`); `BytesMut` is an append buffer that freezes
+//! into `Bytes`. The `Buf`/`BufMut` traits carry the cursor-style
+//! big-endian / little-endian accessors the checkpoint codec needs.
+
+use std::sync::Arc;
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consume `n` bytes.
+    ///
+    /// # Panics
+    /// Panics if `n > remaining()`.
+    fn advance(&mut self, n: usize);
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Consume a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().expect("2 bytes"));
+        self.advance(2);
+        v
+    }
+
+    /// Consume a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Consume a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+
+    /// Consume a little-endian f32.
+    fn get_f32_le(&mut self) -> f32 {
+        let v = f32::from_le_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Consume a little-endian u32.
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+}
+
+/// Append-side counterpart of [`Buf`].
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append the remaining contents of another buffer.
+    fn put<B: Buf>(&mut self, mut src: B)
+    where
+        Self: Sized,
+    {
+        let n = src.remaining();
+        self.put_slice(src.chunk());
+        src.advance(n);
+    }
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a little-endian f32.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Shared immutable byte buffer with a read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::new(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Length of the (unconsumed) view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new `Bytes` over `range` of this view (no copy).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copy the view into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.start += n;
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`] (no copy).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.data.len(), "advance past end of buffer");
+        self.data.drain(..n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_endian() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u32(0xDEADBEEF);
+        b.put_u16(7);
+        b.put_u64(1 << 40);
+        b.put_f32_le(1.5);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 4 + 2 + 8 + 4);
+        assert_eq!(bytes.get_u32(), 0xDEADBEEF);
+        assert_eq!(bytes.get_u16(), 7);
+        assert_eq!(bytes.get_u64(), 1 << 40);
+        assert_eq!(bytes.get_f32_le(), 1.5);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_storage() {
+        let bytes = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = bytes.slice(2..5);
+        assert_eq!(s.chunk(), &[2, 3, 4]);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        assert_eq!(bytes.len(), 6, "parent view unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_bounds_checked() {
+        let mut b = Bytes::from(vec![1u8, 2]);
+        b.advance(3);
+    }
+}

@@ -1,0 +1,307 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock harness: each benchmark is warmed up once, then
+//! timed in doubling batches until a per-benchmark time budget is reached,
+//! and the mean iteration time is printed as
+//! `bench <group>/<id>: <time>/iter`. When the binary is invoked with
+//! `--test` (as `cargo test` does for `harness = false` bench targets) each
+//! benchmark body runs exactly once so test runs stay fast.
+//!
+//! Environment knobs: `CRITERION_SAMPLE_MS` (per-benchmark budget,
+//! default 60).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup costs are amortized (accepted for API compatibility;
+/// the stub times routines individually either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark identifier: a function name plus an optional parameter string.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (cargo bench).
+    Bench,
+    /// Single-iteration smoke run (cargo test).
+    Test,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mode = if std::env::args().any(|a| a == "--test") {
+            Mode::Test
+        } else {
+            Mode::Bench
+        };
+        let budget_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(60);
+        Criterion {
+            mode,
+            budget: Duration::from_millis(budget_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mode: self.mode,
+            budget: self.budget,
+            measured: None,
+        };
+        f(&mut bencher);
+        report("", &id.id, self.mode, bencher.measured);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's sampling is time-budgeted
+    /// rather than sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            budget: self.criterion.budget,
+            measured: None,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.id, self.criterion.mode, bencher.measured);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`, called in doubling batches until the time budget is
+    /// spent (one call in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            return;
+        }
+        black_box(f()); // warmup
+        let mut iters = 1u64;
+        let mut spent = Duration::ZERO;
+        let mut best = Duration::MAX;
+        while spent < self.budget && iters < (1 << 24) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            best = best.min(elapsed / iters as u32);
+            spent += elapsed;
+            iters *= 2;
+        }
+        self.measured = Some(best);
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<S, O, FS, FR>(&mut self, mut setup: FS, mut routine: FR, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> O,
+    {
+        if self.mode == Mode::Test {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup())); // warmup
+        let mut spent = Duration::ZERO;
+        let mut timed = Duration::ZERO;
+        let mut n = 0u32;
+        while spent < self.budget && n < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            timed += elapsed;
+            spent += elapsed;
+            n += 1;
+        }
+        self.measured = Some(timed / n.max(1));
+    }
+}
+
+fn report(group: &str, id: &str, mode: Mode, measured: Option<Duration>) {
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match (mode, measured) {
+        (Mode::Test, _) => println!("test bench {full}: ok"),
+        (Mode::Bench, Some(d)) => println!("bench {full}: {}/iter", fmt_duration(d)),
+        (Mode::Bench, None) => println!("bench {full}: no measurement recorded"),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_compiles_and_runs() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            budget: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut ran = 0;
+        group.bench_function("direct", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(ran, 1, "test mode runs each body exactly once");
+    }
+
+    #[test]
+    fn measurement_records_time() {
+        let mut b = Bencher {
+            mode: Mode::Bench,
+            budget: Duration::from_millis(5),
+            measured: None,
+        };
+        b.iter(|| std::hint::black_box(3u64).pow(7));
+        assert!(b.measured.is_some());
+    }
+}

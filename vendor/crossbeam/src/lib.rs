@@ -1,0 +1,244 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` as an
+//! unbounded MPMC channel over `Mutex<VecDeque>` + `Condvar`. Both handles
+//! are cloneable (the workspace's workflow engine shares one `Receiver`
+//! among worker threads as a work queue); disconnect semantics match
+//! upstream: `recv` errors once all senders are gone and the queue is
+//! drained, `send` errors once all receivers are gone.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC work-queue semantics).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// rejected message is handed back.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            // Like upstream: no T: Debug bound, the payload is elided.
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when every sender is gone and
+    /// the queue is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue currently empty, senders still connected.
+        Empty,
+        /// Queue empty and all senders gone.
+        Disconnected,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`, waking one blocked receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.shared.queue.lock().expect("channel mutex poisoned");
+            q.push_back(value);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue, blocking until a message arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self
+                    .shared
+                    .ready
+                    .wait(q)
+                    .expect("channel mutex poisoned");
+            }
+        }
+
+        /// Non-blocking dequeue.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().expect("channel mutex poisoned");
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of queued messages (racy, for diagnostics).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().expect("channel mutex poisoned").len()
+        }
+
+        /// Whether the queue is currently empty (racy, for diagnostics).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake all blocked receivers so they observe
+                // the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn roundtrip_fifo() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..100 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn disconnect_on_sender_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv().unwrap(), 7);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn mpmc_workers_drain_queue() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total: u32 = thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        s.spawn(move || {
+                            let mut sum = 0;
+                            while let Ok(v) = rx.recv() {
+                                sum += v;
+                            }
+                            sum
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total, (0..64).sum::<u32>());
+        }
+
+        #[test]
+        fn blocking_recv_wakes_on_send() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = thread::spawn(move || rx.recv().unwrap());
+            thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(42).unwrap();
+            assert_eq!(h.join().unwrap(), 42);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros and defines empty marker traits under
+//! the same names (trait and macro namespaces coexist, as in real serde).
+//! Good enough for a workspace that derives but never serializes; the
+//! `derive` feature flag exists so `features = ["derive"]` dependency
+//! declarations resolve.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods; nothing in this
+/// workspace drives a serializer).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

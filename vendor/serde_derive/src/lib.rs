@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace decorates report/spec structs with
+//! `#[derive(Serialize, Deserialize)]` for forward compatibility but never
+//! drives an actual serializer through them (there is no serde_json in the
+//! tree), so empty expansions keep every call site compiling without
+//! pulling in syn/quote.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
