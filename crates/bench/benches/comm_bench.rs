@@ -16,7 +16,7 @@ use summit_bench::MESSAGE_SWEEP;
 use summit_comm::{
     collectives::{recursive_doubling_allreduce, ring_allreduce, tree_allreduce, ReduceOp},
     model::{Algorithm, CollectiveModel},
-    world::World,
+    world::{Rank, World},
 };
 use summit_machine::{spec::NodeSpec, LinkModel};
 use summit_perf::crossover::CommCrossover;
@@ -47,7 +47,10 @@ fn executed_collectives(c: &mut Criterion) {
             "recursive_doubling",
             recursive_doubling_allreduce as fn(&summit_comm::Rank, &mut [f32], ReduceOp),
         ),
-        ("tree", tree_allreduce as fn(&summit_comm::Rank, &mut [f32], ReduceOp)),
+        (
+            "tree",
+            tree_allreduce as fn(&summit_comm::Rank, &mut [f32], ReduceOp),
+        ),
     ] {
         group.bench_function(BenchmarkId::new(name, "p8_n4096"), |b| {
             b.iter(|| {
@@ -58,6 +61,103 @@ fn executed_collectives(c: &mut Criterion) {
                 })
             })
         });
+    }
+    group.finish();
+}
+
+/// The pre-pool ring allreduce, kept verbatim as an in-bench baseline: every
+/// step clones the outgoing chunk (`to_vec`) and receives a freshly allocated
+/// payload from the transport. Comparing it against the pooled
+/// `ring_allreduce` at identical sizes is what demonstrates the hot-path win.
+fn ring_allreduce_unpooled(rank: &Rank, buf: &mut [f32]) {
+    let p = rank.size();
+    let me = rank.id();
+    if p == 1 || buf.is_empty() {
+        return;
+    }
+    let n = buf.len();
+    let chunk_bounds = |c: usize| {
+        let base = n / p;
+        let extra = n % p;
+        let start = c * base + c.min(extra);
+        let end = start + base + usize::from(c < extra);
+        (start, end)
+    };
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    // Reduce-scatter phase.
+    for s in 0..p - 1 {
+        let send_chunk = (me + p - s) % p;
+        let recv_chunk = (me + p - s - 1) % p;
+        let (ss, se) = chunk_bounds(send_chunk);
+        let incoming = rank.send_recv(right, left, 100 << 32 | s as u64, buf[ss..se].to_vec());
+        let (rs, re) = chunk_bounds(recv_chunk);
+        for (dst, src) in buf[rs..re].iter_mut().zip(incoming.iter()) {
+            *dst += *src;
+        }
+    }
+    // Allgather phase.
+    for s in 0..p - 1 {
+        let send_chunk = (me + p - s + 1) % p;
+        let recv_chunk = (me + p - s) % p;
+        let (ss, se) = chunk_bounds(send_chunk);
+        let incoming = rank.send_recv(right, left, 101 << 32 | s as u64, buf[ss..se].to_vec());
+        let (rs, re) = chunk_bounds(recv_chunk);
+        buf[rs..re].copy_from_slice(&incoming);
+    }
+}
+
+/// ISSUE sweep: allreduce from 1 KB to 64 MB at p in {2, 4, 8}, pooled hot
+/// path vs the unpooled baseline above. Each measured iteration spins up a
+/// world and runs `rounds` back-to-back allreduces so the pool reaches steady
+/// state and thread-spawn cost is amortised identically for both variants;
+/// reported times are therefore directly comparable within a size/p cell.
+fn hot_path_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path");
+    group.sample_size(10);
+    // Elements per rank: 256 f32 = 1 KB up to 16M f32 = 64 MB.
+    for &n in &[256usize, 16_384, 262_144, 1_048_576, 16_777_216] {
+        // Enough rounds that the pool's one-allreduce warm-up is amortised
+        // away and steady state dominates; a single round at 64 MB.
+        let rounds = (16_777_216 / n).clamp(1, 16);
+        for &p in &[2usize, 4, 8] {
+            let kb = n * 4 / 1024;
+            let label = if kb >= 1024 {
+                format!("p{p}_{}MB_r{rounds}", kb / 1024)
+            } else {
+                format!("p{p}_{kb}KB_r{rounds}")
+            };
+            group.bench_with_input(
+                BenchmarkId::new("pooled", &label),
+                &(p, n, rounds),
+                |b, &(p, n, rounds)| {
+                    b.iter(|| {
+                        World::run(p, |rank| {
+                            let mut buf = vec![rank.id() as f32; n];
+                            for _ in 0..rounds {
+                                ring_allreduce(rank, &mut buf, ReduceOp::Sum);
+                            }
+                            buf[0]
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("unpooled", &label),
+                &(p, n, rounds),
+                |b, &(p, n, rounds)| {
+                    b.iter(|| {
+                        World::run(p, |rank| {
+                            let mut buf = vec![rank.id() as f32; n];
+                            for _ in 0..rounds {
+                                ring_allreduce_unpooled(rank, &mut buf);
+                            }
+                            buf[0]
+                        })
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -175,6 +275,7 @@ fn simnet_validation(c: &mut Criterion) {
 criterion_group!(
     benches,
     executed_collectives,
+    hot_path_sweep,
     model_predictions,
     ablation_algorithms,
     ablation_precision,

@@ -91,6 +91,101 @@ fn data_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tentpole measurement: per-layer allreduce vs fused bucketed allreduce of
+/// the same gradient volume, plus a full trainer epoch across fusion bucket
+/// sizes. The sync microbench isolates what fusion changes — many small
+/// collectives vs one bucketed pass over a flat buffer — on a ~1 MB gradient
+/// (10 parameter groups, the shape of a deep MLP). The bucket sweep here is
+/// what the `FusionConfig::default()` bucket size is calibrated against.
+fn gradient_fusion(c: &mut Criterion) {
+    use summit_comm::collectives::{ring_allreduce, ring_allreduce_bucketed, ReduceOp};
+    use summit_comm::world::World;
+    use summit_dl::trainer::FusionConfig;
+
+    // Per-group gradient sizes of MlpSpec::new(64, &[256; 4], 64): one
+    // weight+bias group per layer, ~247K params = ~0.97 MB of fp32 grads.
+    let dims = [64usize, 256, 256, 256, 256, 64];
+    let sizes: Vec<usize> = dims.windows(2).map(|w| w[0] * w[1] + w[1]).collect();
+    let total: usize = sizes.iter().sum();
+    let p = 4;
+    let rounds = 8;
+
+    let mut group = c.benchmark_group("gradient_fusion");
+    group.sample_size(10);
+    group.bench_function("sync_per_layer", |b| {
+        let sizes = sizes.clone();
+        b.iter(|| {
+            World::run(p, |rank| {
+                let mut grads: Vec<Vec<f32>> = sizes.iter().map(|&s| vec![1.0; s]).collect();
+                for _ in 0..rounds {
+                    for g in &mut grads {
+                        ring_allreduce(rank, g, ReduceOp::Sum);
+                    }
+                }
+                grads[0][0]
+            })
+        })
+    });
+    for &bucket_bytes in &[
+        16 * 1024usize,
+        64 * 1024,
+        256 * 1024,
+        1024 * 1024,
+        usize::MAX,
+    ] {
+        let label = if bucket_bytes == usize::MAX {
+            "flat".to_string()
+        } else {
+            format!("{}KB", bucket_bytes / 1024)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("sync_fused", &label),
+            &bucket_bytes,
+            |b, &bucket_bytes| {
+                let bucket_elems = FusionConfig { bucket_bytes }.bucket_elems();
+                b.iter(|| {
+                    World::run(p, |rank| {
+                        let mut flat = vec![1.0f32; total];
+                        for _ in 0..rounds {
+                            ring_allreduce_bucketed(rank, &mut flat, ReduceOp::Sum, bucket_elems);
+                        }
+                        flat[0]
+                    })
+                })
+            },
+        );
+    }
+
+    // Full trainer epoch: the fused path end to end, at the default bucket,
+    // a deliberately tiny bucket, and the flat (single-bucket) extreme.
+    let task = blobs(512, 64, 4, 0.4, 11);
+    let spec = MlpSpec::new(64, &[256, 256, 256, 256], 4);
+    for (label, bucket_bytes) in [
+        ("4KB", 4 * 1024usize),
+        ("default", FusionConfig::default().bucket_bytes),
+        ("flat", usize::MAX),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("trainer_epoch", label),
+            &bucket_bytes,
+            |b, &bucket_bytes| {
+                let dp = DataParallelTrainer::new(4, 16).with_fusion(FusionConfig { bucket_bytes });
+                b.iter(|| {
+                    dp.run(
+                        || spec.build(7),
+                        || Box::new(Sgd::new(0.05, 0.9, 0.0)) as Box<dyn Optimizer>,
+                        LrSchedule::Constant,
+                        &task.x,
+                        &task.y,
+                        1,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Ablation 6: gradient compression — volume vs convergence.
 fn ablation_compression(c: &mut Criterion) {
     use summit_dl::compression::{Compressor, GradCompression};
@@ -116,28 +211,38 @@ fn ablation_compression(c: &mut Criterion) {
     let mut group = c.benchmark_group("compression");
     group.sample_size(10);
     for (name, scheme) in schemes {
-        group.bench_with_input(BenchmarkId::new("train_step", name), &scheme, |b, &scheme| {
-            b.iter_batched(
-                || {
-                    let model = MlpSpec::new(6, &[16], 3).build(5);
-                    let n = model.param_count();
-                    (model, Compressor::new(scheme, n))
-                },
-                |(mut model, mut comp)| {
-                    let logits = model.forward(&task.x);
-                    let (_, d) = ops::softmax_cross_entropy(logits, &task.y);
-                    model.zero_grads();
-                    model.backward(&d);
-                    let mut flat = model.flat_grads();
-                    comp.compress(&mut flat);
-                    flat
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("train_step", name),
+            &scheme,
+            |b, &scheme| {
+                b.iter_batched(
+                    || {
+                        let model = MlpSpec::new(6, &[16], 3).build(5);
+                        let n = model.param_count();
+                        (model, Compressor::new(scheme, n))
+                    },
+                    |(mut model, mut comp)| {
+                        let logits = model.forward(&task.x);
+                        let (_, d) = ops::softmax_cross_entropy(logits, &task.y);
+                        model.zero_grads();
+                        model.backward(&d);
+                        let mut flat = model.flat_grads();
+                        comp.compress(&mut flat);
+                        flat
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, ablation_optimizers, data_parallel, ablation_compression);
+criterion_group!(
+    benches,
+    ablation_optimizers,
+    data_parallel,
+    gradient_fusion,
+    ablation_compression
+);
 criterion_main!(benches);

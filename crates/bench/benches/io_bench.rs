@@ -96,5 +96,10 @@ fn ablation_shuffle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, requirement_analysis, staging_break_even, ablation_shuffle);
+criterion_group!(
+    benches,
+    requirement_analysis,
+    staging_break_even,
+    ablation_shuffle
+);
 criterion_main!(benches);

@@ -35,8 +35,12 @@ fn force_evaluation(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("forces");
     group.sample_size(20);
-    group.bench_function("lennard_jones_144", |b| b.iter(|| lj.energy_and_forces(&sys)));
-    group.bench_function("ml_potential_144", |b| b.iter(|| ml.energy_and_forces(&sys)));
+    group.bench_function("lennard_jones_144", |b| {
+        b.iter(|| lj.energy_and_forces(&sys))
+    });
+    group.bench_function("ml_potential_144", |b| {
+        b.iter(|| ml.energy_and_forces(&sys))
+    });
     group.finish();
 }
 

@@ -86,7 +86,11 @@ fn parallelism_planning(c: &mut Criterion) {
     use summit_perf::parallelism::HybridPlanner;
     println!("[ablation 7] hybrid plans on 256 nodes:");
     let planner = HybridPlanner::summit(256, 30.0e12);
-    for (name, params) in [("GPT-1.5B", 1.5e9), ("GPT-10B", 10.0e9), ("GPT-100B", 100.0e9)] {
+    for (name, params) in [
+        ("GPT-1.5B", 1.5e9),
+        ("GPT-10B", 10.0e9),
+        ("GPT-100B", 100.0e9),
+    ] {
         let w = Workload::transformer_lm(name, params);
         if let Some(best) = planner.best(&w) {
             println!(
@@ -107,5 +111,11 @@ fn parallelism_planning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, case_studies, ablation_overlap, zoo_sweep, parallelism_planning);
+criterion_group!(
+    benches,
+    case_studies,
+    ablation_overlap,
+    zoo_sweep,
+    parallelism_planning
+);
 criterion_main!(benches);

@@ -42,9 +42,11 @@ fn scheduling(c: &mut Criterion) {
             },
             7,
         );
-        group.bench_with_input(BenchmarkId::new("easy_backfill", n_jobs), &jobs, |b, jobs| {
-            b.iter(|| scheduler.schedule(jobs))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("easy_backfill", n_jobs),
+            &jobs,
+            |b, jobs| b.iter(|| scheduler.schedule(jobs)),
+        );
     }
     group.finish();
 }

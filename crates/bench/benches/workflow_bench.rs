@@ -12,7 +12,11 @@ fn screening(c: &mut Criterion) {
     let library = CompoundLibrary::generate(2000, 8, 11);
     let funnel = ScreeningFunnel::default();
     println!("[X3] screening policies on a 2000-compound library:");
-    for policy in [FunnelPolicy::BruteForce, FunnelPolicy::Random, FunnelPolicy::Surrogate] {
+    for policy in [
+        FunnelPolicy::BruteForce,
+        FunnelPolicy::Random,
+        FunnelPolicy::Surrogate,
+    ] {
         let out = funnel.run(&library, policy);
         println!(
             "  {:<11} {:>5} expensive evals, recall@{} = {:.0}%",
@@ -44,9 +48,13 @@ fn engine_throughput(c: &mut Criterion) {
                 let root = wf.task("root", Facility::Summit, 1.0, vec![], |_| 0u64);
                 let mids: Vec<_> = (0..tasks)
                     .map(|i| {
-                        wf.task(format!("m{i}"), Facility::Summit, 1.0, vec![root], move |d| {
-                            *d[0] + i as u64
-                        })
+                        wf.task(
+                            format!("m{i}"),
+                            Facility::Summit,
+                            1.0,
+                            vec![root],
+                            move |d| *d[0] + i as u64,
+                        )
                     })
                     .collect();
                 let _join = wf.task("join", Facility::Summit, 1.0, mids.clone(), |deps| {

@@ -55,6 +55,36 @@ impl ReduceOp {
             }
         }
     }
+
+    /// Fold `local` into `payload` with the same operand order as
+    /// [`ReduceOp::fold`] (`local ⊕ incoming`), so a partial carried in the
+    /// circulating message is bit-identical to one accumulated in place.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn fold_into_payload(self, payload: &mut [f32], local: &[f32]) {
+        assert_eq!(payload.len(), local.len(), "reduction length mismatch");
+        match self {
+            ReduceOp::Sum => {
+                // `local + incoming`, matching `fold`'s operand order
+                // (bit-identical even for signed zeros).
+                #[allow(clippy::assign_op_pattern)]
+                for (pd, l) in payload.iter_mut().zip(local) {
+                    *pd = *l + *pd;
+                }
+            }
+            ReduceOp::Max => {
+                for (pd, l) in payload.iter_mut().zip(local) {
+                    *pd = l.max(*pd);
+                }
+            }
+            ReduceOp::Min => {
+                for (pd, l) in payload.iter_mut().zip(local) {
+                    *pd = l.min(*pd);
+                }
+            }
+        }
+    }
 }
 
 /// Chunk boundaries that partition `n` elements into `p` nearly equal chunks
@@ -67,47 +97,184 @@ fn chunk_bounds(n: usize, p: usize, chunk: usize) -> (usize, usize) {
     (start, start + len)
 }
 
+/// Borrow the (disjoint) send and receive chunk windows of `buf` at once.
+///
+/// Relies on `chunk_bounds` producing non-overlapping intervals for
+/// distinct chunk ids; empty chunks all sit at the same boundary point, so
+/// one interval always ends before the other starts.
+pub(crate) fn send_recv_windows(
+    buf: &mut [f32],
+    (ss, se): (usize, usize),
+    (rs, re): (usize, usize),
+) -> (&[f32], &mut [f32]) {
+    if se <= rs {
+        let (lo, hi) = buf.split_at_mut(rs);
+        (&lo[ss..se], &mut hi[..re - rs])
+    } else {
+        assert!(re <= ss, "send and receive windows overlap");
+        let (lo, hi) = buf.split_at_mut(ss);
+        (&hi[..se - ss], &mut lo[rs..re])
+    }
+}
+
+/// What a ring phase does with each received segment.
+#[derive(Clone, Copy)]
+enum PassKind {
+    /// Reduce-scatter: combine the local window into the circulating
+    /// partial; only the final hop lands in `buf`.
+    Reduce(ReduceOp),
+    /// Allgather: every received segment is final data, copied into `buf`.
+    Gather,
+}
+
+/// One ring phase (`p - 1` steps of "send a chunk right, combine a chunk
+/// from the left"), on the pooled zero-copy primitives.
+///
+/// The first chunk sent is `(me + offset) mod p`; each chunk's transfer is
+/// split into segments of at most `bucket` elements, each its own message.
+/// Empty chunks send nothing.
+///
+/// The chunk received at step `s` is exactly the chunk the schedule sends
+/// at step `s + 1`, so intermediate steps never copy into a fresh message:
+/// the received payload is combined (reduce) or read (gather) and then
+/// **forwarded as-is** to the right neighbour. Only step 0 copies out of
+/// `buf` (via the pool) and only the final hop releases the payload back
+/// into a pool, so each rank's per-phase allocator traffic is at most one
+/// pooled acquire and one release regardless of `p`.
+///
+/// `prime = false` skips the step-0 send: the messages this phase consumes
+/// at step 0 were already produced by a `handoff` from a previous phase.
+/// `handoff = Some(next)` makes the final hop forward its finished chunk as
+/// step 0 of collective `next` (after landing it in `buf`) instead of
+/// releasing it — fusing this phase's tail into the next phase's head.
+#[allow(clippy::too_many_arguments)] // internal engine; callers are the three ring collectives
+fn ring_pass(
+    rank: &Rank,
+    buf: &mut [f32],
+    collective: u64,
+    bucket: usize,
+    offset: usize,
+    kind: PassKind,
+    prime: bool,
+    handoff: Option<u64>,
+) {
+    let p = rank.size();
+    let me = rank.id();
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    let n = buf.len();
+    if prime {
+        // Step 0 primes the ring with this rank's own chunk.
+        let first = chunk_bounds(n, p, (me + offset) % p);
+        for (g, seg) in buf[first.0..first.1].chunks(bucket).enumerate() {
+            rank.send_from(right, tag_seg(collective, 0, g), seg);
+        }
+    }
+    for s in 0..p - 1 {
+        let recv_chunk = (me + offset + p - s - 1) % p;
+        let (rs, re) = chunk_bounds(n, p, recv_chunk);
+        let last = s == p - 2;
+        match kind {
+            PassKind::Reduce(op) if !last => {
+                // Fold this rank's contribution into the circulating
+                // partial and pass it on; `buf` is untouched. Operand
+                // order (local ⊕ incoming) matches the final-hop fold so
+                // results are bit-identical to the copy-per-step ring.
+                for (g, local) in buf[rs..re].chunks(bucket).enumerate() {
+                    let mut payload = rank.recv(left, tag_seg(collective, s, g));
+                    op.fold_into_payload(&mut payload, local);
+                    rank.send(right, tag_seg(collective, s + 1, g), payload);
+                }
+            }
+            PassKind::Reduce(op) => {
+                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
+                    match handoff {
+                        Some(next) => {
+                            // Finish the chunk in the payload itself, land
+                            // it in `buf`, and forward it as the priming
+                            // message of the next phase — no pooled copy.
+                            let mut payload = rank.recv(left, tag_seg(collective, s, g));
+                            op.fold_into_payload(&mut payload, window);
+                            window.copy_from_slice(&payload);
+                            rank.send(right, tag_seg(next, 0, g), payload);
+                        }
+                        None => {
+                            rank.recv_with(left, tag_seg(collective, s, g), |payload| {
+                                op.fold(window, payload);
+                            });
+                        }
+                    }
+                }
+            }
+            PassKind::Gather if !last => {
+                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
+                    let payload = rank.recv(left, tag_seg(collective, s, g));
+                    window.copy_from_slice(&payload);
+                    rank.send(right, tag_seg(collective, s + 1, g), payload);
+                }
+            }
+            PassKind::Gather => {
+                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
+                    rank.recv_with(left, tag_seg(collective, s, g), |payload| {
+                        window.copy_from_slice(payload);
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Ring allreduce: reduce-scatter phase then allgather phase.
 ///
 /// After return, every rank's `buf` holds the element-wise reduction of all
-/// ranks' input buffers.
+/// ranks' input buffers. Runs on the pooled communicator primitives: in
+/// steady state (pools warm) the call performs no heap allocation.
 ///
 /// # Panics
 /// Panics if buffer lengths differ across ranks (detected as message-length
 /// mismatch).
 pub fn ring_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) {
-    let p = rank.size();
-    if p == 1 {
+    let bucket = buf.len().max(1);
+    ring_allreduce_bucketed(rank, buf, op, bucket);
+}
+
+/// [`ring_allreduce`] with each chunk transfer split into messages of at
+/// most `bucket_elems` elements (the gradient-fusion bucket).
+///
+/// Bucketing only changes message segmentation, never the chunk partition
+/// or the per-element fold order, so the result is bit-identical to the
+/// flat [`ring_allreduce`] for every bucket size; `bucket_elems >= n`
+/// degenerates to exactly the flat path.
+///
+/// # Panics
+/// Panics if `bucket_elems == 0` or on the conditions of
+/// [`ring_allreduce`].
+pub fn ring_allreduce_bucketed(rank: &Rank, buf: &mut [f32], op: ReduceOp, bucket_elems: usize) {
+    assert!(bucket_elems > 0, "bucket must hold at least one element");
+    if rank.size() == 1 {
         return;
     }
-    let me = rank.id();
-    let right = (me + 1) % p;
-    let left = (me + p - 1) % p;
-    let n = buf.len();
-
     // Phase 1: reduce-scatter. In step s, send chunk (me - s) and reduce
-    // into chunk (me - s - 1), both mod p.
-    for s in 0..p - 1 {
-        let send_chunk = (me + p - s) % p;
-        let recv_chunk = (me + p - s - 1) % p;
-        let (ss, se) = chunk_bounds(n, p, send_chunk);
-        let got = rank.send_recv(right, left, tag(0, s), buf[ss..se].to_vec());
-        let (rs, re) = chunk_bounds(n, p, recv_chunk);
-        op.fold(&mut buf[rs..re], &got);
-    }
-    // Phase 2: allgather. In step s, send chunk (me + 1 - s) mod p.
-    for s in 0..p - 1 {
-        let send_chunk = (me + 1 + p - s) % p;
-        let recv_chunk = (me + p - s) % p;
-        let (ss, se) = chunk_bounds(n, p, send_chunk);
-        let got = rank.send_recv(right, left, tag(1, s), buf[ss..se].to_vec());
-        let (rs, re) = chunk_bounds(n, p, recv_chunk);
-        buf[rs..re].copy_from_slice(&got);
-    }
+    // into chunk (me - s - 1), both mod p. The final hop hands its finished
+    // chunk straight to phase 2 as that phase's priming message.
+    ring_pass(
+        rank,
+        buf,
+        0,
+        bucket_elems,
+        0,
+        PassKind::Reduce(op),
+        true,
+        Some(1),
+    );
+    // Phase 2: allgather. In step s, send chunk (me + 1 - s) mod p; step 0
+    // was already sent by the reduce-scatter handoff.
+    ring_pass(rank, buf, 1, bucket_elems, 1, PassKind::Gather, false, None);
 }
 
 /// Reduce-scatter over a ring: afterwards, rank i holds the fully reduced
-/// chunk i (other chunks contain partial garbage). Returns the (start, end)
+/// chunk i (the contents of other chunks are unspecified — partials ride in
+/// the circulating messages, not in `buf`). Returns the (start, end)
 /// element range this rank owns.
 pub fn reduce_scatter(rank: &Rank, buf: &mut [f32], op: ReduceOp) -> (usize, usize) {
     let p = rank.size();
@@ -116,38 +283,18 @@ pub fn reduce_scatter(rank: &Rank, buf: &mut [f32], op: ReduceOp) -> (usize, usi
     if p == 1 {
         return (0, n);
     }
-    let right = (me + 1) % p;
-    let left = (me + p - 1) % p;
-    for s in 0..p - 1 {
-        let send_chunk = (me + p - s) % p;
-        let recv_chunk = (me + p - s - 1) % p;
-        let (ss, se) = chunk_bounds(n, p, send_chunk);
-        let got = rank.send_recv(right, left, tag(2, s), buf[ss..se].to_vec());
-        let (rs, re) = chunk_bounds(n, p, recv_chunk);
-        op.fold(&mut buf[rs..re], &got);
-    }
+    ring_pass(rank, buf, 2, n.max(1), 0, PassKind::Reduce(op), true, None);
     chunk_bounds(n, p, (me + 1) % p)
 }
 
 /// Ring allgather: each rank contributes its own chunk of `buf` (as defined
 /// by `chunk_bounds`) and receives everyone else's.
 pub fn ring_allgather(rank: &Rank, buf: &mut [f32]) {
-    let p = rank.size();
-    if p == 1 {
+    if rank.size() == 1 {
         return;
     }
-    let me = rank.id();
-    let right = (me + 1) % p;
-    let left = (me + p - 1) % p;
-    let n = buf.len();
-    for s in 0..p - 1 {
-        let send_chunk = (me + p - s) % p;
-        let recv_chunk = (me + p - s - 1) % p;
-        let (ss, se) = chunk_bounds(n, p, send_chunk);
-        let got = rank.send_recv(right, left, tag(3, s), buf[ss..se].to_vec());
-        let (rs, re) = chunk_bounds(n, p, recv_chunk);
-        buf[rs..re].copy_from_slice(&got);
-    }
+    let bucket = buf.len().max(1);
+    ring_pass(rank, buf, 3, bucket, 0, PassKind::Gather, true, None);
 }
 
 /// Recursive-doubling allreduce: `log2 p` full-buffer exchanges.
@@ -156,14 +303,18 @@ pub fn ring_allgather(rank: &Rank, buf: &mut [f32]) {
 /// Panics unless the world size is a power of two.
 pub fn recursive_doubling_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) {
     let p = rank.size();
-    assert!(p.is_power_of_two(), "recursive doubling needs power-of-two world");
+    assert!(
+        p.is_power_of_two(),
+        "recursive doubling needs power-of-two world"
+    );
     let me = rank.id();
     let mut dist = 1;
     let mut step = 0;
     while dist < p {
         let peer = me ^ dist;
-        let got = rank.send_recv(peer, peer, tag(4, step), buf.to_vec());
-        op.fold(buf, &got);
+        let t = tag(4, step);
+        rank.send_from(peer, t, buf);
+        rank.recv_with(peer, t, |got| op.fold(buf, got));
         dist <<= 1;
         step += 1;
     }
@@ -180,7 +331,10 @@ pub fn rabenseifner_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) {
     let p = rank.size();
     assert!(p.is_power_of_two(), "rabenseifner needs power-of-two world");
     let n = buf.len();
-    assert!(n.is_multiple_of(p), "buffer length must be divisible by world size");
+    assert!(
+        n.is_multiple_of(p),
+        "buffer length must be divisible by world size"
+    );
     if p == 1 {
         return;
     }
@@ -195,16 +349,21 @@ pub fn rabenseifner_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) {
     while dist >= 1 {
         let peer = me ^ dist;
         let mid = lo + (hi - lo) / 2;
+        let t = tag(5, step);
         // The rank whose id bit is 0 keeps the lower half.
-        let (keep_lo, keep_hi, send_lo, send_hi) = if me & dist == 0 {
-            (lo, mid, mid, hi)
+        let (first, second) = buf[lo..hi].split_at_mut(mid - lo);
+        let (keep, send) = if me & dist == 0 {
+            (first, &*second)
         } else {
-            (mid, hi, lo, mid)
+            (second, &*first)
         };
-        let got = rank.send_recv(peer, peer, tag(5, step), buf[send_lo..send_hi].to_vec());
-        op.fold(&mut buf[keep_lo..keep_hi], &got);
-        lo = keep_lo;
-        hi = keep_hi;
+        rank.send_from(peer, t, send);
+        rank.recv_with(peer, t, |got| op.fold(keep, got));
+        if me & dist == 0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
         dist /= 2;
         step += 1;
     }
@@ -220,8 +379,10 @@ pub fn rabenseifner_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) {
         } else {
             (lo - window, hi - window)
         };
-        let got = rank.send_recv(peer, peer, tag(6, step), buf[lo..hi].to_vec());
-        buf[peer_lo..peer_hi].copy_from_slice(&got);
+        let t = tag(6, step);
+        let (src, dst) = send_recv_windows(buf, (lo, hi), (peer_lo, peer_hi));
+        rank.send_from(peer, t, src);
+        rank.recv_into(peer, t, dst);
         lo = lo.min(peer_lo);
         hi = hi.max(peer_hi);
         dist <<= 1;
@@ -248,7 +409,12 @@ pub fn binomial_broadcast(rank: &Rank, buf: &mut Vec<f32>, root: usize) {
     while mask < p {
         if vrank & mask != 0 {
             let parent = (vrank - mask + root) % p;
-            *buf = rank.recv(parent, tag(7, mask.trailing_zeros() as usize));
+            // Reuse `buf`'s own storage and recycle the transport buffer
+            // instead of replacing the allocation wholesale.
+            rank.recv_with(parent, tag(7, mask.trailing_zeros() as usize), |payload| {
+                buf.clear();
+                buf.extend_from_slice(payload);
+            });
             break;
         }
         mask <<= 1;
@@ -257,7 +423,39 @@ pub fn binomial_broadcast(rank: &Rank, buf: &mut Vec<f32>, root: usize) {
     while mask > 0 {
         if vrank + mask < p {
             let child = (vrank + mask + root) % p;
-            rank.send(child, tag(7, mask.trailing_zeros() as usize), buf.clone());
+            rank.send_from(child, tag(7, mask.trailing_zeros() as usize), buf);
+        }
+        mask >>= 1;
+    }
+}
+
+/// [`binomial_broadcast`] for pre-sized buffers: every rank passes a slice
+/// of the same length and the root's contents are broadcast into it,
+/// without touching any allocation.
+///
+/// # Panics
+/// Panics if buffer lengths differ across ranks.
+pub fn binomial_broadcast_into(rank: &Rank, buf: &mut [f32], root: usize) {
+    let p = rank.size();
+    if p == 1 {
+        return;
+    }
+    let me = rank.id();
+    let vrank = (me + p - root) % p;
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask != 0 {
+            let parent = (vrank - mask + root) % p;
+            rank.recv_into(parent, tag(9, mask.trailing_zeros() as usize), buf);
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        if vrank + mask < p {
+            let child = (vrank + mask + root) % p;
+            rank.send_from(child, tag(9, mask.trailing_zeros() as usize), buf);
         }
         mask >>= 1;
     }
@@ -278,14 +476,15 @@ pub fn binomial_reduce(rank: &Rank, buf: &mut [f32], op: ReduceOp, root: usize) 
             // Send partial to parent and exit.
             let parent_v = vrank & !mask;
             let parent = (parent_v + root) % p;
-            rank.send(parent, tag(8, mask.trailing_zeros() as usize), buf.to_vec());
+            rank.send_from(parent, tag(8, mask.trailing_zeros() as usize), buf);
             return;
         }
         if vrank + mask < p {
             let child_v = vrank + mask;
             let child = (child_v + root) % p;
-            let got = rank.recv(child, tag(8, mask.trailing_zeros() as usize));
-            op.fold(buf, &got);
+            rank.recv_with(child, tag(8, mask.trailing_zeros() as usize), |got| {
+                op.fold(buf, got);
+            });
         }
         mask <<= 1;
     }
@@ -294,15 +493,22 @@ pub fn binomial_reduce(rank: &Rank, buf: &mut [f32], op: ReduceOp, root: usize) 
 /// Tree allreduce: binomial reduce to rank 0, then binomial broadcast.
 pub fn tree_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) {
     binomial_reduce(rank, buf, op, 0);
-    let mut v = buf.to_vec();
-    binomial_broadcast(rank, &mut v, 0);
-    buf.copy_from_slice(&v);
+    binomial_broadcast_into(rank, buf, 0);
 }
 
 /// Collective tag namespace: `(collective id, step)` packed into a u64 so
 /// different collectives and steps never collide.
 fn tag(collective: u64, step: usize) -> u64 {
-    (collective << 32) | step as u64
+    tag_seg(collective, step, 0)
+}
+
+/// Tag for one segment of a bucketed chunk transfer: `(collective id,
+/// step, segment)` packed so that the flat path (`segment == 0`) produces
+/// the same tags as the historical unsegmented collectives.
+fn tag_seg(collective: u64, step: usize, seg: usize) -> u64 {
+    debug_assert!(step < 1 << 12, "ring step out of tag range");
+    assert!(seg < 1 << 20, "segment index out of tag range");
+    (collective << 32) | ((seg as u64) << 12) | step as u64
 }
 
 #[cfg(test)]
@@ -434,7 +640,10 @@ mod tests {
                 covered[i] = true;
             }
         }
-        assert!(covered.iter().all(|&c| c), "chunks must partition the buffer");
+        assert!(
+            covered.iter().all(|&c| c),
+            "chunks must partition the buffer"
+        );
     }
 
     #[test]
@@ -447,5 +656,69 @@ mod tests {
         });
         assert_eq!(stats.bytes_sent, (4 * 2 * (p - 1) * n) as u64);
         assert_eq!(stats.messages_sent, (2 * (p - 1) * p) as u64);
+    }
+
+    /// In every ring step the p ranks send p distinct chunks that partition
+    /// the buffer, so total traffic is exactly 4 * 2(p-1) * n bytes even
+    /// when p does not divide n — and bucketing must not change a byte.
+    #[test]
+    fn executed_ring_traffic_is_exact_for_uneven_chunks() {
+        for p in [2usize, 3, 4, 8] {
+            for n in [1usize, 5, 37, 96] {
+                for bucket in [usize::MAX, 7, 1] {
+                    let (_, stats) = World::run_with_stats(p, |rank| {
+                        let mut buf = vec![1.0f32; n];
+                        ring_allreduce_bucketed(rank, &mut buf, ReduceOp::Sum, bucket);
+                    });
+                    assert_eq!(
+                        stats.bytes_sent,
+                        (4 * 2 * (p - 1) * n) as u64,
+                        "p={p} n={n} bucket={bucket}"
+                    );
+                    if n >= p && bucket == usize::MAX {
+                        // Flat path, all chunks non-empty: one message per
+                        // rank per step.
+                        assert_eq!(stats.messages_sent, (2 * (p - 1) * p) as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Bucketing is pure message segmentation: for any world size,
+        /// buffer, and bucket size (one element up to larger than the whole
+        /// buffer), the bucketed allreduce is bit-identical to the flat one.
+        #[test]
+        fn bucketed_allreduce_bit_identical_to_flat(
+            p in 2usize..=8,
+            n in 1usize..=48,
+            bucket in 1usize..=64,
+            seed in 0u64..1000,
+        ) {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inputs: Vec<Vec<f32>> = (0..p)
+                .map(|_| (0..n).map(|_| rng.gen_range(-1e3f32..1e3)).collect())
+                .collect();
+            let flat = World::run(p, |rank| {
+                let mut buf = inputs[rank.id()].clone();
+                ring_allreduce(rank, &mut buf, ReduceOp::Sum);
+                buf
+            });
+            let bucketed = World::run(p, |rank| {
+                let mut buf = inputs[rank.id()].clone();
+                ring_allreduce_bucketed(rank, &mut buf, ReduceOp::Sum, bucket);
+                buf
+            });
+            for (r, (f, b)) in flat.iter().zip(&bucketed).enumerate() {
+                for (i, (x, y)) in f.iter().zip(b).enumerate() {
+                    proptest::prop_assert_eq!(
+                        x.to_bits(), y.to_bits(),
+                        "rank {} element {}: {} vs {}", r, i, x, y
+                    );
+                }
+            }
+        }
     }
 }

@@ -94,7 +94,10 @@ pub fn gather(rank: &Rank, data: Vec<f32>, root: usize) -> Vec<Vec<f32>> {
 /// Panics unless the world size is a multiple of `group_size`.
 pub fn hierarchical_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp, group_size: usize) {
     let p = rank.size();
-    assert!(group_size > 0 && p.is_multiple_of(group_size), "world must tile into groups");
+    assert!(
+        group_size > 0 && p.is_multiple_of(group_size),
+        "world must tile into groups"
+    );
     let me = rank.id();
     let leader = me - me % group_size;
     let lane = me - leader;
@@ -102,11 +105,10 @@ pub fn hierarchical_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp, group_
     // Phase 1: linear reduce to the group leader (groups are small — the
     // NVLink triplet/node — so a linear gather-reduce is what NCCL does).
     if lane != 0 {
-        rank.send(leader, tag(13, lane), buf.to_vec());
+        rank.send_from(leader, tag(13, lane), buf);
     } else {
         for l in 1..group_size {
-            let got = rank.recv(leader + l, tag(13, l));
-            op.fold(buf, &got);
+            rank.recv_with(leader + l, tag(13, l), |got| op.fold(buf, got));
         }
     }
 
@@ -129,29 +131,34 @@ pub fn hierarchical_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp, group_
         for s in 0..groups - 1 {
             let send_chunk = (gid + groups - s) % groups;
             let recv_chunk = (gid + groups - s - 1) % groups;
-            let (ss, se) = chunk_bounds(send_chunk);
-            let got = rank.send_recv(right, left, tag(14, s), buf[ss..se].to_vec());
-            let (rs, re) = chunk_bounds(recv_chunk);
-            op.fold(&mut buf[rs..re], &got);
+            let (src, dst) = crate::collectives::send_recv_windows(
+                buf,
+                chunk_bounds(send_chunk),
+                chunk_bounds(recv_chunk),
+            );
+            rank.send_from(right, tag(14, s), src);
+            rank.recv_with(left, tag(14, s), |got| op.fold(dst, got));
         }
         for s in 0..groups - 1 {
             let send_chunk = (gid + 1 + groups - s) % groups;
             let recv_chunk = (gid + groups - s) % groups;
-            let (ss, se) = chunk_bounds(send_chunk);
-            let got = rank.send_recv(right, left, tag(15, s), buf[ss..se].to_vec());
-            let (rs, re) = chunk_bounds(recv_chunk);
-            buf[rs..re].copy_from_slice(&got);
+            let (src, dst) = crate::collectives::send_recv_windows(
+                buf,
+                chunk_bounds(send_chunk),
+                chunk_bounds(recv_chunk),
+            );
+            rank.send_from(right, tag(15, s), src);
+            rank.recv_into(left, tag(15, s), dst);
         }
     }
 
     // Phase 3: leaders broadcast into their groups.
     if lane == 0 {
         for l in 1..group_size {
-            rank.send(leader + l, tag(16, l), buf.to_vec());
+            rank.send_from(leader + l, tag(16, l), buf);
         }
     } else {
-        let got = rank.recv(leader, tag(16, lane));
-        buf.copy_from_slice(&got);
+        rank.recv_into(leader, tag(16, lane), buf);
     }
 }
 
@@ -211,9 +218,8 @@ mod tests {
         for p in [2usize, 4, 8, 3, 5, 7] {
             let out = World::run(p, |rank| {
                 // Rank i sends [i·p + j] to rank j.
-                let send: Vec<Vec<f32>> = (0..p)
-                    .map(|j| vec![(rank.id() * p + j) as f32])
-                    .collect();
+                let send: Vec<Vec<f32>> =
+                    (0..p).map(|j| vec![(rank.id() * p + j) as f32]).collect();
                 alltoall(rank, send)
             });
             for (i, recv) in out.iter().enumerate() {
@@ -228,9 +234,8 @@ mod tests {
     fn scatter_distributes_chunks() {
         for root in 0..4 {
             let out = World::run(4, |rank| {
-                let chunks = (rank.id() == root).then(|| {
-                    (0..4).map(|i| vec![i as f32, (i * i) as f32]).collect()
-                });
+                let chunks = (rank.id() == root)
+                    .then(|| (0..4).map(|i| vec![i as f32, (i * i) as f32]).collect());
                 scatter(rank, chunks, root)
             });
             for (i, chunk) in out.iter().enumerate() {

@@ -44,7 +44,10 @@ impl Group {
     /// Panics if `members` is empty, unsorted, or missing the caller.
     pub fn from_members(rank: &Rank, members: Vec<usize>) -> Group {
         assert!(!members.is_empty(), "group cannot be empty");
-        assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be sorted");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted"
+        );
         let my_index = members
             .iter()
             .position(|&r| r == rank.id())
@@ -96,18 +99,20 @@ impl Group {
         for s in 0..g - 1 {
             let send_chunk = (me + g - s) % g;
             let recv_chunk = (me + g - s - 1) % g;
-            let (ss, se) = bounds(send_chunk);
-            let got = rank.send_recv(right, left, (20 << 32) | fp | s as u64, buf[ss..se].to_vec());
-            let (rs, re) = bounds(recv_chunk);
-            op.fold(&mut buf[rs..re], &got);
+            let (src, dst) =
+                crate::collectives::send_recv_windows(buf, bounds(send_chunk), bounds(recv_chunk));
+            let t = (20 << 32) | fp | s as u64;
+            rank.send_from(right, t, src);
+            rank.recv_with(left, t, |got| op.fold(dst, got));
         }
         for s in 0..g - 1 {
             let send_chunk = (me + 1 + g - s) % g;
             let recv_chunk = (me + g - s) % g;
-            let (ss, se) = bounds(send_chunk);
-            let got = rank.send_recv(right, left, (21 << 32) | fp | s as u64, buf[ss..se].to_vec());
-            let (rs, re) = bounds(recv_chunk);
-            buf[rs..re].copy_from_slice(&got);
+            let (src, dst) =
+                crate::collectives::send_recv_windows(buf, bounds(send_chunk), bounds(recv_chunk));
+            let t = (21 << 32) | fp | s as u64;
+            rank.send_from(right, t, src);
+            rank.recv_into(left, t, dst);
         }
     }
 
@@ -122,11 +127,14 @@ impl Group {
         if rank.id() == root {
             for &m in &self.members {
                 if m != root {
-                    rank.send(m, (22 << 32) | fp, buf.clone());
+                    rank.send_from(m, (22 << 32) | fp, buf);
                 }
             }
         } else {
-            *buf = rank.recv(root, (22 << 32) | fp);
+            rank.recv_with(root, (22 << 32) | fp, |payload| {
+                buf.clear();
+                buf.extend_from_slice(payload);
+            });
         }
     }
 }

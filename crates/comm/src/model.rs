@@ -100,9 +100,7 @@ impl CollectiveModel {
         let pf = p as f64;
         let inv_b = 1.0 / self.link.beta;
         match alg {
-            Algorithm::Ring | Algorithm::Rabenseifner => {
-                2.0 * (pf - 1.0) / pf * bytes * inv_b
-            }
+            Algorithm::Ring | Algorithm::Rabenseifner => 2.0 * (pf - 1.0) / pf * bytes * inv_b,
             Algorithm::RecursiveDoubling => pf.log2() * bytes * inv_b,
             Algorithm::BinomialTree => 2.0 * pf.log2() * bytes * inv_b,
         }
@@ -210,8 +208,8 @@ mod tests {
     fn paper_resnet50_and_bert_times() {
         let m = summit_model();
         let p = 4608; // full-Summit data-parallel job, one ring over nodes
-        // The paper's arithmetic is bandwidth-only (pipelined collectives
-        // hide the ring's latency term).
+                      // The paper's arithmetic is bandwidth-only (pipelined collectives
+                      // hide the ring's latency term).
         let t_resnet = m.bandwidth_term(Algorithm::Ring, p, 100.0e6);
         let t_bert = m.bandwidth_term(Algorithm::Ring, p, 1.4e9);
         assert!((t_resnet - 8.0e-3).abs() / 8.0e-3 < 0.05, "got {t_resnet}");

@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -23,6 +23,78 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 struct Envelope {
     tag: u64,
     payload: Vec<f32>,
+}
+
+/// Per-rank free list of recycled message payloads, bucketed by capacity
+/// class (next power of two).
+///
+/// `send_from` draws its payload here instead of allocating, and
+/// `recv_into`/`recv_with` return the received payload here instead of
+/// dropping it. Under a ring collective every rank hands one buffer to its
+/// right neighbour and recycles one from its left each step, so after a
+/// one-round warm-up the pools circulate a fixed set of buffers and the
+/// steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    /// `classes[c]` holds buffers whose capacity is in `[1 << c, 2 << c)`,
+    /// so any buffer drawn from class `ceil(log2(len))` can hold `len`
+    /// elements without growing.
+    classes: RefCell<Vec<Vec<Vec<f32>>>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+/// Pool effectiveness counters for one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Buffer requests served from the free list.
+    pub hits: u64,
+    /// Buffer requests that had to allocate.
+    pub misses: u64,
+}
+
+impl BufferPool {
+    fn class_of(len: usize) -> usize {
+        len.next_power_of_two().trailing_zeros() as usize
+    }
+
+    /// Take a buffer with `capacity >= len` and length 0, reusing a
+    /// recycled one when available.
+    fn acquire(&self, len: usize) -> Vec<f32> {
+        let class = Self::class_of(len);
+        let mut classes = self.classes.borrow_mut();
+        if let Some(mut buf) = classes.get_mut(class).and_then(Vec::pop) {
+            self.hits.set(self.hits.get() + 1);
+            buf.clear();
+            buf
+        } else {
+            self.misses.set(self.misses.get() + 1);
+            drop(classes);
+            Vec::with_capacity(len.next_power_of_two())
+        }
+    }
+
+    /// Return a spent payload to the free list.
+    fn release(&self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        // Floor class: every buffer in class `c` has capacity >= 1 << c,
+        // which is what `acquire`'s ceil-class lookup relies on.
+        let class = (usize::BITS - 1 - buf.capacity().leading_zeros()) as usize;
+        let mut classes = self.classes.borrow_mut();
+        if classes.len() <= class {
+            classes.resize_with(class + 1, Vec::new);
+        }
+        classes[class].push(buf);
+    }
+
+    fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+        }
+    }
 }
 
 /// A handle held by one rank (thread) of a [`World`].
@@ -35,6 +107,7 @@ pub struct Rank {
     barrier: Arc<Barrier>,
     bytes_sent: Arc<AtomicU64>,
     messages_sent: Arc<AtomicU64>,
+    pool: BufferPool,
 }
 
 impl Rank {
@@ -93,6 +166,93 @@ impl Rank {
         self.recv(from, tag)
     }
 
+    /// Send a copy of `src` to rank `to`, drawing the payload from this
+    /// rank's [`BufferPool`] instead of allocating.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or equals this rank.
+    pub fn send_from(&self, to: usize, tag: u64, src: &[f32]) {
+        let mut payload = self.pool.acquire(src.len());
+        payload.extend_from_slice(src);
+        self.send(to, tag, payload);
+    }
+
+    /// Receive the next message from rank `from` carrying `tag` into `dst`,
+    /// recycling the transport buffer into this rank's [`BufferPool`].
+    ///
+    /// # Panics
+    /// Panics on the same conditions as [`Rank::recv`], or if the payload
+    /// length differs from `dst.len()`.
+    pub fn recv_into(&self, from: usize, tag: u64, dst: &mut [f32]) {
+        let payload = self.recv(from, tag);
+        assert_eq!(
+            payload.len(),
+            dst.len(),
+            "recv_into: payload length mismatch"
+        );
+        dst.copy_from_slice(&payload);
+        self.pool.release(payload);
+    }
+
+    /// Receive from rank `from` with `tag` and hand the payload to `f` by
+    /// reference, recycling the transport buffer afterwards. This is the
+    /// zero-copy receive: reductions fold straight out of the payload
+    /// without an intermediate copy.
+    ///
+    /// # Panics
+    /// Panics on the same conditions as [`Rank::recv`].
+    pub fn recv_with<R>(&self, from: usize, tag: u64, f: impl FnOnce(&[f32]) -> R) -> R {
+        let payload = self.recv(from, tag);
+        let out = f(&payload);
+        self.pool.release(payload);
+        out
+    }
+
+    /// The ring step without allocation: send a copy of `src` to `to`, then
+    /// receive the matching message from `from` into `dst`. `src` and `dst`
+    /// may be the same slice contents-wise; they are distinct borrows.
+    ///
+    /// # Panics
+    /// Panics on the combined conditions of [`Rank::send_from`] and
+    /// [`Rank::recv_into`].
+    pub fn send_recv_into(&self, to: usize, from: usize, tag: u64, src: &[f32], dst: &mut [f32]) {
+        self.send_from(to, tag, src);
+        self.recv_into(from, tag, dst);
+    }
+
+    /// Like [`Rank::send_recv_into`] but the received payload is folded
+    /// into `dst` by `f` (element-by-element) instead of overwriting it —
+    /// the reduce-scatter inner step.
+    ///
+    /// # Panics
+    /// Panics on the same conditions as [`Rank::send_recv_into`].
+    pub fn send_recv_fold(
+        &self,
+        to: usize,
+        from: usize,
+        tag: u64,
+        src: &[f32],
+        dst: &mut [f32],
+        f: impl Fn(f32, f32) -> f32,
+    ) {
+        self.send_from(to, tag, src);
+        self.recv_with(from, tag, |payload| {
+            assert_eq!(
+                payload.len(),
+                dst.len(),
+                "send_recv_fold: payload length mismatch"
+            );
+            for (d, &s) in dst.iter_mut().zip(payload) {
+                *d = f(*d, s);
+            }
+        });
+    }
+
+    /// This rank's buffer-pool hit/miss counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Block until every rank has reached this barrier.
     pub fn barrier(&self) {
         self.barrier.wait();
@@ -137,9 +297,8 @@ impl World {
         let messages_sent = Arc::new(AtomicU64::new(0));
         // channels[src][dst]
         let mut txs: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(p);
-        let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> = (0..p)
-            .map(|_| (0..p).map(|_| None).collect())
-            .collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for src in 0..p {
             let mut row = Vec::with_capacity(p);
             for (dst, rx_row) in rxs.iter_mut().enumerate() {
@@ -166,6 +325,7 @@ impl World {
                 barrier: Arc::clone(&barrier),
                 bytes_sent: Arc::clone(&bytes_sent),
                 messages_sent: Arc::clone(&messages_sent),
+                pool: BufferPool::default(),
             });
         }
 
@@ -272,6 +432,82 @@ mod tests {
             // After the barrier every increment must be visible.
             assert_eq!(counter.load(Ordering::SeqCst), 8);
         });
+    }
+
+    #[test]
+    fn pooled_ring_step_reuses_buffers() {
+        let p = 4;
+        let rounds = 32;
+        let out = World::run(p, |r| {
+            let right = (r.id() + 1) % p;
+            let left = (r.id() + p - 1) % p;
+            let src = vec![r.id() as f32; 256];
+            let mut dst = vec![0.0f32; 256];
+            for round in 0..rounds {
+                r.send_recv_into(right, left, round, &src, &mut dst);
+                assert_eq!(dst[0], left as f32);
+            }
+            r.barrier();
+            r.pool_stats()
+        });
+        for stats in out {
+            // One miss to mint the first buffer; every later round reuses
+            // the buffer recycled from the left neighbour.
+            assert_eq!(stats.misses, 1, "pool stats: {stats:?}");
+            assert_eq!(stats.hits, rounds - 1, "pool stats: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn recv_into_checks_length() {
+        let result = std::panic::catch_unwind(|| {
+            World::run(2, |r| {
+                if r.id() == 0 {
+                    r.send_from(1, 0, &[1.0, 2.0]);
+                } else {
+                    let mut dst = [0.0f32; 3];
+                    r.recv_into(0, 0, &mut dst);
+                }
+            });
+        });
+        assert!(result.is_err(), "length mismatch must panic");
+    }
+
+    #[test]
+    fn send_recv_fold_reduces_in_place() {
+        let p = 3;
+        let out = World::run(p, |r| {
+            let right = (r.id() + 1) % p;
+            let left = (r.id() + p - 1) % p;
+            let src = [r.id() as f32 + 1.0; 4];
+            let mut acc = [10.0f32; 4];
+            r.send_recv_fold(right, left, 0, &src, &mut acc, |a, b| a + b);
+            acc[0]
+        });
+        for (id, v) in out.iter().enumerate() {
+            let left = (id + p - 1) % p;
+            assert_eq!(*v, 10.0 + left as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn pool_classes_round_capacity_correctly() {
+        let pool = BufferPool::default();
+        // A released odd-capacity buffer must only satisfy requests it can
+        // actually hold without growing.
+        let mut odd = Vec::with_capacity(5);
+        odd.push(1.0f32);
+        pool.release(odd);
+        let got = pool.acquire(8);
+        assert!(got.capacity() >= 8, "capacity {}", got.capacity());
+        assert_eq!(pool.stats(), PoolStats { hits: 0, misses: 1 });
+        let got2 = pool.acquire(4);
+        assert!(got2.capacity() >= 4);
+        assert_eq!(
+            pool.stats().hits,
+            1,
+            "class-2 request reuses the cap-5 buffer"
+        );
     }
 
     #[test]

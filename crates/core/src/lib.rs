@@ -65,7 +65,7 @@ pub mod prelude {
         model::MlpSpec,
         optim::{Adam, Lamb, Larc, Lars, Optimizer, Sgd},
         schedule::LrSchedule,
-        trainer::{DataParallelTrainer, Trainer},
+        trainer::{DataParallelTrainer, FusionConfig, Trainer},
     };
     pub use summit_io::{
         dataset::{DatasetSpec, ShardPlan},
@@ -75,9 +75,7 @@ pub mod prelude {
         tier::StorageTier,
     };
     pub use summit_machine::{spec::MachineSpec, topology::FatTree, LinkModel};
-    pub use summit_perf::{
-        case_studies::CaseStudy, crossover::CommCrossover, model::ScalingModel,
-    };
+    pub use summit_perf::{case_studies::CaseStudy, crossover::CommCrossover, model::ScalingModel};
     pub use summit_sched::{program::Program, scheduler::Scheduler};
     pub use summit_survey::{
         analytics, portfolio,

@@ -115,7 +115,8 @@ pub fn io_analysis() -> String {
     let demand = resnet50_full_summit_demand();
     let gpfs = demand.feasibility(&StorageTier::shared_fs(&summit));
     let nvme = demand.feasibility(&StorageTier::node_local_nvme(&summit, summit.nodes));
-    let mut out = String::from("SECTION VI-B. I/O CONSIDERATIONS (ResNet50/ImageNet, full Summit)\n");
+    let mut out =
+        String::from("SECTION VI-B. I/O CONSIDERATIONS (ResNet50/ImageNet, full Summit)\n");
     out.push_str(&format!(
         "required aggregate read bandwidth : {:6.1} TB/s (paper: ~20 TB/s)\n",
         demand.aggregate_read_bw() / 1e12
@@ -125,7 +126,11 @@ pub fn io_analysis() -> String {
             "{:<34}: {:6.1} TB/s -> {} ({:.0}% of ideal throughput)\n",
             f.tier_name,
             f.supply_bw / 1e12,
-            if f.satisfied { "satisfies demand" } else { "CANNOT sustain demand" },
+            if f.satisfied {
+                "satisfies demand"
+            } else {
+                "CANNOT sustain demand"
+            },
             f.achievable_fraction * 100.0
         ));
     }
@@ -186,7 +191,10 @@ pub fn parallelism_analysis() -> String {
         let best = planner.best(&w);
         let (plan, tput) = match &best {
             Some(b) => (
-                format!("{}x{}x{}", b.strategy.data, b.strategy.tensor, b.strategy.pipeline),
+                format!(
+                    "{}x{}x{}",
+                    b.strategy.data, b.strategy.tensor, b.strategy.pipeline
+                ),
                 format!("{:.0}", b.throughput),
             ),
             None => ("infeasible".to_string(), "-".to_string()),
@@ -213,8 +221,10 @@ pub fn parallelism_analysis() -> String {
 pub fn roofline_analysis() -> String {
     let gpu = summit_machine::spec::GpuSpec::v100();
     let r = Roofline::of_gpu(&gpu);
-    let mut out = String::from("SECTION VI-B. DEVICE-LEVEL ROOFLINE (V100, mixed precision)
-");
+    let mut out = String::from(
+        "SECTION VI-B. DEVICE-LEVEL ROOFLINE (V100, mixed precision)
+",
+    );
     out.push_str(&format!(
         "peak {:.0} TF/s, HBM {:.0} GB/s -> machine balance {:.0} FLOP/byte
 ",
@@ -237,7 +247,11 @@ pub fn roofline_analysis() -> String {
             p.kernel.arithmetic_intensity,
             p.attainable_flops / 1e12,
             p.peak_fraction * 100.0,
-            if p.compute_bound { "compute-bound" } else { "MEMORY-bound" }
+            if p.compute_bound {
+                "compute-bound"
+            } else {
+                "MEMORY-bound"
+            }
         ));
     }
     out.push_str(

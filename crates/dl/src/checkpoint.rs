@@ -44,7 +44,10 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::ChecksumMismatch => write!(f, "checkpoint corrupted (checksum)"),
             CheckpointError::ShapeMismatch { checkpoint, model } => {
-                write!(f, "parameter count mismatch: checkpoint {checkpoint}, model {model}")
+                write!(
+                    f,
+                    "parameter count mismatch: checkpoint {checkpoint}, model {model}"
+                )
             }
         }
     }

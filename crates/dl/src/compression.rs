@@ -275,7 +275,10 @@ mod tests {
         // Top 2 by magnitude: -5.0 and 3.0 survive.
         assert_eq!(g[1], -5.0);
         assert_eq!(g[3], 3.0);
-        assert!(g.iter().enumerate().all(|(i, &v)| v == 0.0 || i == 1 || i == 3));
+        assert!(g
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == 0.0 || i == 1 || i == 3));
         // Residual holds the dropped mass.
         assert!(c.residual_norm() > 0.3);
         // Next step: a dropped coordinate keeps accumulating until it wins.

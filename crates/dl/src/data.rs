@@ -28,7 +28,10 @@ pub fn blobs(
     noise: f32,
     seed: u64,
 ) -> ClassificationTask {
-    assert!(samples > 0 && features > 0 && classes > 0, "counts must be positive");
+    assert!(
+        samples > 0 && features > 0 && classes > 0,
+        "counts must be positive"
+    );
     assert!(noise >= 0.0, "noise must be non-negative");
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<Vec<f32>> = (0..classes)

@@ -54,9 +54,9 @@ pub mod trainer;
 pub mod transformer;
 
 pub use compression::{Compressor, GradCompression};
+pub use lm::{MultiHeadAttention, TinyLm};
 pub use model::{Mlp, MlpSpec};
 pub use optim::{Adam, Lamb, Larc, Lars, Optimizer, Sgd};
 pub use schedule::LrSchedule;
-pub use trainer::{DataParallelTrainer, EpochMetrics, Trainer};
-pub use lm::{MultiHeadAttention, TinyLm};
+pub use trainer::{DataParallelTrainer, EpochMetrics, FusionConfig, Trainer};
 pub use transformer::{LayerNorm, SelfAttention, SequenceClassifier, TransformerBlock};

@@ -42,7 +42,10 @@ impl MultiHeadAttention {
     /// # Panics
     /// Panics unless `heads` divides `dim`.
     pub fn new(dim: usize, heads: usize, causal: bool, seed: u64) -> Self {
-        assert!(heads > 0 && dim.is_multiple_of(heads), "heads must divide dim");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "heads must divide dim"
+        );
         let init = |salt: u64| Initializer::XavierUniform.init(dim, dim, seed.wrapping_add(salt));
         MultiHeadAttention {
             heads,

@@ -39,10 +39,7 @@ impl Linear {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let x = self
-            .input
-            .as_ref()
-            .expect("backward called before forward");
+        let x = self.input.as_ref().expect("backward called before forward");
         self.gw.add_assign(&x.matmul_at_b(dy));
         for (g, s) in self.gb.iter_mut().zip(ops::column_sums(dy)) {
             *g += s;
@@ -78,7 +75,10 @@ impl MlpSpec {
     /// Panics if any dimension is zero.
     pub fn new(inputs: usize, hidden: &[usize], outputs: usize) -> Self {
         assert!(inputs > 0 && outputs > 0, "dimensions must be positive");
-        assert!(hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        assert!(
+            hidden.iter().all(|&h| h > 0),
+            "hidden widths must be positive"
+        );
         MlpSpec {
             inputs,
             hidden: hidden.to_vec(),
@@ -184,11 +184,20 @@ impl Mlp {
     /// bias per layer) — the buffer a data-parallel trainer allreduces.
     pub fn flat_grads(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
+        self.flat_grads_into(&mut out);
+        out
+    }
+
+    /// [`Mlp::flat_grads`] into a caller-owned buffer: `out` is cleared and
+    /// refilled, reusing its capacity. A trainer that keeps one fusion
+    /// buffer per rank pays the allocation once, not every step.
+    pub fn flat_grads_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.param_count());
         for layer in &self.layers {
             out.extend_from_slice(layer.gw.as_slice());
             out.extend_from_slice(&layer.gb);
         }
-        out
     }
 
     /// Overwrite all gradients from a flat vector (inverse of
@@ -197,11 +206,18 @@ impl Mlp {
     /// # Panics
     /// Panics if `flat.len() != param_count()`.
     pub fn set_flat_grads(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.param_count(), "flat gradient length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat gradient length mismatch"
+        );
         let mut off = 0;
         for layer in &mut self.layers {
             let wlen = layer.gw.as_slice().len();
-            layer.gw.as_mut_slice().copy_from_slice(&flat[off..off + wlen]);
+            layer
+                .gw
+                .as_mut_slice()
+                .copy_from_slice(&flat[off..off + wlen]);
             off += wlen;
             let blen = layer.gb.len();
             layer.gb.copy_from_slice(&flat[off..off + blen]);
@@ -224,11 +240,18 @@ impl Mlp {
     /// # Panics
     /// Panics if `flat.len() != param_count()`.
     pub fn set_flat_params(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
         let mut off = 0;
         for layer in &mut self.layers {
             let wlen = layer.w.as_slice().len();
-            layer.w.as_mut_slice().copy_from_slice(&flat[off..off + wlen]);
+            layer
+                .w
+                .as_mut_slice()
+                .copy_from_slice(&flat[off..off + wlen]);
             off += wlen;
             let blen = layer.b.len();
             layer.b.copy_from_slice(&flat[off..off + blen]);

@@ -33,11 +33,7 @@ pub trait Optimizer: Send {
     fn name(&self) -> &'static str;
 }
 
-fn state(
-    map: &mut HashMap<usize, Vec<f32>>,
-    group: usize,
-    len: usize,
-) -> &mut Vec<f32> {
+fn state(map: &mut HashMap<usize, Vec<f32>>, group: usize, len: usize) -> &mut Vec<f32> {
     map.entry(group).or_insert_with(|| vec![0.0; len])
 }
 

@@ -178,12 +178,7 @@ impl SelfAttention {
 
         // P = softmax_rows(S): dS_ij = P_ij (dP_ij − Σ_k dP_ik P_ik)
         for r in 0..d_p.rows() {
-            let dot: f32 = d_p
-                .row(r)
-                .iter()
-                .zip(p.row(r))
-                .map(|(a, b)| a * b)
-                .sum();
+            let dot: f32 = d_p.row(r).iter().zip(p.row(r)).map(|(a, b)| a * b).sum();
             for c in 0..d_p.cols() {
                 let val = p.get(r, c) * (d_p.get(r, c) - dot);
                 d_p.set(r, c, val);
@@ -629,9 +624,7 @@ mod tests {
     fn positional_encoding_distinguishes_positions() {
         let pe = positional_encoding(16, 8);
         for r in 1..16 {
-            let diff: f32 = (0..8)
-                .map(|c| (pe.get(r, c) - pe.get(0, c)).abs())
-                .sum();
+            let diff: f32 = (0..8).map(|c| (pe.get(r, c) - pe.get(0, c)).abs()).sum();
             assert!(diff > 1e-3, "positions 0 and {r} indistinguishable");
         }
         assert!(pe.as_slice().iter().all(|v| v.abs() <= 1.0));

@@ -31,7 +31,10 @@ impl CheckpointModel {
     /// Panics on non-positive inputs.
     pub fn new(state_bytes: f64, tier: &StorageTier, node_mtbf_seconds: f64, nodes: u32) -> Self {
         assert!(state_bytes > 0.0, "state must be non-empty");
-        assert!(node_mtbf_seconds > 0.0 && nodes > 0, "MTBF inputs must be positive");
+        assert!(
+            node_mtbf_seconds > 0.0 && nodes > 0,
+            "MTBF inputs must be positive"
+        );
         CheckpointModel {
             state_bytes,
             write_bw: tier.write_bw,

@@ -110,7 +110,10 @@ mod tests {
     use super::*;
     use summit_machine::MachineSpec;
 
-    fn plan(source: TrainingSource, shuffle: ShuffleStrategy) -> (EpochPlan, StorageTier, StorageTier) {
+    fn plan(
+        source: TrainingSource,
+        shuffle: ShuffleStrategy,
+    ) -> (EpochPlan, StorageTier, StorageTier) {
         let m = MachineSpec::summit();
         let nodes = 4608;
         let p = EpochPlan {

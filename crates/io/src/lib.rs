@@ -36,16 +36,16 @@
 //! ```
 
 pub mod checkpoint;
-pub mod epoch;
 pub mod dataset;
+pub mod epoch;
 pub mod requirements;
 pub mod shuffle;
 pub mod staging;
 pub mod tier;
 
 pub use checkpoint::CheckpointModel;
-pub use epoch::{EpochPlan, EpochTimeline, TrainingSource};
 pub use dataset::{DatasetSpec, ShardPlan};
+pub use epoch::{EpochPlan, EpochTimeline, TrainingSource};
 pub use requirements::{Feasibility, ReadDemand};
 pub use shuffle::ShuffleStrategy;
 pub use staging::{StagingMode, StagingPlan};

@@ -27,7 +27,10 @@ impl ReadDemand {
     /// # Panics
     /// Panics on non-positive rates/sizes or zero devices.
     pub fn new(samples_per_sec_per_device: f64, bytes_per_sample: f64, devices: u64) -> Self {
-        assert!(samples_per_sec_per_device > 0.0, "throughput must be positive");
+        assert!(
+            samples_per_sec_per_device > 0.0,
+            "throughput must be positive"
+        );
         assert!(bytes_per_sample > 0.0, "sample size must be positive");
         assert!(devices > 0, "need at least one device");
         ReadDemand {
@@ -107,7 +110,10 @@ mod tests {
         let summit = MachineSpec::summit();
         let d = resnet50_full_summit_demand();
         let gpfs = d.feasibility(&StorageTier::shared_fs(&summit));
-        assert!(!gpfs.satisfied, "paper: GPFS 2.5 TB/s cannot sustain 20 TB/s");
+        assert!(
+            !gpfs.satisfied,
+            "paper: GPFS 2.5 TB/s cannot sustain 20 TB/s"
+        );
         // GPFS caps training at ~1/8 of ideal.
         assert!(gpfs.achievable_fraction < 0.15);
         let nvme = d.feasibility(&StorageTier::node_local_nvme(&summit, summit.nodes));

@@ -218,7 +218,10 @@ mod tests {
         let d = DatasetSpec::new("t", 1000, 1.0e6);
         let plan = ShardPlan::partition(&d, 10);
         assert_eq!(ShuffleStrategy::None.epoch_traffic_bytes(&plan), 0.0);
-        assert_eq!(ShuffleStrategy::LocalInShard.epoch_traffic_bytes(&plan), 0.0);
+        assert_eq!(
+            ShuffleStrategy::LocalInShard.epoch_traffic_bytes(&plan),
+            0.0
+        );
         let global = ShuffleStrategy::GlobalReshard.epoch_traffic_bytes(&plan);
         assert!((global - 0.9 * 1.0e9).abs() < 1.0);
     }

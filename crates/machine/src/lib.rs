@@ -37,8 +37,8 @@ pub mod spec;
 pub mod topology;
 
 pub use link::LinkModel;
-pub use spec::{GpuSpec, MachineSpec, NodeSpec, StorageSpec};
 pub use simnet::{SimNetwork, Transfer};
+pub use spec::{GpuSpec, MachineSpec, NodeSpec, StorageSpec};
 pub use topology::{FatTree, NvLinkGraph};
 
 /// One gibibyte in bytes.

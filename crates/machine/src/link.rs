@@ -72,7 +72,10 @@ impl LinkModel {
     /// # Panics
     /// Panics unless `0 < factor <= 1`.
     pub fn derate(&self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "derate factor must be in (0,1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "derate factor must be in (0,1]"
+        );
         LinkModel::new(self.alpha, self.beta * factor)
     }
 }

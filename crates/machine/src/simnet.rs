@@ -87,7 +87,8 @@ impl SimNetwork {
         // Uplink bundle bandwidth = per-node bandwidth × nodes_per_leaf /
         // taper, so `load` seconds of single-stream wire time drain in
         // load · taper / nodes_per_leaf seconds.
-        let uplink = max_map(&uplink_load) * self.tree.taper / f64::from(self.tree.nodes_per_leaf)
+        let uplink = max_map(&uplink_load) * self.tree.taper
+            / f64::from(self.tree.nodes_per_leaf)
             / self.tree.adaptive_routing_quality;
         let (worst, label) = [
             (send, "injection"),

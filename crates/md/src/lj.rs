@@ -86,7 +86,10 @@ mod tests {
         for r in [0.95f64, 1.05, 1.2, 1.5, 2.0, 2.4] {
             let fd = -(lj.pair_energy(r + eps) - lj.pair_energy(r - eps)) / (2.0 * eps);
             let f = lj.pair_force(r);
-            assert!((fd - f).abs() < 1e-4 * f.abs().max(1.0), "r={r}: {fd} vs {f}");
+            assert!(
+                (fd - f).abs() < 1e-4 * f.abs().max(1.0),
+                "r={r}: {fd} vs {f}"
+            );
         }
     }
 
@@ -105,7 +108,10 @@ mod tests {
         let (fx, fy) = forces
             .iter()
             .fold((0.0, 0.0), |(ax, ay), &(x, y)| (ax + x, ay + y));
-        assert!(fx.abs() < 1e-9 && fy.abs() < 1e-9, "Newton's third law violated");
+        assert!(
+            fx.abs() < 1e-9 && fy.abs() < 1e-9,
+            "Newton's third law violated"
+        );
     }
 
     #[test]
@@ -126,9 +132,13 @@ mod tests {
                     plus.positions[atom].1 += eps;
                     minus.positions[atom].1 -= eps;
                 }
-                let fd = -(lj.energy_and_forces(&plus).0 - lj.energy_and_forces(&minus).0)
-                    / (2.0 * eps);
-                let analytic = if dim == 0 { forces[atom].0 } else { forces[atom].1 };
+                let fd =
+                    -(lj.energy_and_forces(&plus).0 - lj.energy_and_forces(&minus).0) / (2.0 * eps);
+                let analytic = if dim == 0 {
+                    forces[atom].0
+                } else {
+                    forces[atom].1
+                };
                 assert!(
                     (fd - analytic).abs() < 1e-4 * analytic.abs().max(1.0),
                     "atom {atom} dim {dim}: {fd} vs {analytic}"

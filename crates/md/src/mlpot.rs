@@ -177,7 +177,9 @@ impl MlPotential {
 
     /// Visit the network's parameter groups (for the optimizer).
     pub fn for_each_group(&self, mut f: impl FnMut(usize, &mut [f32], &[f32])) {
-        self.model.borrow_mut().for_each_group(|id, p, g| f(id, p, g));
+        self.model
+            .borrow_mut()
+            .for_each_group(|id, p, g| f(id, p, g));
     }
 }
 
@@ -298,7 +300,11 @@ mod tests {
                 }
                 let fd = -(pot.energy_and_forces(&plus).0 - pot.energy_and_forces(&minus).0)
                     / (2.0 * eps);
-                let analytic = if dim == 0 { forces[atom].0 } else { forces[atom].1 };
+                let analytic = if dim == 0 {
+                    forces[atom].0
+                } else {
+                    forces[atom].1
+                };
                 assert!(
                     (fd - analytic).abs() < 2e-2 * analytic.abs().max(0.1),
                     "atom {atom} dim {dim}: fd {fd} vs analytic {analytic}"

@@ -252,8 +252,10 @@ mod tests {
         assert_eq!(s.len(), 25);
         let (px, py) = s.momentum();
         assert!(px.abs() < 1e-12 && py.abs() < 1e-12, "COM not removed");
-        assert!(s.positions.iter().all(|&(x, y)| (0.0..5.0).contains(&x)
-            && (0.0..5.0).contains(&y)));
+        assert!(s
+            .positions
+            .iter()
+            .all(|&(x, y)| (0.0..5.0).contains(&x) && (0.0..5.0).contains(&y)));
     }
 
     #[test]

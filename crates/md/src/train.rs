@@ -111,8 +111,7 @@ pub fn fit(
         (se / set.len() as f64).sqrt()
     };
     let mean: f64 = test.iter().map(|c| c.energy).sum::<f64>() / test.len() as f64;
-    let var: f64 =
-        test.iter().map(|c| (c.energy - mean).powi(2)).sum::<f64>() / test.len() as f64;
+    let var: f64 = test.iter().map(|c| (c.energy - mean).powi(2)).sum::<f64>() / test.len() as f64;
     FitReport {
         train_rmse: rmse(train),
         test_rmse: rmse(test),

@@ -1,7 +1,10 @@
 //! Property-based tests for the MD substrate.
 
 use proptest::prelude::*;
-use summit_md::{lj::LennardJones, system::{Potential, System}};
+use summit_md::{
+    lj::LennardJones,
+    system::{Potential, System},
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

@@ -71,7 +71,9 @@ impl Field {
     /// Copy interior row `r` into a buffer (for halo sends).
     pub fn interior_row(&self, r: usize) -> Vec<f32> {
         assert!(r < self.ny, "row out of range");
-        (0..self.nx).map(|c| self.get(r as isize, c as isize)).collect()
+        (0..self.nx)
+            .map(|c| self.get(r as isize, c as isize))
+            .collect()
     }
 
     /// Write a halo row (`r = −1` or `r = ny`) from a buffer.
@@ -125,9 +127,9 @@ impl Field {
         let mut worst = 0.0f32;
         for r in 0..self.ny {
             for c in 0..self.nx {
-                worst = worst.max((self.get(r as isize, c as isize)
-                    - other.get(r as isize, c as isize))
-                .abs());
+                worst = worst.max(
+                    (self.get(r as isize, c as isize) - other.get(r as isize, c as isize)).abs(),
+                );
             }
         }
         worst

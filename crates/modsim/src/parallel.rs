@@ -78,8 +78,7 @@ impl ParallelSolver {
                     let from_down = rank.send_recv(up, down, u64::from(step) * 2, top_row);
                     local.set_halo_row(rows_per_rank as isize, &from_down);
                     // Send my bottom row down; it becomes `down`'s top halo.
-                    let from_up =
-                        rank.send_recv(down, up, u64::from(step) * 2 + 1, bottom_row);
+                    let from_up = rank.send_recv(down, up, u64::from(step) * 2 + 1, bottom_row);
                     local.set_halo_row(-1, &from_up);
                 }
                 local.refresh_x_halo();

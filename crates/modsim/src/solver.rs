@@ -88,7 +88,10 @@ impl Solver {
     /// Panics if `alpha` violates the 2D explicit stability bound (> 0.25)
     /// or `dt` is not positive.
     pub fn new(field: Field, alpha: f32, dt: f32, reaction: Reaction) -> Self {
-        assert!(alpha > 0.0 && alpha <= 0.25, "explicit scheme unstable: alpha {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 0.25,
+            "explicit scheme unstable: alpha {alpha}"
+        );
         assert!(dt > 0.0, "dt must be positive");
         Solver {
             field,
@@ -148,7 +151,10 @@ mod tests {
             .flat_map(|r| (0..24isize).map(move |c| (r, c)))
             .map(|(r, c)| s.field().get(r, c))
             .fold(f32::MIN, f32::max);
-        assert!(peak < peak0 * 0.8, "diffusion must flatten peaks: {peak0} → {peak}");
+        assert!(
+            peak < peak0 * 0.8,
+            "diffusion must flatten peaks: {peak0} → {peak}"
+        );
     }
 
     #[test]

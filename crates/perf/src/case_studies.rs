@@ -270,7 +270,11 @@ mod tests {
     fn yang_matches_paper() {
         let r = CaseStudy::yang().evaluate();
         assert_close(r.predicted_efficiency, 0.93, 0.02, "Yang efficiency");
-        assert!(r.predicted_flops > 1.15e18, "Yang should exceed ~1.2 EF, got {}", r.predicted_flops);
+        assert!(
+            r.predicted_flops > 1.15e18,
+            "Yang should exceed ~1.2 EF, got {}",
+            r.predicted_flops
+        );
     }
 
     #[test]
@@ -292,9 +296,19 @@ mod tests {
     #[test]
     fn blanchard_matches_paper() {
         let with_io = CaseStudy::blanchard().evaluate();
-        assert_close(with_io.predicted_efficiency, 0.68, 0.03, "Blanchard eff w/ I/O");
+        assert_close(
+            with_io.predicted_efficiency,
+            0.68,
+            0.03,
+            "Blanchard eff w/ I/O",
+        );
         let no_io = CaseStudy::blanchard_no_io().evaluate();
-        assert_close(no_io.predicted_efficiency, 0.833, 0.03, "Blanchard eff w/o I/O");
+        assert_close(
+            no_io.predicted_efficiency,
+            0.833,
+            0.03,
+            "Blanchard eff w/o I/O",
+        );
         assert_close(with_io.predicted_flops, 603.0e15, 0.25, "Blanchard PF");
         // Global batch 5.8 M.
         let cs = CaseStudy::blanchard();
@@ -308,7 +322,10 @@ mod tests {
         // recover the efficiency gap the paper attributes to it.
         let with_io = CaseStudy::blanchard().evaluate().predicted_efficiency;
         let no_io = CaseStudy::blanchard_no_io().evaluate().predicted_efficiency;
-        assert!(no_io - with_io > 0.10, "I/O gap too small: {with_io} vs {no_io}");
+        assert!(
+            no_io - with_io > 0.10,
+            "I/O gap too small: {with_io} vs {no_io}"
+        );
     }
 
     #[test]
@@ -329,7 +346,8 @@ mod tests {
 
     #[test]
     fn table_renders_every_case() {
-        let results: Vec<CaseStudyResult> = CaseStudy::all().iter().map(CaseStudy::evaluate).collect();
+        let results: Vec<CaseStudyResult> =
+            CaseStudy::all().iter().map(CaseStudy::evaluate).collect();
         let table = render_table(&results);
         for cs in CaseStudy::all() {
             assert!(table.contains(cs.name.split(' ').next().unwrap()));

@@ -263,15 +263,29 @@ mod tests {
 
     #[test]
     fn overlap_improves_efficiency() {
-        let base = ScalingModel { overlap: 0.0, ..resnet() };
-        let lap = ScalingModel { overlap: 0.9, ..resnet() };
+        let base = ScalingModel {
+            overlap: 0.0,
+            ..resnet()
+        };
+        let lap = ScalingModel {
+            overlap: 0.9,
+            ..resnet()
+        };
         assert!(lap.efficiency(4608, 1) >= base.efficiency(4608, 1));
     }
 
     #[test]
     fn accumulation_amortizes_communication() {
-        let one = ScalingModel { accumulation: 1, overlap: 0.0, ..resnet() };
-        let eight = ScalingModel { accumulation: 8, overlap: 0.0, ..resnet() };
+        let one = ScalingModel {
+            accumulation: 1,
+            overlap: 0.0,
+            ..resnet()
+        };
+        let eight = ScalingModel {
+            accumulation: 8,
+            overlap: 0.0,
+            ..resnet()
+        };
         // Same allreduce per step but 8× the compute → higher efficiency.
         assert!(eight.efficiency(4608, 1) > one.efficiency(4608, 1));
     }
@@ -280,8 +294,14 @@ mod tests {
     fn shared_fs_starves_full_machine_resnet() {
         // The Section VI-B conclusion as a scaling-model statement: on GPFS
         // the full-machine ResNet50 job is I/O-bound; on NVMe it is not.
-        let gpfs = ScalingModel { io: IoMode::SharedFs, ..resnet() };
-        let nvme = ScalingModel { io: IoMode::LocalNvme, ..resnet() };
+        let gpfs = ScalingModel {
+            io: IoMode::SharedFs,
+            ..resnet()
+        };
+        let nvme = ScalingModel {
+            io: IoMode::LocalNvme,
+            ..resnet()
+        };
         let g = gpfs.step(4608);
         let n = nvme.step(4608);
         assert!(g.exposed_io > 0.0, "GPFS must stall the input pipeline");
@@ -291,7 +311,10 @@ mod tests {
 
     #[test]
     fn shared_fs_fine_at_small_scale() {
-        let gpfs = ScalingModel { io: IoMode::SharedFs, ..resnet() };
+        let gpfs = ScalingModel {
+            io: IoMode::SharedFs,
+            ..resnet()
+        };
         assert_eq!(gpfs.step(64).exposed_io, 0.0);
     }
 
@@ -299,8 +322,9 @@ mod tests {
     fn step_total_is_sum() {
         let m = resnet();
         let s = m.step(128);
-        assert!((s.total() - (s.compute + s.exposed_comm + s.exposed_io + s.overhead)).abs()
-            < 1e-15);
+        assert!(
+            (s.total() - (s.compute + s.exposed_comm + s.exposed_io + s.overhead)).abs() < 1e-15
+        );
     }
 
     #[test]

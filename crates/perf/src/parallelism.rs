@@ -204,8 +204,7 @@ impl HybridPlanner {
 
         // Compute time per micro-batch on one model shard.
         let shard_flops = w.flops_per_sample / f64::from(strategy.tensor * strategy.pipeline);
-        let t_compute =
-            f64::from(micro_batch) * shard_flops / self.sustained_flops_per_gpu;
+        let t_compute = f64::from(micro_batch) * shard_flops / self.sustained_flops_per_gpu;
 
         // Tensor-parallel activation allreduce per micro-batch: two
         // allreduces of the activations per (conceptual) layer group,
@@ -227,8 +226,7 @@ impl HybridPlanner {
 
         // Data-parallel gradient allreduce over the sharded message.
         let t_dp = if strategy.data > 1 {
-            let msg = w.gradient_message_bytes()
-                / f64::from(strategy.tensor * strategy.pipeline);
+            let msg = w.gradient_message_bytes() / f64::from(strategy.tensor * strategy.pipeline);
             let d = f64::from(strategy.data);
             2.0 * (d - 1.0) / d * msg / self.node.injection_bw
         } else {
@@ -236,10 +234,8 @@ impl HybridPlanner {
         };
 
         let t_step = t_pipeline + t_dp;
-        let samples_per_step =
-            f64::from(micro_batch) * mb * f64::from(strategy.data);
-        let ideal = f64::from(micro_batch) * mb * f64::from(strategy.data)
-            / (t_compute * mb);
+        let samples_per_step = f64::from(micro_batch) * mb * f64::from(strategy.data);
+        let ideal = f64::from(micro_batch) * mb * f64::from(strategy.data) / (t_compute * mb);
         let throughput = samples_per_step / t_step;
         Some(StrategyEstimate {
             strategy,
@@ -309,7 +305,9 @@ mod tests {
         let w = Workload::transformer_lm("GPT-10B", 10.0e9);
         let p = planner(256);
         // Pure data parallelism cannot hold 10B × 16 B = 160 GB on 16 GB.
-        assert!(p.estimate(&w, ParallelStrategy::pure_data(p.gpus)).is_none());
+        assert!(p
+            .estimate(&w, ParallelStrategy::pure_data(p.gpus))
+            .is_none());
         let best = p.best(&w).expect("hybrid strategy exists");
         // 10B × 16 B/param = 160 GB of state needs ≥10 model-parallel ways
         // on 16 GB V100s.

@@ -147,7 +147,11 @@ mod tests {
         let r = v100();
         let rec = r.evaluate(Kernel::recurrent_gemv_fp16());
         assert!(!rec.compute_bound);
-        assert!(rec.peak_fraction < 0.01, "GEMV near peak? {}", rec.peak_fraction);
+        assert!(
+            rec.peak_fraction < 0.01,
+            "GEMV near peak? {}",
+            rec.peak_fraction
+        );
         assert!(!r.evaluate(Kernel::elementwise_fp32()).compute_bound);
     }
 

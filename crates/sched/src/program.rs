@@ -91,7 +91,10 @@ impl Allocation {
     /// production life (2018–2025).
     pub fn new(program: Program, year: u16, node_hours: f64) -> Self {
         assert!(node_hours > 0.0, "allocations must be positive");
-        assert!((2018..=2025).contains(&year), "year outside Summit production");
+        assert!(
+            (2018..=2025).contains(&year),
+            "year outside Summit production"
+        );
         Allocation {
             program,
             year,

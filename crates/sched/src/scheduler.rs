@@ -79,7 +79,11 @@ impl ScheduleMetrics {
         if total == 0.0 {
             0.0
         } else {
-            self.delivered_by_program.get(&program).copied().unwrap_or(0.0) / total
+            self.delivered_by_program
+                .get(&program)
+                .copied()
+                .unwrap_or(0.0)
+                / total
         }
     }
 }
@@ -222,10 +226,7 @@ impl Scheduler {
                     // Backfill candidates: fit now, arrived, and must not
                     // delay the head's reservation.
                     let shadow = head_reservation.expect("set when head deferred");
-                    if arrived
-                        && job.nodes <= free
-                        && clock + job.walltime_hours <= shadow + 1e-9
-                    {
+                    if arrived && job.nodes <= free && clock + job.walltime_hours <= shadow + 1e-9 {
                         placements[idx] = Some(Placement {
                             job,
                             start_hours: clock,
@@ -354,13 +355,12 @@ mod tests {
         // Job 0 takes 60 nodes for 2h. Job 1 (head-after-0) wants 100 nodes
         // → must wait until t=2. Job 2 wants 40 nodes for 1h → backfills at
         // t=0 (ends at 1 ≤ 2, doesn't delay job 1).
-        let p = s.schedule(&[
-            job(60, 2.0, 0.0),
-            job(100, 1.0, 0.0),
-            job(40, 1.0, 0.0),
-        ]);
+        let p = s.schedule(&[job(60, 2.0, 0.0), job(100, 1.0, 0.0), job(40, 1.0, 0.0)]);
         assert_eq!(p[0].start_hours, 0.0);
-        assert!((p[1].start_hours - 2.0).abs() < 1e-9, "head starts at reservation");
+        assert!(
+            (p[1].start_hours - 2.0).abs() < 1e-9,
+            "head starts at reservation"
+        );
         assert_eq!(p[2].start_hours, 0.0, "small job backfilled");
         assert!(p[2].backfilled);
     }
@@ -370,13 +370,13 @@ mod tests {
         let s = Scheduler::new(100);
         // A 40-node 5h job must NOT backfill because it would outlive the
         // head's reservation at t=2.
-        let p = s.schedule(&[
-            job(60, 2.0, 0.0),
-            job(100, 1.0, 0.0),
-            job(50, 5.0, 0.0),
-        ]);
+        let p = s.schedule(&[job(60, 2.0, 0.0), job(100, 1.0, 0.0), job(50, 5.0, 0.0)]);
         assert!((p[1].start_hours - 2.0).abs() < 1e-9);
-        assert!(p[2].start_hours >= 2.0, "long job waits: {}", p[2].start_hours);
+        assert!(
+            p[2].start_hours >= 2.0,
+            "long job waits: {}",
+            p[2].start_hours
+        );
     }
 
     #[test]
@@ -401,9 +401,24 @@ mod tests {
     fn program_shares_tracked() {
         let s = Scheduler::new(100);
         let jobs = vec![
-            Job { program: Program::Incite, nodes: 60, walltime_hours: 1.0, submit_hours: 0.0 },
-            Job { program: Program::Alcc, nodes: 20, walltime_hours: 1.0, submit_hours: 0.0 },
-            Job { program: Program::DirectorsDiscretionary, nodes: 20, walltime_hours: 1.0, submit_hours: 0.0 },
+            Job {
+                program: Program::Incite,
+                nodes: 60,
+                walltime_hours: 1.0,
+                submit_hours: 0.0,
+            },
+            Job {
+                program: Program::Alcc,
+                nodes: 20,
+                walltime_hours: 1.0,
+                submit_hours: 0.0,
+            },
+            Job {
+                program: Program::DirectorsDiscretionary,
+                nodes: 20,
+                walltime_hours: 1.0,
+                submit_hours: 0.0,
+            },
         ];
         let m = s.metrics(&s.schedule(&jobs));
         assert!((m.program_share(Program::Incite) - 0.6).abs() < 1e-9);
@@ -458,7 +473,11 @@ mod tests {
         let s = Scheduler::new(50);
         let jobs: Vec<Job> = (0..40)
             .map(|i| Job {
-                program: if i % 3 == 0 { Program::Incite } else { Program::Alcc },
+                program: if i % 3 == 0 {
+                    Program::Incite
+                } else {
+                    Program::Alcc
+                },
                 nodes: 10 + (i % 4) * 10,
                 walltime_hours: 1.0 + (i % 3) as f64,
                 submit_hours: (i / 8) as f64,

@@ -116,7 +116,10 @@ mod tests {
         let incite = metrics.program_share(Program::Incite);
         let alcc = metrics.program_share(Program::Alcc);
         let dd = metrics.program_share(Program::DirectorsDiscretionary);
-        assert!(incite > alcc && incite > dd, "INCITE {incite} vs {alcc}/{dd}");
+        assert!(
+            incite > alcc && incite > dd,
+            "INCITE {incite} vs {alcc}/{dd}"
+        );
         assert!(incite > 0.5, "INCITE share {incite} should dominate");
     }
 }

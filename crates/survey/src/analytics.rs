@@ -10,7 +10,9 @@ use std::collections::BTreeMap;
 use serde::Serialize;
 use summit_sched::program::Program;
 
-use crate::portfolio::{iae_user_records, program_records, ProjectRecord, DOMAIN_ROWS, MOTIF_COLUMNS};
+use crate::portfolio::{
+    iae_user_records, program_records, ProjectRecord, DOMAIN_ROWS, MOTIF_COLUMNS,
+};
 use crate::taxonomy::{Domain, MlMethod, Motif, UsageStatus};
 
 /// Counts of projects by usage status.
@@ -204,7 +206,11 @@ pub fn render_fig1(counts: &UsageCounts) -> String {
         ("inactive", counts.inactive_pct()),
         ("none", counts.none_pct()),
     ] {
-        out.push_str(&format!("{label:<9} {:>5.1}% |{}|\n", pct * 100.0, bar(pct, 40)));
+        out.push_str(&format!(
+            "{label:<9} {:>5.1}% |{}|\n",
+            pct * 100.0,
+            bar(pct, 40)
+        ));
     }
     out
 }
@@ -258,9 +264,8 @@ pub fn render_fig4(map: &BTreeMap<Domain, UsageCounts>) -> String {
 /// Render Figure 5 as ASCII.
 pub fn render_fig5(map: &BTreeMap<Motif, u32>) -> String {
     let total: u32 = map.values().sum();
-    let mut out = String::from(
-        "Fig 5. AI/ML usage by AI motif, percentage of INCITE/ALCC/ECP AI projects\n",
-    );
+    let mut out =
+        String::from("Fig 5. AI/ML usage by AI motif, percentage of INCITE/ALCC/ECP AI projects\n");
     // Sort by count descending for the classic bar-chart reading.
     let mut rows: Vec<(&Motif, &u32)> = map.iter().collect();
     rows.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
@@ -307,8 +312,16 @@ mod tests {
         // with another 8% indirect use."
         let counts = overall_usage(&build());
         assert_eq!(counts.total(), 645);
-        assert!((counts.active_pct() - 1.0 / 3.0).abs() < 0.01, "{}", counts.active_pct());
-        assert!((counts.inactive_pct() - 0.08).abs() < 0.005, "{}", counts.inactive_pct());
+        assert!(
+            (counts.active_pct() - 1.0 / 3.0).abs() < 0.01,
+            "{}",
+            counts.active_pct()
+        );
+        assert!(
+            (counts.inactive_pct() - 0.08).abs() < 0.005,
+            "{}",
+            counts.inactive_pct()
+        );
     }
 
     #[test]
@@ -361,10 +374,8 @@ mod tests {
         // "AI/ML adoption is highly differentiated by science domain, with
         // Biology, Computer Science and Materials being top categories."
         let map = usage_by_domain(&build());
-        let users =
-            |d: Domain| map[&d].active + map[&d].inactive;
-        let mut by_users: Vec<(Domain, u32)> =
-            Domain::ALL.iter().map(|&d| (d, users(d))).collect();
+        let users = |d: Domain| map[&d].active + map[&d].inactive;
+        let mut by_users: Vec<(Domain, u32)> = Domain::ALL.iter().map(|&d| (d, users(d))).collect();
         by_users.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
         let top3: Vec<Domain> = by_users[..3].iter().map(|&(d, _)| d).collect();
         assert!(top3.contains(&Domain::Biology), "{by_users:?}");
@@ -394,7 +405,10 @@ mod tests {
             + map[&Motif::Analysis]
             + map[&Motif::SurrogateModel]
             + map[&Motif::MdPotentials];
-        assert!(f64::from(top5) / f64::from(total) > 0.75, "top-5 {top5}/{total}");
+        assert!(
+            f64::from(top5) / f64::from(total) > 0.75,
+            "top-5 {top5}/{total}"
+        );
     }
 
     #[test]
@@ -411,7 +425,10 @@ mod tests {
         assert_eq!(matrix[row(Domain::Biology)][col(Motif::Submodel)], 0);
         assert_eq!(matrix[row(Domain::Biology)][col(Motif::MdPotentials)], 0);
         // "they have no Math/CS Algorithm components" (Computer Science).
-        assert_eq!(matrix[row(Domain::ComputerScience)][col(Motif::MathCsAlgorithm)], 0);
+        assert_eq!(
+            matrix[row(Domain::ComputerScience)][col(Motif::MathCsAlgorithm)],
+            0
+        );
         // "Machine-learned MD Potentials are heavily used in Materials
         // projects; they are used in Fusion/Plasma".
         let md_col = col(Motif::MdPotentials);

@@ -167,12 +167,42 @@ pub struct Table3Column {
 /// Table III exactly as printed.
 pub fn table3() -> Vec<Table3Column> {
     vec![
-        Table3Column { year: 2018, category: GbCategory::Standard, summit_finalists: 5, summit_ai_finalists: 3 },
-        Table3Column { year: 2019, category: GbCategory::Standard, summit_finalists: 2, summit_ai_finalists: 0 },
-        Table3Column { year: 2020, category: GbCategory::Standard, summit_finalists: 4, summit_ai_finalists: 1 },
-        Table3Column { year: 2020, category: GbCategory::Covid19, summit_finalists: 2, summit_ai_finalists: 2 },
-        Table3Column { year: 2021, category: GbCategory::Standard, summit_finalists: 1, summit_ai_finalists: 1 },
-        Table3Column { year: 2021, category: GbCategory::Covid19, summit_finalists: 3, summit_ai_finalists: 3 },
+        Table3Column {
+            year: 2018,
+            category: GbCategory::Standard,
+            summit_finalists: 5,
+            summit_ai_finalists: 3,
+        },
+        Table3Column {
+            year: 2019,
+            category: GbCategory::Standard,
+            summit_finalists: 2,
+            summit_ai_finalists: 0,
+        },
+        Table3Column {
+            year: 2020,
+            category: GbCategory::Standard,
+            summit_finalists: 4,
+            summit_ai_finalists: 1,
+        },
+        Table3Column {
+            year: 2020,
+            category: GbCategory::Covid19,
+            summit_finalists: 2,
+            summit_ai_finalists: 2,
+        },
+        Table3Column {
+            year: 2021,
+            category: GbCategory::Standard,
+            summit_finalists: 1,
+            summit_ai_finalists: 1,
+        },
+        Table3Column {
+            year: 2021,
+            category: GbCategory::Covid19,
+            summit_finalists: 3,
+            summit_ai_finalists: 3,
+        },
     ]
 }
 
@@ -213,7 +243,8 @@ mod tests {
                 .filter(|f| f.year == col.year && f.category == col.category)
                 .count() as u32;
             assert_eq!(
-                n, col.summit_ai_finalists,
+                n,
+                col.summit_ai_finalists,
                 "{} {} mismatch",
                 col.year,
                 col.category.name()

@@ -105,15 +105,15 @@ pub const DOMAIN_ROWS: [Domain; 9] = [
 /// Materials with a Fusion/Plasma contingent.
 const IAE_MATRIX: [[u32; 11]; 9] = [
     // Fault MathCS Submod MdPot Steer Surr Anal MlMod Class Var Undet
-    [0, 0, 0, 0, 4, 4, 4, 2, 5, 1, 0],    // Biology (20)
-    [0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1],    // Chemistry (6)
-    [1, 0, 0, 0, 0, 1, 1, 0, 9, 4, 0],    // Computer Science (16)
-    [0, 1, 6, 0, 0, 2, 2, 0, 0, 0, 1],    // Earth Science (12)
-    [0, 1, 12, 0, 0, 3, 2, 1, 0, 0, 1],   // Engineering (20)
-    [0, 0, 3, 3, 1, 2, 1, 0, 0, 0, 0],    // Fusion and Plasma (10)
-    [0, 0, 2, 12, 0, 1, 2, 1, 0, 0, 0],   // Materials (18)
-    [0, 0, 1, 0, 0, 1, 1, 0, 0, 0, 1],    // Nuclear Energy (4)
-    [1, 2, 2, 0, 1, 2, 3, 1, 3, 0, 0],    // Physics (15)
+    [0, 0, 0, 0, 4, 4, 4, 2, 5, 1, 0],  // Biology (20)
+    [0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1],  // Chemistry (6)
+    [1, 0, 0, 0, 0, 1, 1, 0, 9, 4, 0],  // Computer Science (16)
+    [0, 1, 6, 0, 0, 2, 2, 0, 0, 0, 1],  // Earth Science (12)
+    [0, 1, 12, 0, 0, 3, 2, 1, 0, 0, 1], // Engineering (20)
+    [0, 0, 3, 3, 1, 2, 1, 0, 0, 0, 0],  // Fusion and Plasma (10)
+    [0, 0, 2, 12, 0, 1, 2, 1, 0, 0, 0], // Materials (18)
+    [0, 0, 1, 0, 0, 1, 1, 0, 0, 0, 1],  // Nuclear Energy (4)
+    [1, 2, 2, 0, 1, 2, 3, 1, 3, 0, 0],  // Physics (15)
 ];
 
 /// DD user domain weights (Biology and Computer Science lead, per Fig. 4).
@@ -250,7 +250,10 @@ pub fn build() -> Vec<ProjectRecord> {
     let mut dd_user_index = 0usize;
 
     for &(program, year, total, active, inactive) in PROGRAM_YEARS {
-        assert!(active + inactive <= total, "plan overflow for {program:?} {year}");
+        assert!(
+            active + inactive <= total,
+            "plan overflow for {program:?} {year}"
+        );
         for slot in 0..total {
             let status = if slot < active {
                 UsageStatus::Active
@@ -296,7 +299,12 @@ pub fn build() -> Vec<ProjectRecord> {
             });
             let subdomain = domain.subdomains()[slot as usize % domain.subdomains().len()];
             records.push(ProjectRecord {
-                id: format!("{}{}-{:03}", program.name().chars().next().unwrap_or('X'), year, slot),
+                id: format!(
+                    "{}{}-{:03}",
+                    program.name().chars().next().unwrap_or('X'),
+                    year,
+                    slot
+                ),
                 program,
                 year,
                 domain,
@@ -385,10 +393,8 @@ pub fn iae_user_records(records: &[ProjectRecord]) -> Vec<&ProjectRecord> {
     records
         .iter()
         .filter(|r| {
-            matches!(
-                r.program,
-                Program::Incite | Program::Alcc | Program::Ecp
-            ) && r.status.uses_ml()
+            matches!(r.program, Program::Incite | Program::Alcc | Program::Ecp)
+                && r.status.uses_ml()
         })
         .collect()
 }

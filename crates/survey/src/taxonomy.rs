@@ -278,7 +278,11 @@ pub enum UsageStatus {
 
 impl UsageStatus {
     /// All statuses.
-    pub const ALL: [UsageStatus; 3] = [UsageStatus::Active, UsageStatus::Inactive, UsageStatus::None];
+    pub const ALL: [UsageStatus; 3] = [
+        UsageStatus::Active,
+        UsageStatus::Inactive,
+        UsageStatus::None,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {

@@ -111,7 +111,12 @@ pub fn run_campaign(library: &CompoundLibrary, config: &CampaignConfig) -> Campa
             .map(|i| (i, pred.get(i, 0)))
             .collect();
         candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
-        docked.extend(candidates.iter().take(config.batch_per_round).map(|&(i, _)| i));
+        docked.extend(
+            candidates
+                .iter()
+                .take(config.batch_per_round)
+                .map(|&(i, _)| i),
+        );
         rounds.push(report(round, &docked, &truth, config.k));
     }
 
@@ -121,8 +126,20 @@ pub fn run_campaign(library: &CompoundLibrary, config: &CampaignConfig) -> Campa
     let dock_tasks: Vec<_> = (0..config.batch_per_round.min(32))
         .map(|i| wf.task(format!("dock-{i}"), Facility::Summit, 1800.0, vec![], |_| 0))
         .collect();
-    let train = wf.task("retrain surrogate", Facility::Andes, 900.0, dock_tasks.clone(), |_| 1);
-    let _select = wf.task("select next batch", Facility::Andes, 60.0, vec![train], |_| 2);
+    let train = wf.task(
+        "retrain surrogate",
+        Facility::Andes,
+        900.0,
+        dock_tasks.clone(),
+        |_| 1,
+    );
+    let _select = wf.task(
+        "select next batch",
+        Facility::Andes,
+        60.0,
+        vec![train],
+        |_| 2,
+    );
     let caps = HashMap::from([(Facility::Summit, 16), (Facility::Andes, 1)]);
     let (_, round_makespan_seconds) = simulate_schedule(&wf.specs(), &caps);
 

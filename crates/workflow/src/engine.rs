@@ -108,7 +108,10 @@ impl<T: Send + Sync + 'static> WorkflowBuilder<T> {
         for &d in &deps {
             assert!(d < id, "dependency {d} not defined before task {id}");
         }
-        assert!(sim_seconds >= 0.0, "simulated duration must be non-negative");
+        assert!(
+            sim_seconds >= 0.0,
+            "simulated duration must be non-negative"
+        );
         self.tasks.push(TaskSpec {
             name: name.into(),
             facility,
@@ -366,9 +369,13 @@ mod tests {
         let mut wf = WorkflowBuilder::new();
         let mut prev = wf.task("t0", Facility::Andes, 1.0, vec![], |_| 0u32);
         for i in 1..20 {
-            prev = wf.task(format!("t{i}"), Facility::Andes, 1.0, vec![prev], move |d| {
-                *d[0] + 1
-            });
+            prev = wf.task(
+                format!("t{i}"),
+                Facility::Andes,
+                1.0,
+                vec![prev],
+                move |d| *d[0] + 1,
+            );
         }
         let out = wf.run(1);
         assert_eq!(*out[prev], 19);

@@ -298,7 +298,12 @@ mod tests {
         assert!((r.precision() - 0.8).abs() < 1e-12);
         assert!((r.recall() - 0.8).abs() < 1e-12);
         assert!((r.f1() - 0.8).abs() < 1e-12);
-        let empty = DetectionReport { tp: 0, fp: 0, fn_: 0, tn: 1 };
+        let empty = DetectionReport {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+            tn: 1,
+        };
         assert_eq!(empty.f1(), 0.0);
     }
 

@@ -241,9 +241,8 @@ impl MaterialsLoop {
             let rmse = {
                 let mut se = 0.0f32;
                 for &(desc, truth) in &visited {
-                    let pred =
-                        Self::surrogate_energy(&mut surrogate, desc, lattice.sites())
-                            / lattice.sites() as f32;
+                    let pred = Self::surrogate_energy(&mut surrogate, desc, lattice.sites())
+                        / lattice.sites() as f32;
                     se += (pred - truth).powi(2);
                 }
                 (se / visited.len() as f32).sqrt()
@@ -347,11 +346,7 @@ mod tests {
     fn surrogate_driven_mc_shows_order_disorder_transition() {
         let campaign = MaterialsLoop::default();
         let mut outcome = campaign.run();
-        let sweep = campaign.magnetization_sweep(
-            &mut outcome.surrogate,
-            &[1.2, 4.0],
-            40,
-        );
+        let sweep = campaign.magnetization_sweep(&mut outcome.surrogate, &[1.2, 4.0], 40);
         let (low_t, high_t) = (sweep[0].1, sweep[1].1);
         assert!(low_t > 0.8, "ordered phase |m| = {low_t}");
         assert!(high_t < 0.45, "disordered phase |m| = {high_t}");

@@ -137,7 +137,10 @@ impl ScreeningFunnel {
     /// Panics if budgets exceed the library size.
     pub fn run(&self, library: &CompoundLibrary, policy: FunnelPolicy) -> ScreeningOutcome {
         let n = library.len();
-        assert!(self.seed_set + self.shortlist <= n, "budget exceeds library");
+        assert!(
+            self.seed_set + self.shortlist <= n,
+            "budget exceeds library"
+        );
         assert!(self.k <= n, "k exceeds library");
         let truth = library.true_top_k(self.k);
 
@@ -175,8 +178,7 @@ impl ScreeningFunnel {
                 }
                 // Stage 3: score the whole library cheaply, shortlist.
                 let pred = surrogate.predict(&library.features);
-                let mut scored: Vec<(usize, f32)> =
-                    (0..n).map(|i| (i, pred.get(i, 0))).collect();
+                let mut scored: Vec<(usize, f32)> = (0..n).map(|i| (i, pred.get(i, 0))).collect();
                 scored.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let mut selected = seed_idx;
                 for &(i, _) in scored.iter() {
@@ -254,7 +256,12 @@ mod tests {
         let funnel = ScreeningFunnel::default();
         let out = funnel.run(&lib, FunnelPolicy::Random);
         let expect = out.expensive_evaluations as f64 / lib.len() as f64;
-        assert!((out.recall_at_k - expect).abs() < 0.12, "{} vs {}", out.recall_at_k, expect);
+        assert!(
+            (out.recall_at_k - expect).abs() < 0.12,
+            "{} vs {}",
+            out.recall_at_k,
+            expect
+        );
     }
 
     #[test]

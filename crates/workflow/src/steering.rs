@@ -133,9 +133,8 @@ impl SteeringLoop {
                         x.set(i, 1, py);
                     }
                     let pred = model.predict(&x);
-                    let mut scored: Vec<(usize, f32)> = (0..archive.len())
-                        .map(|i| (i, pred.get(i, 0)))
-                        .collect();
+                    let mut scored: Vec<(usize, f32)> =
+                        (0..archive.len()).map(|i| (i, pred.get(i, 0))).collect();
                     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
                     scored
                         .iter()

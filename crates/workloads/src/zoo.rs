@@ -86,7 +86,7 @@ impl Workload {
         Workload {
             name: "DeepLabv3+ climate",
             params: 43.6e6,
-            flops_per_sample: 2.0e12, // 1152×768×16-channel segmentation
+            flops_per_sample: 2.0e12,     // 1152×768×16-channel segmentation
             sample_bytes: 317.0e6 / 22.0, // dataset bytes per cropped sample
             per_gpu_batch: 2,
             samples_per_sec_per_gpu: 22.8, // 45.5 TF/GPU single-GPU rate

@@ -46,17 +46,28 @@ fn main() {
         task.x.set(r, 0, v * 50.0); // ill-conditioned channel
     }
     for (name, opt) in [
-        ("SGD", Box::new(Sgd::new(5.0, 0.9, 0.0)) as Box<dyn Optimizer>),
+        (
+            "SGD",
+            Box::new(Sgd::new(5.0, 0.9, 0.0)) as Box<dyn Optimizer>,
+        ),
         ("LARC", Box::new(Larc::new(5.0, 0.9, 1e-4, 0.01))),
     ] {
-        let mut t = Trainer::new(MlpSpec::new(8, &[32], 2).build(9), opt, LrSchedule::Constant);
+        let mut t = Trainer::new(
+            MlpSpec::new(8, &[32], 2).build(9),
+            opt,
+            LrSchedule::Constant,
+        );
         let mut last = f32::NAN;
         for _ in 0..40 {
             last = t.train_epoch(&task.x, &task.y, 128).loss;
         }
         println!(
             "  {name:<5} final loss: {}",
-            if last.is_finite() { format!("{last:.3}") } else { "diverged (NaN)".into() }
+            if last.is_finite() {
+                format!("{last:.3}")
+            } else {
+                "diverged (NaN)".into()
+            }
         );
     }
 
@@ -65,7 +76,10 @@ fn main() {
     println!("\n{} — efficiency curve (model):", cs.name);
     for (n, e) in cs.efficiency_curve() {
         let flops = cs.model.sustained_flops(n) / 1e15;
-        println!("  {n:>5} nodes: {:5.1}% efficiency, {flops:8.1} PF sustained", e * 100.0);
+        println!(
+            "  {n:>5} nodes: {:5.1}% efficiency, {flops:8.1} PF sustained",
+            e * 100.0
+        );
     }
     let r = cs.evaluate();
     println!(

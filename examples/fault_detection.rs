@@ -7,9 +7,7 @@
 //! stalls, divergence) and is compared against the naive "residual went
 //! up" threshold rule.
 
-use summit_workflow::fault::{
-    evaluate_threshold, fleet, simulate_run, FaultDetector, FaultKind,
-};
+use summit_workflow::fault::{evaluate_threshold, fleet, simulate_run, FaultDetector, FaultKind};
 
 fn sparkline(values: &[f32]) -> String {
     let blocks = [' ', '.', ':', '-', '=', '+', '*', '#'];
@@ -39,7 +37,10 @@ fn main() {
     let ml = detector.evaluate(&test);
     let rule = evaluate_threshold(&test, 1.0);
 
-    println!("\n{:<22} {:>10} {:>10} {:>8}", "detector", "precision", "recall", "F1");
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>8}",
+        "detector", "precision", "recall", "F1"
+    );
     println!(
         "{:<22} {:>9.1}% {:>9.1}% {:>8.2}",
         "MLP on window stats",

@@ -26,7 +26,12 @@ fn main() {
     let mut outcome = campaign.run();
     println!("iteration  surrogate RMSE on freshly visited states");
     for (i, rmse) in outcome.rmse_per_iteration.iter().enumerate() {
-        println!("  {:>3}      {:.4}  {}", i, rmse, "#".repeat((rmse * 200.0) as usize));
+        println!(
+            "  {:>3}      {:.4}  {}",
+            i,
+            rmse,
+            "#".repeat((rmse * 200.0) as usize)
+        );
     }
     println!(
         "\n\"DFT\" evaluations spent: {} (vs {} states visited in total)",

@@ -63,7 +63,10 @@ fn main() {
                 best.throughput,
                 best.overhead_fraction * 100.0
             ),
-            None => println!("{name:<12} {:>8.1}M  infeasible at this scale", params / 1e6),
+            None => println!(
+                "{name:<12} {:>8.1}M  infeasible at this scale",
+                params / 1e6
+            ),
         }
     }
 

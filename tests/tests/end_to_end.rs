@@ -1,12 +1,12 @@
 //! End-to-end integration: the paper's headline numbers must be consistent
 //! when computed across crate boundaries.
 
+use summit_comm::model::{Algorithm, CollectiveModel};
 use summit_core::report;
 use summit_io::requirements::ReadDemand;
 use summit_io::tier::StorageTier;
 use summit_machine::spec::{MachineSpec, NodeSpec};
 use summit_machine::LinkModel;
-use summit_comm::model::{Algorithm, CollectiveModel};
 use summit_perf::case_studies::CaseStudy;
 use summit_survey::portfolio;
 use summit_workloads::Workload;
@@ -42,7 +42,11 @@ fn section_6b_io_numbers_cross_crate() {
     );
     let tbs = demand.aggregate_read_bw() / 1e12;
     assert!((tbs - 20.0).abs() < 1.0, "demand {tbs} TB/s");
-    assert!(!demand.feasibility(&StorageTier::shared_fs(&summit)).satisfied);
+    assert!(
+        !demand
+            .feasibility(&StorageTier::shared_fs(&summit))
+            .satisfied
+    );
     assert!(
         demand
             .feasibility(&StorageTier::node_local_nvme(&summit, summit.nodes))
@@ -83,7 +87,11 @@ fn full_report_is_complete() {
     assert!(r.contains("TABLE I."));
     assert!(r.contains("Kurth"));
     assert!(r.contains("crossover"));
-    assert!(r.len() > 4000, "report suspiciously short: {} bytes", r.len());
+    assert!(
+        r.len() > 4000,
+        "report suspiciously short: {} bytes",
+        r.len()
+    );
 }
 
 /// Portfolio totals and the Gordon Bell catalog reconcile (the paper's 662

@@ -16,12 +16,7 @@ use summit_dl::{
     schedule::LrSchedule,
     trainer::Trainer,
 };
-use summit_machine::{
-    simnet::SimNetwork,
-    spec::NodeSpec,
-    topology::FatTree,
-    LinkModel,
-};
+use summit_machine::{simnet::SimNetwork, spec::NodeSpec, topology::FatTree, LinkModel};
 use summit_tensor::ops;
 
 /// The packet-level simulator and the α–β model agree on the ring
@@ -40,7 +35,10 @@ fn simnet_cross_validates_analytic_ring() {
             // both must agree within 50% and the bandwidth-dominated cases
             // within 10%.
             let rel = (sim - analytic).abs() / analytic;
-            assert!(rel < 0.5, "nodes={nodes} bytes={bytes}: sim {sim} vs model {analytic}");
+            assert!(
+                rel < 0.5,
+                "nodes={nodes} bytes={bytes}: sim {sim} vs model {analytic}"
+            );
             if bytes > 1.0e8 {
                 assert!(rel < 0.1, "bandwidth regime disagrees: {rel}");
             }

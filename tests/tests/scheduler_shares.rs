@@ -58,7 +58,10 @@ fn backfill_improves_utilization() {
         "utilization {}",
         metrics.utilization
     );
-    assert!(metrics.backfill_fraction > 0.0, "no job was ever backfilled");
+    assert!(
+        metrics.backfill_fraction > 0.0,
+        "no job was ever backfilled"
+    );
 }
 
 #[test]

@@ -61,11 +61,29 @@ fn steering_outperforms_uniform() {
 fn multi_facility_campaign_schedules() {
     let mut wf: WorkflowBuilder<u32> = WorkflowBuilder::new();
     let cryo = wf.task("cryo-EM input", Facility::Andes, 100.0, vec![], |_| 0);
-    let ffea = wf.task("FFEA mesoscale", Facility::ThetaGpu, 500.0, vec![cryo], |_| 1);
-    let aamd = wf.task("AAMD (NAMD)", Facility::Perlmutter, 800.0, vec![cryo], |_| 2);
+    let ffea = wf.task(
+        "FFEA mesoscale",
+        Facility::ThetaGpu,
+        500.0,
+        vec![cryo],
+        |_| 1,
+    );
+    let aamd = wf.task(
+        "AAMD (NAMD)",
+        Facility::Perlmutter,
+        800.0,
+        vec![cryo],
+        |_| 2,
+    );
     let anca = wf.task("ANCA-AE", Facility::ThetaGpu, 150.0, vec![ffea], |_| 3);
     let cvae = wf.task("CVAE training", Facility::Summit, 400.0, vec![aamd], |_| 4);
-    let gno = wf.task("GNO coupling", Facility::ThetaGpu, 200.0, vec![anca, cvae], |_| 5);
+    let gno = wf.task(
+        "GNO coupling",
+        Facility::ThetaGpu,
+        200.0,
+        vec![anca, cvae],
+        |_| 5,
+    );
 
     // Real execution completes and respects dependencies.
     let specs = wf.specs();

@@ -109,11 +109,7 @@ pub mod channel {
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                q = self
-                    .shared
-                    .ready
-                    .wait(q)
-                    .expect("channel mutex poisoned");
+                q = self.shared.ready.wait(q).expect("channel mutex poisoned");
             }
         }
 
@@ -132,7 +128,11 @@ pub mod channel {
 
         /// Number of queued messages (racy, for diagnostics).
         pub fn len(&self) -> usize {
-            self.shared.queue.lock().expect("channel mutex poisoned").len()
+            self.shared
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .len()
         }
 
         /// Whether the queue is currently empty (racy, for diagnostics).
