@@ -113,6 +113,24 @@ fn ring_allreduce_unpooled(rank: &Rank, buf: &mut [f32]) {
 /// state and thread-spawn cost is amortised identically for both variants;
 /// reported times are therefore directly comparable within a size/p cell.
 fn hot_path_sweep(c: &mut Criterion) {
+    // Pool observability: one representative steady-state run, per-rank
+    // stats printed so a regression in buffer reuse (misses climbing with
+    // rounds, outstanding drifting) is visible straight from bench logs.
+    let pool_stats = World::run(4, |rank| {
+        let mut buf = vec![rank.id() as f32; 262_144];
+        for _ in 0..8 {
+            ring_allreduce(rank, &mut buf, ReduceOp::Sum);
+        }
+        rank.barrier();
+        rank.pool_stats()
+    });
+    for (rank_id, s) in pool_stats.iter().enumerate() {
+        println!(
+            "[hot_path] p4 n=256K rounds=8 rank {rank_id}: pool hits={} misses={} outstanding={}",
+            s.hits, s.misses, s.outstanding
+        );
+    }
+
     let mut group = c.benchmark_group("hot_path");
     group.sample_size(10);
     // Elements per rank: 256 f32 = 1 KB up to 16M f32 = 64 MB.

@@ -156,10 +156,97 @@ fn gradient_fusion(c: &mut Criterion) {
         );
     }
 
-    // Full trainer epoch: the fused path end to end, at the default bucket,
-    // a deliberately tiny bucket, and the flat (single-bucket) extreme.
+    // Overlap sweep: backward/communication overlap on vs off at equal
+    // bucket sizes on the same ~0.97 MB-gradient model. Printed once: per-
+    // step wall clock, rank 0's comm time, the exposed (un-hidden) comm
+    // tail, and the measured overlap fraction
+    // `1 − exposed_overlap / comm_serial` — the number that calibrates
+    // `summit_perf::case_studies` and the README performance table.
     let task = blobs(512, 64, 4, 0.4, 11);
     let spec = MlpSpec::new(64, &[256, 256, 256, 256], 4);
+    {
+        use std::time::Instant;
+        use summit_dl::trainer::OverlapConfig;
+
+        // Best-of-3 trials: comm here is a modest slice of the step, so a
+        // single noisy run can invert the wall-clock comparison.
+        let run_once = |bucket_bytes: usize, enabled: bool| {
+            let dp = DataParallelTrainer::new(4, 16)
+                .with_fusion(FusionConfig { bucket_bytes })
+                .with_overlap(OverlapConfig { enabled });
+            let mut best: Option<(f64, summit_dl::trainer::ParallelOutcome)> = None;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let out = dp.run(
+                    || spec.build(7),
+                    || Box::new(Sgd::new(0.05, 0.9, 0.0)) as Box<dyn Optimizer>,
+                    LrSchedule::Constant,
+                    &task.x,
+                    &task.y,
+                    4,
+                );
+                let per_step = t0.elapsed().as_secs_f64() / f64::from(out.steps);
+                if best.as_ref().is_none_or(|(t, _)| per_step < *t) {
+                    best = Some((per_step, out));
+                }
+            }
+            best.expect("three trials ran")
+        };
+        println!("[overlap sweep] MlpSpec(64,[256;4],4) (~0.97 MB grads), p=4, per-rank batch 16:");
+        println!(
+            "{:>8} {:>13} {:>13} {:>13} {:>13} {:>9}",
+            "bucket", "serial ms/st", "overlap ms/st", "comm ms/st", "expsd ms/st", "overlap%"
+        );
+        for (label, bucket_bytes) in [
+            ("64KB", 64 * 1024usize),
+            ("256KB", 256 * 1024),
+            ("flat", usize::MAX),
+        ] {
+            let (serial_step, serial_out) = run_once(bucket_bytes, false);
+            let (overlap_step, overlap_out) = run_once(bucket_bytes, true);
+            assert_eq!(
+                serial_out.params, overlap_out.params,
+                "overlap changed training results at bucket {label}"
+            );
+            let steps = f64::from(serial_out.steps);
+            let frac = 1.0 - overlap_out.exposed_comm_seconds / serial_out.comm_seconds;
+            println!(
+                "{:>8} {:>13.3} {:>13.3} {:>13.3} {:>13.3} {:>8.1}%",
+                label,
+                serial_step * 1e3,
+                overlap_step * 1e3,
+                overlap_out.comm_seconds / steps * 1e3,
+                overlap_out.exposed_comm_seconds / steps * 1e3,
+                frac * 100.0
+            );
+        }
+        for (label, bucket_bytes) in [("64KB", 64 * 1024usize), ("256KB", 256 * 1024)] {
+            for (mode, enabled) in [("serial", false), ("overlap", true)] {
+                group.bench_with_input(
+                    BenchmarkId::new("overlap_epoch", format!("{mode}_{label}")),
+                    &(bucket_bytes, enabled),
+                    |b, &(bucket_bytes, enabled)| {
+                        let dp = DataParallelTrainer::new(4, 16)
+                            .with_fusion(FusionConfig { bucket_bytes })
+                            .with_overlap(OverlapConfig { enabled });
+                        b.iter(|| {
+                            dp.run(
+                                || spec.build(7),
+                                || Box::new(Sgd::new(0.05, 0.9, 0.0)) as Box<dyn Optimizer>,
+                                LrSchedule::Constant,
+                                &task.x,
+                                &task.y,
+                                1,
+                            )
+                        })
+                    },
+                );
+            }
+        }
+    }
+
+    // Full trainer epoch: the fused path end to end, at the default bucket,
+    // a deliberately tiny bucket, and the flat (single-bucket) extreme.
     for (label, bucket_bytes) in [
         ("4KB", 4 * 1024usize),
         ("default", FusionConfig::default().bucket_bytes),

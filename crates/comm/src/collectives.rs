@@ -89,7 +89,11 @@ impl ReduceOp {
 
 /// Chunk boundaries that partition `n` elements into `p` nearly equal chunks
 /// (first `n % p` chunks get one extra element).
-fn chunk_bounds(n: usize, p: usize, chunk: usize) -> (usize, usize) {
+///
+/// Shared with the nonblocking layer: [`crate::nonblocking`] intersects this
+/// same global partition with per-bucket windows so overlapped per-bucket
+/// allreduces keep the exact fold order of the serial path.
+pub(crate) fn chunk_bounds(n: usize, p: usize, chunk: usize) -> (usize, usize) {
     let base = n / p;
     let extra = n % p;
     let start = chunk * base + chunk.min(extra);

@@ -41,10 +41,15 @@ pub mod collectives;
 pub mod extended;
 pub mod group;
 pub mod model;
+pub mod nonblocking;
 pub mod world;
 
 pub use collectives::ReduceOp;
 pub use extended::{alltoall, gather, hierarchical_allreduce, scatter};
 pub use group::Group;
 pub use model::{Algorithm, CollectiveModel};
+pub use nonblocking::{
+    ring_allreduce_start, ring_allreduce_start_windowed, RecvHandle, RingAllreduceHandle,
+    SendHandle,
+};
 pub use world::{Rank, World};

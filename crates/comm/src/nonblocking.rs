@@ -1,0 +1,652 @@
+//! Nonblocking point-to-point handles and a progress-driven ring allreduce.
+//!
+//! MPI hides communication behind computation with `MPI_Isend`/`MPI_Irecv`
+//! plus `MPI_Test`/`MPI_Wait`; NCCL does it with streams. This module is the
+//! threads-as-ranks analogue: [`Rank::isend`]/[`Rank::irecv`] return handles,
+//! and [`RingAllreduceHandle`] advances a full bucketed ring allreduce one
+//! message at a time from explicit [`progress`](RingAllreduceHandle::progress)
+//! calls, so a trainer can interleave collective steps with backpropagation
+//! (the PyTorch-DDP / Horovod bucket-overlap discipline).
+//!
+//! # Why a polled state machine, not a background thread
+//!
+//! A [`Rank`] is deliberately `!Sync` — its pending queues and buffer pool
+//! are single-threaded by design, mirroring how an MPI rank owns its own
+//! endpoint. A background progress thread would need to share the endpoint
+//! and reintroduce the locks the hot path just shed. Instead every handle is
+//! a state machine over the same pooled primitives the blocking collectives
+//! use: `progress()` makes all the steps whose messages have already
+//! arrived, `wait()` blocks for the rest. Steady state stays
+//! allocation-free: each handle performs exactly one pooled acquire (its
+//! priming send) and one pooled release (its final allgather hop), the same
+//! traffic as the serial [`ring_allreduce_bucketed`] path.
+//!
+//! # Bit-identical overlap via global-partition windows
+//!
+//! The overlap scheme runs one independent collective per fusion bucket so
+//! buckets can start as soon as backpropagation has produced their
+//! gradients. Naive per-bucket ring allreduces would change the answer: the
+//! per-element reduction order of a ring depends on which *global* chunk the
+//! element falls in, so re-partitioning each bucket into its own p chunks
+//! reorders the floating-point sums. [`ring_allreduce_start_windowed`]
+//! instead intersects the **whole-buffer** chunk partition with the bucket's
+//! window: every element keeps exactly the chunk index — and therefore
+//! exactly the fold order and operand order — it has under the serial
+//! [`ring_allreduce_bucketed`], so the overlapped result is bit-identical by
+//! construction while buckets still progress and complete independently.
+//!
+//! [`ring_allreduce_bucketed`]: crate::collectives::ring_allreduce_bucketed
+
+use crate::collectives::{chunk_bounds, ReduceOp};
+use crate::world::Rank;
+
+/// Tag-space separator: nonblocking tags set the top bit, which no blocking
+/// collective tag (`collective id << 32`, ids < 2^7) can reach, so handles
+/// and blocking collectives coexist on one wire without collisions.
+const NB_BIT: u64 = 1 << 63;
+
+/// Reduce-scatter phase marker inside a handle's tag.
+const PHASE_REDUCE: u64 = 0;
+/// Allgather phase marker inside a handle's tag.
+const PHASE_GATHER: u64 = 1;
+
+impl Rank {
+    /// Nonblocking send: enqueue a copy of `src` for rank `to` and return a
+    /// completion handle. The payload is drawn from this rank's
+    /// [`BufferPool`](crate::world::BufferPool); because the transport is an
+    /// unbounded channel the send buffers eagerly and the handle is already
+    /// complete — it exists so call sites keep MPI's request discipline.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or equals this rank.
+    #[must_use = "isend returns a completion handle; call wait() or drop it knowingly"]
+    pub fn isend(&self, to: usize, tag: u64, src: &[f32]) -> SendHandle {
+        self.send_from(to, tag, src);
+        SendHandle { _priv: () }
+    }
+
+    /// Nonblocking receive: return a handle that will match the next message
+    /// from rank `from` carrying `tag`. Nothing is consumed until
+    /// [`RecvHandle::test`] or [`RecvHandle::wait`] runs.
+    ///
+    /// # Panics
+    /// `test`/`wait` panic if `from` is out of range, equals this rank, or
+    /// the sender disconnected.
+    pub fn irecv(&self, from: usize, tag: u64) -> RecvHandle<'_> {
+        RecvHandle {
+            rank: self,
+            from,
+            tag,
+            payload: None,
+        }
+    }
+}
+
+/// Completion handle for [`Rank::isend`].
+///
+/// Sends over the unbounded channel transport complete at post time, so
+/// `test` is always true and `wait` returns immediately; the type keeps the
+/// isend/wait pairing explicit at call sites.
+#[derive(Debug)]
+pub struct SendHandle {
+    _priv: (),
+}
+
+impl SendHandle {
+    /// Whether the send has completed (always true on this transport).
+    pub fn test(&self) -> bool {
+        true
+    }
+
+    /// Block until the send has completed (returns immediately).
+    pub fn wait(self) {}
+}
+
+/// In-flight receive started by [`Rank::irecv`].
+pub struct RecvHandle<'a> {
+    rank: &'a Rank,
+    from: usize,
+    tag: u64,
+    payload: Option<Vec<f32>>,
+}
+
+impl RecvHandle<'_> {
+    /// Poll for the matching message; returns whether it has arrived. Once
+    /// true, `wait`/`wait_into` will not block.
+    pub fn test(&mut self) -> bool {
+        if self.payload.is_none() {
+            self.payload = self.rank.try_recv(self.from, self.tag);
+        }
+        self.payload.is_some()
+    }
+
+    /// Block until the message arrives and take its payload. The caller
+    /// owns the buffer; recycling it is the caller's choice.
+    pub fn wait(mut self) -> Vec<f32> {
+        match self.payload.take() {
+            Some(p) => p,
+            None => self.rank.recv(self.from, self.tag),
+        }
+    }
+
+    /// Block until the message arrives, copy it into `dst`, and recycle the
+    /// transport buffer into the rank's pool (the zero-allocation receive).
+    ///
+    /// # Panics
+    /// Panics if the payload length differs from `dst.len()`.
+    pub fn wait_into(mut self, dst: &mut [f32]) {
+        let payload = match self.payload.take() {
+            Some(p) => p,
+            None => self.rank.recv(self.from, self.tag),
+        };
+        assert_eq!(
+            payload.len(),
+            dst.len(),
+            "wait_into: payload length mismatch"
+        );
+        dst.copy_from_slice(&payload);
+        self.rank.release_payload(payload);
+    }
+}
+
+/// Phase of an in-flight ring allreduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Reduce-scatter step `step` is waiting for its message.
+    Reduce { step: usize },
+    /// Allgather step `step` is waiting for its message.
+    Gather { step: usize },
+    /// The collective has completed; `buf` holds the reduction.
+    Done,
+}
+
+/// An in-flight ring allreduce advanced by [`progress`] / [`wait`].
+///
+/// Started by [`ring_allreduce_start`] (whole buffer) or
+/// [`ring_allreduce_start_windowed`] (one fusion bucket of a larger
+/// gradient). Every rank must start the same set of collectives with the
+/// same `collective` ids; ids only need to be unique among handles that are
+/// simultaneously in flight between the same ranks — per-(source, tag) FIFO
+/// order makes reusing ids across iterations safe, exactly as the blocking
+/// collectives reuse theirs.
+///
+/// Dropping an incomplete handle leaves the collective half-finished and the
+/// peer ranks blocked; `Drop` deliberately does not wait (it could deadlock
+/// during a panic unwind). Always drive handles to completion.
+///
+/// [`progress`]: RingAllreduceHandle::progress
+/// [`wait`]: RingAllreduceHandle::wait
+pub struct RingAllreduceHandle<'a> {
+    rank: &'a Rank,
+    buf: &'a mut [f32],
+    op: ReduceOp,
+    collective: u64,
+    /// Length of the full gradient this window belongs to; the chunk
+    /// partition is computed against this, not against `buf.len()`.
+    total_len: usize,
+    /// Offset of `buf` within the full gradient.
+    window_start: usize,
+    state: State,
+}
+
+/// Begin a nonblocking ring allreduce over all of `buf`.
+///
+/// Equivalent to [`ring_allreduce`](crate::collectives::ring_allreduce) —
+/// and bit-identical to it — but returns immediately; drive the returned
+/// handle with [`RingAllreduceHandle::progress`] and finish with
+/// [`RingAllreduceHandle::wait`].
+pub fn ring_allreduce_start<'a>(
+    rank: &'a Rank,
+    buf: &'a mut [f32],
+    op: ReduceOp,
+    collective: u64,
+) -> RingAllreduceHandle<'a> {
+    let total = buf.len();
+    ring_allreduce_start_windowed(rank, buf, op, collective, total, 0)
+}
+
+/// Begin a nonblocking ring allreduce over one window of a larger buffer —
+/// the per-fusion-bucket collective of the overlap scheme.
+///
+/// `buf` is the window `[window_start, window_start + buf.len())` of a
+/// conceptual `total_len`-element gradient. The collective reduces only this
+/// window, but chunks it by intersecting the **global** `total_len` chunk
+/// partition with the window, so when every window of the gradient has been
+/// reduced (by independent handles, in any interleaving) the combined result
+/// is bit-identical to one serial
+/// [`ring_allreduce_bucketed`](crate::collectives::ring_allreduce_bucketed)
+/// over the whole gradient.
+///
+/// # Panics
+/// Panics if the window overruns `total_len`.
+pub fn ring_allreduce_start_windowed<'a>(
+    rank: &'a Rank,
+    buf: &'a mut [f32],
+    op: ReduceOp,
+    collective: u64,
+    total_len: usize,
+    window_start: usize,
+) -> RingAllreduceHandle<'a> {
+    assert!(
+        window_start + buf.len() <= total_len,
+        "window [{}, {}) overruns total length {}",
+        window_start,
+        window_start + buf.len(),
+        total_len
+    );
+    assert!(collective < 1 << 50, "collective id out of tag range");
+    let p = rank.size();
+    let me = rank.id();
+    let handle = RingAllreduceHandle {
+        rank,
+        buf,
+        op,
+        collective,
+        total_len,
+        window_start,
+        state: if p == 1 {
+            State::Done
+        } else {
+            State::Reduce { step: 0 }
+        },
+    };
+    if p > 1 {
+        // Prime the ring with this rank's own chunk window (empty windows
+        // send nothing, on every rank consistently).
+        let (ws, we) = handle.window(me);
+        if ws < we {
+            rank.send_from(
+                (me + 1) % p,
+                handle.tag(PHASE_REDUCE, 0),
+                &handle.buf[ws..we],
+            );
+        }
+    }
+    handle
+}
+
+impl RingAllreduceHandle<'_> {
+    /// This handle's window of global chunk `c`, in `buf`-local coordinates
+    /// (`(0, 0)` when the chunk misses the window). Pure arithmetic — the
+    /// handle stores no per-chunk state, so starting one allocates nothing.
+    fn window(&self, c: usize) -> (usize, usize) {
+        let (cs, ce) = chunk_bounds(self.total_len, self.rank.size(), c);
+        let lo = cs.max(self.window_start);
+        let hi = ce.min(self.window_start + self.buf.len());
+        if lo < hi {
+            (lo - self.window_start, hi - self.window_start)
+        } else {
+            (0, 0)
+        }
+    }
+
+    fn tag(&self, phase: u64, step: usize) -> u64 {
+        debug_assert!(step < 1 << 12, "ring step out of tag range");
+        NB_BIT | (self.collective << 13) | (phase << 12) | step as u64
+    }
+
+    /// Attempt one step of the state machine. Returns whether the state
+    /// advanced; `block` chooses between a blocking receive and a poll.
+    fn advance(&mut self, block: bool) -> bool {
+        let p = self.rank.size();
+        let me = self.rank.id();
+        let left = (me + p - 1) % p;
+        let right = (me + 1) % p;
+        match self.state {
+            State::Done => false,
+            State::Reduce { step } => {
+                // Same schedule as the serial reduce-scatter: step s
+                // combines into chunk (me - s - 1) mod p.
+                let c = (me + p - step - 1) % p;
+                let (rs, re) = self.window(c);
+                let last = step == p - 2;
+                if rs == re {
+                    self.state = if last {
+                        State::Gather { step: 0 }
+                    } else {
+                        State::Reduce { step: step + 1 }
+                    };
+                    return true;
+                }
+                let tag = self.tag(PHASE_REDUCE, step);
+                let payload = if block {
+                    Some(self.rank.recv(left, tag))
+                } else {
+                    self.rank.try_recv(left, tag)
+                };
+                let Some(mut payload) = payload else {
+                    return false;
+                };
+                // `local ⊕ incoming`, the serial engine's operand order.
+                self.op.fold_into_payload(&mut payload, &self.buf[rs..re]);
+                if last {
+                    // Final hop: land the finished chunk and forward the
+                    // payload as the allgather's priming message — the same
+                    // handoff fusion as the serial path, so this phase
+                    // boundary costs no pooled copy.
+                    self.buf[rs..re].copy_from_slice(&payload);
+                    self.rank.send(right, self.tag(PHASE_GATHER, 0), payload);
+                    self.state = State::Gather { step: 0 };
+                } else {
+                    self.rank
+                        .send(right, self.tag(PHASE_REDUCE, step + 1), payload);
+                    self.state = State::Reduce { step: step + 1 };
+                }
+                true
+            }
+            State::Gather { step } => {
+                // Allgather schedule: step s lands chunk (me - s + 1) mod p
+                // (step 0 consumes the reduce handoff, which carried this
+                // rank's finished chunk from the left neighbour).
+                let c = (me + p - step) % p;
+                let (rs, re) = self.window(c);
+                let last = step == p - 2;
+                if rs == re {
+                    self.state = if last {
+                        State::Done
+                    } else {
+                        State::Gather { step: step + 1 }
+                    };
+                    return true;
+                }
+                let tag = self.tag(PHASE_GATHER, step);
+                let payload = if block {
+                    Some(self.rank.recv(left, tag))
+                } else {
+                    self.rank.try_recv(left, tag)
+                };
+                let Some(payload) = payload else {
+                    return false;
+                };
+                self.buf[rs..re].copy_from_slice(&payload);
+                if last {
+                    self.rank.release_payload(payload);
+                    self.state = State::Done;
+                } else {
+                    self.rank
+                        .send(right, self.tag(PHASE_GATHER, step + 1), payload);
+                    self.state = State::Gather { step: step + 1 };
+                }
+                true
+            }
+        }
+    }
+
+    /// Drive every step whose message has already arrived, without
+    /// blocking. Returns [`is_complete`](Self::is_complete).
+    pub fn progress(&mut self) -> bool {
+        while self.advance(false) {}
+        self.is_complete()
+    }
+
+    /// Block until the collective completes. `buf` then holds the reduction
+    /// of every rank's window contents.
+    pub fn wait(&mut self) {
+        while self.advance(true) {}
+        debug_assert!(self.is_complete());
+    }
+
+    /// Whether the collective has completed.
+    pub fn is_complete(&self) -> bool {
+        self.state == State::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{ring_allreduce, ring_allreduce_bucketed};
+    use crate::world::World;
+
+    fn inputs(p: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p)
+            .map(|_| (0..n).map(|_| rng.gen_range(-1e3f32..1e3)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn isend_irecv_roundtrip() {
+        let out = World::run(2, |r| {
+            if r.id() == 0 {
+                let s = r.isend(1, 5, &[1.0, 2.0, 3.0]);
+                assert!(s.test());
+                s.wait();
+                r.irecv(1, 6).wait()
+            } else {
+                let mut h = r.irecv(0, 5);
+                // Drain until it lands; unbounded channels make this finite.
+                while !h.test() {
+                    std::hint::spin_loop();
+                }
+                let got = h.wait();
+                r.isend(0, 6, &got).wait();
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn irecv_wait_into_recycles_buffer() {
+        let out = World::run(2, |r| {
+            if r.id() == 0 {
+                r.isend(1, 0, &[4.0; 8]).wait();
+                let _ = r.recv(1, 1);
+                0
+            } else {
+                let mut dst = [0.0f32; 8];
+                r.irecv(0, 0).wait_into(&mut dst);
+                assert_eq!(dst, [4.0; 8]);
+                // The transport buffer must now sit in the pool: the next
+                // pooled send reuses it.
+                let before = r.pool_stats();
+                r.isend(0, 1, &[0.0; 8]).wait();
+                (r.pool_stats().hits - before.hits) as i32
+            }
+        });
+        assert_eq!(out[1], 1, "recycled payload not reused");
+    }
+
+    #[test]
+    fn nonblocking_allreduce_matches_blocking_bitwise() {
+        for p in [1usize, 2, 3, 4, 7] {
+            for n in [1usize, 5, 16, 33] {
+                let ins = inputs(p, n, (p * 100 + n) as u64);
+                let blocking = World::run(p, |r| {
+                    let mut buf = ins[r.id()].clone();
+                    ring_allreduce(r, &mut buf, ReduceOp::Sum);
+                    buf
+                });
+                let nonblocking = World::run(p, |r| {
+                    let mut buf = ins[r.id()].clone();
+                    let mut h = ring_allreduce_start(r, &mut buf, ReduceOp::Sum, 0);
+                    h.wait();
+                    buf
+                });
+                for (r, (b, nb)) in blocking.iter().zip(&nonblocking).enumerate() {
+                    for (i, (x, y)) in b.iter().zip(nb).enumerate() {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "p={p} n={n} rank {r} element {i}: {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn progress_alone_eventually_completes() {
+        // Pure polling (no blocking wait) must finish: every message a rank
+        // needs is eventually produced by its neighbours' own progress
+        // calls, with no circular wait.
+        let p = 4;
+        let n = 64;
+        let ins = inputs(p, n, 9);
+        let out = World::run(p, |r| {
+            let mut buf = ins[r.id()].clone();
+            let mut h = ring_allreduce_start(r, &mut buf, ReduceOp::Sum, 3);
+            while !h.progress() {
+                std::hint::spin_loop();
+            }
+            buf
+        });
+        let want = World::run(p, |r| {
+            let mut buf = ins[r.id()].clone();
+            ring_allreduce(r, &mut buf, ReduceOp::Sum);
+            buf
+        });
+        assert_eq!(out, want);
+    }
+
+    /// The overlap cornerstone: independent windowed handles — one per
+    /// fusion bucket, progressed in an arbitrary interleaving — reproduce
+    /// the serial bucketed allreduce bit for bit, because each window chunks
+    /// against the global partition.
+    #[test]
+    fn windowed_handles_bit_identical_to_serial_bucketed() {
+        for p in [2usize, 3, 4, 8] {
+            for n in [7usize, 16, 37, 96] {
+                for bucket in [3usize, 8, 32, 96, 128] {
+                    let ins = inputs(p, n, (p * 1000 + n * 10 + bucket) as u64);
+                    let serial = World::run(p, |r| {
+                        let mut buf = ins[r.id()].clone();
+                        ring_allreduce_bucketed(r, &mut buf, ReduceOp::Sum, bucket);
+                        buf
+                    });
+                    let overlapped = World::run(p, |r| {
+                        let mut buf = ins[r.id()].clone();
+                        let mut handles: Vec<RingAllreduceHandle> = buf
+                            .chunks_mut(bucket)
+                            .enumerate()
+                            .map(|(b, window)| {
+                                ring_allreduce_start_windowed(
+                                    r,
+                                    window,
+                                    ReduceOp::Sum,
+                                    b as u64,
+                                    n,
+                                    b * bucket,
+                                )
+                            })
+                            .collect();
+                        // Round-robin progress, then wait stragglers in
+                        // reverse order — an adversarial interleaving
+                        // relative to launch order.
+                        for _ in 0..3 {
+                            for h in handles.iter_mut() {
+                                h.progress();
+                            }
+                        }
+                        for h in handles.iter_mut().rev() {
+                            h.wait();
+                        }
+                        buf
+                    });
+                    for (r, (s, o)) in serial.iter().zip(&overlapped).enumerate() {
+                        for (i, (x, y)) in s.iter().zip(o).enumerate() {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "p={p} n={n} bucket={bucket} rank {r} element {i}: {x} vs {y}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Windowed handles move exactly the bytes the serial bucketed path
+    /// moves: the union of window messages per chunk is the chunk itself.
+    #[test]
+    fn windowed_traffic_matches_serial() {
+        let (p, n, bucket) = (4usize, 37usize, 8usize);
+        let (_, serial) = World::run_with_stats(p, |r| {
+            let mut buf = vec![1.0f32; n];
+            ring_allreduce_bucketed(r, &mut buf, ReduceOp::Sum, bucket);
+        });
+        let (_, windowed) = World::run_with_stats(p, |r| {
+            let mut buf = vec![1.0f32; n];
+            let mut handles: Vec<RingAllreduceHandle> = buf
+                .chunks_mut(bucket)
+                .enumerate()
+                .map(|(b, w)| {
+                    ring_allreduce_start_windowed(r, w, ReduceOp::Sum, b as u64, n, b * bucket)
+                })
+                .collect();
+            for h in handles.iter_mut() {
+                h.wait();
+            }
+        });
+        assert_eq!(serial.bytes_sent, windowed.bytes_sent);
+        assert_eq!(serial.bytes_sent, (4 * 2 * (p - 1) * n) as u64);
+    }
+
+    /// Handles coexist with blocking collectives on the same ranks: the
+    /// NB tag bit keeps the namespaces disjoint.
+    #[test]
+    fn handles_coexist_with_blocking_collectives() {
+        let p = 4;
+        let n = 24;
+        let out = World::run(p, |r| {
+            let mut a = vec![r.id() as f32; n];
+            let mut b = vec![1.0f32; n];
+            let mut h = ring_allreduce_start(r, &mut a, ReduceOp::Sum, 7);
+            // A full blocking collective runs between start and wait.
+            ring_allreduce(r, &mut b, ReduceOp::Sum);
+            h.wait();
+            (a[0], b[0])
+        });
+        let sum: f32 = (0..p).map(|i| i as f32).sum();
+        assert!(out.iter().all(|&(a, b)| a == sum && b == p as f32));
+    }
+
+    proptest::proptest! {
+        /// Property form of the cornerstone: arbitrary world size, length,
+        /// bucket size, and data — overlapped windows == serial bucketed,
+        /// bitwise.
+        #[test]
+        fn prop_windowed_bit_identical(
+            p in 2usize..=6,
+            n in 1usize..=48,
+            bucket in 1usize..=64,
+            seed in 0u64..500,
+        ) {
+            let ins = inputs(p, n, seed);
+            let serial = World::run(p, |r| {
+                let mut buf = ins[r.id()].clone();
+                ring_allreduce_bucketed(r, &mut buf, ReduceOp::Sum, bucket);
+                buf
+            });
+            let overlapped = World::run(p, |r| {
+                let mut buf = ins[r.id()].clone();
+                let mut handles: Vec<RingAllreduceHandle> = buf
+                    .chunks_mut(bucket)
+                    .enumerate()
+                    .map(|(b, w)| ring_allreduce_start_windowed(
+                        r, w, ReduceOp::Sum, b as u64, n, b * bucket,
+                    ))
+                    .collect();
+                for h in handles.iter_mut() {
+                    h.progress();
+                }
+                for h in handles.iter_mut() {
+                    h.wait();
+                }
+                buf
+            });
+            for (r, (s, o)) in serial.iter().zip(&overlapped).enumerate() {
+                for (i, (x, y)) in s.iter().zip(o).enumerate() {
+                    proptest::prop_assert_eq!(
+                        x.to_bits(), y.to_bits(),
+                        "rank {} element {}: {} vs {}", r, i, x, y
+                    );
+                }
+            }
+        }
+    }
+}

@@ -42,6 +42,7 @@ pub struct BufferPool {
     classes: RefCell<Vec<Vec<Vec<f32>>>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    outstanding: Cell<i64>,
 }
 
 /// Pool effectiveness counters for one rank.
@@ -51,6 +52,11 @@ pub struct PoolStats {
     pub hits: u64,
     /// Buffer requests that had to allocate.
     pub misses: u64,
+    /// Buffers drawn from this pool minus buffers returned to it. Negative
+    /// values are legitimate under ring circulation: a rank retires the
+    /// payloads minted by its left neighbour, so buffers migrate between
+    /// per-rank pools while the world-wide sum stays balanced.
+    pub outstanding: i64,
 }
 
 impl BufferPool {
@@ -62,6 +68,7 @@ impl BufferPool {
     /// recycled one when available.
     fn acquire(&self, len: usize) -> Vec<f32> {
         let class = Self::class_of(len);
+        self.outstanding.set(self.outstanding.get() + 1);
         let mut classes = self.classes.borrow_mut();
         if let Some(mut buf) = classes.get_mut(class).and_then(Vec::pop) {
             self.hits.set(self.hits.get() + 1);
@@ -76,6 +83,7 @@ impl BufferPool {
 
     /// Return a spent payload to the free list.
     fn release(&self, buf: Vec<f32>) {
+        self.outstanding.set(self.outstanding.get() - 1);
         if buf.capacity() == 0 {
             return;
         }
@@ -93,6 +101,7 @@ impl BufferPool {
         PoolStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
+            outstanding: self.outstanding.get(),
         }
     }
 }
@@ -158,6 +167,45 @@ impl Rank {
             }
             pending.push_back(env);
         }
+    }
+
+    /// Nonblocking receive: return the next message from rank `from`
+    /// carrying `tag` if one has already arrived, or `None` without
+    /// blocking. Messages with other tags encountered while polling are
+    /// parked in the same per-source pending queue [`Rank::recv`] uses, so
+    /// the two can be mixed freely on one tag namespace.
+    ///
+    /// # Panics
+    /// Panics if `from` is out of range, equals this rank, or the sending
+    /// rank disconnected (panicked) before sending.
+    pub fn try_recv(&self, from: usize, tag: u64) -> Option<Vec<f32>> {
+        assert!(from < self.size, "source rank out of range");
+        assert_ne!(from, self.id, "self-receives are not supported");
+        let mut pending = self.pending[from].borrow_mut();
+        if let Some(pos) = pending.iter().position(|e| e.tag == tag) {
+            return Some(pending.remove(pos).expect("position just found").payload);
+        }
+        loop {
+            match self.receivers[from].try_recv() {
+                Ok(env) => {
+                    if env.tag == tag {
+                        return Some(env.payload);
+                    }
+                    pending.push_back(env);
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => return None,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    panic!("sender hung up: a peer rank panicked")
+                }
+            }
+        }
+    }
+
+    /// Return a finished transport payload to this rank's [`BufferPool`].
+    /// Used by the nonblocking layer, whose handles hold payloads across
+    /// calls and cannot release them inside a `recv_with` closure.
+    pub(crate) fn release_payload(&self, payload: Vec<f32>) {
+        self.pool.release(payload);
     }
 
     /// Simultaneously send to `to` and receive from `from` (the ring step).
@@ -500,7 +548,14 @@ mod tests {
         pool.release(odd);
         let got = pool.acquire(8);
         assert!(got.capacity() >= 8, "capacity {}", got.capacity());
-        assert_eq!(pool.stats(), PoolStats { hits: 0, misses: 1 });
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                hits: 0,
+                misses: 1,
+                outstanding: 0,
+            }
+        );
         let got2 = pool.acquire(4);
         assert!(got2.capacity() >= 4);
         assert_eq!(

@@ -58,5 +58,7 @@ pub use lm::{MultiHeadAttention, TinyLm};
 pub use model::{Mlp, MlpSpec};
 pub use optim::{Adam, Lamb, Larc, Lars, Optimizer, Sgd};
 pub use schedule::LrSchedule;
-pub use trainer::{DataParallelTrainer, EpochMetrics, FusionConfig, Trainer};
+pub use trainer::{
+    BucketSchedule, DataParallelTrainer, EpochMetrics, FusionConfig, OverlapConfig, Trainer,
+};
 pub use transformer::{LayerNorm, SelfAttention, SequenceClassifier, TransformerBlock};

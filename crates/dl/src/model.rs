@@ -155,14 +155,44 @@ impl Mlp {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward_input(&mut self, dlogits: &Matrix) -> Matrix {
+        self.backward_with(dlogits, |_, _, _| {})
+    }
+
+    /// Backward pass with a per-layer gradient-readiness callback — the
+    /// hook the overlap scheme hangs on. Layers complete in reverse order
+    /// (`depth-1` down to `0`); immediately after layer `i`'s `gW`/`gb` are
+    /// final, `on_layer_ready(i, &gw, &gb)` runs, while the backward
+    /// computation for earlier layers is still pending. A data-parallel
+    /// trainer uses this to launch a fusion bucket's allreduce as soon as
+    /// the last layer contributing to it has produced its gradient.
+    ///
+    /// Since the flat gradient layout ([`Mlp::flat_grads`]) is layer-major,
+    /// reverse-order completion means the ready region of the flat vector
+    /// is a suffix that grows toward offset zero.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward_with(
+        &mut self,
+        dlogits: &Matrix,
+        mut on_layer_ready: impl FnMut(usize, &Matrix, &[f32]),
+    ) -> Matrix {
         let mut grad = dlogits.clone();
         for i in (0..self.layers.len()).rev() {
             grad = self.layers[i].backward(&grad);
+            on_layer_ready(i, &self.layers[i].gw, &self.layers[i].gb);
             if i > 0 {
                 ops::relu_backward(&self.relu_outputs[i - 1], &mut grad);
             }
         }
         grad
+    }
+
+    /// Per-layer scalar parameter counts, in flat-gradient order (layer
+    /// `i`'s `[weights, bias]` region is `sizes[i]` elements). The bucket
+    /// schedule of the overlap scheme is built from these.
+    pub fn layer_param_sizes(&self) -> Vec<usize> {
+        self.layers.iter().map(Linear::param_count).collect()
     }
 
     /// Zero all gradient buffers.

@@ -9,8 +9,11 @@
 //! batch `B/R` follow the same parameter trajectory as one process with
 //! batch `B`.
 
+use std::time::Instant;
+
 use summit_comm::{
     collectives::{ring_allreduce_bucketed, ReduceOp},
+    nonblocking::{ring_allreduce_start_windowed, RingAllreduceHandle},
     world::World,
 };
 use summit_tensor::{ops, Matrix};
@@ -208,6 +211,133 @@ impl FusionConfig {
     }
 }
 
+/// Backward/communication overlap configuration.
+///
+/// When enabled (the default), each fusion bucket's allreduce launches as a
+/// nonblocking windowed collective the moment backpropagation has produced
+/// the last gradient contributing to it, and in-flight collectives are
+/// progressed after every subsequent layer's backward — the
+/// PyTorch-DDP/Horovod overlap discipline. The windowed collectives chunk
+/// against the global partition, so the training trajectory is bit-identical
+/// to the serial fused path (`enabled: false`), which remains available as
+/// the fallback and as the baseline the overlap benches compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapConfig {
+    /// Launch bucket allreduces during backward instead of after it.
+    pub enabled: bool,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        OverlapConfig { enabled: true }
+    }
+}
+
+/// Maps reverse-order layer-gradient readiness to fusion-bucket launches.
+///
+/// The flat gradient is cut into `ceil(n / bucket_elems)` fixed buckets.
+/// Because the flat layout is layer-major and backward completes layers in
+/// reverse, the ready region is a suffix growing toward offset zero; bucket
+/// `b` becomes launchable when the ready suffix reaches its start offset,
+/// i.e. when the *lowest-offset* layer overlapping it has produced its
+/// gradient. [`BucketSchedule::on_layer_ready`] returns each bucket exactly
+/// once (the property test below pins this for arbitrary layer shapes and
+/// bucket sizes, including buckets straddling layer boundaries and a final
+/// partial bucket).
+#[derive(Debug, Clone)]
+pub struct BucketSchedule {
+    bucket_elems: usize,
+    /// Start offset of each layer's `[weights, bias]` region in the flat
+    /// gradient; `layer_starts[depth] == total`.
+    layer_starts: Vec<usize>,
+    /// Lowest bucket index already returned; buckets `[fired_from, n)` are
+    /// in flight or done.
+    fired_from: usize,
+    /// The layer expected to finish next (depth-first countdown).
+    expect: usize,
+}
+
+impl BucketSchedule {
+    /// Build a schedule for layers of the given flat sizes (in layout
+    /// order) and a fusion bucket of `bucket_elems` elements.
+    ///
+    /// # Panics
+    /// Panics if `bucket_elems == 0` or `layer_sizes` is empty.
+    pub fn new(layer_sizes: &[usize], bucket_elems: usize) -> Self {
+        assert!(bucket_elems > 0, "bucket must hold at least one element");
+        assert!(!layer_sizes.is_empty(), "need at least one layer");
+        let mut layer_starts = Vec::with_capacity(layer_sizes.len() + 1);
+        let mut off = 0;
+        for s in layer_sizes {
+            layer_starts.push(off);
+            off += s;
+        }
+        layer_starts.push(off);
+        let n_buckets = off.div_ceil(bucket_elems);
+        BucketSchedule {
+            bucket_elems,
+            layer_starts,
+            fired_from: n_buckets,
+            expect: layer_sizes.len(),
+        }
+    }
+
+    /// Total flat gradient length.
+    pub fn total_elems(&self) -> usize {
+        *self.layer_starts.last().expect("always one entry")
+    }
+
+    /// Number of fusion buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.total_elems().div_ceil(self.bucket_elems)
+    }
+
+    /// Start offset of layer `i`'s region in the flat gradient.
+    pub fn layer_start(&self, layer: usize) -> usize {
+        self.layer_starts[layer]
+    }
+
+    /// Record that layer `layer`'s gradient is final and return the newly
+    /// launchable buckets as a range of bucket indices. Launch them in
+    /// `.rev()` order: the highest-offset bucket completed first.
+    ///
+    /// # Panics
+    /// Panics if layers are reported out of reverse order.
+    pub fn on_layer_ready(&mut self, layer: usize) -> std::ops::Range<usize> {
+        assert_eq!(
+            layer + 1,
+            self.expect,
+            "layers must be reported in reverse order"
+        );
+        self.expect = layer;
+        // Every element at or above this offset is now final.
+        let ready_from = self.layer_starts[layer];
+        // Bucket b spans [b·m, (b+1)·m); it is ready iff ready_from ≤ b·m.
+        let lo = ready_from.div_ceil(self.bucket_elems);
+        let newly = lo..self.fired_from;
+        self.fired_from = self.fired_from.min(lo);
+        newly
+    }
+}
+
+/// Copy `src` into the flat-gradient position `pos` across per-bucket
+/// windows (`windows[b]` covers `[b·m, (b+1)·m)`; `None` means the bucket's
+/// collective already launched and the region must not be written again).
+fn scatter_into(windows: &mut [Option<&mut [f32]>], m: usize, mut pos: usize, src: &[f32]) {
+    let mut s = 0;
+    while s < src.len() {
+        let b = pos / m;
+        let within = pos - b * m;
+        let w = windows[b]
+            .as_mut()
+            .expect("gradient written into an already-launched bucket");
+        let take = (w.len() - within).min(src.len() - s);
+        w[within..within + take].copy_from_slice(&src[s..s + take]);
+        pos += take;
+        s += take;
+    }
+}
+
 /// Configuration for a data-parallel training run.
 pub struct DataParallelTrainer {
     /// Number of ranks (model replicas).
@@ -216,6 +346,8 @@ pub struct DataParallelTrainer {
     pub per_rank_batch: usize,
     /// Gradient-fusion bucketing for the per-step allreduce.
     pub fusion: FusionConfig,
+    /// Backward/communication overlap of the per-bucket allreduces.
+    pub overlap: OverlapConfig,
 }
 
 /// Per-epoch result of a data-parallel run.
@@ -230,6 +362,15 @@ pub struct ParallelOutcome {
     pub max_divergence: f32,
     /// Optimizer steps taken.
     pub steps: u32,
+    /// Rank 0's cumulative wall-clock seconds spent in gradient
+    /// communication (launch + progress + wait for the overlapped path; the
+    /// whole allreduce for the serial path).
+    pub comm_seconds: f64,
+    /// The part of `comm_seconds` *not* hidden behind backpropagation: the
+    /// post-backward wait tail for the overlapped path, all of
+    /// `comm_seconds` for the serial path. `1 − exposed/serial` across two
+    /// runs is the measured overlap fraction the benches report.
+    pub exposed_comm_seconds: f64,
 }
 
 impl DataParallelTrainer {
@@ -243,6 +384,7 @@ impl DataParallelTrainer {
             ranks,
             per_rank_batch,
             fusion: FusionConfig::default(),
+            overlap: OverlapConfig::default(),
         }
     }
 
@@ -250,6 +392,13 @@ impl DataParallelTrainer {
     #[must_use]
     pub fn with_fusion(mut self, fusion: FusionConfig) -> Self {
         self.fusion = fusion;
+        self
+    }
+
+    /// Override the backward/communication overlap setting.
+    #[must_use]
+    pub fn with_overlap(mut self, overlap: OverlapConfig) -> Self {
+        self.overlap = overlap;
         self
     }
 
@@ -280,16 +429,21 @@ impl DataParallelTrainer {
         let ranks = self.ranks;
         let per_rank = self.per_rank_batch;
         let bucket_elems = self.fusion.bucket_elems();
+        let overlap = self.overlap.enabled;
 
         let results = World::run(ranks, |rank| {
             let mut model = build_model();
             let mut optimizer = build_optimizer();
             let mut step = 0u32;
             let mut loss_sum = 0.0f32;
+            let mut comm_seconds = 0.0f64;
+            let mut exposed_seconds = 0.0f64;
+            let n = model.param_count();
+            let layer_sizes = model.layer_param_sizes();
             // Persistent fusion buffer: gradients are flattened into this
             // one buffer each step, so steady-state steps allocate nothing
             // on the communication path.
-            let mut flat: Vec<f32> = Vec::with_capacity(model.param_count());
+            let mut flat: Vec<f32> = vec![0.0; n];
             for _ in 0..epochs {
                 for s in 0..steps_per_epoch {
                     // Rank r takes rows [base + r*per_rank, base + (r+1)*per_rank).
@@ -302,12 +456,65 @@ impl DataParallelTrainer {
                     let logits = model.forward(&bx);
                     let (loss, dlogits) = ops::softmax_cross_entropy(logits, blabels);
                     model.zero_grads();
-                    model.backward(&dlogits);
 
-                    // Average gradients across ranks: fused sum-allreduce in
-                    // bucket-sized segments, then scale.
-                    model.flat_grads_into(&mut flat);
-                    ring_allreduce_bucketed(rank, &mut flat, ReduceOp::Sum, bucket_elems);
+                    if overlap && rank.size() > 1 {
+                        // Overlapped path: cut the fusion buffer into
+                        // per-bucket windows, launch each bucket's windowed
+                        // allreduce the moment the last layer contributing
+                        // to it has produced its gradient, and progress all
+                        // in-flight collectives between layer backwards.
+                        // Windows chunk against the global partition, so
+                        // the result is bit-identical to the serial path.
+                        let mut sched = BucketSchedule::new(&layer_sizes, bucket_elems);
+                        let mut windows: Vec<Option<&mut [f32]>> =
+                            flat.chunks_mut(bucket_elems).map(Some).collect();
+                        let mut handles: Vec<RingAllreduceHandle> =
+                            Vec::with_capacity(windows.len());
+                        let mut hidden = 0.0f64;
+                        model.backward_with(&dlogits, |layer, gw, gb| {
+                            let off = sched.layer_start(layer);
+                            let w = gw.as_slice();
+                            scatter_into(&mut windows, bucket_elems, off, w);
+                            scatter_into(&mut windows, bucket_elems, off + w.len(), gb);
+                            let t0 = Instant::now();
+                            for b in sched.on_layer_ready(layer).rev() {
+                                let window = windows[b].take().expect("bucket launched twice");
+                                handles.push(ring_allreduce_start_windowed(
+                                    rank,
+                                    window,
+                                    ReduceOp::Sum,
+                                    b as u64,
+                                    n,
+                                    b * bucket_elems,
+                                ));
+                            }
+                            for h in handles.iter_mut() {
+                                h.progress();
+                            }
+                            hidden += t0.elapsed().as_secs_f64();
+                        });
+                        // Whatever is still in flight is the exposed
+                        // communication tail.
+                        let t0 = Instant::now();
+                        for h in handles.iter_mut() {
+                            h.wait();
+                        }
+                        let exposed = t0.elapsed().as_secs_f64();
+                        comm_seconds += hidden + exposed;
+                        exposed_seconds += exposed;
+                    } else {
+                        // Serial fused path: full backward, then one
+                        // bucketed allreduce over the whole flat gradient.
+                        model.backward(&dlogits);
+                        model.flat_grads_into(&mut flat);
+                        let t0 = Instant::now();
+                        ring_allreduce_bucketed(rank, &mut flat, ReduceOp::Sum, bucket_elems);
+                        let elapsed = t0.elapsed().as_secs_f64();
+                        comm_seconds += elapsed;
+                        exposed_seconds += elapsed;
+                    }
+
+                    // Average the summed gradients across ranks.
                     let inv = 1.0 / ranks as f32;
                     for g in &mut flat {
                         *g *= inv;
@@ -323,12 +530,18 @@ impl DataParallelTrainer {
                     loss_sum += loss;
                 }
             }
-            (model.flat_params(), loss_sum / step.max(1) as f32, step)
+            (
+                model.flat_params(),
+                loss_sum / step.max(1) as f32,
+                step,
+                comm_seconds,
+                exposed_seconds,
+            )
         });
 
-        let (params0, loss0, steps) = results[0].clone();
+        let (params0, loss0, steps, comm_seconds, exposed_comm_seconds) = results[0].clone();
         let mut max_div = 0.0f32;
-        for (params, _, _) in &results[1..] {
+        for (params, _, _, _, _) in &results[1..] {
             for (a, b) in params.iter().zip(&params0) {
                 max_div = max_div.max((a - b).abs());
             }
@@ -338,6 +551,8 @@ impl DataParallelTrainer {
             loss: loss0,
             max_divergence: max_div,
             steps,
+            comm_seconds,
+            exposed_comm_seconds,
         }
     }
 }
@@ -492,6 +707,125 @@ mod tests {
                     "bucket {bucket_bytes}B param {i}: {a} vs {b}"
                 );
             }
+        }
+    }
+
+    /// The acceptance bar for the overlap scheme: launching per-bucket
+    /// windowed allreduces *during* backward follows the exact same
+    /// parameter trajectory as the serial fused path — bitwise — for
+    /// several bucket sizes (straddling layers, partial final bucket, flat)
+    /// at both 2 and 4 ranks.
+    #[test]
+    fn overlapped_training_bit_identical_to_serial() {
+        let task = blobs(128, 4, 2, 0.3, 27);
+        let spec = MlpSpec::new(4, &[8, 8], 2);
+        let run_with = |ranks: usize, bucket_bytes: usize, enabled: bool| {
+            DataParallelTrainer::new(ranks, 8)
+                .with_fusion(FusionConfig { bucket_bytes })
+                .with_overlap(OverlapConfig { enabled })
+                .run(
+                    || spec.build(5),
+                    || Box::new(Sgd::new(0.05, 0.9, 0.0)),
+                    LrSchedule::Constant,
+                    &task.x,
+                    &task.y,
+                    2,
+                )
+        };
+        for ranks in [2usize, 4] {
+            for bucket_bytes in [16usize, 100, 256, usize::MAX / 8] {
+                let serial = run_with(ranks, bucket_bytes, false);
+                let overlapped = run_with(ranks, bucket_bytes, true);
+                assert_eq!(overlapped.steps, serial.steps);
+                assert_eq!(overlapped.max_divergence, 0.0);
+                for (i, (a, b)) in overlapped.params.iter().zip(&serial.params).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "ranks={ranks} bucket={bucket_bytes}B param {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Overlap on a single rank degenerates to the serial path without
+    /// communication and must still train.
+    #[test]
+    fn overlap_single_rank_works() {
+        let task = blobs(64, 4, 2, 0.3, 33);
+        let out = DataParallelTrainer::new(1, 16)
+            .with_overlap(OverlapConfig { enabled: true })
+            .run(
+                || MlpSpec::new(4, &[8], 2).build(3),
+                || Box::new(Sgd::new(0.05, 0.9, 0.0)),
+                LrSchedule::Constant,
+                &task.x,
+                &task.y,
+                1,
+            );
+        assert_eq!(out.steps, 4);
+        assert!(out.loss.is_finite());
+    }
+
+    #[test]
+    fn bucket_schedule_fires_suffix_buckets() {
+        // 3 layers of 10/7/5 elements, bucket 4 → total 22, 6 buckets
+        // (last one partial: [20, 22)). Layer starts: 0, 10, 17.
+        let mut sched = BucketSchedule::new(&[10, 7, 5], 4);
+        assert_eq!(sched.n_buckets(), 6);
+        assert_eq!(sched.total_elems(), 22);
+        // Layer 2 ready → suffix [17, 22): buckets 5 and the straddler 4
+        // (spans [16, 20), still waiting on element 16 of layer 1).
+        assert_eq!(sched.on_layer_ready(2), 5..6);
+        // Layer 1 ready → suffix [10, 17): buckets 3, 4 ready; bucket 2
+        // ([8, 12)) straddles into layer 0.
+        assert_eq!(sched.on_layer_ready(1), 3..5);
+        // Layer 0 → everything else.
+        assert_eq!(sched.on_layer_ready(0), 0..3);
+    }
+
+    #[test]
+    #[should_panic(expected = "reverse order")]
+    fn bucket_schedule_rejects_out_of_order_layers() {
+        let mut sched = BucketSchedule::new(&[4, 4], 2);
+        let _ = sched.on_layer_ready(0);
+    }
+
+    proptest::proptest! {
+        /// For arbitrary layer shapes and bucket sizes — buckets straddling
+        /// layer boundaries, a partial final bucket, buckets larger than
+        /// the model — reverse-order readiness fires every bucket exactly
+        /// once, never before all its elements are final, and in globally
+        /// descending order.
+        #[test]
+        fn prop_bucket_schedule_fires_each_bucket_exactly_once(
+            layer_sizes in proptest::collection::vec(1usize..=64, 1..9),
+            bucket_elems in 1usize..=96,
+        ) {
+            let mut sched = BucketSchedule::new(&layer_sizes, bucket_elems);
+            let total: usize = layer_sizes.iter().sum();
+            let n_buckets = sched.n_buckets();
+            proptest::prop_assert_eq!(n_buckets, total.div_ceil(bucket_elems));
+
+            let mut fired: Vec<usize> = Vec::new();
+            for layer in (0..layer_sizes.len()).rev() {
+                let ready_from: usize = layer_sizes[..layer].iter().sum();
+                for b in sched.on_layer_ready(layer).rev() {
+                    // A bucket only fires once its lowest element is final.
+                    proptest::prop_assert!(
+                        b * bucket_elems >= ready_from,
+                        "bucket {} fired before its data was ready", b
+                    );
+                    fired.push(b);
+                }
+            }
+            // Launch order is strictly descending …
+            proptest::prop_assert!(fired.windows(2).all(|w| w[0] > w[1]));
+            // … and covers every bucket exactly once.
+            proptest::prop_assert_eq!(fired.len(), n_buckets);
+            proptest::prop_assert_eq!(fired.first().copied(), n_buckets.checked_sub(1));
+            proptest::prop_assert_eq!(fired.last().copied(), (n_buckets > 0).then_some(0));
         }
     }
 

@@ -268,21 +268,58 @@ impl TransformerBlock {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        self.backward_with(dy, |_, _| {})
+    }
+
+    /// Backward with a per-group gradient-readiness callback, the
+    /// transformer's half of the overlap hook (see [`Mlp::backward_with`]).
+    /// Group indices follow [`TransformerBlock::for_each_group`] order
+    /// (0 = LN1 γ … 9 = FF2), and because backpropagation walks the block
+    /// back to front, groups become ready in strictly descending index
+    /// order — the growing-suffix property a bucket schedule needs.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    ///
+    /// [`Mlp::backward_with`]: crate::model::Mlp::backward_with
+    pub fn backward_with(
+        &mut self,
+        dy: &Matrix,
+        mut on_group_ready: impl FnMut(usize, &[f32]),
+    ) -> Matrix {
         let (normed2, hidden) = self.ff_cache.as_ref().expect("backward before forward");
         // y = h + FF(LN2(h)); dy flows to both branches.
         self.g_ff2.add_assign(&hidden.matmul_at_b(dy));
+        on_group_ready(9, self.g_ff2.as_slice());
         let mut d_hidden = dy.matmul_a_bt(&self.w_ff2);
         ops::relu_backward(hidden, &mut d_hidden);
         self.g_ff1.add_assign(&normed2.matmul_at_b(&d_hidden));
+        on_group_ready(8, self.g_ff1.as_slice());
         let d_normed2 = d_hidden.matmul_a_bt(&self.w_ff1);
         let mut dh = self.ln2.backward(&d_normed2);
+        on_group_ready(7, &self.ln2.g_beta);
+        on_group_ready(6, &self.ln2.g_gamma);
         dh.add_assign(dy); // residual path
 
         // h = x + Attn(LN1(x)); dh flows to both branches.
         let d_attn = self.attn.backward(&dh);
+        on_group_ready(5, self.attn.g_wo.as_slice());
+        on_group_ready(4, self.attn.g_wv.as_slice());
+        on_group_ready(3, self.attn.g_wk.as_slice());
+        on_group_ready(2, self.attn.g_wq.as_slice());
         let mut dx = self.ln1.backward(&d_attn);
+        on_group_ready(1, &self.ln1.g_beta);
+        on_group_ready(0, &self.ln1.g_gamma);
         dx.add_assign(&dh); // residual path
         dx
+    }
+
+    /// Per-group scalar parameter counts in [`TransformerBlock::for_each_group`]
+    /// order — the bucket-schedule input for a transformer replica.
+    pub fn group_param_sizes(&mut self) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        self.for_each_group(|p, _| sizes.push(p.len()));
+        sizes
     }
 
     /// Visit every (params, grads) pair in the block.
@@ -628,6 +665,30 @@ mod tests {
             assert!(diff > 1e-3, "positions 0 and {r} indistinguishable");
         }
         assert!(pe.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    /// `backward_with` must report every parameter group exactly once, in
+    /// strictly descending flat-layout order, with the group's *final*
+    /// gradient values — the contract the overlap bucket schedule builds on.
+    #[test]
+    fn backward_with_reports_groups_in_reverse_layout_order() {
+        let mut block = TransformerBlock::new(4, 23);
+        let x = seq_input(5, 4, 29);
+        let _ = block.forward(&x);
+        block.zero_grads();
+        let dy = seq_input(5, 4, 31);
+        let mut order = Vec::new();
+        let mut reported: Vec<Vec<f32>> = Vec::new();
+        let _ = block.backward_with(&dy, |g, grads| {
+            order.push(g);
+            reported.push(grads.to_vec());
+        });
+        assert_eq!(order, (0..10).rev().collect::<Vec<_>>());
+        // The gradients visible at readiness time are the final ones.
+        let mut finals: Vec<Vec<f32>> = Vec::new();
+        block.for_each_group(|_, g| finals.push(g.to_vec()));
+        finals.reverse();
+        assert_eq!(reported, finals);
     }
 
     /// The classifier learns "which third of the sequence holds the peak

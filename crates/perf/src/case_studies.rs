@@ -14,6 +14,21 @@ use summit_workloads::Workload;
 
 use crate::model::{IoMode, ScalingModel};
 
+/// Compute/communication overlap fraction measured on this repo's own
+/// data-parallel trainer: `1 − exposed_overlap / comm_serial` from the
+/// `gradient_fusion` overlap sweep in `summit-bench` (MlpSpec(64,[256;4],4),
+/// ~0.97 MB of fp32 gradients, p = 4 thread ranks, 256 KB fusion buckets,
+/// best of 3 trials). The overlapped trainer launches each fusion bucket's
+/// nonblocking ring allreduce as backpropagation finishes the bucket's
+/// layers, so this is executed overlap, not a model parameter.
+///
+/// It anchors the Laanait calibration below: their "novel optimizations for
+/// gradient reduction" are modelled as `overlap: 0.5`, and a generic
+/// bucket-overlap implementation with no workload tuning already hides
+/// ~0.19 of communication — the calibrated value sits plausibly above what
+/// the naive mechanism achieves, rather than being a free fudge factor.
+pub const MEASURED_TRAINER_OVERLAP: f64 = 0.19;
+
 /// One Section IV-B case study.
 #[derive(Debug, Clone, Serialize)]
 pub struct CaseStudy {
@@ -353,6 +368,21 @@ mod tests {
             assert!(table.contains(cs.name.split(' ').next().unwrap()));
         }
         assert!(table.contains("eff(pred)"));
+    }
+
+    #[test]
+    fn measured_overlap_anchors_laanait_calibration() {
+        // The trainer's executed overlap is real (> 0) and below the 0.5
+        // calibrated for Laanait's hand-tuned gradient-reduction pipeline:
+        // the calibration claims more overlap than the generic mechanism,
+        // never less.
+        let laanait = CaseStudy::laanait();
+        assert!(
+            MEASURED_TRAINER_OVERLAP > 0.0 && MEASURED_TRAINER_OVERLAP < laanait.model.overlap,
+            "calibrated overlap {} must exceed the measured generic overlap {}",
+            laanait.model.overlap,
+            MEASURED_TRAINER_OVERLAP
+        );
     }
 
     #[test]

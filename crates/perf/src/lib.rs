@@ -33,7 +33,7 @@ pub mod model;
 pub mod parallelism;
 pub mod roofline;
 
-pub use case_studies::{CaseStudy, CaseStudyResult};
+pub use case_studies::{CaseStudy, CaseStudyResult, MEASURED_TRAINER_OVERLAP};
 pub use crossover::CommCrossover;
 pub use model::{ScalingModel, StepBreakdown};
 pub use parallelism::{HybridPlanner, MemoryModel, ParallelStrategy};

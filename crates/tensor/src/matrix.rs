@@ -11,6 +11,11 @@ pub struct Matrix {
 /// Row count above which matmuls parallelize over scoped threads.
 const PAR_THRESHOLD: usize = 128;
 
+/// Cache-blocking tile for the shared dimension of the transposed matmuls:
+/// 64 rows × up to ~256 f32 columns ≈ 64 KB, comfortably inside L2 while
+/// leaving room for the output row being accumulated.
+const BLOCK_ROWS: usize = 64;
+
 impl Matrix {
     /// A zero matrix.
     ///
@@ -154,43 +159,108 @@ impl Matrix {
     }
 
     /// `selfᵀ · other` (`(m×k)ᵀ · m×n → k×n`) without materializing the
-    /// transpose. This is the weight-gradient product `Xᵀ · dY`.
+    /// transpose. This is the weight-gradient product `Xᵀ · dY`, the
+    /// backward-pass hot kernel; output rows are chunked over scoped
+    /// threads like [`Matrix::matmul`], with the shared `m` dimension
+    /// cache-blocked so each output row stays hot across a block of input
+    /// rows.
+    ///
+    /// Every output element accumulates its `m` terms in ascending-`i`
+    /// order with the same zero-skip as the serial loop, so the parallel
+    /// and serial paths are bit-identical.
     ///
     /// # Panics
     /// Panics on row-count mismatch.
     pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_at_b row mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let b_row = other.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let n = other.cols;
+        // Each thread owns a band of output rows (a `k` range) and streams
+        // all `m` input rows through it, blocked so `out_row` is revisited
+        // while a block of `other` rows is still in cache. Blocking only
+        // groups the ascending-`i` accumulation; it never reorders it.
+        let run_rows = |rows_out: &mut [f32], k_range: std::ops::Range<usize>| {
+            for ib in (0..self.rows).step_by(BLOCK_ROWS) {
+                let iend = (ib + BLOCK_ROWS).min(self.rows);
+                for (ok, k) in k_range.clone().enumerate() {
+                    let out_row = &mut rows_out[ok * n..(ok + 1) * n];
+                    for i in ib..iend {
+                        let a = self.data[i * self.cols + k];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = other.row(i);
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
+        };
+        if self.cols < PAR_THRESHOLD {
+            run_rows(&mut out.data, 0..self.cols);
+        } else {
+            let threads = std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(4)
+                .min(self.cols);
+            let chunk_rows = self.cols.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (t, chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
+                    let start = t * chunk_rows;
+                    let end = (start + chunk.len() / n).min(self.cols);
+                    let run = &run_rows;
+                    s.spawn(move || run(chunk, start..end));
+                }
+            });
         }
         out
     }
 
     /// `self · otherᵀ` (`m×k · (n×k)ᵀ → m×n`) without materializing the
-    /// transpose. This is the input-gradient product `dY · Wᵀ`.
+    /// transpose. This is the input-gradient product `dY · Wᵀ`, the other
+    /// backward-pass hot kernel; output rows are chunked over scoped
+    /// threads like [`Matrix::matmul`], with the `other`-row loop
+    /// cache-blocked so a block of `Wᵀ` rows is reused across the chunk's
+    /// output rows.
+    ///
+    /// Each output element is one [`crate::dot`] exactly as in the serial
+    /// loop, so the parallel path is bit-identical.
     ///
     /// # Panics
     /// Panics on column-count mismatch.
     pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_a_bt column mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = crate::dot(a_row, other.row(j));
+        let n = other.rows;
+        let run_rows = |rows_out: &mut [f32], row_range: std::ops::Range<usize>| {
+            for jb in (0..n).step_by(BLOCK_ROWS) {
+                let jend = (jb + BLOCK_ROWS).min(n);
+                for (oi, i) in row_range.clone().enumerate() {
+                    let a_row = self.row(i);
+                    let out_row = &mut rows_out[oi * n..(oi + 1) * n];
+                    for (o, j) in out_row[jb..jend].iter_mut().zip(jb..jend) {
+                        *o = crate::dot(a_row, other.row(j));
+                    }
+                }
             }
+        };
+        if self.rows < PAR_THRESHOLD {
+            run_rows(&mut out.data, 0..self.rows);
+        } else {
+            let threads = std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(4)
+                .min(self.rows);
+            let chunk_rows = self.rows.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (t, chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
+                    let start = t * chunk_rows;
+                    let end = (start + chunk.len() / n).min(self.rows);
+                    let run = &run_rows;
+                    s.spawn(move || run(chunk, start..end));
+                }
+            });
         }
         out
     }
@@ -284,6 +354,75 @@ mod tests {
                 assert!((par.get(i, j) - serial.get(i, j)).abs() < 1e-3);
             }
         }
+    }
+
+    #[test]
+    fn parallel_matmul_at_b_bit_identical_to_serial() {
+        // Force the parallel path with > PAR_THRESHOLD output rows
+        // (self.cols) and > BLOCK_ROWS shared rows so blocking engages.
+        let m = 150;
+        let k = 160;
+        let n = 19;
+        // Sprinkle exact zeros so the zero-skip path is exercised.
+        let a = Matrix::from_vec(
+            m,
+            k,
+            (0..m * k)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        0.0
+                    } else {
+                        (i % 13) as f32 - 6.0
+                    }
+                })
+                .collect(),
+        );
+        let b = Matrix::from_vec(
+            m,
+            n,
+            (0..m * n).map(|i| (i % 7) as f32 * 0.25 - 0.5).collect(),
+        );
+        let par = a.matmul_at_b(&b);
+        // Serial reference: the original ascending-i accumulation with the
+        // same zero-skip; must match bit-for-bit, not just approximately.
+        let mut serial = Matrix::zeros(k, n);
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a.get(i, kk);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = serial.get(kk, j) + av * b.get(i, j);
+                    serial.set(kk, j, v);
+                }
+            }
+        }
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn parallel_matmul_a_bt_bit_identical_to_serial() {
+        // Force the parallel path with > PAR_THRESHOLD rows and
+        // > BLOCK_ROWS columns in the output so the j-blocking engages.
+        let m = 140;
+        let k = 21;
+        let n = 130;
+        let a = Matrix::from_vec(
+            m,
+            k,
+            (0..m * k).map(|i| (i % 11) as f32 * 0.5 - 2.0).collect(),
+        );
+        let b = Matrix::from_vec(n, k, (0..n * k).map(|i| (i % 9) as f32 - 4.0).collect());
+        let par = a.matmul_a_bt(&b);
+        // Serial reference: one `dot` per element, exactly as the serial loop.
+        let mut serial = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                serial.set(i, j, crate::dot(a.row(i), b.row(j)));
+            }
+        }
+        assert_eq!(par, serial);
     }
 
     #[test]

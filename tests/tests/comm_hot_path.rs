@@ -90,6 +90,13 @@ fn steady_state_ring_allreduce_does_not_allocate() {
             rounds as u64,
             "rank {rank_id}: unexpected pool hit count"
         );
+        // Every round each rank acquires one priming buffer and retires one
+        // circulating payload, so the outstanding count must return to its
+        // warm-state value once the barrier has drained the ring.
+        assert_eq!(
+            pool_after.outstanding, pool_before.outstanding,
+            "rank {rank_id}: pool outstanding count drifted during steady state"
+        );
     }
 
     // The bucketed variant shares the same pooled path: after its own
