@@ -180,6 +180,58 @@ fn hot_path_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the fault-injection plane (ISSUE: zero-cost when disabled).
+///
+/// * `disabled` — `World::run`: no plan, hooks are one `Option` test on a
+///   `None` field, no checksums. This must track the pre-fault-plane
+///   numbers (the hot-path counting-allocator test pins the allocation
+///   side).
+/// * `enabled_idle` — `World::run_with_faults` with an **empty** plan and
+///   the checked collective: every payload is FNV-checksummed on send and
+///   verified on receive, every receive polls the kill schedule, but
+///   nothing ever fires. The gap between the two is the full price of
+///   arming the chaos plane.
+fn fault_plane_overhead(c: &mut Criterion) {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use summit_comm::collectives::try_ring_allreduce;
+    use summit_comm::FaultPlan;
+
+    let mut group = c.benchmark_group("fault_plane");
+    group.sample_size(10);
+    let (p, rounds) = (4usize, 8usize);
+    for &n in &[16_384usize, 262_144] {
+        let label = format!("p{p}_{}KB_r{rounds}", n * 4 / 1024);
+        group.bench_with_input(BenchmarkId::new("disabled", &label), &n, |b, &n| {
+            b.iter(|| {
+                World::run(p, |rank| {
+                    let mut buf = vec![rank.id() as f32; n];
+                    for _ in 0..rounds {
+                        ring_allreduce(rank, &mut buf, ReduceOp::Sum);
+                    }
+                    buf[0]
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("enabled_idle", &label), &n, |b, &n| {
+            b.iter(|| {
+                let plan = Arc::new(FaultPlan::empty());
+                World::run_with_faults(p, plan, |rank| {
+                    let mut buf = vec![rank.id() as f32; n];
+                    for step in 0..rounds {
+                        rank.set_fault_step(step as u64);
+                        try_ring_allreduce(rank, &mut buf, ReduceOp::Sum, Duration::from_secs(5))
+                            .expect("empty plan cannot fault");
+                    }
+                    buf[0]
+                })
+                .0
+            })
+        });
+    }
+    group.finish();
+}
+
 fn model_predictions(c: &mut Criterion) {
     let model = CollectiveModel::new(LinkModel::inter_node(&NodeSpec::summit()));
     let mut group = c.benchmark_group("model");
@@ -294,6 +346,7 @@ criterion_group!(
     benches,
     executed_collectives,
     hot_path_sweep,
+    fault_plane_overhead,
     model_predictions,
     ablation_algorithms,
     ablation_precision,

@@ -17,6 +17,9 @@
 //! All functions must be called by **every** rank of the world collectively,
 //! with equal buffer lengths, like their MPI counterparts.
 
+use std::time::{Duration, Instant};
+
+use crate::faults::CommError;
 use crate::world::Rank;
 
 /// Element-wise reduction operator.
@@ -228,6 +231,91 @@ fn ring_pass(
     }
 }
 
+/// Fallible twin of [`ring_pass`] for chaos runs: every receive is a
+/// checked, deadline-bounded [`Rank::recv_checked`] and each step polls for
+/// a scheduled rank kill, so a fault surfaces as [`CommError`] instead of
+/// hanging the ring. The message schedule, fold order, and operand order
+/// are identical to [`ring_pass`], so a fault-free execution of this path
+/// is bit-identical to the infallible one — the property trainer recovery
+/// relies on.
+///
+/// Kept separate from [`ring_pass`] so the steady-state allocation-free
+/// hot path (pinned by the counting-allocator test) carries no fault
+/// plumbing at all.
+#[allow(clippy::too_many_arguments)] // mirrors the internal engine signature
+fn try_ring_pass(
+    rank: &Rank,
+    buf: &mut [f32],
+    collective: u64,
+    bucket: usize,
+    offset: usize,
+    kind: PassKind,
+    prime: bool,
+    handoff: Option<u64>,
+    deadline: Option<Instant>,
+) -> Result<(), CommError> {
+    let p = rank.size();
+    let me = rank.id();
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    let n = buf.len();
+    if prime {
+        rank.poll_fault_kill()?;
+        let first = chunk_bounds(n, p, (me + offset) % p);
+        for (g, seg) in buf[first.0..first.1].chunks(bucket).enumerate() {
+            rank.send_from(right, tag_seg(collective, 0, g), seg);
+        }
+    }
+    for s in 0..p - 1 {
+        rank.poll_fault_kill()?;
+        let recv_chunk = (me + offset + p - s - 1) % p;
+        let (rs, re) = chunk_bounds(n, p, recv_chunk);
+        let last = s == p - 2;
+        match kind {
+            PassKind::Reduce(op) if !last => {
+                for (g, local) in buf[rs..re].chunks(bucket).enumerate() {
+                    let mut payload =
+                        rank.recv_checked(left, tag_seg(collective, s, g), deadline)?;
+                    op.fold_into_payload(&mut payload, local);
+                    rank.send(right, tag_seg(collective, s + 1, g), payload);
+                }
+            }
+            PassKind::Reduce(op) => {
+                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
+                    let mut payload =
+                        rank.recv_checked(left, tag_seg(collective, s, g), deadline)?;
+                    match handoff {
+                        Some(next) => {
+                            op.fold_into_payload(&mut payload, window);
+                            window.copy_from_slice(&payload);
+                            rank.send(right, tag_seg(next, 0, g), payload);
+                        }
+                        None => {
+                            op.fold(window, &payload);
+                            rank.release_payload(payload);
+                        }
+                    }
+                }
+            }
+            PassKind::Gather if !last => {
+                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
+                    let payload = rank.recv_checked(left, tag_seg(collective, s, g), deadline)?;
+                    window.copy_from_slice(&payload);
+                    rank.send(right, tag_seg(collective, s + 1, g), payload);
+                }
+            }
+            PassKind::Gather => {
+                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
+                    let payload = rank.recv_checked(left, tag_seg(collective, s, g), deadline)?;
+                    window.copy_from_slice(&payload);
+                    rank.release_payload(payload);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Ring allreduce: reduce-scatter phase then allgather phase.
 ///
 /// After return, every rank's `buf` holds the element-wise reduction of all
@@ -274,6 +362,71 @@ pub fn ring_allreduce_bucketed(rank: &Rank, buf: &mut [f32], op: ReduceOp, bucke
     // Phase 2: allgather. In step s, send chunk (me + 1 - s) mod p; step 0
     // was already sent by the reduce-scatter handoff.
     ring_pass(rank, buf, 1, bucket_elems, 1, PassKind::Gather, false, None);
+}
+
+/// Timeout-aware [`ring_allreduce`]: completes with the exact bitwise
+/// result of the infallible path, or fails loudly with a [`CommError`]
+/// within roughly `timeout` when the fault plane drops, corrupts, or kills
+/// something. On error, `buf` is left in an unspecified partially reduced
+/// state — callers are expected to roll back to a checkpoint.
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+///
+/// # Panics
+/// Panics on the conditions of [`ring_allreduce`].
+pub fn try_ring_allreduce(
+    rank: &Rank,
+    buf: &mut [f32],
+    op: ReduceOp,
+    timeout: Duration,
+) -> Result<(), CommError> {
+    let bucket = buf.len().max(1);
+    try_ring_allreduce_bucketed(rank, buf, op, bucket, timeout)
+}
+
+/// Timeout-aware [`ring_allreduce_bucketed`]; see [`try_ring_allreduce`].
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+///
+/// # Panics
+/// Panics on the conditions of [`ring_allreduce_bucketed`].
+pub fn try_ring_allreduce_bucketed(
+    rank: &Rank,
+    buf: &mut [f32],
+    op: ReduceOp,
+    bucket_elems: usize,
+    timeout: Duration,
+) -> Result<(), CommError> {
+    assert!(bucket_elems > 0, "bucket must hold at least one element");
+    rank.poll_fault_kill()?;
+    if rank.size() == 1 {
+        return Ok(());
+    }
+    let deadline = Some(Instant::now() + timeout);
+    try_ring_pass(
+        rank,
+        buf,
+        0,
+        bucket_elems,
+        0,
+        PassKind::Reduce(op),
+        true,
+        Some(1),
+        deadline,
+    )?;
+    try_ring_pass(
+        rank,
+        buf,
+        1,
+        bucket_elems,
+        1,
+        PassKind::Gather,
+        false,
+        None,
+        deadline,
+    )
 }
 
 /// Reduce-scatter over a ring: afterwards, rank i holds the fully reduced
@@ -687,6 +840,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_ring_allreduce_matches_flat_bitwise() {
+        for p in [2usize, 3, 5] {
+            let n = 23;
+            let flat = World::run(p, |rank| {
+                let mut buf = input(rank.id(), n);
+                ring_allreduce(rank, &mut buf, ReduceOp::Sum);
+                buf
+            });
+            let checked = World::run(p, |rank| {
+                let mut buf = input(rank.id(), n);
+                try_ring_allreduce(rank, &mut buf, ReduceOp::Sum, Duration::from_secs(5))
+                    .expect("fault-free run must succeed");
+                buf
+            });
+            for (f, c) in flat.iter().zip(&checked) {
+                for (x, y) in f.iter().zip(c) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_ring_allreduce_fails_loudly_on_drop() {
+        use crate::faults::{FaultPlan, TagClass};
+        use std::sync::Arc;
+        let plan = Arc::new(FaultPlan::empty().drop_message(0, 1, TagClass::Any, 0));
+        let (out, _) = World::run_with_faults(3, plan, |rank| {
+            let mut buf = vec![rank.id() as f32; 9];
+            let res = try_ring_allreduce(rank, &mut buf, ReduceOp::Sum, Duration::from_millis(200));
+            // Every rank returns (success or error) within its deadline;
+            // no rank hangs, so this barrier is reachable.
+            rank.barrier();
+            res.is_err()
+        });
+        assert!(
+            out.iter().any(|&e| e),
+            "at least one rank must observe the dropped message"
+        );
+    }
+
+    #[test]
+    fn try_ring_allreduce_surfaces_kill() {
+        use crate::faults::FaultPlan;
+        use std::sync::Arc;
+        let plan = Arc::new(FaultPlan::empty().kill_rank(1, 0));
+        let (out, _) = World::run_with_faults(2, plan, |rank| {
+            let mut buf = vec![1.0f32; 4];
+            let res = try_ring_allreduce(rank, &mut buf, ReduceOp::Sum, Duration::from_millis(200));
+            rank.barrier();
+            res
+        });
+        assert_eq!(out[1], Err(CommError::RankKilled { rank: 1 }));
     }
 
     proptest::proptest! {

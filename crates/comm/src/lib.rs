@@ -39,6 +39,7 @@
 
 pub mod collectives;
 pub mod extended;
+pub mod faults;
 pub mod group;
 pub mod model;
 pub mod nonblocking;
@@ -46,6 +47,7 @@ pub mod world;
 
 pub use collectives::ReduceOp;
 pub use extended::{alltoall, gather, hierarchical_allreduce, scatter};
+pub use faults::{all_agree, CommError, FaultKind, FaultPlan, FaultRates, TagClass, CONTROL_BIT};
 pub use group::Group;
 pub use model::{Algorithm, CollectiveModel};
 pub use nonblocking::{

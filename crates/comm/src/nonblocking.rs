@@ -37,7 +37,10 @@
 //!
 //! [`ring_allreduce_bucketed`]: crate::collectives::ring_allreduce_bucketed
 
+use std::time::{Duration, Instant};
+
 use crate::collectives::{chunk_bounds, ReduceOp};
+use crate::faults::CommError;
 use crate::world::Rank;
 
 /// Tag-space separator: nonblocking tags set the top bit, which no blocking
@@ -146,6 +149,17 @@ impl RecvHandle<'_> {
         );
         dst.copy_from_slice(&payload);
         self.rank.release_payload(payload);
+    }
+}
+
+impl Drop for RecvHandle<'_> {
+    fn drop(&mut self) {
+        // A handle abandoned after `test` fetched its message still owns a
+        // pooled payload; recycle it so `PoolStats::outstanding` stays
+        // balanced across teardown.
+        if let Some(p) = self.payload.take() {
+            self.rank.release_payload(p);
+        }
     }
 }
 
@@ -288,12 +302,25 @@ impl RingAllreduceHandle<'_> {
     /// Attempt one step of the state machine. Returns whether the state
     /// advanced; `block` chooses between a blocking receive and a poll.
     fn advance(&mut self, block: bool) -> bool {
+        self.advance_checked(block, None)
+            .expect("communication failure in infallible nonblocking path")
+    }
+
+    /// Fallible core of the state machine: receives are checked (transport
+    /// checksum, scheduled rank kill) and, when `deadline` is set, bounded.
+    /// The schedule, fold order, and operand order are unchanged, so a
+    /// fault-free run stays bit-identical to the infallible path.
+    fn advance_checked(
+        &mut self,
+        block: bool,
+        deadline: Option<Instant>,
+    ) -> Result<bool, CommError> {
         let p = self.rank.size();
         let me = self.rank.id();
         let left = (me + p - 1) % p;
         let right = (me + 1) % p;
         match self.state {
-            State::Done => false,
+            State::Done => Ok(false),
             State::Reduce { step } => {
                 // Same schedule as the serial reduce-scatter: step s
                 // combines into chunk (me - s - 1) mod p.
@@ -306,16 +333,16 @@ impl RingAllreduceHandle<'_> {
                     } else {
                         State::Reduce { step: step + 1 }
                     };
-                    return true;
+                    return Ok(true);
                 }
                 let tag = self.tag(PHASE_REDUCE, step);
                 let payload = if block {
-                    Some(self.rank.recv(left, tag))
+                    Some(self.rank.recv_checked(left, tag, deadline)?)
                 } else {
-                    self.rank.try_recv(left, tag)
+                    self.rank.try_recv_checked(left, tag)?
                 };
                 let Some(mut payload) = payload else {
-                    return false;
+                    return Ok(false);
                 };
                 // `local ⊕ incoming`, the serial engine's operand order.
                 self.op.fold_into_payload(&mut payload, &self.buf[rs..re]);
@@ -332,7 +359,7 @@ impl RingAllreduceHandle<'_> {
                         .send(right, self.tag(PHASE_REDUCE, step + 1), payload);
                     self.state = State::Reduce { step: step + 1 };
                 }
-                true
+                Ok(true)
             }
             State::Gather { step } => {
                 // Allgather schedule: step s lands chunk (me - s + 1) mod p
@@ -347,16 +374,16 @@ impl RingAllreduceHandle<'_> {
                     } else {
                         State::Gather { step: step + 1 }
                     };
-                    return true;
+                    return Ok(true);
                 }
                 let tag = self.tag(PHASE_GATHER, step);
                 let payload = if block {
-                    Some(self.rank.recv(left, tag))
+                    Some(self.rank.recv_checked(left, tag, deadline)?)
                 } else {
-                    self.rank.try_recv(left, tag)
+                    self.rank.try_recv_checked(left, tag)?
                 };
                 let Some(payload) = payload else {
-                    return false;
+                    return Ok(false);
                 };
                 self.buf[rs..re].copy_from_slice(&payload);
                 if last {
@@ -367,7 +394,7 @@ impl RingAllreduceHandle<'_> {
                         .send(right, self.tag(PHASE_GATHER, step + 1), payload);
                     self.state = State::Gather { step: step + 1 };
                 }
-                true
+                Ok(true)
             }
         }
     }
@@ -379,11 +406,43 @@ impl RingAllreduceHandle<'_> {
         self.is_complete()
     }
 
+    /// Fallible [`progress`](Self::progress) for chaos runs: checksum
+    /// failures and scheduled rank kills surface as [`CommError`] instead
+    /// of panicking. Returns [`is_complete`](Self::is_complete) on success.
+    ///
+    /// # Errors
+    /// [`CommError::Corrupt`] or [`CommError::RankKilled`].
+    pub fn progress_checked(&mut self) -> Result<bool, CommError> {
+        while self.advance_checked(false, None)? {}
+        Ok(self.is_complete())
+    }
+
     /// Block until the collective completes. `buf` then holds the reduction
     /// of every rank's window contents.
     pub fn wait(&mut self) {
         while self.advance(true) {}
         debug_assert!(self.is_complete());
+    }
+
+    /// Fallible, bounded [`wait`](Self::wait): block until the collective
+    /// completes or `deadline` passes. On error the collective is left
+    /// half-finished; recovery must drain the fabric and roll back.
+    ///
+    /// # Errors
+    /// Any [`CommError`], notably [`CommError::Timeout`] once the deadline
+    /// passes.
+    pub fn wait_deadline(&mut self, deadline: Instant) -> Result<(), CommError> {
+        while self.advance_checked(true, Some(deadline))? {}
+        debug_assert!(self.is_complete());
+        Ok(())
+    }
+
+    /// [`wait_deadline`](Self::wait_deadline) with a relative timeout.
+    ///
+    /// # Errors
+    /// See [`wait_deadline`](Self::wait_deadline).
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<(), CommError> {
+        self.wait_deadline(Instant::now() + timeout)
     }
 
     /// Whether the collective has completed.
@@ -603,6 +662,75 @@ mod tests {
         });
         let sum: f32 = (0..p).map(|i| i as f32).sum();
         assert!(out.iter().all(|&(a, b)| a == sum && b == p as f32));
+    }
+
+    #[test]
+    fn checked_wait_matches_infallible_bitwise() {
+        let p = 4;
+        let n = 37;
+        let ins = inputs(p, n, 17);
+        let plain = World::run(p, |r| {
+            let mut buf = ins[r.id()].clone();
+            ring_allreduce_start(r, &mut buf, ReduceOp::Sum, 0).wait();
+            buf
+        });
+        let checked = World::run(p, |r| {
+            let mut buf = ins[r.id()].clone();
+            ring_allreduce_start(r, &mut buf, ReduceOp::Sum, 0)
+                .wait_timeout(Duration::from_secs(5))
+                .expect("fault-free run must succeed");
+            buf
+        });
+        for (a, b) in plain.iter().zip(&checked) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn checked_wait_times_out_on_dropped_message() {
+        use crate::faults::{FaultPlan, TagClass};
+        use std::sync::Arc;
+        // Drop one reduce-scatter message of NB collective 0.
+        let plan = Arc::new(FaultPlan::empty().drop_message(0, 1, TagClass::Nonblocking(0), 0));
+        let (out, _) = World::run_with_faults(3, plan, |r| {
+            let mut buf = vec![r.id() as f32; 12];
+            let res = ring_allreduce_start(r, &mut buf, ReduceOp::Sum, 0)
+                .wait_timeout(Duration::from_millis(200));
+            r.barrier();
+            res.is_err()
+        });
+        assert!(
+            out.iter().any(|&e| e),
+            "a dropped handle message must surface as an error, not a hang"
+        );
+    }
+
+    #[test]
+    fn abandoned_recv_handle_releases_its_payload() {
+        let out = World::run(2, |r| {
+            if r.id() == 0 {
+                r.isend(1, 0, &[2.0; 16]).wait();
+            } else {
+                r.barrier();
+                let mut h = r.irecv(0, 0);
+                assert!(h.test(), "message already delivered");
+                // Dropped here while holding the fetched payload.
+            }
+            if r.id() == 0 {
+                r.barrier();
+            }
+            r.barrier();
+            r.pool_stats().outstanding
+        });
+        // The buffer migrated pools (acquired on rank 0, released on rank
+        // 1), so only the world-wide sum is balanced.
+        assert_eq!(
+            out.iter().sum::<i64>(),
+            0,
+            "dropped RecvHandle leaked a pooled buffer: {out:?}"
+        );
     }
 
     proptest::proptest! {

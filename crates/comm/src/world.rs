@@ -13,17 +13,44 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use std::cell::{Cell, RefCell};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
-/// A tagged message between ranks.
+use crate::faults::{CommError, FaultPlan, FaultState, SendVerdict, CONTROL_BIT};
+
+/// A tagged message between ranks. `checksum` is attached only when the
+/// sender's fault plane is enabled (FNV-1a over the payload bits); `None`
+/// means "unchecked", so the fault-free hot path pays nothing for it.
 #[derive(Debug)]
 struct Envelope {
     tag: u64,
     payload: Vec<f32>,
+    checksum: Option<u64>,
 }
+
+/// FNV-1a over the payload's f32 bit patterns — the transport checksum the
+/// fault plane uses to make corruption *detectable* (a corrupted message
+/// surfaces as [`CommError::Corrupt`] from the checked receives instead of
+/// silently poisoning a reduction).
+fn payload_checksum(payload: &[f32]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for v in payload {
+        let bits = v.to_bits();
+        for shift in [0, 8, 16, 24] {
+            hash ^= u64::from((bits >> shift) as u8);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Pending-queue depth at which [`Rank::recv`] logs a diagnostic: a queue
+/// this deep almost always means a tag-mismatch bug parking messages that
+/// will never be consumed.
+const PARKED_WARN_THRESHOLD: usize = 1024;
 
 /// Per-rank free list of recycled message payloads, bucketed by capacity
 /// class (next power of two).
@@ -116,6 +143,10 @@ pub struct Rank {
     barrier: Arc<Barrier>,
     bytes_sent: Arc<AtomicU64>,
     messages_sent: Arc<AtomicU64>,
+    messages_parked: Arc<AtomicU64>,
+    /// Fault-injection plane; `None` outside chaos runs, making every hook
+    /// a single never-taken branch (the hot-path allocator test pins this).
+    faults: Option<FaultState>,
     pool: BufferPool,
 }
 
@@ -132,16 +163,52 @@ impl Rank {
 
     /// Send `payload` to rank `to` with `tag`.
     ///
+    /// When a fault plane is installed ([`World::run_with_faults`]), the
+    /// plan may drop, delay, or corrupt the message; a transport checksum is
+    /// attached so corruption is detectable by the checked receives.
+    ///
     /// # Panics
     /// Panics if `to` is out of range or equals this rank.
-    pub fn send(&self, to: usize, tag: u64, payload: Vec<f32>) {
+    pub fn send(&self, to: usize, tag: u64, mut payload: Vec<f32>) {
         assert!(to < self.size, "destination rank out of range");
         assert_ne!(to, self.id, "self-sends are not supported");
         self.bytes_sent
             .fetch_add((payload.len() * 4) as u64, Ordering::Relaxed);
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        let mut checksum = None;
+        if let Some(faults) = &self.faults {
+            if tag & CONTROL_BIT == 0 {
+                checksum = Some(payload_checksum(&payload));
+                match faults.on_send(to, tag) {
+                    SendVerdict::Deliver => {}
+                    SendVerdict::Drop => {
+                        // The link ate it: recycle the buffer locally so the
+                        // pool books stay balanced, deliver nothing.
+                        self.pool.release(payload);
+                        return;
+                    }
+                    SendVerdict::DelayThenDeliver(d) => std::thread::sleep(d),
+                    SendVerdict::CorruptThenDeliver => {
+                        // Flip one mantissa bit after checksumming, so the
+                        // receiver's verify fails. Empty payloads corrupt
+                        // the checksum itself instead.
+                        match payload.len() {
+                            0 => checksum = checksum.map(|c| c ^ 1),
+                            n => {
+                                let bits = payload[n / 2].to_bits() ^ 0x0040_0000;
+                                payload[n / 2] = f32::from_bits(bits);
+                            }
+                        }
+                    }
+                }
+            }
+        }
         self.senders[to]
-            .send(Envelope { tag, payload })
+            .send(Envelope {
+                tag,
+                payload,
+                checksum,
+            })
             .expect("receiver hung up: a peer rank panicked");
     }
 
@@ -165,7 +232,31 @@ impl Rank {
             if env.tag == tag {
                 return env.payload;
             }
-            pending.push_back(env);
+            self.park(&mut pending, from, env);
+        }
+    }
+
+    /// Park a tag-mismatched message, counting it and logging when the
+    /// queue depth is suspicious (a message parked forever is invisible
+    /// without this: the matching `recv` simply never completes).
+    fn park(&self, pending: &mut VecDeque<Envelope>, from: usize, env: Envelope) {
+        self.messages_parked.fetch_add(1, Ordering::Relaxed);
+        pending.push_back(env);
+        if pending.len() == PARKED_WARN_THRESHOLD {
+            debug_assert!(
+                self.faults.is_some(),
+                "rank {}: {} messages from rank {from} parked on mismatched tags \
+                 without a fault plane — likely a tag-schedule bug",
+                self.id,
+                pending.len(),
+            );
+            eprintln!(
+                "summit-comm: rank {} has parked {} messages from rank {from} \
+                 (front tag {:#x}); mismatched-tag receives may be stuck",
+                self.id,
+                pending.len(),
+                pending.front().map_or(0, |e| e.tag),
+            );
         }
     }
 
@@ -179,19 +270,25 @@ impl Rank {
     /// Panics if `from` is out of range, equals this rank, or the sending
     /// rank disconnected (panicked) before sending.
     pub fn try_recv(&self, from: usize, tag: u64) -> Option<Vec<f32>> {
+        self.try_recv_env(from, tag).map(|env| env.payload)
+    }
+
+    /// Envelope-level nonblocking receive shared by the unchecked and
+    /// checked paths.
+    fn try_recv_env(&self, from: usize, tag: u64) -> Option<Envelope> {
         assert!(from < self.size, "source rank out of range");
         assert_ne!(from, self.id, "self-receives are not supported");
         let mut pending = self.pending[from].borrow_mut();
         if let Some(pos) = pending.iter().position(|e| e.tag == tag) {
-            return Some(pending.remove(pos).expect("position just found").payload);
+            return Some(pending.remove(pos).expect("position just found"));
         }
         loop {
             match self.receivers[from].try_recv() {
                 Ok(env) => {
                     if env.tag == tag {
-                        return Some(env.payload);
+                        return Some(env);
                     }
-                    pending.push_back(env);
+                    self.park(&mut pending, from, env);
                 }
                 Err(crossbeam::channel::TryRecvError::Empty) => return None,
                 Err(crossbeam::channel::TryRecvError::Disconnected) => {
@@ -199,6 +296,164 @@ impl Rank {
                 }
             }
         }
+    }
+
+    /// Verify an envelope's transport checksum (when one is attached).
+    fn verify(from: usize, env: &Envelope) -> Result<(), CommError> {
+        match env.checksum {
+            Some(sum) if payload_checksum(&env.payload) != sum => {
+                Err(CommError::Corrupt { from, tag: env.tag })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Checked receive: like [`Rank::recv`] but fallible — it verifies the
+    /// transport checksum, honors this rank's scheduled kill, and (when
+    /// `deadline` is set) gives up instead of blocking forever. A corrupt
+    /// envelope is consumed (and its buffer recycled) before the error
+    /// returns, so a retry does not trip over it again.
+    ///
+    /// This is the primitive that keeps chaos runs live: a dropped message
+    /// surfaces as [`CommError::Timeout`] here instead of hanging the rank.
+    ///
+    /// # Errors
+    /// [`CommError::Timeout`], [`CommError::Corrupt`],
+    /// [`CommError::RankKilled`], or [`CommError::Disconnected`].
+    ///
+    /// # Panics
+    /// Panics if `from` is out of range or equals this rank.
+    pub fn recv_checked(
+        &self,
+        from: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<f32>, CommError> {
+        assert!(from < self.size, "source rank out of range");
+        assert_ne!(from, self.id, "self-receives are not supported");
+        self.poll_fault_kill()?;
+        let mut pending = self.pending[from].borrow_mut();
+        if let Some(pos) = pending.iter().position(|e| e.tag == tag) {
+            let env = pending.remove(pos).expect("position just found");
+            if let Err(e) = Self::verify(from, &env) {
+                self.pool.release(env.payload);
+                return Err(e);
+            }
+            return Ok(env.payload);
+        }
+        loop {
+            let env = match deadline {
+                Some(d) => match self.receivers[from].recv_deadline(d) {
+                    Ok(env) => env,
+                    Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout { from, tag }),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(CommError::Disconnected { from })
+                    }
+                },
+                None => self.receivers[from]
+                    .recv()
+                    .map_err(|_| CommError::Disconnected { from })?,
+            };
+            if env.tag == tag {
+                if let Err(e) = Self::verify(from, &env) {
+                    self.pool.release(env.payload);
+                    return Err(e);
+                }
+                return Ok(env.payload);
+            }
+            self.park(&mut pending, from, env);
+        }
+    }
+
+    /// [`Rank::recv_checked`] with a relative timeout.
+    ///
+    /// # Errors
+    /// See [`Rank::recv_checked`].
+    pub fn recv_timeout(
+        &self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<f32>, CommError> {
+        self.recv_checked(from, tag, Some(Instant::now() + timeout))
+    }
+
+    /// Checked nonblocking receive: `Ok(None)` when no matching message has
+    /// arrived yet; checksum and kill failures surface as errors exactly as
+    /// in [`Rank::recv_checked`].
+    ///
+    /// # Errors
+    /// [`CommError::Corrupt`] or [`CommError::RankKilled`].
+    ///
+    /// # Panics
+    /// Panics on the same conditions as [`Rank::try_recv`].
+    pub fn try_recv_checked(&self, from: usize, tag: u64) -> Result<Option<Vec<f32>>, CommError> {
+        self.poll_fault_kill()?;
+        match self.try_recv_env(from, tag) {
+            None => Ok(None),
+            Some(env) => match Self::verify(from, &env) {
+                Ok(()) => Ok(Some(env.payload)),
+                Err(e) => {
+                    // Consume and recycle the corrupt payload so a retry of
+                    // the collective does not trip over it again.
+                    self.pool.release(env.payload);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// If a fault plane is installed and this rank is scheduled to die at
+    /// its current step, claim the kill and return
+    /// [`CommError::RankKilled`]. A no-op (always `Ok`) otherwise.
+    ///
+    /// # Errors
+    /// [`CommError::RankKilled`] exactly once per scheduled kill.
+    pub fn poll_fault_kill(&self) -> Result<(), CommError> {
+        match &self.faults {
+            Some(f) => f.poll_kill(),
+            None => Ok(()),
+        }
+    }
+
+    /// Tell the fault plane which application step this rank is executing;
+    /// [`FaultPlan`] events are keyed on it. A no-op without a plane.
+    pub fn set_fault_step(&self, step: u64) {
+        if let Some(f) = &self.faults {
+            f.set_step(step);
+        }
+    }
+
+    /// Whether this world was built with a fault plane
+    /// ([`World::run_with_faults`]).
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Discard every message currently addressed to this rank — parked and
+    /// in-flight alike — recycling the payloads into this rank's pool, and
+    /// return how many were drained.
+    ///
+    /// Recovery uses this between barriers to clear the fabric of stale
+    /// traffic from an aborted step, so the replay's tag matching starts
+    /// from a clean slate and the pool books stay balanced.
+    pub fn drain_all(&self) -> usize {
+        let mut drained = 0;
+        for from in 0..self.size {
+            if from == self.id {
+                continue;
+            }
+            let mut pending = self.pending[from].borrow_mut();
+            while let Some(env) = pending.pop_front() {
+                self.pool.release(env.payload);
+                drained += 1;
+            }
+            while let Ok(env) = self.receivers[from].try_recv() {
+                self.pool.release(env.payload);
+                drained += 1;
+            }
+        }
+        drained
     }
 
     /// Return a finished transport payload to this rank's [`BufferPool`].
@@ -314,6 +569,15 @@ pub struct TrafficStats {
     pub bytes_sent: u64,
     /// Total messages sent by all ranks.
     pub messages_sent: u64,
+    /// Messages parked at least once on a mismatched tag across all ranks.
+    /// A nonzero value under a strictly in-order tag schedule points at a
+    /// tag-matching bug; persistent growth points at messages parked
+    /// forever.
+    pub messages_parked: u64,
+    /// Fault events actually injected by the plan (always 0 without a
+    /// fault plane). Chaos tests cross-check this against
+    /// [`FaultPlan::fired_count`].
+    pub faults_injected: u64,
 }
 
 /// A world of `p` ranks executed as scoped threads.
@@ -340,9 +604,37 @@ impl World {
         F: Fn(&Rank) -> R + Sync,
         R: Send,
     {
+        Self::run_inner(p, None, f)
+    }
+
+    /// Run `f` on `p` ranks with the given [`FaultPlan`] installed: sends
+    /// consult the plan (drops, delays, corruptions), checked receives poll
+    /// for scheduled rank kills, and transport checksums are attached to
+    /// every data-plane message.
+    ///
+    /// The plan is shared — its one-shot event state is visible to the
+    /// caller afterwards (e.g. [`FaultPlan::fired_count`]).
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or if any rank's closure panics.
+    pub fn run_with_faults<F, R>(p: usize, plan: Arc<FaultPlan>, f: F) -> (Vec<R>, TrafficStats)
+    where
+        F: Fn(&Rank) -> R + Sync,
+        R: Send,
+    {
+        Self::run_inner(p, Some(plan), f)
+    }
+
+    fn run_inner<F, R>(p: usize, plan: Option<Arc<FaultPlan>>, f: F) -> (Vec<R>, TrafficStats)
+    where
+        F: Fn(&Rank) -> R + Sync,
+        R: Send,
+    {
         assert!(p > 0, "world size must be positive");
         let bytes_sent = Arc::new(AtomicU64::new(0));
         let messages_sent = Arc::new(AtomicU64::new(0));
+        let messages_parked = Arc::new(AtomicU64::new(0));
+        let faults_injected = Arc::new(AtomicU64::new(0));
         // channels[src][dst]
         let mut txs: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(p);
         let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> =
@@ -373,6 +665,10 @@ impl World {
                 barrier: Arc::clone(&barrier),
                 bytes_sent: Arc::clone(&bytes_sent),
                 messages_sent: Arc::clone(&messages_sent),
+                messages_parked: Arc::clone(&messages_parked),
+                faults: plan
+                    .as_ref()
+                    .map(|pl| FaultState::new(Arc::clone(pl), id, Arc::clone(&faults_injected))),
                 pool: BufferPool::default(),
             });
         }
@@ -391,6 +687,8 @@ impl World {
         let stats = TrafficStats {
             bytes_sent: bytes_sent.load(Ordering::Relaxed),
             messages_sent: messages_sent.load(Ordering::Relaxed),
+            messages_parked: messages_parked.load(Ordering::Relaxed),
+            faults_injected: faults_injected.load(Ordering::Relaxed),
         };
         (results, stats)
     }
@@ -573,5 +871,152 @@ mod tests {
                 r.send(0, 0, vec![]);
             }
         });
+    }
+
+    #[test]
+    fn parked_messages_are_counted() {
+        let (_, stats) = World::run_with_stats(2, |r| {
+            if r.id() == 0 {
+                // Tag 2 arrives first but is received second: it parks once.
+                r.send(1, 2, vec![2.0]);
+                r.send(1, 1, vec![1.0]);
+            } else {
+                let _ = r.recv(0, 1);
+                let _ = r.recv(0, 2);
+            }
+        });
+        assert_eq!(stats.messages_parked, 1);
+        assert_eq!(stats.faults_injected, 0);
+    }
+
+    #[test]
+    fn drain_all_clears_parked_and_in_flight() {
+        let out = World::run(2, |r| {
+            if r.id() == 0 {
+                r.send(1, 9, vec![1.0; 8]);
+                r.send(1, 10, vec![2.0; 8]);
+                r.barrier();
+                0
+            } else {
+                r.barrier();
+                // Fishing for an absent tag parks both queued messages.
+                assert!(r.try_recv(0, 99).is_none());
+                r.drain_all()
+            }
+        });
+        assert_eq!(out[1], 2);
+    }
+
+    #[test]
+    fn faultless_worlds_report_faults_disabled() {
+        World::run(2, |r| {
+            assert!(!r.faults_enabled());
+            assert!(r.poll_fault_kill().is_ok());
+            r.set_fault_step(3); // no-op without a plane
+            r.barrier();
+        });
+    }
+
+    #[test]
+    fn faulted_drop_surfaces_as_timeout() {
+        use crate::faults::TagClass;
+        let plan = Arc::new(FaultPlan::empty().drop_message(0, 1, TagClass::Any, 0));
+        let (out, stats) = World::run_with_faults(2, Arc::clone(&plan), |r| {
+            let ok = if r.id() == 0 {
+                r.send(1, 5, vec![1.0]);
+                true
+            } else {
+                matches!(
+                    r.recv_timeout(0, 5, Duration::from_millis(50)),
+                    Err(CommError::Timeout { from: 0, tag: 5 })
+                )
+            };
+            // Keep rank 0 alive past the timeout so the failure mode is a
+            // timeout, not a disconnect.
+            r.barrier();
+            ok
+        });
+        assert!(out[1], "dropped message must time out, not hang");
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(plan.fired_count(), 1);
+    }
+
+    #[test]
+    fn faulted_corruption_is_detected() {
+        use crate::faults::TagClass;
+        let plan = Arc::new(FaultPlan::empty().corrupt_message(0, 1, TagClass::Any, 0));
+        let (out, _) = World::run_with_faults(2, plan, |r| {
+            if r.id() == 0 {
+                r.send(1, 5, vec![1.0, 2.0, 3.0]);
+                true
+            } else {
+                matches!(
+                    r.recv_timeout(0, 5, Duration::from_millis(500)),
+                    Err(CommError::Corrupt { from: 0, tag: 5 })
+                )
+            }
+        });
+        assert!(out[1], "flipped mantissa bit must fail the checksum");
+    }
+
+    #[test]
+    fn clean_messages_pass_checked_receives_under_faults() {
+        let plan = Arc::new(FaultPlan::empty());
+        let (out, _) = World::run_with_faults(2, plan, |r| {
+            if r.id() == 0 {
+                r.send(1, 5, vec![4.0, 5.0]);
+                vec![]
+            } else {
+                r.recv_timeout(0, 5, Duration::from_millis(500)).unwrap()
+            }
+        });
+        assert_eq!(out[1], vec![4.0, 5.0]);
+    }
+
+    mod pool_boundaries {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Satellite: buffers of size exactly 2^k and 2^k ± 1 land in
+            /// (and are served from) the correct capacity class, and a
+            /// recycled buffer never shrinks.
+            #[test]
+            // k starts at 2: for k = 1, `below` is 1 whose class is 0.
+            fn classes_respect_power_of_two_boundaries(k in 2u32..16) {
+                let below = (1usize << k) - 1;
+                let exact = 1usize << k;
+                let above = exact + 1;
+                prop_assert_eq!(BufferPool::class_of(below), k as usize);
+                prop_assert_eq!(BufferPool::class_of(exact), k as usize);
+                prop_assert_eq!(BufferPool::class_of(above), k as usize + 1);
+
+                let pool = BufferPool::default();
+                let buf = pool.acquire(exact);
+                let cap = buf.capacity();
+                prop_assert!(cap >= exact);
+                pool.release(buf);
+
+                // A class-(k+1) request must NOT reuse the class-k buffer
+                // (it could not hold `above` without growing).
+                let big = pool.acquire(above);
+                prop_assert!(big.capacity() >= above);
+                prop_assert_eq!(pool.stats().misses, 2);
+                prop_assert_eq!(pool.stats().hits, 0);
+                pool.release(big);
+
+                // Both 2^k and 2^k - 1 requests reuse the class-k buffer,
+                // and its capacity never shrank.
+                for len in [exact, below] {
+                    let hit = pool.acquire(len);
+                    prop_assert!(hit.capacity() >= cap, "recycled buffer shrank");
+                    pool.release(hit);
+                }
+                prop_assert_eq!(pool.stats().hits, 2);
+                prop_assert_eq!(pool.stats().outstanding, 0);
+            }
+        }
     }
 }

@@ -49,6 +49,7 @@ pub mod data;
 pub mod lm;
 pub mod model;
 pub mod optim;
+pub mod recovery;
 pub mod schedule;
 pub mod trainer;
 pub mod transformer;
@@ -56,7 +57,8 @@ pub mod transformer;
 pub use compression::{Compressor, GradCompression};
 pub use lm::{MultiHeadAttention, TinyLm};
 pub use model::{Mlp, MlpSpec};
-pub use optim::{Adam, Lamb, Larc, Lars, Optimizer, Sgd};
+pub use optim::{Adam, Lamb, Larc, Lars, Optimizer, OptimizerState, Sgd};
+pub use recovery::{FtOutcome, RecoveryConfig};
 pub use schedule::LrSchedule;
 pub use trainer::{
     BucketSchedule, DataParallelTrainer, EpochMetrics, FusionConfig, OverlapConfig, Trainer,

@@ -18,6 +18,47 @@ use std::collections::HashMap;
 
 use summit_tensor::{axpy, l2_norm};
 
+/// A snapshot of an optimizer's internal state (moments, velocities, step
+/// counters), used by in-memory checkpointing for fault recovery: rolling
+/// back parameters alone is not enough, because momentum/Adam moments from
+/// the faulted step would make the replayed update diverge bitwise from
+/// the fault-free run.
+///
+/// Slots are stored sorted by `(name, group)` so the snapshot — and
+/// therefore the recovery replay — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptimizerState {
+    /// The optimizer's step counter (Adam/LAMB bias correction).
+    pub step: u32,
+    /// `(slot name, group id, values)` triples, sorted.
+    pub slots: Vec<(&'static str, usize, Vec<f32>)>,
+}
+
+fn export_map(
+    name: &'static str,
+    map: &HashMap<usize, Vec<f32>>,
+    out: &mut Vec<(&'static str, usize, Vec<f32>)>,
+) {
+    let mut groups: Vec<_> = map.iter().collect();
+    groups.sort_by_key(|(g, _)| **g);
+    for (g, v) in groups {
+        out.push((name, *g, v.clone()));
+    }
+}
+
+fn import_map(
+    name: &str,
+    slots: &[(&'static str, usize, Vec<f32>)],
+    map: &mut HashMap<usize, Vec<f32>>,
+) {
+    map.clear();
+    for (n, g, v) in slots {
+        if *n == name {
+            map.insert(*g, v.clone());
+        }
+    }
+}
+
 /// A stateful optimizer applied per parameter group (one group per layer
 /// weight matrix or bias vector, as the layer-wise methods require).
 pub trait Optimizer: Send {
@@ -28,6 +69,18 @@ pub trait Optimizer: Send {
     /// Advance the step counter (call once per optimizer step, after all
     /// groups).
     fn advance(&mut self) {}
+
+    /// Snapshot the internal state for checkpointing. Stateless optimizers
+    /// return the default empty snapshot.
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState::default()
+    }
+
+    /// Restore internal state from a snapshot taken by
+    /// [`export_state`](Optimizer::export_state). Restoring a snapshot and
+    /// replaying the same gradients must reproduce the original trajectory
+    /// bit for bit.
+    fn import_state(&mut self, _state: &OptimizerState) {}
 
     /// Optimizer display name.
     fn name(&self) -> &'static str;
@@ -71,6 +124,16 @@ impl Optimizer for Sgd {
             *vi = self.momentum * *vi + g;
             *p -= eff * *vi;
         }
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        let mut slots = Vec::new();
+        export_map("velocity", &self.velocity, &mut slots);
+        OptimizerState { step: 0, slots }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) {
+        import_map("velocity", &state.slots, &mut self.velocity);
     }
 
     fn name(&self) -> &'static str {
@@ -151,6 +214,22 @@ impl Optimizer for Adam {
         self.step += 1;
     }
 
+    fn export_state(&self) -> OptimizerState {
+        let mut slots = Vec::new();
+        export_map("m", &self.m, &mut slots);
+        export_map("v", &self.v, &mut slots);
+        OptimizerState {
+            step: self.step,
+            slots,
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) {
+        self.step = state.step;
+        import_map("m", &state.slots, &mut self.m);
+        import_map("v", &state.slots, &mut self.v);
+    }
+
     fn name(&self) -> &'static str {
         "adam"
     }
@@ -203,6 +282,14 @@ impl Optimizer for Lars {
         self.inner.step_group(group, lr, params, &reg);
     }
 
+    fn export_state(&self) -> OptimizerState {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) {
+        self.inner.import_state(state);
+    }
+
     fn name(&self) -> &'static str {
         "lars"
     }
@@ -252,6 +339,14 @@ impl Optimizer for Larc {
         self.inner.step_group(group, lr, params, &reg);
     }
 
+    fn export_state(&self) -> OptimizerState {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) {
+        self.inner.import_state(state);
+    }
+
     fn name(&self) -> &'static str {
         "larc"
     }
@@ -295,6 +390,14 @@ impl Optimizer for Lamb {
 
     fn advance(&mut self) {
         self.inner.advance();
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) {
+        self.inner.import_state(state);
     }
 
     fn name(&self) -> &'static str {
@@ -428,6 +531,56 @@ mod tests {
             (w[0] - w[1]).abs() < 0.05 * w[0].abs(),
             "adam steps not magnitude-invariant: {w:?}"
         );
+    }
+
+    /// Rollback cornerstone: snapshot mid-run, keep stepping, restore, and
+    /// replay the same gradients — the trajectories must agree bit for bit.
+    #[test]
+    #[allow(clippy::type_complexity, clippy::needless_range_loop)]
+    fn state_roundtrip_replays_bit_identically() {
+        let make: Vec<(&str, fn() -> Box<dyn Optimizer>)> = vec![
+            ("sgd", || Box::new(Sgd::new(0.1, 0.9, 0.01))),
+            ("adam", || Box::new(Adam::new(0.1, 0.01))),
+            ("lars", || Box::new(Lars::new(0.5, 0.9, 0.01, 0.01))),
+            ("larc", || Box::new(Larc::new(0.5, 0.9, 0.01, 0.5))),
+            ("lamb", || Box::new(Lamb::new(0.05, 0.01))),
+        ];
+        for (name, ctor) in make {
+            let mut opt = ctor();
+            let mut w = vec![vec![1.0f32, -2.0], vec![0.5f32]];
+            let grad = |s: usize, g: usize, i: usize| (s * 7 + g * 3 + i + 1) as f32 * 0.01;
+            for s in 0..3 {
+                for g in 0..2 {
+                    let gr: Vec<f32> = (0..w[g].len()).map(|i| grad(s, g, i)).collect();
+                    opt.step_group(g, 1.0, &mut w[g], &gr);
+                }
+                opt.advance();
+            }
+            let snap_state = opt.export_state();
+            let snap_w = w.clone();
+            // Continue 2 more steps (the "faulted" trajectory)...
+            for s in 3..5 {
+                for g in 0..2 {
+                    let gr: Vec<f32> = (0..w[g].len()).map(|i| grad(s, g, i)).collect();
+                    opt.step_group(g, 1.0, &mut w[g], &gr);
+                }
+                opt.advance();
+            }
+            let first_run = w.clone();
+            // ...then roll back and replay.
+            opt.import_state(&snap_state);
+            let mut w = snap_w;
+            for s in 3..5 {
+                for g in 0..2 {
+                    let gr: Vec<f32> = (0..w[g].len()).map(|i| grad(s, g, i)).collect();
+                    opt.step_group(g, 1.0, &mut w[g], &gr);
+                }
+                opt.advance();
+            }
+            for (a, b) in first_run.iter().flatten().zip(w.iter().flatten()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{name} replay diverged");
+            }
+        }
     }
 
     #[test]

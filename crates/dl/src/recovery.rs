@@ -1,0 +1,501 @@
+//! Checkpointed fault-tolerant data-parallel training.
+//!
+//! The paper's fault motif (Table I, row 1) is *detect → signal → remediate*:
+//! a hardware fault surfaces as an anomaly, an out-of-band signal triggers
+//! remediation, and the job resumes from its last checkpoint. This module is
+//! the executable version of that loop for [`DataParallelTrainer`]:
+//!
+//! 1. **Detect** — every gradient allreduce runs on the timeout-aware checked
+//!    primitives ([`try_ring_allreduce_bucketed`], the checked nonblocking
+//!    handle drivers), so drops, corruption, delays past the deadline, and
+//!    scheduled rank kills surface as [`CommError`] instead of hangs.
+//! 2. **Signal** — after every step attempt the ranks vote with
+//!    [`all_agree`] on [`CONTROL_BIT`](summit_comm::CONTROL_BIT) tags, which
+//!    the fault plane never touches: the reliable out-of-band control
+//!    network.
+//! 3. **Remediate** — on a failed vote every rank barriers, drains the data
+//!    fabric of half-finished collective traffic ([`Rank::drain_all`]),
+//!    restores the last in-memory checkpoint (flat parameters plus
+//!    [`OptimizerState`]), and replays from the checkpointed step.
+//!
+//! Recovery is **bit-exact**: data sharding is a pure function of the global
+//! step index, fault events are one-shot (a replayed step re-executes
+//! clean), and the checked collectives share the infallible engines'
+//! schedule, fold order, and operand order — so a faulted run converges to
+//! exactly the fault-free trajectory, bit for bit. The chaos suite in
+//! `tests/` pins this for drop, delay, corrupt, and kill scenarios.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use summit_comm::{
+    all_agree,
+    collectives::{try_ring_allreduce_bucketed, ReduceOp},
+    nonblocking::{ring_allreduce_start_windowed, RingAllreduceHandle},
+    world::{Rank, World},
+    CommError, FaultPlan,
+};
+use summit_tensor::{ops, Matrix};
+
+use crate::model::Mlp;
+use crate::optim::{Optimizer, OptimizerState};
+use crate::schedule::LrSchedule;
+use crate::trainer::{slice_rows, BucketSchedule, DataParallelTrainer};
+
+/// Recovery policy for [`DataParallelTrainer::run_fault_tolerant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Take an in-memory checkpoint every this many committed steps (a
+    /// checkpoint is always taken at step 0, so rollback is always
+    /// possible).
+    pub checkpoint_interval: u32,
+    /// Deadline for one step's gradient communication; a step that cannot
+    /// finish its allreduce within this budget is declared failed.
+    pub step_timeout: Duration,
+    /// Abort (panic loudly) after this many rollbacks — a guard against a
+    /// fault plan that makes progress impossible.
+    pub max_recoveries: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            checkpoint_interval: 4,
+            step_timeout: Duration::from_secs(2),
+            max_recoveries: 64,
+        }
+    }
+}
+
+/// One in-memory checkpoint: everything needed to replay bit-exactly.
+#[derive(Debug, Clone)]
+struct MemoryCheckpoint {
+    step: u32,
+    loss_sum: f32,
+    params: Vec<f32>,
+    opt: OptimizerState,
+}
+
+/// Result of a fault-tolerant run; extends
+/// [`ParallelOutcome`](crate::trainer::ParallelOutcome) with recovery
+/// telemetry.
+#[derive(Debug, Clone)]
+pub struct FtOutcome {
+    /// Final flat parameters (rank 0's copy).
+    pub params: Vec<f32>,
+    /// Mean loss per committed step, from rank 0.
+    pub loss: f32,
+    /// Maximum final parameter divergence across ranks (must be ~0).
+    pub max_divergence: f32,
+    /// Committed optimizer steps.
+    pub steps: u32,
+    /// Rollback-and-replay episodes (identical on every rank: the vote is
+    /// global).
+    pub recoveries: u32,
+    /// Stale messages drained from the fabric during recoveries, summed
+    /// over all ranks.
+    pub drained_messages: usize,
+    /// Faults the plan actually injected, from
+    /// [`TrafficStats`](summit_comm::world::TrafficStats).
+    pub faults_injected: u64,
+    /// Rank 0's wall-clock seconds for every step *attempt* (failed
+    /// attempts included) — the raw telemetry the `summit-workflow` fault
+    /// detector consumes: a faulted attempt shows up as a latency spike.
+    pub step_seconds: Vec<f64>,
+}
+
+/// Outcome of one step attempt's communication phase.
+#[allow(clippy::too_many_arguments)]
+fn step_comm(
+    rank: &Rank,
+    model: &mut Mlp,
+    dlogits: &Matrix,
+    flat: &mut Vec<f32>,
+    layer_sizes: &[usize],
+    bucket_elems: usize,
+    overlap: bool,
+    deadline: Instant,
+) -> Result<(), CommError> {
+    let n = flat.len();
+    if overlap && rank.size() > 1 {
+        // Overlapped path: identical launch schedule and window partition
+        // to the infallible trainer, but driven by the checked progress /
+        // bounded wait. On the first error we stop driving and fall
+        // through; surviving handles are dropped half-finished (their
+        // traffic is drained during recovery).
+        let mut sched = BucketSchedule::new(layer_sizes, bucket_elems);
+        let mut windows: Vec<Option<&mut [f32]>> =
+            flat.chunks_mut(bucket_elems).map(Some).collect();
+        let mut handles: Vec<RingAllreduceHandle> = Vec::with_capacity(windows.len());
+        let mut failed: Option<CommError> = None;
+        model.backward_with(dlogits, |layer, gw, gb| {
+            let off = sched.layer_start(layer);
+            let w = gw.as_slice();
+            scatter_into(&mut windows, bucket_elems, off, w);
+            scatter_into(&mut windows, bucket_elems, off + w.len(), gb);
+            for b in sched.on_layer_ready(layer).rev() {
+                let window = windows[b].take().expect("bucket launched twice");
+                handles.push(ring_allreduce_start_windowed(
+                    rank,
+                    window,
+                    ReduceOp::Sum,
+                    b as u64,
+                    n,
+                    b * bucket_elems,
+                ));
+            }
+            if failed.is_none() {
+                for h in handles.iter_mut() {
+                    if let Err(e) = h.progress_checked() {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+        });
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        for h in handles.iter_mut() {
+            h.wait_deadline(deadline)?;
+        }
+        Ok(())
+    } else {
+        model.backward(dlogits);
+        model.flat_grads_into(flat);
+        if rank.size() > 1 {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            try_ring_allreduce_bucketed(rank, flat, ReduceOp::Sum, bucket_elems, timeout)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Copy `src` into flat position `pos` across per-bucket windows — the
+/// trainer's scatter, duplicated here because the windows borrow a
+/// different buffer. Behaviour is identical.
+fn scatter_into(windows: &mut [Option<&mut [f32]>], m: usize, mut pos: usize, src: &[f32]) {
+    let mut s = 0;
+    while s < src.len() {
+        let b = pos / m;
+        let within = pos - b * m;
+        let w = windows[b]
+            .as_mut()
+            .expect("gradient written into an already-launched bucket");
+        let take = (w.len() - within).min(src.len() - s);
+        w[within..within + take].copy_from_slice(&src[s..s + take]);
+        pos += take;
+        s += take;
+    }
+}
+
+impl DataParallelTrainer {
+    /// [`run`](DataParallelTrainer::run) under a fault plan, with
+    /// checkpointed rollback-and-replay recovery.
+    ///
+    /// Every rank trains exactly as in `run`, but each step's gradient
+    /// allreduce is deadline-bounded and checked; after each attempt the
+    /// ranks vote on the out-of-band control plane, and a failed vote rolls
+    /// every rank back to the last in-memory checkpoint. Because sharding
+    /// is step-indexed and fault events are one-shot, the final parameters
+    /// are bit-identical to a fault-free run.
+    ///
+    /// # Panics
+    /// Panics if the dataset is smaller than one global batch, or if more
+    /// than [`RecoveryConfig::max_recoveries`] rollbacks occur.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_fault_tolerant(
+        &self,
+        build_model: impl Fn() -> Mlp + Sync,
+        build_optimizer: impl Fn() -> Box<dyn Optimizer> + Sync,
+        schedule: LrSchedule,
+        x: &Matrix,
+        labels: &[usize],
+        epochs: u32,
+        plan: Arc<FaultPlan>,
+        cfg: RecoveryConfig,
+    ) -> FtOutcome {
+        assert!(
+            cfg.checkpoint_interval > 0,
+            "checkpoint interval must be positive"
+        );
+        let global_batch = self.ranks * self.per_rank_batch;
+        assert!(
+            x.rows() >= global_batch,
+            "dataset smaller than one global batch"
+        );
+        let steps_per_epoch = (x.rows() / global_batch) as u32;
+        let total_steps = epochs * steps_per_epoch;
+        let ranks = self.ranks;
+        let per_rank = self.per_rank_batch;
+        let bucket_elems = self.fusion.bucket_elems();
+        let overlap = self.overlap.enabled;
+
+        let (results, stats) = World::run_with_faults(ranks, plan, |rank| {
+            let mut model = build_model();
+            let mut optimizer = build_optimizer();
+            let n = model.param_count();
+            let layer_sizes = model.layer_param_sizes();
+            let mut flat: Vec<f32> = vec![0.0; n];
+
+            let mut step = 0u32;
+            let mut loss_sum = 0.0f32;
+            let mut recoveries = 0u32;
+            let mut drained = 0usize;
+            let mut vote_round = 0u64;
+            let mut step_seconds: Vec<f64> = Vec::new();
+            let mut ckpt = MemoryCheckpoint {
+                step: 0,
+                loss_sum: 0.0,
+                params: model.flat_params(),
+                opt: optimizer.export_state(),
+            };
+
+            while step < total_steps {
+                rank.set_fault_step(step as u64);
+                let t0 = Instant::now();
+                let deadline = t0 + cfg.step_timeout;
+
+                // Shard for global step `step` — a pure function of the
+                // step index, so replays read the same rows.
+                let s = (step % steps_per_epoch) as usize;
+                let base = s * ranks * per_rank;
+                let start = base + rank.id() * per_rank;
+                let bx = slice_rows(x, start, start + per_rank);
+                let blabels = &labels[start..start + per_rank];
+
+                let logits = model.forward(&bx);
+                let (loss, dlogits) = ops::softmax_cross_entropy(logits, blabels);
+                model.zero_grads();
+
+                let comm = step_comm(
+                    rank,
+                    &mut model,
+                    &dlogits,
+                    &mut flat,
+                    &layer_sizes,
+                    bucket_elems,
+                    overlap,
+                    deadline,
+                );
+
+                // Out-of-band vote: the step commits only if *every* rank's
+                // communication succeeded. The vote runs on CONTROL_BIT
+                // tags, which the fault plane never touches.
+                let committed = all_agree(rank, comm.is_ok(), vote_round);
+                vote_round += 1;
+
+                if committed {
+                    let inv = 1.0 / ranks as f32;
+                    for g in &mut flat {
+                        *g *= inv;
+                    }
+                    model.set_flat_grads(&flat);
+                    let lr = schedule.multiplier(step);
+                    model.for_each_group(|id, params, grads| {
+                        optimizer.step_group(id, lr, params, grads)
+                    });
+                    optimizer.advance();
+                    step += 1;
+                    loss_sum += loss;
+                    if step < total_steps && step.is_multiple_of(cfg.checkpoint_interval) {
+                        ckpt = MemoryCheckpoint {
+                            step,
+                            loss_sum,
+                            params: model.flat_params(),
+                            opt: optimizer.export_state(),
+                        };
+                    }
+                } else {
+                    // Remediation: all ranks are here (every checked path is
+                    // deadline-bounded), so barrier, drain the fabric of
+                    // half-finished collective traffic, and roll back.
+                    recoveries += 1;
+                    assert!(
+                        recoveries <= cfg.max_recoveries,
+                        "rank {}: recovery limit exceeded ({} rollbacks)",
+                        rank.id(),
+                        cfg.max_recoveries
+                    );
+                    rank.barrier();
+                    drained += rank.drain_all();
+                    rank.barrier();
+                    model.set_flat_params(&ckpt.params);
+                    optimizer.import_state(&ckpt.opt);
+                    step = ckpt.step;
+                    loss_sum = ckpt.loss_sum;
+                }
+                step_seconds.push(t0.elapsed().as_secs_f64());
+            }
+            (
+                model.flat_params(),
+                loss_sum / step.max(1) as f32,
+                step,
+                recoveries,
+                drained,
+                step_seconds,
+            )
+        });
+
+        let params0 = results[0].0.clone();
+        let (loss0, steps, recoveries) = (results[0].1, results[0].2, results[0].3);
+        let step_seconds0 = results[0].5.clone();
+        let mut max_div = 0.0f32;
+        let mut drained_total = 0usize;
+        for (params, _, _, _, drained, _) in &results {
+            drained_total += drained;
+            for (a, b) in params.iter().zip(&params0) {
+                max_div = max_div.max((a - b).abs());
+            }
+        }
+        FtOutcome {
+            params: params0,
+            loss: loss0,
+            max_divergence: max_div,
+            steps,
+            recoveries,
+            drained_messages: drained_total,
+            faults_injected: stats.faults_injected,
+            step_seconds: step_seconds0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::blobs;
+    use crate::model::MlpSpec;
+    use crate::optim::{Adam, Sgd};
+    use crate::trainer::{FusionConfig, OverlapConfig};
+    use summit_comm::TagClass;
+
+    fn bitwise_eq(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "param {i}: {x} vs {y}");
+        }
+    }
+
+    fn cfg() -> RecoveryConfig {
+        RecoveryConfig {
+            checkpoint_interval: 2,
+            step_timeout: Duration::from_millis(400),
+            max_recoveries: 16,
+        }
+    }
+
+    /// With an empty plan, the fault-tolerant runner is the plain runner:
+    /// same trajectory, bit for bit, on both comm paths.
+    #[test]
+    fn fault_free_ft_run_matches_plain_run_bitwise() {
+        let task = blobs(128, 4, 2, 0.3, 19);
+        let spec = MlpSpec::new(4, &[8, 8], 2);
+        for overlap in [false, true] {
+            let dp = DataParallelTrainer::new(2, 8)
+                .with_fusion(FusionConfig { bucket_bytes: 64 })
+                .with_overlap(OverlapConfig { enabled: overlap });
+            let plain = dp.run(
+                || spec.build(5),
+                || Box::new(Sgd::new(0.05, 0.9, 0.0)),
+                LrSchedule::Constant,
+                &task.x,
+                &task.y,
+                2,
+            );
+            let ft = dp.run_fault_tolerant(
+                || spec.build(5),
+                || Box::new(Sgd::new(0.05, 0.9, 0.0)),
+                LrSchedule::Constant,
+                &task.x,
+                &task.y,
+                2,
+                Arc::new(FaultPlan::empty()),
+                cfg(),
+            );
+            assert_eq!(ft.steps, plain.steps);
+            assert_eq!(ft.recoveries, 0);
+            assert_eq!(ft.faults_injected, 0);
+            assert_eq!(ft.max_divergence, 0.0);
+            bitwise_eq(&ft.params, &plain.params);
+        }
+    }
+
+    /// A dropped allreduce message forces one rollback, after which the run
+    /// converges to the exact fault-free parameters.
+    #[test]
+    fn recovers_bitwise_from_dropped_message() {
+        let task = blobs(128, 4, 2, 0.3, 23);
+        let spec = MlpSpec::new(4, &[8], 2);
+        let dp = DataParallelTrainer::new(2, 8).with_overlap(OverlapConfig { enabled: false });
+        let plain = dp.run(
+            || spec.build(3),
+            || Box::new(Adam::new(0.01, 0.0)),
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            1,
+        );
+        // Drop a reduce-scatter message (blocking collective id 0) at step 5.
+        let plan = Arc::new(FaultPlan::empty().drop_message(0, 1, TagClass::Blocking(0), 5));
+        let ft = dp.run_fault_tolerant(
+            || spec.build(3),
+            || Box::new(Adam::new(0.01, 0.0)),
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            1,
+            plan,
+            cfg(),
+        );
+        assert_eq!(ft.steps, plain.steps);
+        assert_eq!(
+            ft.recoveries, 1,
+            "the drop must trigger exactly one rollback"
+        );
+        assert_eq!(ft.faults_injected, 1);
+        assert_eq!(ft.max_divergence, 0.0);
+        bitwise_eq(&ft.params, &plain.params);
+        assert_eq!(
+            ft.step_seconds.len() as u32,
+            ft.steps + ft.recoveries * (5 % cfg().checkpoint_interval + 1),
+            "each rollback replays the steps since the last checkpoint"
+        );
+    }
+
+    /// A scheduled rank kill on the overlapped path: the killed rank
+    /// errors, the vote fails, and replay (the kill is one-shot) lands on
+    /// the fault-free trajectory.
+    #[test]
+    fn recovers_bitwise_from_rank_kill_with_overlap() {
+        let task = blobs(128, 4, 2, 0.3, 29);
+        let spec = MlpSpec::new(4, &[8, 8], 2);
+        let dp = DataParallelTrainer::new(2, 8)
+            .with_fusion(FusionConfig { bucket_bytes: 64 })
+            .with_overlap(OverlapConfig { enabled: true });
+        let plain = dp.run(
+            || spec.build(7),
+            || Box::new(Sgd::new(0.05, 0.9, 0.0)),
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            1,
+        );
+        let plan = Arc::new(FaultPlan::empty().kill_rank(1, 3));
+        let ft = dp.run_fault_tolerant(
+            || spec.build(7),
+            || Box::new(Sgd::new(0.05, 0.9, 0.0)),
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            1,
+            plan,
+            cfg(),
+        );
+        assert_eq!(ft.steps, plain.steps);
+        assert!(ft.recoveries >= 1);
+        assert_eq!(ft.max_divergence, 0.0);
+        bitwise_eq(&ft.params, &plain.params);
+    }
+}

@@ -1,0 +1,409 @@
+//! Chaos suite: deterministic fault injection against the real communicator
+//! and the checkpointed fault-tolerant trainer.
+//!
+//! The contract under test (paper Table I, row 1 — detect → signal →
+//! remediate):
+//!
+//! * Every checked collective either completes with the **bitwise** fault-free
+//!   result or fails loudly with a [`CommError`] within its timeout — never a
+//!   hang, never a silently wrong answer.
+//! * End-to-end data-parallel training under injected drops, delays,
+//!   corruption, and rank kills recovers — via vote, drain, and in-memory
+//!   checkpoint rollback — to **exactly** the fault-free final parameters.
+//!
+//! Scenario seeds come from the fixed matrix in CI (`CHAOS_SEED`); a failing
+//! randomized case archives its [`FaultPlan`] JSON under `target/chaos/` so
+//! the exact schedule can be replayed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use summit_comm::{
+    collectives::{try_ring_allreduce_bucketed, ReduceOp},
+    nonblocking::{ring_allreduce_start_windowed, RingAllreduceHandle},
+    world::World,
+    FaultPlan, FaultRates, TagClass,
+};
+use summit_dl::{
+    data::blobs,
+    model::MlpSpec,
+    optim::{Adam, Optimizer, Sgd},
+    recovery::RecoveryConfig,
+    trainer::{DataParallelTrainer, FusionConfig, OverlapConfig},
+    LrSchedule,
+};
+use summit_workflow::fault::{telemetry_from_step_seconds, threshold_detector, FaultDetector};
+
+/// Base seed for the randomized cases; CI runs a fixed matrix of values.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Archive a failing plan for replay and return the human-readable pointer.
+fn archive_plan(plan: &FaultPlan, label: &str) -> String {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .parent()
+        .map(|t| t.join("chaos"))
+        .unwrap_or_else(|| std::path::PathBuf::from("target/chaos"));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{label}.json"));
+    match std::fs::write(&path, plan.to_json()) {
+        Ok(()) => format!("fault plan archived at {}", path.display()),
+        Err(e) => format!(
+            "failed to archive fault plan ({e}); JSON: {}",
+            plan.to_json()
+        ),
+    }
+}
+
+/// Aggressive rates so short runs see real action from every fault class.
+fn hot_rates() -> FaultRates {
+    FaultRates {
+        drop: 0.08,
+        delay: 0.12,
+        delay_ms: 2,
+        corrupt: 0.08,
+        kill: 0.02,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collectives: complete correctly or fail loudly, never hang.
+// ---------------------------------------------------------------------------
+
+/// Randomized plans against the checked blocking allreduce: each rank either
+/// finishes with the bit-exact fault-free reduction or surfaces a
+/// `CommError` before the deadline. The test completing at all is the
+/// no-hang proof — every receive is deadline-bounded.
+#[test]
+fn chaos_collectives_complete_or_fail_loudly() {
+    let base = chaos_seed();
+    for case in 0..12u64 {
+        let seed = base.wrapping_mul(1_000_003).wrapping_add(case);
+        let p = 2 + (seed % 3) as usize; // 2..=4 ranks
+        let n = 16 + (seed % 23) as usize;
+        let bucket = 1 + (seed % 7) as usize;
+        let steps = 4u64;
+        let plan = Arc::new(FaultPlan::seeded(seed, p, steps, &hot_rates()));
+        let reference: Vec<Vec<f32>> = (0..p)
+            .map(|r| (0..n).map(|i| ((r * n + i) as f32).sin()).collect())
+            .collect();
+        // The ring's per-element fold order depends on the chunk schedule,
+        // so the bitwise reference is a fault-free execution, not an
+        // analytic sum.
+        let fault_free = World::run(p, |rank| {
+            let mut buf = reference[rank.id()].clone();
+            summit_comm::collectives::ring_allreduce_bucketed(
+                rank,
+                &mut buf,
+                ReduceOp::Sum,
+                bucket,
+            );
+            buf
+        });
+        let plan_run = Arc::clone(&plan);
+        let (out, _) = World::run_with_faults(p, plan_run, move |rank| {
+            let mut results = Vec::new();
+            for step in 0..steps {
+                rank.set_fault_step(step);
+                let mut buf = reference[rank.id()].clone();
+                let res = try_ring_allreduce_bucketed(
+                    rank,
+                    &mut buf,
+                    ReduceOp::Sum,
+                    bucket,
+                    Duration::from_millis(250),
+                );
+                results.push((res, buf));
+                // Quiesce between steps so one step's stale traffic cannot
+                // satisfy the next step's receives.
+                rank.barrier();
+                rank.drain_all();
+                rank.barrier();
+            }
+            results
+        });
+        for (r, rank_results) in out.iter().enumerate() {
+            for (step, (res, buf)) in rank_results.iter().enumerate() {
+                if res.is_ok() {
+                    for (i, (got, want)) in buf.iter().zip(&fault_free[r]).enumerate() {
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "seed {seed} rank {r} step {step} element {i}: completed \
+                             collective must be bit-exact ({got} vs {want}); {}",
+                            archive_plan(&plan, &format!("collective-seed-{seed}"))
+                        );
+                    }
+                }
+                // Err is the loud-failure outcome: acceptable by contract.
+            }
+        }
+    }
+}
+
+/// Abandoning unfinished nonblocking collectives mid-flight must neither
+/// deadlock the world nor leak pooled buffers once the fabric is drained
+/// (satellite: `RingAllreduceHandle` teardown hygiene).
+#[test]
+fn abandoned_ring_handles_drain_without_leaks() {
+    let p = 3;
+    let n = 48;
+    let bucket = 16;
+    let out = World::run(p, |rank| {
+        let mut buf = vec![rank.id() as f32 + 0.5; n];
+        {
+            let mut handles: Vec<RingAllreduceHandle> = buf
+                .chunks_mut(bucket)
+                .enumerate()
+                .map(|(b, w)| {
+                    ring_allreduce_start_windowed(rank, w, ReduceOp::Sum, b as u64, n, b * bucket)
+                })
+                .collect();
+            // Make partial progress so some payloads are genuinely in
+            // flight, then abandon every handle.
+            for h in handles.iter_mut() {
+                h.progress();
+            }
+        }
+        // All ranks have abandoned; drain the half-finished traffic.
+        rank.barrier();
+        rank.drain_all();
+        rank.barrier();
+        rank.pool_stats().outstanding
+    });
+    // Buffers migrate between per-rank pools under ring circulation, so the
+    // balance invariant is on the world-wide sum.
+    assert_eq!(
+        out.iter().sum::<i64>(),
+        0,
+        "abandoned handles leaked pooled buffers: {out:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end training: each fault class recovers to the bitwise
+// fault-free final state.
+// ---------------------------------------------------------------------------
+
+struct Scenario {
+    label: &'static str,
+    plan: FaultPlan,
+    overlap: bool,
+    min_recoveries: u32,
+}
+
+fn run_scenario(s: Scenario) {
+    let task = blobs(256, 4, 2, 0.3, 77);
+    let spec = MlpSpec::new(4, &[16, 8], 2);
+    let build_opt = || -> Box<dyn Optimizer> { Box::new(Sgd::new(0.05, 0.9, 0.0)) };
+    let dp = DataParallelTrainer::new(2, 8)
+        .with_fusion(FusionConfig { bucket_bytes: 128 })
+        .with_overlap(OverlapConfig { enabled: s.overlap });
+    let plain = dp.run(
+        || spec.build(9),
+        build_opt,
+        LrSchedule::Constant,
+        &task.x,
+        &task.y,
+        1,
+    );
+    let plan = Arc::new(s.plan);
+    let ft = dp.run_fault_tolerant(
+        || spec.build(9),
+        build_opt,
+        LrSchedule::Constant,
+        &task.x,
+        &task.y,
+        1,
+        Arc::clone(&plan),
+        RecoveryConfig {
+            checkpoint_interval: 3,
+            step_timeout: Duration::from_millis(400),
+            max_recoveries: 16,
+        },
+    );
+    let on_fail = || archive_plan(&plan, &format!("scenario-{}", s.label));
+    assert_eq!(ft.steps, plain.steps, "{}: {}", s.label, on_fail());
+    assert!(
+        ft.recoveries >= s.min_recoveries,
+        "{}: expected >= {} recoveries, saw {}; {}",
+        s.label,
+        s.min_recoveries,
+        ft.recoveries,
+        on_fail()
+    );
+    assert!(
+        ft.faults_injected >= u64::from(s.min_recoveries),
+        "{}: plan never fired; {}",
+        s.label,
+        on_fail()
+    );
+    assert_eq!(ft.max_divergence, 0.0, "{}: {}", s.label, on_fail());
+    for (i, (a, b)) in ft.params.iter().zip(&plain.params).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{} param {i}: {a} vs {b} — recovery must be bit-exact; {}",
+            s.label,
+            on_fail()
+        );
+    }
+}
+
+/// Scenario 1 — message drop on the blocking reduce-scatter phase.
+#[test]
+fn chaos_training_recovers_from_drop() {
+    run_scenario(Scenario {
+        label: "drop",
+        plan: FaultPlan::empty().drop_message(0, 1, TagClass::Blocking(0), 6),
+        overlap: false,
+        min_recoveries: 1,
+    });
+}
+
+/// Scenario 2 — a delivery delay longer than the step deadline: the
+/// receiver times out, and the late-arriving message becomes exactly the
+/// stale fabric traffic the recovery drain exists to clear.
+#[test]
+fn chaos_training_recovers_from_long_delay() {
+    run_scenario(Scenario {
+        label: "delay",
+        plan: FaultPlan::empty().delay_message(1, 0, TagClass::Any, 4, 600),
+        overlap: false,
+        min_recoveries: 1,
+    });
+}
+
+/// Scenario 3 — payload corruption (post-checksum bit flip) on the
+/// overlapped nonblocking path, detected by the transport checksum.
+#[test]
+fn chaos_training_recovers_from_corruption() {
+    run_scenario(Scenario {
+        label: "corrupt",
+        plan: FaultPlan::empty().corrupt_message(0, 1, TagClass::Any, 9),
+        overlap: true,
+        min_recoveries: 1,
+    });
+}
+
+/// Scenario 4 — a scheduled rank kill mid-epoch on the overlapped path.
+#[test]
+fn chaos_training_recovers_from_rank_kill() {
+    run_scenario(Scenario {
+        label: "kill",
+        plan: FaultPlan::empty().kill_rank(1, 11),
+        overlap: true,
+        min_recoveries: 1,
+    });
+}
+
+/// Randomized end-to-end chaos: seeded multi-fault plans (all four classes
+/// possible, both comm paths) still land on the bitwise fault-free
+/// trajectory.
+#[test]
+fn chaos_training_randomized_plans_recover_bitwise() {
+    let base = chaos_seed();
+    let task = blobs(128, 4, 2, 0.3, 55);
+    let spec = MlpSpec::new(4, &[8, 8], 2);
+    let build_opt = || -> Box<dyn Optimizer> { Box::new(Adam::new(0.01, 0.0)) };
+    for case in 0..3u64 {
+        let seed = base.wrapping_mul(7_777_777).wrapping_add(case);
+        let overlap = case % 2 == 0;
+        let dp = DataParallelTrainer::new(2, 8)
+            .with_fusion(FusionConfig { bucket_bytes: 96 })
+            .with_overlap(OverlapConfig { enabled: overlap });
+        let plain = dp.run(
+            || spec.build(13),
+            build_opt,
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            2,
+        );
+        let plan = Arc::new(FaultPlan::seeded(seed, 2, 16, &hot_rates()));
+        let budget = plan.events().len() as u32 + 4;
+        let ft = dp.run_fault_tolerant(
+            || spec.build(13),
+            build_opt,
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            2,
+            Arc::clone(&plan),
+            RecoveryConfig {
+                checkpoint_interval: 4,
+                step_timeout: Duration::from_millis(300),
+                max_recoveries: budget,
+            },
+        );
+        assert_eq!(ft.steps, plain.steps);
+        for (i, (a, b)) in ft.params.iter().zip(&plain.params).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "seed {seed} (overlap={overlap}) param {i}: {a} vs {b}; {}",
+                archive_plan(&plan, &format!("training-seed-{seed}"))
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry closure: injected faults feed the workflow fault detector.
+// ---------------------------------------------------------------------------
+
+/// The full Table I row 1 loop on *real* telemetry: step wall-times from a
+/// faulted fault-tolerant run — not a synthetic residual model — are mapped
+/// through the telemetry bridge, and both the ML detector (trained purely
+/// on simulated fleets) and the threshold rule flag the run; a fault-free
+/// run stays clean under the threshold rule.
+#[test]
+fn injected_fault_telemetry_drives_detector() {
+    let task = blobs(256, 4, 2, 0.3, 91);
+    let spec = MlpSpec::new(4, &[16], 2);
+    let build_opt = || -> Box<dyn Optimizer> { Box::new(Sgd::new(0.05, 0.9, 0.0)) };
+    let dp = DataParallelTrainer::new(2, 8).with_overlap(OverlapConfig { enabled: false });
+    let cfg = RecoveryConfig {
+        checkpoint_interval: 4,
+        step_timeout: Duration::from_millis(500),
+        max_recoveries: 8,
+    };
+    let run = |plan: FaultPlan| {
+        dp.run_fault_tolerant(
+            || spec.build(3),
+            build_opt,
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            2,
+            Arc::new(plan),
+            cfg,
+        )
+    };
+    // A drop mid-run burns a full 500 ms timeout against ~millisecond
+    // healthy steps: a huge latency spike in the attempt telemetry.
+    let faulted = run(FaultPlan::empty().drop_message(0, 1, TagClass::Blocking(0), 20));
+    assert!(faulted.recoveries >= 1);
+    let healthy = run(FaultPlan::empty());
+    assert_eq!(healthy.recoveries, 0);
+
+    let faulted_run = telemetry_from_step_seconds(&faulted.step_seconds, true);
+    let healthy_run = telemetry_from_step_seconds(&healthy.step_seconds, false);
+
+    // ML detector trained on the *simulated* fleet transfers to the real
+    // injected-fault telemetry.
+    let mut detector = FaultDetector::train(&summit_workflow::fault::fleet(200, 32, 10), 5);
+    assert!(
+        detector.is_faulty(&faulted_run),
+        "ML detector must flag the injected-fault run"
+    );
+    // The threshold rule sees the timeout spike too (ln(500ms / ~ms) >> 2.5)
+    // and stays quiet on the healthy run (scheduler jitter is far below
+    // e^2.5 ≈ 12× the median step time).
+    assert!(threshold_detector(&faulted_run, 2.5));
+    assert!(!threshold_detector(&healthy_run, 2.5));
+}

@@ -68,6 +68,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`] / [`Receiver::recv_deadline`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message available.
+        Timeout,
+        /// Queue empty and all senders gone.
+        Disconnected,
+    }
+
     /// Create an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
@@ -111,6 +120,38 @@ pub mod channel {
                 }
                 q = self.shared.ready.wait(q).expect("channel mutex poisoned");
             }
+        }
+
+        /// Dequeue, blocking until a message arrives, all senders drop, or
+        /// `deadline` passes.
+        pub fn recv_deadline(&self, deadline: std::time::Instant) -> Result<T, RecvTimeoutError> {
+            let mut q = self.shared.queue.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(q, remaining)
+                    .expect("channel mutex poisoned");
+                q = guard;
+            }
+        }
+
+        /// Dequeue, blocking for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(std::time::Instant::now() + timeout)
         }
 
         /// Non-blocking dequeue.
@@ -230,6 +271,22 @@ pub mod channel {
                 handles.into_iter().map(|h| h.join().unwrap()).sum()
             });
             assert_eq!(total, (0..64).sum::<u32>());
+        }
+
+        #[test]
+        fn recv_timeout_expires_then_delivers() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(3).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(3));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
