@@ -1,0 +1,203 @@
+//! GEMM microkernel benchmarks for the persistent compute-pool runtime.
+//!
+//! * `gemm/*` — GFLOP/s of the three pooled matmul variants at 128³, 256³,
+//!   and 512³ under the full machine core budget.
+//! * `spawn_overhead/*` — A/B of the pre-pool scoped-spawn matmul (kept
+//!   verbatim below as `scoped_spawn_matmul`) against the pooled packed
+//!   kernel at identical sizes: the spawn-per-call cost plus the unpacked
+//!   strided-`B` traversal is exactly what the pool + packing removed.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! summary to `target/BENCH_gemm.json` (GFLOP/s per variant/shape, the
+//! scoped-vs-pooled speedup, and the pool's activity counters). In `--test`
+//! mode (CI smoke) every measurement runs a single iteration.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use summit_tensor::Matrix;
+
+/// The paper-scale shapes: square m = k = n.
+const SHAPES: [usize; 3] = [128, 256, 512];
+
+fn square(n: usize, seed: u64) -> Matrix {
+    let data = (0..n * n)
+        .map(|i| {
+            let v = seed.wrapping_add(i as u64).wrapping_mul(2654435761) % 29;
+            v as f32 * 0.37 - 4.0
+        })
+        .collect();
+    Matrix::from_vec(n, n, data)
+}
+
+/// The pre-pool `Matrix::matmul`, kept verbatim as the in-bench baseline:
+/// every call above the parallelism threshold spawns scoped threads, walks
+/// `B` strided (no packing), and pays a data-dependent `a == 0.0` branch in
+/// the innermost loop.
+fn scoped_spawn_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    let rows = a.rows();
+    let n = b.cols();
+    let run_rows = |rows_out: &mut [f32], row_range: std::ops::Range<usize>| {
+        for (oi, i) in row_range.enumerate() {
+            let a_row = a.row(i);
+            let out_row = &mut rows_out[oi * n..(oi + 1) * n];
+            for (k, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    };
+    if rows < 128 {
+        run_rows(out.as_mut_slice(), 0..rows);
+    } else {
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(4)
+            .min(rows);
+        let chunk_rows = rows.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (t, chunk) in out.as_mut_slice().chunks_mut(chunk_rows * n).enumerate() {
+                let start = t * chunk_rows;
+                let end = (start + chunk.len() / n).min(rows);
+                let run = &run_rows;
+                s.spawn(move || run(chunk, start..end));
+            }
+        });
+    }
+    out
+}
+
+fn gemm_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for &s in &SHAPES {
+        let a = square(s, 1);
+        let b = square(s, 2);
+        let mut out = Matrix::zeros(s, s);
+        group.bench_with_input(BenchmarkId::new("matmul", s), &s, |bench, _| {
+            bench.iter(|| {
+                a.matmul_into(black_box(&b), &mut out);
+                out.get(0, 0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_at_b", s), &s, |bench, _| {
+            bench.iter(|| {
+                a.matmul_at_b_into(black_box(&b), &mut out);
+                out.get(0, 0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_a_bt", s), &s, |bench, _| {
+            bench.iter(|| {
+                a.matmul_a_bt_into(black_box(&b), &mut out);
+                out.get(0, 0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn spawn_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spawn_overhead");
+    group.sample_size(10);
+    for &s in &[256usize, 512] {
+        let a = square(s, 3);
+        let b = square(s, 4);
+        let mut out = Matrix::zeros(s, s);
+        group.bench_with_input(BenchmarkId::new("scoped_spawn", s), &s, |bench, _| {
+            bench.iter(|| scoped_spawn_matmul(black_box(&a), black_box(&b)).get(0, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("pooled", s), &s, |bench, _| {
+            bench.iter(|| {
+                a.matmul_into(black_box(&b), &mut out);
+                out.get(0, 0)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Best-of-`iters` wall-clock seconds for `f` (1 iteration in smoke mode).
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measure GFLOP/s per variant/shape plus the scoped-vs-pooled A/B and
+/// write `target/BENCH_gemm.json`.
+fn write_summary(smoke: bool) {
+    let iters = if smoke { 1 } else { 5 };
+    let mut entries = Vec::new();
+    for &s in &SHAPES {
+        let a = square(s, 1);
+        let b = square(s, 2);
+        let mut out = Matrix::zeros(s, s);
+        let flops = 2.0 * (s as f64).powi(3);
+        // Warm the pool and the packing scratch before timing.
+        a.matmul_into(&b, &mut out);
+        let mm = time_best(iters, || a.matmul_into(&b, &mut out));
+        let atb = time_best(iters, || a.matmul_at_b_into(&b, &mut out));
+        let abt = time_best(iters, || a.matmul_a_bt_into(&b, &mut out));
+        for (name, secs) in [("matmul", mm), ("matmul_at_b", atb), ("matmul_a_bt", abt)] {
+            entries.push(format!(
+                "    {{\"variant\": \"{name}\", \"shape\": {s}, \"seconds\": {secs:.6}, \"gflops\": {:.3}}}",
+                flops / secs / 1e9
+            ));
+        }
+    }
+
+    // Spawn-overhead A/B at the acceptance shape.
+    let s = 512;
+    let a = square(s, 3);
+    let b = square(s, 4);
+    let mut out = Matrix::zeros(s, s);
+    a.matmul_into(&b, &mut out);
+    let scoped = time_best(iters, || {
+        black_box(scoped_spawn_matmul(&a, &b));
+    });
+    let pooled = time_best(iters, || a.matmul_into(&b, &mut out));
+    let stats = summit_pool::global().stats();
+
+    let json = format!
+(
+        "{{\n  \"bench\": \"gemm\",\n  \"cores\": {},\n  \"budget\": {},\n  \"results\": [\n{}\n  ],\n  \"spawn_overhead_ab\": {{\"shape\": {s}, \"scoped_seconds\": {scoped:.6}, \"pooled_seconds\": {pooled:.6}, \"speedup\": {:.3}}},\n  \"pool\": {{\"tasks_dispatched\": {}, \"tasks_stolen\": {}, \"parks\": {}, \"workers\": {}, \"busy_seconds\": {:.3}, \"max_concurrency\": {}}}\n}}\n",
+        summit_pool::machine_parallelism(),
+        summit_pool::core_budget(),
+        entries.join(",\n"),
+        scoped / pooled,
+        stats.tasks_dispatched,
+        stats.tasks_stolen,
+        stats.parks,
+        stats.workers_spawned,
+        stats.busy_seconds(),
+        stats.max_concurrency,
+    );
+    let path = std::path::Path::new("target");
+    let _ = std::fs::create_dir_all(path);
+    let file = path.join("BENCH_gemm.json");
+    if let Err(e) = std::fs::write(&file, &json) {
+        eprintln!("could not write {}: {e}", file.display());
+    } else {
+        println!("wrote {}", file.display());
+    }
+    print!("{json}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut criterion = Criterion::default();
+    gemm_variants(&mut criterion);
+    spawn_overhead(&mut criterion);
+    write_summary(smoke);
+}

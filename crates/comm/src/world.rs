@@ -673,11 +673,22 @@ impl World {
             });
         }
 
+        // Partition compute cores across the rank threads: each rank's
+        // tensor kernels dispatch onto the shared `summit_pool` worker pool
+        // under a disjoint `available_parallelism / p` budget (pinnable via
+        // `SUMMIT_THREADS`), so a p-rank world no longer claims p× the
+        // machine the way per-rank `available_parallelism()` spawns did.
+        let budget = summit_pool::rank_budget_from_env(p);
         let results: Vec<R> = std::thread::scope(|scope| {
             let f = &f;
             let handles: Vec<_> = ranks
                 .into_iter()
-                .map(|rank| scope.spawn(move || f(&rank)))
+                .map(|rank| {
+                    scope.spawn(move || {
+                        summit_pool::set_core_budget(budget);
+                        f(&rank)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -778,6 +789,23 @@ mod tests {
             // After the barrier every increment must be visible.
             assert_eq!(counter.load(Ordering::SeqCst), 8);
         });
+    }
+
+    #[test]
+    fn ranks_get_disjoint_core_budgets() {
+        let p = 4;
+        let budgets = World::run(p, |_r| summit_pool::core_budget());
+        let expect = summit_pool::rank_budget_from_env(p);
+        assert!(
+            budgets.iter().all(|&b| b == expect),
+            "every rank gets the even share: {budgets:?} vs {expect}"
+        );
+        // Without an explicit SUMMIT_THREADS pin, the shares are disjoint:
+        // p ranks together claim at most the machine (each rank keeps a
+        // floor of one lane, hence the `max(p)` slack on tiny machines).
+        if std::env::var("SUMMIT_THREADS").is_err() {
+            assert!(p * expect <= summit_pool::machine_parallelism().max(p));
+        }
     }
 
     #[test]

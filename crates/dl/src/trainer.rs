@@ -348,6 +348,11 @@ pub struct DataParallelTrainer {
     pub fusion: FusionConfig,
     /// Backward/communication overlap of the per-bucket allreduces.
     pub overlap: OverlapConfig,
+    /// Explicit per-rank compute-thread budget. `None` keeps the
+    /// [`World`] default: an even share of the machine
+    /// (`available_parallelism / ranks`, `SUMMIT_THREADS` override), so
+    /// ranks never oversubscribe the host.
+    pub threads: Option<usize>,
 }
 
 /// Per-epoch result of a data-parallel run.
@@ -371,6 +376,11 @@ pub struct ParallelOutcome {
     /// `comm_seconds` for the serial path. `1 − exposed/serial` across two
     /// runs is the measured overlap fraction the benches report.
     pub exposed_comm_seconds: f64,
+    /// Compute-pool activity during this run (tasks dispatched/stolen,
+    /// parks, busy seconds), windowed between snapshots before and after
+    /// the ranks execute — the compute-side counterpart of the
+    /// communicator's `PoolStats`.
+    pub compute: summit_pool::ComputeStats,
 }
 
 impl DataParallelTrainer {
@@ -385,6 +395,7 @@ impl DataParallelTrainer {
             per_rank_batch,
             fusion: FusionConfig::default(),
             overlap: OverlapConfig::default(),
+            threads: None,
         }
     }
 
@@ -399,6 +410,20 @@ impl DataParallelTrainer {
     #[must_use]
     pub fn with_overlap(mut self, overlap: OverlapConfig) -> Self {
         self.overlap = overlap;
+        self
+    }
+
+    /// Pin every rank's compute-thread budget to `per_rank` instead of the
+    /// even machine share. Use this to deliberately over- or
+    /// under-subscribe (e.g. scaling studies); the default never
+    /// oversubscribes.
+    ///
+    /// # Panics
+    /// Panics if `per_rank` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, per_rank: usize) -> Self {
+        assert!(per_rank > 0, "per-rank thread budget must be positive");
+        self.threads = Some(per_rank);
         self
     }
 
@@ -430,8 +455,15 @@ impl DataParallelTrainer {
         let per_rank = self.per_rank_batch;
         let bucket_elems = self.fusion.bucket_elems();
         let overlap = self.overlap.enabled;
+        let threads = self.threads;
 
+        let stats_before = summit_pool::global().stats();
         let results = World::run(ranks, |rank| {
+            // `World::run` already gave this rank an even machine share;
+            // an explicit `with_threads` budget overrides it.
+            if let Some(t) = threads {
+                summit_pool::set_core_budget(t);
+            }
             let mut model = build_model();
             let mut optimizer = build_optimizer();
             let mut step = 0u32;
@@ -539,6 +571,7 @@ impl DataParallelTrainer {
             )
         });
 
+        let compute = summit_pool::global().stats().since(&stats_before);
         let (params0, loss0, steps, comm_seconds, exposed_comm_seconds) = results[0].clone();
         let mut max_div = 0.0f32;
         for (params, _, _, _, _) in &results[1..] {
@@ -553,6 +586,7 @@ impl DataParallelTrainer {
             steps,
             comm_seconds,
             exposed_comm_seconds,
+            compute,
         }
     }
 }
@@ -672,6 +706,48 @@ mod tests {
                 "data-parallel trajectory diverged: {a} vs {b}"
             );
         }
+    }
+
+    /// Trainer ranks must not oversubscribe the machine: by default every
+    /// rank computes under an even share of the host
+    /// (`available_parallelism / ranks`), and `with_threads` pins an
+    /// explicit per-rank budget instead. `build_model` runs on the rank
+    /// thread after the budget is set, so it observes what the rank's
+    /// kernels will actually use.
+    #[test]
+    fn ranks_compute_under_disjoint_budgets() {
+        let task = blobs(128, 4, 2, 0.3, 23);
+        let spec = MlpSpec::new(4, &[8], 2);
+        let observed = std::sync::Mutex::new(Vec::new());
+        let run = |dp: DataParallelTrainer| {
+            observed.lock().unwrap().clear();
+            dp.run(
+                || {
+                    observed.lock().unwrap().push(summit_pool::core_budget());
+                    spec.build(7)
+                },
+                || Box::new(Sgd::new(0.05, 0.9, 0.0)),
+                LrSchedule::Constant,
+                &task.x,
+                &task.y,
+                1,
+            )
+        };
+
+        run(DataParallelTrainer::new(4, 8));
+        let budgets = observed.lock().unwrap().clone();
+        let share = summit_pool::rank_budget_from_env(4);
+        assert_eq!(budgets, vec![share; 4], "default is the even share");
+        if std::env::var_os("SUMMIT_THREADS").is_none() {
+            assert!(
+                4 * share <= summit_pool::machine_parallelism().max(4),
+                "default budgets oversubscribe: 4 × {share}"
+            );
+        }
+
+        run(DataParallelTrainer::new(4, 8).with_threads(2));
+        let budgets = observed.lock().unwrap().clone();
+        assert_eq!(budgets, vec![2; 4], "with_threads pins the budget");
     }
 
     /// Gradient fusion must not change arithmetic: the bucketed allreduce

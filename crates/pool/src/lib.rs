@@ -1,0 +1,661 @@
+//! Persistent compute-worker pool with per-thread core budgeting.
+//!
+//! The tensor kernels used to pay a scoped `thread::spawn` per matmul call,
+//! and every data-parallel rank claimed `available_parallelism()` threads —
+//! a `p`-rank trainer oversubscribed the machine `p`-fold. This crate
+//! replaces both with one process-wide pool of **parked OS threads** and an
+//! explicit **core budget**:
+//!
+//! * [`global`] returns the lazily-initialized pool. Workers are spawned on
+//!   first demand and then parked on a condvar; a dispatch wakes exactly the
+//!   workers it needs and costs no thread creation.
+//! * Dispatch is chunk-based: [`ComputePool::run_rows`] splits a
+//!   `&mut [f32]` row-major buffer into disjoint row chunks via the exact
+//!   [`chunk_range`] partition (tail rows spread over the first chunks, so
+//!   `rows % parts != 0` never loses or duplicates a row) and runs the
+//!   caller's kernel on each chunk. The calling thread executes chunk 0
+//!   itself and then helps drain its own job's queue, so a budget of `b`
+//!   uses the caller plus at most `b − 1` workers.
+//! * The budget is a thread-local cap read by [`core_budget`]: a rank
+//!   thread inside `summit_comm::World::run` is assigned
+//!   `available_parallelism / p` (overridable via the `SUMMIT_THREADS`
+//!   environment variable, resolved by [`rank_budget`]), so `p` ranks
+//!   together use at most the machine, not `p ×` the machine.
+//!
+//! Dispatch is allocation-free in steady state: the job header (counter,
+//! completion condvar) lives on the caller's stack, queue entries reuse the
+//! queue's capacity, and chunk boundaries are computed arithmetically. A
+//! counting-allocator test in `tests/tests/gemm_alloc.rs` pins this.
+//!
+//! Worker panics are caught, counted, and re-raised on the dispatching
+//! thread once the job has fully drained, so a poisoned kernel cannot
+//! deadlock the pool or tear down a worker.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard cap on pool workers: a backstop against runaway budgets, far above
+/// any sane per-process thread count for this workload.
+pub const MAX_WORKERS: usize = 64;
+
+/// Erased task callable: `f(i)` executes sub-task `i` of its job.
+type TaskFn<'a> = dyn Fn(usize) + Sync + 'a;
+
+/// One dispatch in flight. Lives on the dispatching thread's stack; workers
+/// reach it through a raw pointer that is guaranteed valid because the
+/// dispatcher cannot return until `pending` hits zero (and `pending` only
+/// hits zero after every queued entry has been popped *and executed*).
+struct JobHeader {
+    /// The caller's closure, lifetime-erased for the queue. Only touched
+    /// while `pending > 0`.
+    task: *const TaskFn<'static>,
+    /// Sub-tasks not yet completed (queued, running, or not yet popped).
+    pending: AtomicUsize,
+    /// Set when any sub-task panicked; the dispatcher re-raises.
+    panicked: AtomicBool,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+/// A queue entry: one sub-task of one job.
+#[derive(Clone, Copy)]
+struct Entry {
+    job: *const JobHeader,
+    index: usize,
+}
+
+// SAFETY: the raw pointers are only dereferenced while the job's `pending`
+// count keeps the pointed-to stack frame alive (see `JobHeader`), and the
+// closure behind `task` is `Sync`.
+unsafe impl Send for Entry {}
+
+/// Counters describing pool activity since process start. Snapshot via
+/// [`ComputePool::stats`]; all counters are cumulative and monotone except
+/// `max_concurrency`, which is a high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComputeStats {
+    /// Sub-tasks handed to the pool (inline + stolen).
+    pub tasks_dispatched: u64,
+    /// Sub-tasks executed by the dispatching thread itself (its own chunk 0
+    /// plus any of its job's entries it drained while waiting).
+    pub tasks_inline: u64,
+    /// Sub-tasks executed by pool workers.
+    pub tasks_stolen: u64,
+    /// Times a worker parked on the empty queue.
+    pub parks: u64,
+    /// Worker threads ever spawned (never exceeds [`MAX_WORKERS`]).
+    pub workers_spawned: u64,
+    /// Cumulative wall-clock nanoseconds spent executing sub-tasks, summed
+    /// over all executing threads.
+    pub busy_nanos: u64,
+    /// High-water mark of sub-tasks executing at the same instant — the
+    /// oversubscription witness: it must never exceed the sum of the
+    /// dispatching threads' core budgets.
+    pub max_concurrency: u64,
+}
+
+impl ComputeStats {
+    /// Cumulative busy time in seconds.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_nanos as f64 / 1e9
+    }
+
+    /// Counter-wise difference `self − earlier`, for measuring one window
+    /// of work between two snapshots. `workers_spawned` and
+    /// `max_concurrency` are level/high-water values, not cumulative, so
+    /// the later snapshot's value is kept as-is.
+    pub fn since(&self, earlier: &ComputeStats) -> ComputeStats {
+        ComputeStats {
+            tasks_dispatched: self.tasks_dispatched - earlier.tasks_dispatched,
+            tasks_inline: self.tasks_inline - earlier.tasks_inline,
+            tasks_stolen: self.tasks_stolen - earlier.tasks_stolen,
+            parks: self.parks - earlier.parks,
+            workers_spawned: self.workers_spawned,
+            busy_nanos: self.busy_nanos - earlier.busy_nanos,
+            max_concurrency: self.max_concurrency,
+        }
+    }
+}
+
+/// The persistent worker pool. One per process — see [`global`].
+pub struct ComputePool {
+    queue: Mutex<VecDeque<Entry>>,
+    work_cv: Condvar,
+    workers: AtomicUsize,
+    spawn_lock: Mutex<()>,
+    tasks_dispatched: AtomicU64,
+    tasks_inline: AtomicU64,
+    tasks_stolen: AtomicU64,
+    parks: AtomicU64,
+    busy_nanos: AtomicU64,
+    concurrency: AtomicU64,
+    max_concurrency: AtomicU64,
+}
+
+impl ComputePool {
+    fn new() -> Self {
+        ComputePool {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            workers: AtomicUsize::new(0),
+            spawn_lock: Mutex::new(()),
+            tasks_dispatched: AtomicU64::new(0),
+            tasks_inline: AtomicU64::new(0),
+            tasks_stolen: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            concurrency: AtomicU64::new(0),
+            max_concurrency: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot the activity counters.
+    pub fn stats(&self) -> ComputeStats {
+        ComputeStats {
+            tasks_dispatched: self.tasks_dispatched.load(Ordering::Relaxed),
+            tasks_inline: self.tasks_inline.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            workers_spawned: self.workers.load(Ordering::Relaxed) as u64,
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+            max_concurrency: self.max_concurrency.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Currently spawned (parked or running) worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.load(Ordering::Relaxed)
+    }
+
+    /// Run `n` sub-tasks of the erased `task`, blocking until all complete.
+    /// Sub-task 0 runs on the calling thread; 1..n are queued for workers
+    /// (the caller helps drain them while it waits).
+    ///
+    /// # Panics
+    /// Re-raises (as a panic on this thread) if any sub-task panicked.
+    fn run_tasks(&'static self, n: usize, task: &TaskFn<'_>) {
+        self.tasks_dispatched.fetch_add(n as u64, Ordering::Relaxed);
+        if n <= 1 {
+            if n == 1 {
+                self.tasks_inline.fetch_add(1, Ordering::Relaxed);
+                self.timed(task, 0);
+            }
+            return;
+        }
+        // SAFETY: lifetime erasure only; `task` outlives this call, and the
+        // job cannot outlive this call (see the wait loop below).
+        let task: &'static TaskFn<'static> =
+            unsafe { std::mem::transmute::<&TaskFn<'_>, &'static TaskFn<'static>>(task) };
+        let header = JobHeader {
+            task: task as *const TaskFn<'static>,
+            pending: AtomicUsize::new(n),
+            panicked: AtomicBool::new(false),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        };
+        self.ensure_workers(n - 1);
+        {
+            let mut q = self.queue.lock().expect("pool queue poisoned");
+            for index in 1..n {
+                q.push_back(Entry {
+                    job: &header,
+                    index,
+                });
+            }
+        }
+        self.work_cv.notify_all();
+
+        // The caller's own share, then help with its job's queued entries
+        // (a slow wake of a worker must not serialize the whole dispatch).
+        self.tasks_inline.fetch_add(1, Ordering::Relaxed);
+        self.execute(&header, 0);
+        loop {
+            let entry = {
+                let mut q = self.queue.lock().expect("pool queue poisoned");
+                match q
+                    .iter()
+                    .position(|e| std::ptr::eq(e.job, &header as *const JobHeader))
+                {
+                    Some(pos) => q.remove(pos),
+                    None => None,
+                }
+            };
+            match entry {
+                Some(e) => {
+                    self.tasks_inline.fetch_add(1, Ordering::Relaxed);
+                    self.execute(&header, e.index);
+                }
+                None => break,
+            }
+        }
+
+        let mut guard = header.done_lock.lock().expect("job lock poisoned");
+        while header.pending.load(Ordering::Acquire) != 0 {
+            guard = header.done_cv.wait(guard).expect("job condvar poisoned");
+        }
+        drop(guard);
+        if header.panicked.load(Ordering::Acquire) {
+            panic!("a pooled compute task panicked");
+        }
+    }
+
+    /// Execute sub-task `index` of `header`, catching panics and signaling
+    /// completion when the job's last sub-task finishes.
+    fn execute(&self, header: &JobHeader, index: usize) {
+        // SAFETY: `pending > 0` (this sub-task has not completed), so the
+        // dispatcher's stack frame and closure are alive.
+        let task = unsafe { &*header.task };
+        if catch_unwind(AssertUnwindSafe(|| self.timed(task, index))).is_err() {
+            header.panicked.store(true, Ordering::Release);
+        }
+        if header.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last one out: take the lock so the notify cannot race between
+            // the dispatcher's `pending` check and its wait.
+            let _guard = header.done_lock.lock().expect("job lock poisoned");
+            header.done_cv.notify_all();
+        }
+    }
+
+    /// Run one sub-task, maintaining the busy-time and concurrency stats.
+    fn timed(&self, task: &TaskFn<'_>, index: usize) {
+        let running = self.concurrency.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_concurrency.fetch_max(running, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| task(index)));
+        self.busy_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.concurrency.fetch_sub(1, Ordering::Relaxed);
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Make sure at least `wanted` workers exist (capped at
+    /// [`MAX_WORKERS`]). Cheap when already satisfied: one relaxed load.
+    fn ensure_workers(&'static self, wanted: usize) {
+        let wanted = wanted.min(MAX_WORKERS);
+        if self.workers.load(Ordering::Relaxed) >= wanted {
+            return;
+        }
+        let _guard = self.spawn_lock.lock().expect("spawn lock poisoned");
+        let current = self.workers.load(Ordering::Relaxed);
+        for i in current..wanted {
+            std::thread::Builder::new()
+                .name(format!("summit-pool-{i}"))
+                .spawn(move || self.worker_loop())
+                .expect("failed to spawn pool worker");
+        }
+        if wanted > current {
+            self.workers.store(wanted, Ordering::Relaxed);
+        }
+    }
+
+    /// Worker body: pop, execute, park when the queue is empty.
+    fn worker_loop(&self) {
+        let mut q = self.queue.lock().expect("pool queue poisoned");
+        loop {
+            match q.pop_front() {
+                Some(entry) => {
+                    drop(q);
+                    self.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: entries only exist while their job is alive.
+                    let header = unsafe { &*entry.job };
+                    self.execute(header, entry.index);
+                    q = self.queue.lock().expect("pool queue poisoned");
+                }
+                None => {
+                    self.parks.fetch_add(1, Ordering::Relaxed);
+                    q = self.work_cv.wait(q).expect("pool condvar poisoned");
+                }
+            }
+        }
+    }
+
+    /// Dispatch a kernel over disjoint row chunks of a row-major buffer.
+    ///
+    /// `out` must be exactly `rows × row_len` long; it is split into
+    /// `parts.min(rows)` contiguous row ranges by [`chunk_range`], and
+    /// `f(chunk, row_range)` runs once per range with `chunk` the mutable
+    /// sub-slice covering exactly those rows. `parts <= 1` (or a single
+    /// row) runs `f` inline on the whole buffer — the serial path, which
+    /// parallel runs must match bitwise because the partition only splits
+    /// rows, never reorders arithmetic within one.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != rows * row_len`, if `row_len == 0` while
+    /// `out` is non-empty, or (re-raised) if the kernel panicked.
+    pub fn run_rows<F>(&'static self, out: &mut [f32], row_len: usize, parts: usize, f: F)
+    where
+        F: Fn(&mut [f32], Range<usize>) + Sync,
+    {
+        if out.is_empty() {
+            return;
+        }
+        assert!(row_len > 0, "row length must be positive");
+        assert_eq!(out.len() % row_len, 0, "buffer is not whole rows");
+        let rows = out.len() / row_len;
+        let parts = parts.clamp(1, rows);
+        if parts == 1 {
+            f(out, 0..rows);
+            return;
+        }
+        let base = SendPtr(out.as_mut_ptr());
+        let task = move |i: usize| {
+            // Capture the whole `SendPtr` (2021 closures would otherwise
+            // disjoint-capture the raw field, which is not Sync).
+            let base = base;
+            let r = chunk_range(rows, parts, i);
+            // SAFETY: `chunk_range` yields disjoint, in-bounds row ranges
+            // covering 0..rows exactly once, so each sub-task gets an
+            // exclusive sub-slice of `out` that the dispatcher keeps
+            // borrowed for the duration of the job.
+            let chunk = unsafe {
+                std::slice::from_raw_parts_mut(base.0.add(r.start * row_len), r.len() * row_len)
+            };
+            f(chunk, r);
+        };
+        self.run_tasks(parts, &task);
+    }
+}
+
+/// A raw pointer that may cross threads; safety is argued at each use site.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// The process-wide pool, created (empty, no threads) on first use.
+pub fn global() -> &'static ComputePool {
+    static POOL: OnceLock<ComputePool> = OnceLock::new();
+    POOL.get_or_init(ComputePool::new)
+}
+
+/// Exact partition of `n` items into `parts` chunks: chunk `i` is
+/// `chunk_range(n, parts, i)`. The first `n % parts` chunks hold
+/// `n / parts + 1` items, the rest `n / parts`, so the union is exactly
+/// `0..n` with no overlap — including every `n % parts != 0` tail case the
+/// old per-variant copy-pasted chunking mishandled conceptually (it relied
+/// on `chunks_mut` agreeing with an independently computed row range).
+///
+/// # Panics
+/// Panics if `parts == 0` or `i >= parts`.
+pub fn chunk_range(n: usize, parts: usize, i: usize) -> Range<usize> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    assert!(i < parts, "chunk index out of range");
+    let base = n / parts;
+    let extra = n % parts;
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    start..start + len
+}
+
+/// Iterator over all chunks of the exact partition — convenience for
+/// callers that walk every chunk.
+pub fn partition(n: usize, parts: usize) -> impl Iterator<Item = Range<usize>> {
+    (0..parts).map(move |i| chunk_range(n, parts, i))
+}
+
+thread_local! {
+    /// This thread's explicit core budget; `None` means "use the process
+    /// default" (see [`core_budget`]).
+    static BUDGET: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Machine parallelism, with the same fallback the old scoped-spawn code
+/// used when the query fails.
+pub fn machine_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+}
+
+/// Process-default budget: `SUMMIT_THREADS` when set and parseable,
+/// otherwise the machine parallelism.
+fn default_budget() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("SUMMIT_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .map(|n| n.min(MAX_WORKERS))
+            .unwrap_or_else(machine_parallelism)
+    })
+}
+
+/// The number of compute lanes a dispatch from this thread may use
+/// (caller + workers). Explicit [`set_core_budget`] wins; otherwise the
+/// `SUMMIT_THREADS` environment variable; otherwise
+/// `available_parallelism`.
+pub fn core_budget() -> usize {
+    BUDGET.with(|b| b.get()).unwrap_or_else(default_budget)
+}
+
+/// Set this thread's core budget. `summit_comm::World::run` calls this on
+/// every rank thread with [`rank_budget`]'s disjoint share, so `p` ranks
+/// never claim `p ×` the machine. Values are clamped to
+/// `1..=`[`MAX_WORKERS`].
+pub fn set_core_budget(n: usize) {
+    BUDGET.with(|b| b.set(Some(n.clamp(1, MAX_WORKERS))));
+}
+
+/// Remove this thread's explicit budget, falling back to the process
+/// default.
+pub fn clear_core_budget() {
+    BUDGET.with(|b| b.set(None));
+}
+
+/// Run `f` under a temporary core budget, restoring the previous setting
+/// afterwards (even on panic the thread-local is per-thread, so a poisoned
+/// budget cannot leak across threads).
+pub fn with_core_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = BUDGET.with(|b| b.get());
+    set_core_budget(n);
+    let out = f();
+    BUDGET.with(|b| b.set(prev));
+    out
+}
+
+/// The per-rank compute budget for a `ranks`-way world on a machine with
+/// `machine` cores: an even share `machine / ranks` (at least 1), unless
+/// `override_threads` (the parsed `SUMMIT_THREADS` variable) pins it
+/// explicitly. Pure so it unit-tests without touching the environment.
+pub fn rank_budget(machine: usize, ranks: usize, override_threads: Option<usize>) -> usize {
+    match override_threads {
+        Some(n) if n >= 1 => n.min(MAX_WORKERS),
+        _ => (machine / ranks.max(1)).clamp(1, MAX_WORKERS),
+    }
+}
+
+/// [`rank_budget`] with `SUMMIT_THREADS` read from the environment — the
+/// call sites in `summit_comm::World::run` use this.
+pub fn rank_budget_from_env(ranks: usize) -> usize {
+    let override_threads = std::env::var("SUMMIT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    rank_budget(machine_parallelism(), ranks, override_threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn chunk_ranges_tile_exactly() {
+        // 10 rows over 4 parts: 3,3,2,2.
+        assert_eq!(chunk_range(10, 4, 0), 0..3);
+        assert_eq!(chunk_range(10, 4, 1), 3..6);
+        assert_eq!(chunk_range(10, 4, 2), 6..8);
+        assert_eq!(chunk_range(10, 4, 3), 8..10);
+        // More parts than rows: trailing chunks are empty.
+        assert_eq!(chunk_range(2, 4, 1), 1..2);
+        assert_eq!(chunk_range(2, 4, 3), 2..2);
+    }
+
+    proptest! {
+        /// The exact partition is a tiling: consecutive, disjoint, covers
+        /// 0..n, and chunk sizes differ by at most one.
+        #[test]
+        fn prop_partition_is_exact(n in 0usize..10_000, parts in 1usize..64) {
+            let mut expect_start = 0usize;
+            let mut min_len = usize::MAX;
+            let mut max_len = 0usize;
+            for r in partition(n, parts) {
+                prop_assert_eq!(r.start, expect_start);
+                expect_start = r.end;
+                min_len = min_len.min(r.len());
+                max_len = max_len.max(r.len());
+            }
+            prop_assert_eq!(expect_start, n);
+            prop_assert!(max_len - min_len <= 1, "uneven partition: {}..{}", min_len, max_len);
+        }
+    }
+
+    #[test]
+    fn run_rows_executes_every_row_once() {
+        let rows = 37;
+        let row_len = 5;
+        let mut buf = vec![0.0f32; rows * row_len];
+        global().run_rows(&mut buf, row_len, 6, |chunk, range| {
+            for (local, r) in range.enumerate() {
+                for v in &mut chunk[local * row_len..(local + 1) * row_len] {
+                    *v += (r + 1) as f32;
+                }
+            }
+        });
+        for r in 0..rows {
+            for c in 0..row_len {
+                assert_eq!(buf[r * row_len + c], (r + 1) as f32, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_rows_serial_when_budget_one() {
+        let before = global().stats();
+        let mut buf = vec![0.0f32; 64];
+        global().run_rows(&mut buf, 8, 1, |chunk, range| {
+            assert_eq!(range, 0..8);
+            chunk.fill(1.0);
+        });
+        let after = global().stats();
+        assert!(buf.iter().all(|&v| v == 1.0));
+        // parts = 1 must not enqueue anything for workers.
+        assert_eq!(after.tasks_stolen, before.tasks_stolen);
+    }
+
+    #[test]
+    fn pooled_task_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let mut buf = vec![0.0f32; 256];
+            global().run_rows(&mut buf, 1, 4, |_chunk, range| {
+                if range.start == 0 {
+                    panic!("kernel bug");
+                }
+            });
+        });
+        assert!(result.is_err(), "worker panic must reach the dispatcher");
+        // The pool must survive the panic and run later jobs.
+        let mut buf = vec![0.0f32; 16];
+        global().run_rows(&mut buf, 2, 4, |chunk, _| chunk.fill(2.0));
+        assert!(buf.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn stats_count_dispatches() {
+        let before = global().stats();
+        let mut buf = vec![0.0f32; 1024];
+        global().run_rows(&mut buf, 16, 4, |chunk, _| chunk.fill(3.0));
+        let after = global().stats();
+        assert_eq!(after.tasks_dispatched - before.tasks_dispatched, 4);
+        assert_eq!(
+            (after.tasks_inline - before.tasks_inline) + (after.tasks_stolen - before.tasks_stolen),
+            4
+        );
+        assert!(after.busy_nanos >= before.busy_nanos);
+        assert!(after.max_concurrency >= 1);
+        assert!(after.workers_spawned as usize <= MAX_WORKERS);
+    }
+
+    #[test]
+    fn budget_resolution_shares_the_machine() {
+        // Even shares, floored, at least one.
+        assert_eq!(rank_budget(8, 4, None), 2);
+        assert_eq!(rank_budget(8, 3, None), 2);
+        assert_eq!(rank_budget(1, 4, None), 1);
+        assert_eq!(rank_budget(16, 1, None), 16);
+        // SUMMIT_THREADS pins the per-rank cap.
+        assert_eq!(rank_budget(8, 4, Some(6)), 6);
+        assert_eq!(rank_budget(8, 4, Some(0)), 2);
+        // Clamped to the hard worker cap.
+        assert_eq!(rank_budget(1, 1, Some(10_000)), MAX_WORKERS);
+        assert_eq!(rank_budget(10_000, 1, None), MAX_WORKERS);
+    }
+
+    #[test]
+    fn thread_local_budget_scopes() {
+        let base = core_budget();
+        assert!(base >= 1);
+        let inside = with_core_budget(3, core_budget);
+        assert_eq!(inside, 3);
+        assert_eq!(core_budget(), base, "budget must restore after scope");
+        set_core_budget(0); // clamped up to 1
+        assert_eq!(core_budget(), 1);
+        clear_core_budget();
+        assert_eq!(core_budget(), base);
+    }
+
+    #[test]
+    fn budgets_are_per_thread() {
+        set_core_budget(2);
+        let other = std::thread::spawn(core_budget).join().expect("thread ok");
+        assert_ne!(other, 0);
+        // The spawned thread saw the default, not this thread's override
+        // (unless the default happens to equal 2 on a 2-core box — compare
+        // against the actual default instead).
+        let default = std::thread::spawn(|| {
+            clear_core_budget();
+            core_budget()
+        })
+        .join()
+        .expect("thread ok");
+        assert_eq!(other, default);
+        clear_core_budget();
+    }
+
+    #[test]
+    fn concurrent_dispatchers_share_the_pool() {
+        // Several "ranks" dispatching at once must all complete correctly.
+        let outputs: Vec<Vec<f32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|rank| {
+                    s.spawn(move || {
+                        set_core_budget(2);
+                        let mut buf = vec![0.0f32; 600];
+                        for round in 0..8 {
+                            let want = (rank * 10 + round) as f32;
+                            global().run_rows(&mut buf, 3, core_budget(), |chunk, _| {
+                                chunk.fill(want);
+                            });
+                            assert!(buf.iter().all(|&v| v == want));
+                        }
+                        buf
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank ok"))
+                .collect()
+        });
+        for (rank, buf) in outputs.iter().enumerate() {
+            let want = (rank * 10 + 7) as f32;
+            assert!(buf.iter().all(|&v| v == want), "rank {rank} final state");
+        }
+    }
+}

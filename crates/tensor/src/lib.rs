@@ -3,12 +3,19 @@
 //! Just enough real linear algebra for [`summit-dl`] to train actual neural
 //! networks on the CPU: a row-major [`Matrix`], the three matmul variants
 //! backpropagation needs, element-wise activations, reductions, and the
-//! standard initializers. Large matmuls parallelize over row blocks with
-//! scoped threads.
+//! standard initializers. Large kernels dispatch row chunks onto the
+//! persistent [`summit-pool`] compute runtime under the calling thread's
+//! core budget — no per-call thread spawns — and the matmuls pack their
+//! strided operand once per call into reused thread-local scratch, so the
+//! steady state allocates nothing. Pooled results are bitwise identical to
+//! the serial path at every worker count.
 //!
 //! This crate is deliberately small — it is a substrate for the paper
 //! reproduction, not a BLAS. Kernels are written for clarity first and
-//! cache-friendliness second (ikj loop order, no allocation inside loops).
+//! cache-friendliness second (packed panels, blocked loops, 4×-unrolled
+//! accumulation, no allocation inside loops).
+//!
+//! [`summit-pool`]: ../summit_pool/index.html
 //!
 //! [`summit-dl`]: ../summit_dl/index.html
 //!

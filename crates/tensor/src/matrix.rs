@@ -1,4 +1,32 @@
 //! Row-major dense matrix with the matmul variants backprop needs.
+//!
+//! The three matmuls (`matmul`, `matmul_at_b`, `matmul_a_bt`) share one
+//! compute discipline:
+//!
+//! * **Persistent pool, no per-call spawn** — large products dispatch row
+//!   chunks onto [`summit_pool::global`]'s parked workers under the calling
+//!   thread's core budget ([`summit_pool::core_budget`]), replacing the old
+//!   scoped `thread::spawn` per call. The exact partition
+//!   ([`summit_pool::chunk_range`]) handles `rows % threads != 0` tails in
+//!   one shared place instead of three copy-pasted chunking blocks.
+//! * **Packed, cache-blocked microkernel** — the strided operand is packed
+//!   once per call into a reused thread-local scratch (`B` in column panels
+//!   for [`Matrix::matmul`], `Aᵀ` for [`Matrix::matmul_at_b`]), and the
+//!   inner loop is a branch-free 4×-unrolled multiply-accumulate the
+//!   compiler autovectorizes — the old `a == 0.0` zero-skip branch is gone.
+//! * **Bit-identity** — every output element accumulates its terms in the
+//!   same ascending shared-dimension order on every path, and the row
+//!   partition never splits a single element's accumulation chain, so the
+//!   pooled result is **bitwise equal** to the serial (`parts = 1`) kernel
+//!   for every budget. Property tests in `tests/pool_properties.rs` pin
+//!   this across random shapes and pool sizes 1..8.
+//!
+//! The `*_into` variants write into a caller-owned output matrix; combined
+//! with the thread-local packing scratch, a steady-state pooled matmul
+//! performs **zero heap allocations** (counting-allocator test in
+//! `tests/tests/gemm_alloc.rs`).
+
+use std::cell::RefCell;
 
 /// A dense, row-major `rows × cols` matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
@@ -8,13 +36,48 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
-/// Row count above which matmuls parallelize over scoped threads.
+/// Row count above which matmuls parallelize over the compute pool.
 const PAR_THRESHOLD: usize = 128;
+
+/// Packed-`B` panel width for [`Matrix::matmul`]: 256 f32 columns keeps a
+/// `k × 256` panel streaming through L2 while the output row segment being
+/// accumulated stays in L1.
+const PANEL_COLS: usize = 256;
 
 /// Cache-blocking tile for the shared dimension of the transposed matmuls:
 /// 64 rows × up to ~256 f32 columns ≈ 64 KB, comfortably inside L2 while
 /// leaving room for the output row being accumulated.
 const BLOCK_ROWS: usize = 64;
+
+thread_local! {
+    /// Per-thread packing scratch, reused across calls so steady-state
+    /// matmuls never allocate. Packing always happens on the dispatching
+    /// thread (workers only read the packed panel through the kernel
+    /// closure), so one scratch per thread suffices.
+    static PACK_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Borrow this thread's packing scratch at `len` elements (growing it once
+/// if needed) for the duration of `f`.
+fn with_pack_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    PACK_SCRATCH.with(|s| {
+        let mut buf = s.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
+
+/// The chunk count for a product with `rows` output rows: serial below the
+/// threshold, otherwise the calling thread's core budget.
+fn auto_parts(rows: usize) -> usize {
+    if rows < PAR_THRESHOLD {
+        1
+    } else {
+        summit_pool::core_budget().min(rows)
+    }
+}
 
 impl Matrix {
     /// A zero matrix.
@@ -114,155 +177,155 @@ impl Matrix {
         &mut self.data
     }
 
-    /// `self · other` (`m×k · k×n → m×n`), ikj order, parallel over row
-    /// blocks for large `m`.
+    /// `self · other` (`m×k · k×n → m×n`) on the packed pooled kernel.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        let n = other.cols;
-        let run_rows = |rows_out: &mut [f32], row_range: std::ops::Range<usize>| {
-            for (oi, i) in row_range.enumerate() {
-                let a_row = self.row(i);
-                let out_row = &mut rows_out[oi * n..(oi + 1) * n];
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = other.row(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        };
-        if self.rows < PAR_THRESHOLD {
-            run_rows(&mut out.data, 0..self.rows);
-        } else {
-            let threads = std::thread::available_parallelism()
-                .map(|t| t.get())
-                .unwrap_or(4)
-                .min(self.rows);
-            let chunk_rows = self.rows.div_ceil(threads);
-            std::thread::scope(|s| {
-                for (t, chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
-                    let start = t * chunk_rows;
-                    let end = (start + chunk.len() / n).min(self.rows);
-                    let run = &run_rows;
-                    s.spawn(move || run(chunk, start..end));
-                }
-            });
-        }
+        self.matmul_into(other, &mut out);
         out
     }
 
-    /// `selfᵀ · other` (`(m×k)ᵀ · m×n → k×n`) without materializing the
-    /// transpose. This is the weight-gradient product `Xᵀ · dY`, the
-    /// backward-pass hot kernel; output rows are chunked over scoped
-    /// threads like [`Matrix::matmul`], with the shared `m` dimension
-    /// cache-blocked so each output row stays hot across a block of input
-    /// rows.
+    /// [`Matrix::matmul`] into a caller-owned output (overwritten), the
+    /// allocation-free steady-state entry point.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or if `out` is not `m×n`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_into_parts(other, out, auto_parts(self.rows));
+    }
+
+    /// [`Matrix::matmul_into`] with an explicit chunk count — `parts = 1`
+    /// is the serial reference path the property tests compare against.
+    #[doc(hidden)]
+    pub fn matmul_into_parts(&self, other: &Matrix, out: &mut Matrix, parts: usize) {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        let k = self.cols;
+        let n = other.cols;
+        out.data.fill(0.0);
+        // Pack B once per call into column panels: panel `jb` holds columns
+        // [jb, jb + jw) row-major at width jw, contiguous at offset jb·k
+        // (every preceding full panel contributes PANEL_COLS·k elements).
+        with_pack_scratch(k * n, |bp| {
+            for jb in (0..n).step_by(PANEL_COLS) {
+                let jw = (n - jb).min(PANEL_COLS);
+                let panel = &mut bp[jb * k..jb * k + k * jw];
+                for kk in 0..k {
+                    panel[kk * jw..(kk + 1) * jw]
+                        .copy_from_slice(&other.data[kk * n + jb..kk * n + jb + jw]);
+                }
+            }
+            let a = &self.data;
+            let bp = &*bp;
+            summit_pool::global().run_rows(&mut out.data, n, parts, |chunk, range| {
+                matmul_chunk(a, k, bp, n, chunk, range);
+            });
+        });
+    }
+
+    /// `selfᵀ · other` (`(m×k)ᵀ · m×n → k×n`). This is the weight-gradient
+    /// product `Xᵀ · dY`, the backward-pass hot kernel: `Aᵀ` is packed once
+    /// per call so each output row streams a contiguous operand, output
+    /// rows are chunked over the pool, and the shared `m` dimension is
+    /// cache-blocked and 4×-unrolled.
     ///
     /// Every output element accumulates its `m` terms in ascending-`i`
-    /// order with the same zero-skip as the serial loop, so the parallel
-    /// and serial paths are bit-identical.
+    /// order on every path, so pooled and serial results are bit-identical.
     ///
     /// # Panics
     /// Panics on row-count mismatch.
     pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "matmul_at_b row mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_at_b_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_at_b`] into a caller-owned output (overwritten).
+    ///
+    /// # Panics
+    /// Panics on row-count mismatch or if `out` is not `k×n`.
+    pub fn matmul_at_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_at_b_into_parts(other, out, auto_parts(self.cols));
+    }
+
+    /// [`Matrix::matmul_at_b_into`] with an explicit chunk count.
+    #[doc(hidden)]
+    pub fn matmul_at_b_into_parts(&self, other: &Matrix, out: &mut Matrix, parts: usize) {
+        assert_eq!(self.rows, other.rows, "matmul_at_b row mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "matmul_at_b output shape mismatch"
+        );
+        let m = self.rows;
+        let k = self.cols;
         let n = other.cols;
-        // Each thread owns a band of output rows (a `k` range) and streams
-        // all `m` input rows through it, blocked so `out_row` is revisited
-        // while a block of `other` rows is still in cache. Blocking only
-        // groups the ascending-`i` accumulation; it never reorders it.
-        let run_rows = |rows_out: &mut [f32], k_range: std::ops::Range<usize>| {
-            for ib in (0..self.rows).step_by(BLOCK_ROWS) {
-                let iend = (ib + BLOCK_ROWS).min(self.rows);
-                for (ok, k) in k_range.clone().enumerate() {
-                    let out_row = &mut rows_out[ok * n..(ok + 1) * n];
-                    for i in ib..iend {
-                        let a = self.data[i * self.cols + k];
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = other.row(i);
-                        for (o, &b) in out_row.iter_mut().zip(b_row) {
-                            *o += a * b;
-                        }
-                    }
+        out.data.fill(0.0);
+        // Pack Aᵀ once per call: at[kk·m + i] = A[i, kk], so output row kk
+        // reads its m coefficients contiguously.
+        with_pack_scratch(m * k, |at| {
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (kk, &v) in a_row.iter().enumerate() {
+                    at[kk * m + i] = v;
                 }
             }
-        };
-        if self.cols < PAR_THRESHOLD {
-            run_rows(&mut out.data, 0..self.cols);
-        } else {
-            let threads = std::thread::available_parallelism()
-                .map(|t| t.get())
-                .unwrap_or(4)
-                .min(self.cols);
-            let chunk_rows = self.cols.div_ceil(threads);
-            std::thread::scope(|s| {
-                for (t, chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
-                    let start = t * chunk_rows;
-                    let end = (start + chunk.len() / n).min(self.cols);
-                    let run = &run_rows;
-                    s.spawn(move || run(chunk, start..end));
-                }
+            let b = &other.data;
+            let at = &*at;
+            summit_pool::global().run_rows(&mut out.data, n, parts, |chunk, range| {
+                matmul_at_b_chunk(at, m, b, n, chunk, range);
             });
-        }
-        out
+        });
     }
 
     /// `self · otherᵀ` (`m×k · (n×k)ᵀ → m×n`) without materializing the
     /// transpose. This is the input-gradient product `dY · Wᵀ`, the other
-    /// backward-pass hot kernel; output rows are chunked over scoped
-    /// threads like [`Matrix::matmul`], with the `other`-row loop
-    /// cache-blocked so a block of `Wᵀ` rows is reused across the chunk's
-    /// output rows.
+    /// backward-pass hot kernel: both operands are row-contiguous already,
+    /// so no packing is needed — output rows are chunked over the pool and
+    /// the `other`-row loop is cache-blocked, computing four output columns
+    /// per pass with independent accumulators.
     ///
-    /// Each output element is one [`crate::dot`] exactly as in the serial
-    /// loop, so the parallel path is bit-identical.
+    /// Each output element is one ascending-`k` dot chain exactly as in
+    /// [`crate::dot`], so pooled and serial results are bit-identical.
     ///
     /// # Panics
     /// Panics on column-count mismatch.
     pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_a_bt column mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        let n = other.rows;
-        let run_rows = |rows_out: &mut [f32], row_range: std::ops::Range<usize>| {
-            for jb in (0..n).step_by(BLOCK_ROWS) {
-                let jend = (jb + BLOCK_ROWS).min(n);
-                for (oi, i) in row_range.clone().enumerate() {
-                    let a_row = self.row(i);
-                    let out_row = &mut rows_out[oi * n..(oi + 1) * n];
-                    for (o, j) in out_row[jb..jend].iter_mut().zip(jb..jend) {
-                        *o = crate::dot(a_row, other.row(j));
-                    }
-                }
-            }
-        };
-        if self.rows < PAR_THRESHOLD {
-            run_rows(&mut out.data, 0..self.rows);
-        } else {
-            let threads = std::thread::available_parallelism()
-                .map(|t| t.get())
-                .unwrap_or(4)
-                .min(self.rows);
-            let chunk_rows = self.rows.div_ceil(threads);
-            std::thread::scope(|s| {
-                for (t, chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
-                    let start = t * chunk_rows;
-                    let end = (start + chunk.len() / n).min(self.rows);
-                    let run = &run_rows;
-                    s.spawn(move || run(chunk, start..end));
-                }
-            });
-        }
+        self.matmul_a_bt_into(other, &mut out);
         out
+    }
+
+    /// [`Matrix::matmul_a_bt`] into a caller-owned output (overwritten).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch or if `out` is not `m×n`.
+    pub fn matmul_a_bt_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_a_bt_into_parts(other, out, auto_parts(self.rows));
+    }
+
+    /// [`Matrix::matmul_a_bt_into`] with an explicit chunk count.
+    #[doc(hidden)]
+    pub fn matmul_a_bt_into_parts(&self, other: &Matrix, out: &mut Matrix, parts: usize) {
+        assert_eq!(self.cols, other.cols, "matmul_a_bt column mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.rows),
+            "matmul_a_bt output shape mismatch"
+        );
+        let k = self.cols;
+        let n = other.rows;
+        let a = &self.data;
+        let b = &other.data;
+        summit_pool::global().run_rows(&mut out.data, n, parts, |chunk, range| {
+            matmul_a_bt_chunk(a, k, b, n, chunk, range);
+        });
     }
 
     /// Explicit transpose.
@@ -299,6 +362,159 @@ impl Matrix {
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
         crate::l2_norm(&self.data)
+    }
+}
+
+/// `matmul` kernel for one chunk of output rows: for each panel of packed
+/// `B`, accumulate the chunk's rows with the shared dimension unrolled by
+/// four. Per output element the adds run in ascending-`kk` order — one
+/// scalar at a time into the same accumulator — so unrolling changes
+/// instruction scheduling, never arithmetic order.
+fn matmul_chunk(
+    a: &[f32],
+    k: usize,
+    bp: &[f32],
+    n: usize,
+    chunk: &mut [f32],
+    range: std::ops::Range<usize>,
+) {
+    for jb in (0..n).step_by(PANEL_COLS) {
+        let jw = (n - jb).min(PANEL_COLS);
+        let panel = &bp[jb * k..jb * k + k * jw];
+        for (local, i) in range.clone().enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut chunk[local * n + jb..local * n + jb + jw];
+            let mut kk = 0;
+            while kk + 4 <= k {
+                let a0 = a_row[kk];
+                let a1 = a_row[kk + 1];
+                let a2 = a_row[kk + 2];
+                let a3 = a_row[kk + 3];
+                let b0 = &panel[kk * jw..(kk + 1) * jw];
+                let b1 = &panel[(kk + 1) * jw..(kk + 2) * jw];
+                let b2 = &panel[(kk + 2) * jw..(kk + 3) * jw];
+                let b3 = &panel[(kk + 3) * jw..(kk + 4) * jw];
+                for ((((o, &v0), &v1), &v2), &v3) in
+                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o += a0 * v0;
+                    *o += a1 * v1;
+                    *o += a2 * v2;
+                    *o += a3 * v3;
+                }
+                kk += 4;
+            }
+            while kk < k {
+                let a0 = a_row[kk];
+                let b0 = &panel[kk * jw..(kk + 1) * jw];
+                for (o, &v0) in out_row.iter_mut().zip(b0) {
+                    *o += a0 * v0;
+                }
+                kk += 1;
+            }
+        }
+    }
+}
+
+/// `matmul_at_b` kernel for one chunk of output rows (a `kk` band): stream
+/// the shared `m` dimension in cache blocks, four input rows per pass. The
+/// packed `Aᵀ` makes each output row's coefficients contiguous; per output
+/// element the accumulation order is ascending `i` on every path.
+fn matmul_at_b_chunk(
+    at: &[f32],
+    m: usize,
+    b: &[f32],
+    n: usize,
+    chunk: &mut [f32],
+    range: std::ops::Range<usize>,
+) {
+    for ib in (0..m).step_by(BLOCK_ROWS) {
+        let iend = (ib + BLOCK_ROWS).min(m);
+        for (local, kk) in range.clone().enumerate() {
+            let a_col = &at[kk * m..(kk + 1) * m];
+            let out_row = &mut chunk[local * n..(local + 1) * n];
+            let mut i = ib;
+            while i + 4 <= iend {
+                let a0 = a_col[i];
+                let a1 = a_col[i + 1];
+                let a2 = a_col[i + 2];
+                let a3 = a_col[i + 3];
+                let b0 = &b[i * n..(i + 1) * n];
+                let b1 = &b[(i + 1) * n..(i + 2) * n];
+                let b2 = &b[(i + 2) * n..(i + 3) * n];
+                let b3 = &b[(i + 3) * n..(i + 4) * n];
+                for ((((o, &v0), &v1), &v2), &v3) in
+                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o += a0 * v0;
+                    *o += a1 * v1;
+                    *o += a2 * v2;
+                    *o += a3 * v3;
+                }
+                i += 4;
+            }
+            while i < iend {
+                let a0 = a_col[i];
+                let b0 = &b[i * n..(i + 1) * n];
+                for (o, &v0) in out_row.iter_mut().zip(b0) {
+                    *o += a0 * v0;
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// `matmul_a_bt` kernel for one chunk of output rows: `other`-rows are
+/// cache-blocked, and within a block four output columns are produced per
+/// pass with four independent accumulators (each an ascending-`k` chain
+/// identical to [`crate::dot`]).
+fn matmul_a_bt_chunk(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    n: usize,
+    chunk: &mut [f32],
+    range: std::ops::Range<usize>,
+) {
+    for jb in (0..n).step_by(BLOCK_ROWS) {
+        let jend = (jb + BLOCK_ROWS).min(n);
+        for (local, i) in range.clone().enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut chunk[local * n..(local + 1) * n];
+            let mut j = jb;
+            while j + 4 <= jend {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let mut c0 = 0.0f32;
+                let mut c1 = 0.0f32;
+                let mut c2 = 0.0f32;
+                let mut c3 = 0.0f32;
+                for ((((&av, &v0), &v1), &v2), &v3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    c0 += av * v0;
+                    c1 += av * v1;
+                    c2 += av * v2;
+                    c3 += av * v3;
+                }
+                out_row[j] = c0;
+                out_row[j + 1] = c1;
+                out_row[j + 2] = c2;
+                out_row[j + 3] = c3;
+                j += 4;
+            }
+            while j < jend {
+                let b0 = &b[j * k..(j + 1) * k];
+                let mut c0 = 0.0f32;
+                for (&av, &v0) in a_row.iter().zip(b0) {
+                    c0 += av * v0;
+                }
+                out_row[j] = c0;
+                j += 1;
+            }
+        }
     }
 }
 
@@ -363,7 +579,8 @@ mod tests {
         let m = 150;
         let k = 160;
         let n = 19;
-        // Sprinkle exact zeros so the zero-skip path is exercised.
+        // Sprinkle exact zeros so dropping the old zero-skip branch is
+        // exercised against the branch-free reference.
         let a = Matrix::from_vec(
             m,
             k,
@@ -383,15 +600,12 @@ mod tests {
             (0..m * n).map(|i| (i % 7) as f32 * 0.25 - 0.5).collect(),
         );
         let par = a.matmul_at_b(&b);
-        // Serial reference: the original ascending-i accumulation with the
-        // same zero-skip; must match bit-for-bit, not just approximately.
+        // Serial reference: branch-free ascending-i accumulation; must
+        // match bit-for-bit, not just approximately.
         let mut serial = Matrix::zeros(k, n);
         for i in 0..m {
             for kk in 0..k {
                 let av = a.get(i, kk);
-                if av == 0.0 {
-                    continue;
-                }
                 for j in 0..n {
                     let v = serial.get(kk, j) + av * b.get(i, j);
                     serial.set(kk, j, v);
@@ -415,7 +629,8 @@ mod tests {
         );
         let b = Matrix::from_vec(n, k, (0..n * k).map(|i| (i % 9) as f32 - 4.0).collect());
         let par = a.matmul_a_bt(&b);
-        // Serial reference: one `dot` per element, exactly as the serial loop.
+        // Serial reference: one `dot` per element, exactly as the kernel's
+        // per-element ascending-k chain.
         let mut serial = Matrix::zeros(m, n);
         for i in 0..m {
             for j in 0..n {
@@ -423,6 +638,28 @@ mod tests {
             }
         }
         assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_output() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let mut out = Matrix::from_rows(&[&[9.0, 9.0], &[9.0, 9.0]]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a);
+        a.matmul_at_b_into(&b, &mut out);
+        assert_eq!(out, a.transpose().matmul(&b));
+        a.matmul_a_bt_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn matmul_into_rejects_wrong_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3);
+        a.matmul_into(&b, &mut out);
     }
 
     #[test]

@@ -1,12 +1,40 @@
 //! Neural-network forward/backward kernels on [`Matrix`] batches.
 //!
 //! Row convention: a batch activation matrix is `batch × features`.
+//!
+//! The in-place elementwise/row-wise kernels (`relu_inplace`,
+//! `relu_backward`, `add_bias`, `softmax_inplace`) dispatch row chunks onto
+//! the persistent compute pool above [`ELEMWISE_PAR_THRESHOLD`] elements,
+//! under the calling thread's core budget. Each element (or row, for
+//! softmax) is computed independently, so pooled results are trivially
+//! bit-identical to serial. Reductions (`column_sums`, losses, `accuracy`)
+//! stay serial: their accumulation order is part of the numeric contract.
 
 use crate::matrix::Matrix;
 
+/// Element count above which in-place elementwise kernels parallelize —
+/// below this the pool dispatch overhead exceeds the memory-bound work.
+const ELEMWISE_PAR_THRESHOLD: usize = 16_384;
+
+/// Chunk count for an elementwise kernel over `rows` rows of `elems` total
+/// elements: serial below the threshold, else the core budget.
+fn elem_parts(elems: usize, rows: usize) -> usize {
+    if elems < ELEMWISE_PAR_THRESHOLD {
+        1
+    } else {
+        summit_pool::core_budget().min(rows)
+    }
+}
+
 /// ReLU forward, in place.
 pub fn relu_inplace(x: &mut Matrix) {
-    x.map_inplace(|v| v.max(0.0));
+    let (rows, cols) = (x.rows(), x.cols());
+    let parts = elem_parts(rows * cols, rows);
+    summit_pool::global().run_rows(x.as_mut_slice(), cols, parts, |chunk, _| {
+        for v in chunk.iter_mut() {
+            *v = v.max(0.0);
+        }
+    });
 }
 
 /// ReLU backward: zero `grad` wherever the forward *output* was zero.
@@ -19,11 +47,17 @@ pub fn relu_backward(output: &Matrix, grad: &mut Matrix) {
         (grad.rows(), grad.cols()),
         "relu_backward shape mismatch"
     );
-    for (g, &o) in grad.as_mut_slice().iter_mut().zip(output.as_slice()) {
-        if o <= 0.0 {
-            *g = 0.0;
+    let (rows, cols) = (grad.rows(), grad.cols());
+    let parts = elem_parts(rows * cols, rows);
+    let out = output.as_slice();
+    summit_pool::global().run_rows(grad.as_mut_slice(), cols, parts, |chunk, range| {
+        let o = &out[range.start * cols..range.end * cols];
+        for (g, &ov) in chunk.iter_mut().zip(o) {
+            if ov <= 0.0 {
+                *g = 0.0;
+            }
         }
-    }
+    });
 }
 
 /// Add a bias row-vector to every row of `x`.
@@ -32,11 +66,15 @@ pub fn relu_backward(output: &Matrix, grad: &mut Matrix) {
 /// Panics if `bias.len() != x.cols()`.
 pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
     assert_eq!(bias.len(), x.cols(), "bias length mismatch");
-    for r in 0..x.rows() {
-        for (v, b) in x.row_mut(r).iter_mut().zip(bias) {
-            *v += b;
+    let (rows, cols) = (x.rows(), x.cols());
+    let parts = elem_parts(rows * cols, rows);
+    summit_pool::global().run_rows(x.as_mut_slice(), cols, parts, |chunk, _| {
+        for row in chunk.chunks_exact_mut(cols) {
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
         }
-    }
+    });
 }
 
 /// Column-wise sum of a gradient matrix — the bias gradient.
@@ -50,20 +88,24 @@ pub fn column_sums(x: &Matrix) -> Vec<f32> {
     out
 }
 
-/// Numerically stable row-wise softmax, in place.
+/// Numerically stable row-wise softmax, in place. Rows are independent, so
+/// row chunks run on the pool above the elementwise threshold.
 pub fn softmax_inplace(x: &mut Matrix) {
-    for r in 0..x.rows() {
-        let row = x.row_mut(r);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
+    let (rows, cols) = (x.rows(), x.cols());
+    let parts = elem_parts(rows * cols, rows);
+    summit_pool::global().run_rows(x.as_mut_slice(), cols, parts, |chunk, _| {
+        for row in chunk.chunks_exact_mut(cols) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
         }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
-    }
+    });
 }
 
 /// Mean cross-entropy loss of row-wise softmax probabilities against integer
