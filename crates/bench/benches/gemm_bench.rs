@@ -183,8 +183,15 @@ fn write_summary(smoke: bool) {
         stats.busy_seconds(),
         stats.max_concurrency,
     );
-    let path = std::path::Path::new("target");
-    let _ = std::fs::create_dir_all(path);
+    // Anchor to the workspace root: cargo runs bench binaries with the
+    // package directory as CWD, so a bare relative "target" would land in
+    // crates/bench/target, not the workspace target CI uploads from.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .join("target");
+    let _ = std::fs::create_dir_all(&path);
     let file = path.join("BENCH_gemm.json");
     if let Err(e) = std::fs::write(&file, &json) {
         eprintln!("could not write {}: {e}", file.display());

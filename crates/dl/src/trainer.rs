@@ -379,7 +379,11 @@ pub struct ParallelOutcome {
     /// Compute-pool activity during this run (tasks dispatched/stolen,
     /// parks, busy seconds), windowed between snapshots before and after
     /// the ranks execute — the compute-side counterpart of the
-    /// communicator's `PoolStats`.
+    /// communicator's `PoolStats`. The pool and its counters are
+    /// **process-wide**: any concurrent pool activity from other threads in
+    /// the same process (another trainer, parallel tests) lands in this
+    /// window too, so treat the numbers as "pool activity while this run
+    /// executed", not an exact per-run attribution.
     pub compute: summit_pool::ComputeStats,
 }
 

@@ -47,8 +47,11 @@ type TaskFn<'a> = dyn Fn(usize) + Sync + 'a;
 
 /// One dispatch in flight. Lives on the dispatching thread's stack; workers
 /// reach it through a raw pointer that is guaranteed valid because the
-/// dispatcher cannot return until `pending` hits zero (and `pending` only
-/// hits zero after every queued entry has been popped *and executed*).
+/// dispatcher cannot return until `pending` hits zero. `pending` is only
+/// decremented — and `done_cv` only notified — while holding `done_lock`,
+/// and the dispatcher only reads `pending` under the same lock, so it can
+/// never observe zero (and destroy this header) while an executor is still
+/// between its decrement and its notify.
 struct JobHeader {
     /// The caller's closure, lifetime-erased for the queue. Only touched
     /// while `pending > 0`.
@@ -252,12 +255,17 @@ impl ComputePool {
         if catch_unwind(AssertUnwindSafe(|| self.timed(task, index))).is_err() {
             header.panicked.store(true, Ordering::Release);
         }
+        // The decrement AND the notify both happen under `done_lock`: the
+        // dispatcher only reads `pending` while holding the same lock, so it
+        // cannot observe zero — and destroy the stack-allocated header —
+        // until this thread has finished notifying and released the lock.
+        // (Decrementing before taking the lock would open exactly that
+        // use-after-free window between the fetch_sub and the notify.)
+        let guard = header.done_lock.lock().expect("job lock poisoned");
         if header.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Last one out: take the lock so the notify cannot race between
-            // the dispatcher's `pending` check and its wait.
-            let _guard = header.done_lock.lock().expect("job lock poisoned");
             header.done_cv.notify_all();
         }
+        drop(guard);
     }
 
     /// Run one sub-task, maintaining the busy-time and concurrency stats.
@@ -414,17 +422,16 @@ pub fn machine_parallelism() -> usize {
 }
 
 /// Process-default budget: `SUMMIT_THREADS` when set and parseable,
-/// otherwise the machine parallelism.
+/// otherwise the machine parallelism. Read fresh on every call — the same
+/// policy as [`rank_budget_from_env`] — so changing the variable at runtime
+/// (tests do) yields consistent budgets between the two paths.
 fn default_budget() -> usize {
-    static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        std::env::var("SUMMIT_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .map(|n| n.min(MAX_WORKERS))
-            .unwrap_or_else(machine_parallelism)
-    })
+    std::env::var("SUMMIT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .map(|n| n.min(MAX_WORKERS))
+        .unwrap_or_else(machine_parallelism)
 }
 
 /// The number of compute lanes a dispatch from this thread may use
@@ -450,14 +457,19 @@ pub fn clear_core_budget() {
 }
 
 /// Run `f` under a temporary core budget, restoring the previous setting
-/// afterwards (even on panic the thread-local is per-thread, so a poisoned
-/// budget cannot leak across threads).
+/// afterwards. The restore runs in a drop guard, so it happens even if `f`
+/// panics and the panic is later caught — the temporary budget never leaks
+/// onto the thread.
 pub fn with_core_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
-    let prev = BUDGET.with(|b| b.get());
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(BUDGET.with(|b| b.get()));
     set_core_budget(n);
-    let out = f();
-    BUDGET.with(|b| b.set(prev));
-    out
+    f()
 }
 
 /// The per-rank compute budget for a `ranks`-way world on a machine with
