@@ -10,7 +10,7 @@
 //! * `ablation_precision` — fp32 vs fp16 gradient messages and the effect
 //!   on the communication-bound crossover.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 use summit_bench::MESSAGE_SWEEP;
 use summit_comm::{
@@ -342,6 +342,92 @@ fn simnet_validation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Best-of-`iters` wall time of `f`.
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measure the ring-allreduce hot path (pooled engine schedule vs the
+/// unpooled baseline) and write `target/BENCH_comm.json` — the artifact CI
+/// uploads so hot-path regressions show up as a diff between runs. Each
+/// cell also records the exact per-round traffic from the engine's model
+/// transport, which the `model_vs_execution` suite pins to the executed
+/// counters.
+fn write_summary(smoke: bool) {
+    use summit_comm::{simulate, Collective};
+
+    let iters = if smoke { 1 } else { 5 };
+    let link = LinkModel::inter_node(&NodeSpec::summit());
+    let mut entries = Vec::new();
+    for &(p, n, rounds) in &[
+        (2usize, 16_384usize, 8usize),
+        (4, 16_384, 8),
+        (4, 262_144, 4),
+        (8, 65_536, 8),
+    ] {
+        let pooled = time_best(iters, || {
+            World::run(p, |rank| {
+                let mut buf = vec![rank.id() as f32; n];
+                for _ in 0..rounds {
+                    ring_allreduce(rank, &mut buf, ReduceOp::Sum);
+                }
+                buf[0]
+            });
+        });
+        let unpooled = time_best(iters, || {
+            World::run(p, |rank| {
+                let mut buf = vec![rank.id() as f32; n];
+                for _ in 0..rounds {
+                    ring_allreduce_unpooled(rank, &mut buf);
+                }
+                buf[0]
+            });
+        });
+        let report = simulate(
+            Collective::RingAllreduce {
+                bucket_elems: usize::MAX,
+            },
+            p,
+            n,
+            link,
+        );
+        entries.push(format!(
+            "    {{\"p\": {p}, \"elems\": {n}, \"rounds\": {rounds}, \
+             \"pooled_seconds\": {pooled:.6}, \"unpooled_seconds\": {unpooled:.6}, \
+             \"speedup\": {:.3}, \"messages_per_round\": {}, \"bytes_per_round\": {}}}",
+            unpooled / pooled,
+            report.total_messages(),
+            report.total_bytes(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"comm\",\n  \"collective\": \"ring_allreduce\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Anchor to the workspace root: cargo runs bench binaries with the
+    // package directory as CWD, so a bare relative "target" would land in
+    // crates/bench/target, not the workspace target CI uploads from.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .join("target");
+    let _ = std::fs::create_dir_all(&path);
+    let file = path.join("BENCH_comm.json");
+    if let Err(e) = std::fs::write(&file, &json) {
+        eprintln!("could not write {}: {e}", file.display());
+    } else {
+        println!("wrote {}", file.display());
+    }
+    print!("{json}");
+}
+
 criterion_group!(
     benches,
     executed_collectives,
@@ -352,4 +438,8 @@ criterion_group!(
     ablation_precision,
     simnet_validation
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    write_summary(std::env::args().any(|a| a == "--test"));
+}

@@ -10,15 +10,28 @@
 //!   recursive-doubling allgather (for power-of-two worlds).
 //! * [`recursive_doubling_allreduce`] — `log2 p` exchanges of the full
 //!   buffer; latency-optimal for small messages.
-//! * [`binomial_broadcast`] / [`binomial_reduce`] — tree collectives.
+//! * [`binomial_broadcast_into`] / [`binomial_reduce`] — tree collectives.
 //! * [`ring_allgather`], [`reduce_scatter`] — building blocks, exposed for
 //!   tests and for the hierarchical trainer.
+//!
+//! Each algorithm is written **once**, as a schedule state machine in
+//! [`crate::engine`]; the functions here are the blocking surface
+//! ([`engine::drive_blocking`](crate::engine) drives the schedule on the
+//! infallible pooled primitives) and the fallible `try_` surface (the same
+//! schedule under deadline-bounded checked receives). The nonblocking
+//! handles ([`crate::nonblocking`]) and the α–β model transport
+//! ([`crate::engine::simulate`]) execute the identical schedules, so all
+//! four surfaces share one source of truth for the message pattern.
 //!
 //! All functions must be called by **every** rank of the world collectively,
 //! with equal buffer lengths, like their MPI counterparts.
 
 use std::time::{Duration, Instant};
 
+use crate::engine::{
+    self, drive_blocking, drive_checked, BroadcastSchedule, RdSchedule, ReduceSchedule,
+    RingSchedule,
+};
 use crate::faults::CommError;
 use crate::world::Rank;
 
@@ -93,15 +106,21 @@ impl ReduceOp {
 /// Chunk boundaries that partition `n` elements into `p` nearly equal chunks
 /// (first `n % p` chunks get one extra element).
 ///
-/// Shared with the nonblocking layer: [`crate::nonblocking`] intersects this
-/// same global partition with per-bucket windows so overlapped per-bucket
-/// allreduces keep the exact fold order of the serial path.
-pub(crate) fn chunk_bounds(n: usize, p: usize, chunk: usize) -> (usize, usize) {
-    let base = n / p;
-    let extra = n % p;
-    let start = chunk * base + chunk.min(extra);
-    let len = base + usize::from(chunk < extra);
-    (start, start + len)
+/// This is the **global partition** every surface shares: the blocking and
+/// fallible collectives, the nonblocking windowed handles (which intersect
+/// it with per-bucket windows so overlapped per-bucket allreduces keep the
+/// serial fold order), and the model transport. Delegates to
+/// [`summit_pool::chunk_range`] — the workspace's one canonical "first
+/// `n % p` chunks get one extra element" rule, shared with the compute
+/// pool's row partitioner. (The issue suggested hoisting it into
+/// `summit-core`, but `summit-core` sits *above* this crate in the layering;
+/// `summit-pool` is the common dependency both crates already share.)
+///
+/// # Panics
+/// Panics if `p == 0` or `chunk >= p`.
+pub fn chunk_bounds(n: usize, p: usize, chunk: usize) -> (usize, usize) {
+    let r = summit_pool::chunk_range(n, p, chunk);
+    (r.start, r.end)
 }
 
 /// Borrow the (disjoint) send and receive chunk windows of `buf` at once.
@@ -122,198 +141,6 @@ pub(crate) fn send_recv_windows(
         let (lo, hi) = buf.split_at_mut(ss);
         (&hi[..se - ss], &mut lo[rs..re])
     }
-}
-
-/// What a ring phase does with each received segment.
-#[derive(Clone, Copy)]
-enum PassKind {
-    /// Reduce-scatter: combine the local window into the circulating
-    /// partial; only the final hop lands in `buf`.
-    Reduce(ReduceOp),
-    /// Allgather: every received segment is final data, copied into `buf`.
-    Gather,
-}
-
-/// One ring phase (`p - 1` steps of "send a chunk right, combine a chunk
-/// from the left"), on the pooled zero-copy primitives.
-///
-/// The first chunk sent is `(me + offset) mod p`; each chunk's transfer is
-/// split into segments of at most `bucket` elements, each its own message.
-/// Empty chunks send nothing.
-///
-/// The chunk received at step `s` is exactly the chunk the schedule sends
-/// at step `s + 1`, so intermediate steps never copy into a fresh message:
-/// the received payload is combined (reduce) or read (gather) and then
-/// **forwarded as-is** to the right neighbour. Only step 0 copies out of
-/// `buf` (via the pool) and only the final hop releases the payload back
-/// into a pool, so each rank's per-phase allocator traffic is at most one
-/// pooled acquire and one release regardless of `p`.
-///
-/// `prime = false` skips the step-0 send: the messages this phase consumes
-/// at step 0 were already produced by a `handoff` from a previous phase.
-/// `handoff = Some(next)` makes the final hop forward its finished chunk as
-/// step 0 of collective `next` (after landing it in `buf`) instead of
-/// releasing it — fusing this phase's tail into the next phase's head.
-#[allow(clippy::too_many_arguments)] // internal engine; callers are the three ring collectives
-fn ring_pass(
-    rank: &Rank,
-    buf: &mut [f32],
-    collective: u64,
-    bucket: usize,
-    offset: usize,
-    kind: PassKind,
-    prime: bool,
-    handoff: Option<u64>,
-) {
-    let p = rank.size();
-    let me = rank.id();
-    let right = (me + 1) % p;
-    let left = (me + p - 1) % p;
-    let n = buf.len();
-    if prime {
-        // Step 0 primes the ring with this rank's own chunk.
-        let first = chunk_bounds(n, p, (me + offset) % p);
-        for (g, seg) in buf[first.0..first.1].chunks(bucket).enumerate() {
-            rank.send_from(right, tag_seg(collective, 0, g), seg);
-        }
-    }
-    for s in 0..p - 1 {
-        let recv_chunk = (me + offset + p - s - 1) % p;
-        let (rs, re) = chunk_bounds(n, p, recv_chunk);
-        let last = s == p - 2;
-        match kind {
-            PassKind::Reduce(op) if !last => {
-                // Fold this rank's contribution into the circulating
-                // partial and pass it on; `buf` is untouched. Operand
-                // order (local ⊕ incoming) matches the final-hop fold so
-                // results are bit-identical to the copy-per-step ring.
-                for (g, local) in buf[rs..re].chunks(bucket).enumerate() {
-                    let mut payload = rank.recv(left, tag_seg(collective, s, g));
-                    op.fold_into_payload(&mut payload, local);
-                    rank.send(right, tag_seg(collective, s + 1, g), payload);
-                }
-            }
-            PassKind::Reduce(op) => {
-                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
-                    match handoff {
-                        Some(next) => {
-                            // Finish the chunk in the payload itself, land
-                            // it in `buf`, and forward it as the priming
-                            // message of the next phase — no pooled copy.
-                            let mut payload = rank.recv(left, tag_seg(collective, s, g));
-                            op.fold_into_payload(&mut payload, window);
-                            window.copy_from_slice(&payload);
-                            rank.send(right, tag_seg(next, 0, g), payload);
-                        }
-                        None => {
-                            rank.recv_with(left, tag_seg(collective, s, g), |payload| {
-                                op.fold(window, payload);
-                            });
-                        }
-                    }
-                }
-            }
-            PassKind::Gather if !last => {
-                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
-                    let payload = rank.recv(left, tag_seg(collective, s, g));
-                    window.copy_from_slice(&payload);
-                    rank.send(right, tag_seg(collective, s + 1, g), payload);
-                }
-            }
-            PassKind::Gather => {
-                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
-                    rank.recv_with(left, tag_seg(collective, s, g), |payload| {
-                        window.copy_from_slice(payload);
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// Fallible twin of [`ring_pass`] for chaos runs: every receive is a
-/// checked, deadline-bounded [`Rank::recv_checked`] and each step polls for
-/// a scheduled rank kill, so a fault surfaces as [`CommError`] instead of
-/// hanging the ring. The message schedule, fold order, and operand order
-/// are identical to [`ring_pass`], so a fault-free execution of this path
-/// is bit-identical to the infallible one — the property trainer recovery
-/// relies on.
-///
-/// Kept separate from [`ring_pass`] so the steady-state allocation-free
-/// hot path (pinned by the counting-allocator test) carries no fault
-/// plumbing at all.
-#[allow(clippy::too_many_arguments)] // mirrors the internal engine signature
-fn try_ring_pass(
-    rank: &Rank,
-    buf: &mut [f32],
-    collective: u64,
-    bucket: usize,
-    offset: usize,
-    kind: PassKind,
-    prime: bool,
-    handoff: Option<u64>,
-    deadline: Option<Instant>,
-) -> Result<(), CommError> {
-    let p = rank.size();
-    let me = rank.id();
-    let right = (me + 1) % p;
-    let left = (me + p - 1) % p;
-    let n = buf.len();
-    if prime {
-        rank.poll_fault_kill()?;
-        let first = chunk_bounds(n, p, (me + offset) % p);
-        for (g, seg) in buf[first.0..first.1].chunks(bucket).enumerate() {
-            rank.send_from(right, tag_seg(collective, 0, g), seg);
-        }
-    }
-    for s in 0..p - 1 {
-        rank.poll_fault_kill()?;
-        let recv_chunk = (me + offset + p - s - 1) % p;
-        let (rs, re) = chunk_bounds(n, p, recv_chunk);
-        let last = s == p - 2;
-        match kind {
-            PassKind::Reduce(op) if !last => {
-                for (g, local) in buf[rs..re].chunks(bucket).enumerate() {
-                    let mut payload =
-                        rank.recv_checked(left, tag_seg(collective, s, g), deadline)?;
-                    op.fold_into_payload(&mut payload, local);
-                    rank.send(right, tag_seg(collective, s + 1, g), payload);
-                }
-            }
-            PassKind::Reduce(op) => {
-                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
-                    let mut payload =
-                        rank.recv_checked(left, tag_seg(collective, s, g), deadline)?;
-                    match handoff {
-                        Some(next) => {
-                            op.fold_into_payload(&mut payload, window);
-                            window.copy_from_slice(&payload);
-                            rank.send(right, tag_seg(next, 0, g), payload);
-                        }
-                        None => {
-                            op.fold(window, &payload);
-                            rank.release_payload(payload);
-                        }
-                    }
-                }
-            }
-            PassKind::Gather if !last => {
-                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
-                    let payload = rank.recv_checked(left, tag_seg(collective, s, g), deadline)?;
-                    window.copy_from_slice(&payload);
-                    rank.send(right, tag_seg(collective, s + 1, g), payload);
-                }
-            }
-            PassKind::Gather => {
-                for (g, window) in buf[rs..re].chunks_mut(bucket).enumerate() {
-                    let payload = rank.recv_checked(left, tag_seg(collective, s, g), deadline)?;
-                    window.copy_from_slice(&payload);
-                    rank.release_payload(payload);
-                }
-            }
-        }
-    }
-    Ok(())
 }
 
 /// Ring allreduce: reduce-scatter phase then allgather phase.
@@ -346,22 +173,8 @@ pub fn ring_allreduce_bucketed(rank: &Rank, buf: &mut [f32], op: ReduceOp, bucke
     if rank.size() == 1 {
         return;
     }
-    // Phase 1: reduce-scatter. In step s, send chunk (me - s) and reduce
-    // into chunk (me - s - 1), both mod p. The final hop hands its finished
-    // chunk straight to phase 2 as that phase's priming message.
-    ring_pass(
-        rank,
-        buf,
-        0,
-        bucket_elems,
-        0,
-        PassKind::Reduce(op),
-        true,
-        Some(1),
-    );
-    // Phase 2: allgather. In step s, send chunk (me + 1 - s) mod p; step 0
-    // was already sent by the reduce-scatter handoff.
-    ring_pass(rank, buf, 1, bucket_elems, 1, PassKind::Gather, false, None);
+    let mut sched = RingSchedule::allreduce(rank.size(), rank.id(), buf.len(), bucket_elems);
+    drive_blocking(rank, buf, &mut [], op, &mut sched);
 }
 
 /// Timeout-aware [`ring_allreduce`]: completes with the exact bitwise
@@ -405,28 +218,8 @@ pub fn try_ring_allreduce_bucketed(
         return Ok(());
     }
     let deadline = Some(Instant::now() + timeout);
-    try_ring_pass(
-        rank,
-        buf,
-        0,
-        bucket_elems,
-        0,
-        PassKind::Reduce(op),
-        true,
-        Some(1),
-        deadline,
-    )?;
-    try_ring_pass(
-        rank,
-        buf,
-        1,
-        bucket_elems,
-        1,
-        PassKind::Gather,
-        false,
-        None,
-        deadline,
-    )
+    let mut sched = RingSchedule::allreduce(rank.size(), rank.id(), buf.len(), bucket_elems);
+    drive_checked(rank, buf, &mut [], op, &mut sched, deadline)
 }
 
 /// Reduce-scatter over a ring: afterwards, rank i holds the fully reduced
@@ -440,8 +233,38 @@ pub fn reduce_scatter(rank: &Rank, buf: &mut [f32], op: ReduceOp) -> (usize, usi
     if p == 1 {
         return (0, n);
     }
-    ring_pass(rank, buf, 2, n.max(1), 0, PassKind::Reduce(op), true, None);
+    let mut sched = RingSchedule::reduce_scatter(p, me, n);
+    drive_blocking(rank, buf, &mut [], op, &mut sched);
     chunk_bounds(n, p, (me + 1) % p)
+}
+
+/// Timeout-aware [`reduce_scatter`].
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+pub fn try_reduce_scatter(
+    rank: &Rank,
+    buf: &mut [f32],
+    op: ReduceOp,
+    timeout: Duration,
+) -> Result<(usize, usize), CommError> {
+    let p = rank.size();
+    let me = rank.id();
+    let n = buf.len();
+    rank.poll_fault_kill()?;
+    if p == 1 {
+        return Ok((0, n));
+    }
+    let mut sched = RingSchedule::reduce_scatter(p, me, n);
+    drive_checked(
+        rank,
+        buf,
+        &mut [],
+        op,
+        &mut sched,
+        Some(Instant::now() + timeout),
+    )?;
+    Ok(chunk_bounds(n, p, (me + 1) % p))
 }
 
 /// Ring allgather: each rank contributes its own chunk of `buf` (as defined
@@ -450,8 +273,32 @@ pub fn ring_allgather(rank: &Rank, buf: &mut [f32]) {
     if rank.size() == 1 {
         return;
     }
-    let bucket = buf.len().max(1);
-    ring_pass(rank, buf, 3, bucket, 0, PassKind::Gather, true, None);
+    let mut sched = RingSchedule::allgather(rank.size(), rank.id(), buf.len());
+    drive_blocking(rank, buf, &mut [], ReduceOp::Sum, &mut sched);
+}
+
+/// Timeout-aware [`ring_allgather`].
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+pub fn try_ring_allgather(
+    rank: &Rank,
+    buf: &mut [f32],
+    timeout: Duration,
+) -> Result<(), CommError> {
+    rank.poll_fault_kill()?;
+    if rank.size() == 1 {
+        return Ok(());
+    }
+    let mut sched = RingSchedule::allgather(rank.size(), rank.id(), buf.len());
+    drive_checked(
+        rank,
+        buf,
+        &mut [],
+        ReduceOp::Sum,
+        &mut sched,
+        Some(Instant::now() + timeout),
+    )
 }
 
 /// Recursive-doubling allreduce: `log2 p` full-buffer exchanges.
@@ -459,22 +306,33 @@ pub fn ring_allgather(rank: &Rank, buf: &mut [f32]) {
 /// # Panics
 /// Panics unless the world size is a power of two.
 pub fn recursive_doubling_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) {
-    let p = rank.size();
-    assert!(
-        p.is_power_of_two(),
-        "recursive doubling needs power-of-two world"
-    );
-    let me = rank.id();
-    let mut dist = 1;
-    let mut step = 0;
-    while dist < p {
-        let peer = me ^ dist;
-        let t = tag(4, step);
-        rank.send_from(peer, t, buf);
-        rank.recv_with(peer, t, |got| op.fold(buf, got));
-        dist <<= 1;
-        step += 1;
-    }
+    let mut sched = RdSchedule::new(rank.size(), rank.id(), buf.len());
+    drive_blocking(rank, buf, &mut [], op, &mut sched);
+}
+
+/// Timeout-aware [`recursive_doubling_allreduce`].
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+///
+/// # Panics
+/// Panics unless the world size is a power of two.
+pub fn try_recursive_doubling_allreduce(
+    rank: &Rank,
+    buf: &mut [f32],
+    op: ReduceOp,
+    timeout: Duration,
+) -> Result<(), CommError> {
+    rank.poll_fault_kill()?;
+    let mut sched = RdSchedule::new(rank.size(), rank.id(), buf.len());
+    drive_checked(
+        rank,
+        buf,
+        &mut [],
+        op,
+        &mut sched,
+        Some(Instant::now() + timeout),
+    )
 }
 
 /// Rabenseifner allreduce: recursive-halving reduce-scatter followed by
@@ -485,73 +343,46 @@ pub fn recursive_doubling_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) 
 /// Panics unless the world size is a power of two and the buffer length is
 /// divisible by the world size.
 pub fn rabenseifner_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) {
-    let p = rank.size();
-    assert!(p.is_power_of_two(), "rabenseifner needs power-of-two world");
-    let n = buf.len();
-    assert!(
-        n.is_multiple_of(p),
-        "buffer length must be divisible by world size"
-    );
-    if p == 1 {
-        return;
-    }
-    let me = rank.id();
-
-    // Recursive halving reduce-scatter: the active window [lo, hi) of the
-    // buffer halves each step.
-    let mut lo = 0usize;
-    let mut hi = n;
-    let mut dist = p / 2;
-    let mut step = 0;
-    while dist >= 1 {
-        let peer = me ^ dist;
-        let mid = lo + (hi - lo) / 2;
-        let t = tag(5, step);
-        // The rank whose id bit is 0 keeps the lower half.
-        let (first, second) = buf[lo..hi].split_at_mut(mid - lo);
-        let (keep, send) = if me & dist == 0 {
-            (first, &*second)
-        } else {
-            (second, &*first)
-        };
-        rank.send_from(peer, t, send);
-        rank.recv_with(peer, t, |got| op.fold(keep, got));
-        if me & dist == 0 {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-        dist /= 2;
-        step += 1;
-    }
-
-    // Recursive doubling allgather: window doubles back to the full buffer.
-    let mut dist = 1;
-    while dist < p {
-        let peer = me ^ dist;
-        let window = hi - lo;
-        // Peer's window is the mirror of ours at this level.
-        let (peer_lo, peer_hi) = if me & dist == 0 {
-            (lo + window, hi + window)
-        } else {
-            (lo - window, hi - window)
-        };
-        let t = tag(6, step);
-        let (src, dst) = send_recv_windows(buf, (lo, hi), (peer_lo, peer_hi));
-        rank.send_from(peer, t, src);
-        rank.recv_into(peer, t, dst);
-        lo = lo.min(peer_lo);
-        hi = hi.max(peer_hi);
-        dist <<= 1;
-        step += 1;
-    }
-    debug_assert_eq!((lo, hi), (0, n));
+    let mut sched = engine::RabenseifnerSchedule::new(rank.size(), rank.id(), buf.len());
+    drive_blocking(rank, buf, &mut [], op, &mut sched);
 }
 
-/// Binomial-tree broadcast from `root`.
+/// Timeout-aware [`rabenseifner_allreduce`].
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+///
+/// # Panics
+/// Panics on the conditions of [`rabenseifner_allreduce`].
+pub fn try_rabenseifner_allreduce(
+    rank: &Rank,
+    buf: &mut [f32],
+    op: ReduceOp,
+    timeout: Duration,
+) -> Result<(), CommError> {
+    rank.poll_fault_kill()?;
+    let mut sched = engine::RabenseifnerSchedule::new(rank.size(), rank.id(), buf.len());
+    drive_checked(
+        rank,
+        buf,
+        &mut [],
+        op,
+        &mut sched,
+        Some(Instant::now() + timeout),
+    )
+}
+
+/// Binomial-tree broadcast from `root` into a growable buffer.
 ///
 /// Non-root ranks may pass an empty buffer; it is replaced by the received
-/// data.
+/// data. Kept as a hand-written legacy path (tag id 7): because non-root
+/// buffer lengths are unknown up front, it cannot be a fixed-window
+/// schedule. New code should size the buffer and use
+/// [`binomial_broadcast_into`].
+#[deprecated(
+    since = "0.5.0",
+    note = "size the buffer on every rank and use `binomial_broadcast_into`"
+)]
 pub fn binomial_broadcast(rank: &Rank, buf: &mut Vec<f32>, root: usize) {
     let p = rank.size();
     if p == 1 {
@@ -586,65 +417,67 @@ pub fn binomial_broadcast(rank: &Rank, buf: &mut Vec<f32>, root: usize) {
     }
 }
 
-/// [`binomial_broadcast`] for pre-sized buffers: every rank passes a slice
+/// Binomial-tree broadcast for pre-sized buffers: every rank passes a slice
 /// of the same length and the root's contents are broadcast into it,
 /// without touching any allocation.
 ///
 /// # Panics
 /// Panics if buffer lengths differ across ranks.
 pub fn binomial_broadcast_into(rank: &Rank, buf: &mut [f32], root: usize) {
-    let p = rank.size();
-    if p == 1 {
-        return;
-    }
-    let me = rank.id();
-    let vrank = (me + p - root) % p;
-    let mut mask = 1usize;
-    while mask < p {
-        if vrank & mask != 0 {
-            let parent = (vrank - mask + root) % p;
-            rank.recv_into(parent, tag(9, mask.trailing_zeros() as usize), buf);
-            break;
-        }
-        mask <<= 1;
-    }
-    mask >>= 1;
-    while mask > 0 {
-        if vrank + mask < p {
-            let child = (vrank + mask + root) % p;
-            rank.send_from(child, tag(9, mask.trailing_zeros() as usize), buf);
-        }
-        mask >>= 1;
-    }
+    let mut sched = BroadcastSchedule::new(rank.size(), rank.id(), buf.len(), root, 9);
+    drive_blocking(rank, buf, &mut [], ReduceOp::Sum, &mut sched);
+}
+
+/// Timeout-aware [`binomial_broadcast_into`].
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+pub fn try_binomial_broadcast_into(
+    rank: &Rank,
+    buf: &mut [f32],
+    root: usize,
+    timeout: Duration,
+) -> Result<(), CommError> {
+    rank.poll_fault_kill()?;
+    let mut sched = BroadcastSchedule::new(rank.size(), rank.id(), buf.len(), root, 9);
+    drive_checked(
+        rank,
+        buf,
+        &mut [],
+        ReduceOp::Sum,
+        &mut sched,
+        Some(Instant::now() + timeout),
+    )
 }
 
 /// Binomial-tree reduce to `root`: after return, `root`'s buffer holds the
 /// reduction; other ranks' buffers hold intermediate partial sums.
 pub fn binomial_reduce(rank: &Rank, buf: &mut [f32], op: ReduceOp, root: usize) {
-    let p = rank.size();
-    if p == 1 {
-        return;
-    }
-    let me = rank.id();
-    let vrank = (me + p - root) % p;
-    let mut mask = 1usize;
-    while mask < p {
-        if vrank & mask != 0 {
-            // Send partial to parent and exit.
-            let parent_v = vrank & !mask;
-            let parent = (parent_v + root) % p;
-            rank.send_from(parent, tag(8, mask.trailing_zeros() as usize), buf);
-            return;
-        }
-        if vrank + mask < p {
-            let child_v = vrank + mask;
-            let child = (child_v + root) % p;
-            rank.recv_with(child, tag(8, mask.trailing_zeros() as usize), |got| {
-                op.fold(buf, got);
-            });
-        }
-        mask <<= 1;
-    }
+    let mut sched = ReduceSchedule::new(rank.size(), rank.id(), buf.len(), root);
+    drive_blocking(rank, buf, &mut [], op, &mut sched);
+}
+
+/// Timeout-aware [`binomial_reduce`].
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+pub fn try_binomial_reduce(
+    rank: &Rank,
+    buf: &mut [f32],
+    op: ReduceOp,
+    root: usize,
+    timeout: Duration,
+) -> Result<(), CommError> {
+    rank.poll_fault_kill()?;
+    let mut sched = ReduceSchedule::new(rank.size(), rank.id(), buf.len(), root);
+    drive_checked(
+        rank,
+        buf,
+        &mut [],
+        op,
+        &mut sched,
+        Some(Instant::now() + timeout),
+    )
 }
 
 /// Tree allreduce: binomial reduce to rank 0, then binomial broadcast.
@@ -653,19 +486,30 @@ pub fn tree_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) {
     binomial_broadcast_into(rank, buf, 0);
 }
 
-/// Collective tag namespace: `(collective id, step)` packed into a u64 so
-/// different collectives and steps never collide.
-fn tag(collective: u64, step: usize) -> u64 {
-    tag_seg(collective, step, 0)
+/// Timeout-aware [`tree_allreduce`] (one shared deadline for both phases).
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+pub fn try_tree_allreduce(
+    rank: &Rank,
+    buf: &mut [f32],
+    op: ReduceOp,
+    timeout: Duration,
+) -> Result<(), CommError> {
+    rank.poll_fault_kill()?;
+    let deadline = Some(Instant::now() + timeout);
+    let mut reduce = ReduceSchedule::new(rank.size(), rank.id(), buf.len(), 0);
+    drive_checked(rank, buf, &mut [], op, &mut reduce, deadline)?;
+    let mut bcast = BroadcastSchedule::new(rank.size(), rank.id(), buf.len(), 0, 9);
+    drive_checked(rank, buf, &mut [], op, &mut bcast, deadline)
 }
 
-/// Tag for one segment of a bucketed chunk transfer: `(collective id,
-/// step, segment)` packed so that the flat path (`segment == 0`) produces
-/// the same tags as the historical unsegmented collectives.
-fn tag_seg(collective: u64, step: usize, seg: usize) -> u64 {
-    debug_assert!(step < 1 << 12, "ring step out of tag range");
-    assert!(seg < 1 << 20, "segment index out of tag range");
-    (collective << 32) | ((seg as u64) << 12) | step as u64
+/// Collective tag namespace: `(collective id, step)` packed into a u64 so
+/// different collectives and steps never collide (the legacy growable
+/// broadcast is the only remaining direct user; everything else tags
+/// through its engine schedule).
+fn tag(collective: u64, step: usize) -> u64 {
+    engine::tag_seg(collective, step, 0)
 }
 
 #[cfg(test)]
@@ -747,6 +591,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the legacy growable-buffer broadcast
     fn broadcast_from_every_root() {
         for p in 1..=8 {
             for root in 0..p {
@@ -757,6 +602,26 @@ mod tests {
                         vec![]
                     };
                     binomial_broadcast(rank, &mut buf, root);
+                    buf
+                });
+                for (r, v) in out.iter().enumerate() {
+                    assert_eq!(v, &vec![42.0, 7.0], "p={p} root={root} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_into_from_every_root() {
+        for p in 1..=8 {
+            for root in 0..p {
+                let out = World::run(p, |rank| {
+                    let mut buf = if rank.id() == root {
+                        vec![42.0, 7.0]
+                    } else {
+                        vec![0.0, 0.0]
+                    };
+                    binomial_broadcast_into(rank, &mut buf, root);
                     buf
                 });
                 for (r, v) in out.iter().enumerate() {
@@ -862,6 +727,75 @@ mod tests {
                     assert_eq!(x.to_bits(), y.to_bits(), "p={p}");
                 }
             }
+        }
+    }
+
+    /// Every algorithm's fallible twin runs the identical engine schedule,
+    /// so a fault-free checked run is bit-identical to the blocking one.
+    #[test]
+    fn try_twins_match_blocking_bitwise() {
+        let t = Duration::from_secs(5);
+        for p in [2usize, 4, 8] {
+            let n = 16; // divisible by p for rabenseifner
+            let plain = World::run(p, |rank| {
+                let mut rd = input(rank.id(), n);
+                recursive_doubling_allreduce(rank, &mut rd, ReduceOp::Sum);
+                let mut ra = input(rank.id(), n);
+                rabenseifner_allreduce(rank, &mut ra, ReduceOp::Sum);
+                let mut tr = input(rank.id(), n);
+                tree_allreduce(rank, &mut tr, ReduceOp::Sum);
+                let mut rs = input(rank.id(), n);
+                reduce_scatter(rank, &mut rs, ReduceOp::Sum);
+                let mut ag: Vec<f32> = input(rank.id(), n);
+                ring_allgather(rank, &mut ag);
+                (rd, ra, tr, rs, ag)
+            });
+            let checked = World::run(p, |rank| {
+                let mut rd = input(rank.id(), n);
+                try_recursive_doubling_allreduce(rank, &mut rd, ReduceOp::Sum, t).unwrap();
+                let mut ra = input(rank.id(), n);
+                try_rabenseifner_allreduce(rank, &mut ra, ReduceOp::Sum, t).unwrap();
+                let mut tr = input(rank.id(), n);
+                try_tree_allreduce(rank, &mut tr, ReduceOp::Sum, t).unwrap();
+                let mut rs = input(rank.id(), n);
+                try_reduce_scatter(rank, &mut rs, ReduceOp::Sum, t).unwrap();
+                let mut ag: Vec<f32> = input(rank.id(), n);
+                try_ring_allgather(rank, &mut ag, t).unwrap();
+                (rd, ra, tr, rs, ag)
+            });
+            for (a, b) in plain.iter().zip(&checked) {
+                assert_eq!(
+                    format!("{:?}", a.0.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+                    format!("{:?}", b.0.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+                );
+                for (x, y) in [(&a.1, &b.1), (&a.2, &b.2), (&a.3, &b.3), (&a.4, &b.4)] {
+                    for (u, v) in x.iter().zip(y.iter()) {
+                        assert_eq!(u.to_bits(), v.to_bits(), "p={p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_broadcast_into_and_reduce_match_plain() {
+        let t = Duration::from_secs(5);
+        for p in [2usize, 3, 7] {
+            let out = World::run(p, |rank| {
+                let mut b = if rank.id() == 1 % p {
+                    vec![3.5, -2.0]
+                } else {
+                    vec![0.0, 0.0]
+                };
+                try_binomial_broadcast_into(rank, &mut b, 1 % p, t).unwrap();
+                let mut r = vec![1.0f32; 4];
+                try_binomial_reduce(rank, &mut r, ReduceOp::Sum, 0, t).unwrap();
+                (b, r)
+            });
+            for (rk, (b, _)) in out.iter().enumerate() {
+                assert_eq!(b, &vec![3.5, -2.0], "p={p} rank={rk}");
+            }
+            assert_eq!(out[0].1, vec![p as f32; 4], "p={p}");
         }
     }
 

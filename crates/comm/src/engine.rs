@@ -1,0 +1,1835 @@
+//! The unified collective engine: every collective algorithm written once
+//! as a polled schedule, executed by interchangeable drivers.
+//!
+//! A collective is described by a [`Schedule`]: a state machine whose
+//! [`current`](Schedule::current) method names the single next transport
+//! operation ([`Op`]) — send a window, or receive a window and fold/copy it —
+//! and whose [`advance`](Schedule::advance) method moves to the next one.
+//! `current` is pure arithmetic over `chunk_bounds` windows; all mutation
+//! lives in `advance`. From that one description the four public surfaces
+//! are derived:
+//!
+//! * **blocking** — [`drive_blocking`] executes ops in order with the
+//!   infallible pooled primitives (the allocation-free hot path);
+//! * **fallible** — [`drive_checked`] executes the same ops with
+//!   deadline-bounded checked receives and per-op kill polls, surfacing
+//!   faults as [`CommError`] instead of hanging;
+//! * **nonblocking** — [`step_nonblocking`] executes exactly one op (or
+//!   polls for it), which `RingAllreduceHandle` wraps into the
+//!   `progress()`/`wait()` API;
+//! * **modeled** — [`simulate`] executes the schedule against a
+//!   [`ModelTransport`]-style virtual clock per rank: no bytes move, each
+//!   send costs `α + bytes/β` on the α–β [`LinkModel`], and the report's
+//!   message/byte counters equal the executed transport's counters **by
+//!   construction** (same schedule, same ops).
+//!
+//! The schedules reproduce the historical per-algorithm implementations
+//! message for message: identical tags, identical fold operand order
+//! (`local ⊕ incoming`), identical empty-window semantics (the ring skips
+//! empty chunks; the dissemination-style algorithms send empty messages
+//! unconditionally), so results are bit-identical to the pre-engine code
+//! and the fault plane's `TagClass` targeting keeps working unchanged.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use summit_machine::LinkModel;
+
+use crate::collectives::{chunk_bounds, ReduceOp};
+use crate::faults::CommError;
+use crate::world::Rank;
+
+/// Tag-space separator: nonblocking tags set the top bit, which no blocking
+/// collective tag (`collective id << 32`, ids < 2^7) can reach, so handles
+/// and blocking collectives coexist on one wire without collisions.
+pub(crate) const NB_BIT: u64 = 1 << 63;
+
+/// Tag for one segment of a bucketed chunk transfer: `(collective id,
+/// step, segment)` packed so that the flat path (`segment == 0`) produces
+/// the same tags as the historical unsegmented collectives.
+pub(crate) fn tag_seg(collective: u64, step: usize, seg: usize) -> u64 {
+    debug_assert!(step < 1 << 12, "step out of tag range");
+    assert!(seg < 1 << 20, "segment index out of tag range");
+    (collective << 32) | ((seg as u64) << 12) | step as u64
+}
+
+/// What a receive does with the payload relative to the schedule's buffer
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecvAct {
+    /// `window ⊕= payload` (the final in-place fold).
+    FoldIntoBuf,
+    /// `payload = window ⊕ payload` — the circulating-partial fold of an
+    /// intermediate ring hop; `buf` is untouched.
+    FoldForward,
+    /// `payload = window ⊕ payload`, then land it: `window = payload`.
+    /// The final reduce hop that hands its finished chunk to the allgather.
+    FoldLand,
+    /// `window = payload` (allgather / broadcast data).
+    Copy,
+}
+
+/// What happens to the payload buffer after the receive action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Disposal {
+    /// Recycle it into this rank's pool.
+    Release,
+    /// Forward it as-is to `to` under `tag` (the ring's zero-copy relay).
+    Forward { to: usize, tag: u64 },
+}
+
+/// One transport operation of a schedule.
+///
+/// `win` indexes the schedule's buffer; `slot` indexes its owned-vector
+/// slot array (the personalized collectives — alltoall/scatter/gather —
+/// move whole caller-owned vectors instead of windows of one buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Send `buf[win.0..win.1]` to `to` (pooled copy via `send_from`).
+    Send {
+        to: usize,
+        tag: u64,
+        win: (usize, usize),
+    },
+    /// Receive from `from`, apply `act` against `buf[win.0..win.1]`, then
+    /// dispose of the payload per `then`.
+    Recv {
+        from: usize,
+        tag: u64,
+        win: (usize, usize),
+        act: RecvAct,
+        then: Disposal,
+    },
+    /// Send the owned vector `slots[slot]` to `to` (moves it; no copy).
+    SendSlot { to: usize, tag: u64, slot: usize },
+    /// Receive from `from` into `slots[slot]` (takes payload ownership).
+    RecvSlot { from: usize, tag: u64, slot: usize },
+}
+
+/// A collective as a polled sequence of transport operations.
+///
+/// `current` returns the next op without side effects (`None` when the
+/// collective is complete); `advance` commits it. Drivers call them in
+/// strict pairs, except the nonblocking driver, which may observe the same
+/// `current` repeatedly while polling for its message.
+pub(crate) trait Schedule {
+    fn current(&self) -> Option<Op>;
+    fn advance(&mut self);
+}
+
+/// Execute one received payload: fold/copy against the buffer window, then
+/// release or forward the transport buffer.
+fn apply(
+    rank: &Rank,
+    buf: &mut [f32],
+    op: ReduceOp,
+    win: (usize, usize),
+    act: RecvAct,
+    then: Disposal,
+    mut payload: Vec<f32>,
+) {
+    let window = &mut buf[win.0..win.1];
+    match act {
+        RecvAct::FoldIntoBuf => op.fold(window, &payload),
+        RecvAct::FoldForward => op.fold_into_payload(&mut payload, window),
+        RecvAct::FoldLand => {
+            op.fold_into_payload(&mut payload, window);
+            window.copy_from_slice(&payload);
+        }
+        RecvAct::Copy => {
+            assert_eq!(payload.len(), window.len(), "payload length mismatch");
+            window.copy_from_slice(&payload);
+        }
+    }
+    match then {
+        Disposal::Release => rank.release_payload(payload),
+        Disposal::Forward { to, tag } => rank.send(to, tag, payload),
+    }
+}
+
+/// Drive a schedule to completion on the infallible pooled primitives —
+/// the blocking surface. Receives carry no checksum verification or kill
+/// polls, exactly like the historical blocking collectives, so the
+/// allocation-free hot path pays nothing for the fault plane.
+pub(crate) fn drive_blocking(
+    rank: &Rank,
+    buf: &mut [f32],
+    slots: &mut [Vec<f32>],
+    op: ReduceOp,
+    sched: &mut dyn Schedule,
+) {
+    while let Some(step) = sched.current() {
+        match step {
+            Op::Send { to, tag, win } => rank.send_from(to, tag, &buf[win.0..win.1]),
+            Op::Recv {
+                from,
+                tag,
+                win,
+                act,
+                then,
+            } => {
+                let payload = rank.recv(from, tag);
+                apply(rank, buf, op, win, act, then, payload);
+            }
+            Op::SendSlot { to, tag, slot } => {
+                rank.send(to, tag, std::mem::take(&mut slots[slot]));
+            }
+            Op::RecvSlot { from, tag, slot } => slots[slot] = rank.recv(from, tag),
+        }
+        sched.advance();
+    }
+}
+
+/// Drive a schedule to completion with checked, deadline-bounded receives
+/// and a kill poll before every op — the fallible surface. The op sequence,
+/// fold order, and operand order are identical to [`drive_blocking`], so a
+/// fault-free run is bit-identical to the blocking one.
+///
+/// # Errors
+/// Any [`CommError`] from the checked receives or the kill poll.
+pub(crate) fn drive_checked(
+    rank: &Rank,
+    buf: &mut [f32],
+    slots: &mut [Vec<f32>],
+    op: ReduceOp,
+    sched: &mut dyn Schedule,
+    deadline: Option<Instant>,
+) -> Result<(), CommError> {
+    while let Some(step) = sched.current() {
+        rank.poll_fault_kill()?;
+        match step {
+            Op::Send { to, tag, win } => rank.send_from(to, tag, &buf[win.0..win.1]),
+            Op::Recv {
+                from,
+                tag,
+                win,
+                act,
+                then,
+            } => {
+                let payload = rank.recv_checked(from, tag, deadline)?;
+                apply(rank, buf, op, win, act, then, payload);
+            }
+            Op::SendSlot { to, tag, slot } => {
+                rank.send(to, tag, std::mem::take(&mut slots[slot]));
+            }
+            Op::RecvSlot { from, tag, slot } => {
+                slots[slot] = rank.recv_checked(from, tag, deadline)?;
+            }
+        }
+        sched.advance();
+    }
+    Ok(())
+}
+
+/// Execute at most one op of a schedule — the nonblocking surface's
+/// stepper. Sends execute immediately; receives either block (checked,
+/// deadline-bounded) or poll. Returns whether the schedule advanced;
+/// `Ok(false)` with `block = false` means the awaited message has not
+/// arrived yet (or the schedule is complete).
+///
+/// # Errors
+/// Any [`CommError`] from the checked receives.
+pub(crate) fn step_nonblocking(
+    rank: &Rank,
+    buf: &mut [f32],
+    op: ReduceOp,
+    sched: &mut dyn Schedule,
+    block: bool,
+    deadline: Option<Instant>,
+) -> Result<bool, CommError> {
+    let Some(step) = sched.current() else {
+        return Ok(false);
+    };
+    match step {
+        Op::Send { to, tag, win } => rank.send_from(to, tag, &buf[win.0..win.1]),
+        Op::Recv {
+            from,
+            tag,
+            win,
+            act,
+            then,
+        } => {
+            let payload = if block {
+                Some(rank.recv_checked(from, tag, deadline)?)
+            } else {
+                rank.try_recv_checked(from, tag)?
+            };
+            let Some(payload) = payload else {
+                return Ok(false);
+            };
+            apply(rank, buf, op, win, act, then, payload);
+        }
+        Op::SendSlot { .. } | Op::RecvSlot { .. } => {
+            unreachable!("slot collectives have no nonblocking surface")
+        }
+    }
+    sched.advance();
+    Ok(true)
+}
+
+/// Which ring phase a tag belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Reduce,
+    Gather,
+}
+
+/// How a ring schedule maps `(phase, step, segment)` to wire tags: the
+/// blocking namespace (`collective id << 32`) or the nonblocking one
+/// (`NB_BIT | id << 13 | phase << 12 | step`). Both layouts are exactly the
+/// historical ones, so `TagClass` fault targeting decodes them unchanged.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TagScheme {
+    Blocking { reduce_id: u64, gather_id: u64 },
+    Nonblocking { collective: u64 },
+}
+
+impl TagScheme {
+    fn tag(self, phase: Phase, step: usize, seg: usize) -> u64 {
+        match self {
+            TagScheme::Blocking {
+                reduce_id,
+                gather_id,
+            } => {
+                let id = match phase {
+                    Phase::Reduce => reduce_id,
+                    Phase::Gather => gather_id,
+                };
+                tag_seg(id, step, seg)
+            }
+            TagScheme::Nonblocking { collective } => {
+                debug_assert_eq!(seg, 0, "nonblocking tags carry no segment");
+                debug_assert!(step < 1 << 12, "step out of tag range");
+                let ph = match phase {
+                    Phase::Reduce => 0u64,
+                    Phase::Gather => 1u64,
+                };
+                NB_BIT | (collective << 13) | (ph << 12) | step as u64
+            }
+        }
+    }
+}
+
+/// Stage cursor of a [`RingSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RingStage {
+    /// Sending segment `seg` of this rank's own chunk (step 0).
+    Prime {
+        seg: usize,
+    },
+    /// Reduce-scatter step `step`, segment `seg`.
+    Reduce {
+        step: usize,
+        seg: usize,
+    },
+    /// Allgather step `step`, segment `seg`.
+    Gather {
+        step: usize,
+        seg: usize,
+    },
+    Done,
+}
+
+/// The ring family as one schedule: allreduce (reduce-scatter + allgather
+/// with the zero-copy handoff between them), standalone reduce-scatter,
+/// standalone allgather, bucketed segmentation, and the windowed variant
+/// the nonblocking overlap path uses (chunks computed against the *global*
+/// `total_len` partition and intersected with this buffer's window, so
+/// per-bucket collectives keep the serial fold order bit for bit).
+///
+/// Empty windows/segments produce no ops — consistently on every rank —
+/// matching both the historical blocking ring (`chunks()` over an empty
+/// slice) and the nonblocking handle's pure state transitions.
+pub(crate) struct RingSchedule {
+    p: usize,
+    me: usize,
+    total_len: usize,
+    win_start: usize,
+    win_len: usize,
+    bucket: usize,
+    tags: TagScheme,
+    do_reduce: bool,
+    do_gather: bool,
+    stage: RingStage,
+}
+
+impl RingSchedule {
+    #[allow(clippy::too_many_arguments)] // internal constructor behind the named entry points
+    fn new(
+        p: usize,
+        me: usize,
+        total_len: usize,
+        win_start: usize,
+        win_len: usize,
+        bucket: usize,
+        tags: TagScheme,
+        do_reduce: bool,
+        do_gather: bool,
+    ) -> Self {
+        assert!(bucket > 0, "bucket must hold at least one element");
+        debug_assert!(win_start + win_len <= total_len);
+        let mut s = RingSchedule {
+            p,
+            me,
+            total_len,
+            win_start,
+            win_len,
+            bucket,
+            tags,
+            do_reduce,
+            do_gather,
+            stage: if p == 1 {
+                RingStage::Done
+            } else {
+                RingStage::Prime { seg: 0 }
+            },
+        };
+        s.normalize();
+        s
+    }
+
+    /// Blocking allreduce over all of an `n`-element buffer, segmented into
+    /// messages of at most `bucket` elements (ids 0/1 — the historical
+    /// `ring_allreduce_bucketed` wire schedule).
+    pub(crate) fn allreduce(p: usize, me: usize, n: usize, bucket: usize) -> Self {
+        Self::new(
+            p,
+            me,
+            n,
+            0,
+            n,
+            bucket,
+            TagScheme::Blocking {
+                reduce_id: 0,
+                gather_id: 1,
+            },
+            true,
+            true,
+        )
+    }
+
+    /// Nonblocking allreduce over the window
+    /// `[win_start, win_start + win_len)` of a `total_len`-element gradient
+    /// (the overlap path's per-bucket collective).
+    pub(crate) fn allreduce_windowed(
+        p: usize,
+        me: usize,
+        total_len: usize,
+        win_start: usize,
+        win_len: usize,
+        collective: u64,
+    ) -> Self {
+        Self::new(
+            p,
+            me,
+            total_len,
+            win_start,
+            win_len,
+            usize::MAX,
+            TagScheme::Nonblocking { collective },
+            true,
+            true,
+        )
+    }
+
+    /// Standalone reduce-scatter (id 2): after completion rank `i` holds
+    /// the fully reduced chunk `(i + 1) mod p`.
+    pub(crate) fn reduce_scatter(p: usize, me: usize, n: usize) -> Self {
+        Self::new(
+            p,
+            me,
+            n,
+            0,
+            n,
+            n.max(1),
+            TagScheme::Blocking {
+                reduce_id: 2,
+                gather_id: 2,
+            },
+            true,
+            false,
+        )
+    }
+
+    /// Standalone ring allgather (id 3): each rank contributes its own
+    /// `chunk_bounds` chunk and receives everyone else's.
+    pub(crate) fn allgather(p: usize, me: usize, n: usize) -> Self {
+        Self::new(
+            p,
+            me,
+            n,
+            0,
+            n,
+            n.max(1),
+            TagScheme::Blocking {
+                reduce_id: 3,
+                gather_id: 3,
+            },
+            false,
+            true,
+        )
+    }
+
+    /// This schedule's window of global chunk `c`, in buffer-local
+    /// coordinates (`(0, 0)` when the chunk misses the window).
+    fn window(&self, c: usize) -> (usize, usize) {
+        let (cs, ce) = chunk_bounds(self.total_len, self.p, c);
+        let lo = cs.max(self.win_start);
+        let hi = ce.min(self.win_start + self.win_len);
+        if lo < hi {
+            (lo - self.win_start, hi - self.win_start)
+        } else {
+            (0, 0)
+        }
+    }
+
+    /// Number of bucket segments in chunk `c`'s window.
+    fn segs(&self, c: usize) -> usize {
+        let (ws, we) = self.window(c);
+        (we - ws).div_ceil(self.bucket)
+    }
+
+    /// Bounds of segment `seg` within chunk `c`'s window.
+    fn seg_win(&self, c: usize, seg: usize) -> (usize, usize) {
+        let (ws, we) = self.window(c);
+        let start = ws + seg.saturating_mul(self.bucket);
+        (start, we.min(start.saturating_add(self.bucket)))
+    }
+
+    /// The global chunk a stage operates on. The gather offset differs by
+    /// one between the fused allreduce (whose gather step 0 consumes the
+    /// reduce handoff) and the standalone allgather (whose step 0 consumes
+    /// its own prime) — exactly the historical `offset` parameter.
+    fn stage_chunk(&self, stage: RingStage) -> usize {
+        let (p, me) = (self.p, self.me);
+        match stage {
+            RingStage::Prime { .. } => me,
+            RingStage::Reduce { step, .. } => (me + p - step - 1) % p,
+            RingStage::Gather { step, .. } => (me + p - step - 1 + usize::from(self.do_reduce)) % p,
+            RingStage::Done => unreachable!("Done has no chunk"),
+        }
+    }
+
+    /// Skip exhausted segment cursors and empty windows until the stage
+    /// cursor rests on a real op (or `Done`).
+    fn normalize(&mut self) {
+        loop {
+            let seg = match self.stage {
+                RingStage::Prime { seg }
+                | RingStage::Reduce { seg, .. }
+                | RingStage::Gather { seg, .. } => seg,
+                RingStage::Done => return,
+            };
+            if seg < self.segs(self.stage_chunk(self.stage)) {
+                return;
+            }
+            self.stage = match self.stage {
+                RingStage::Prime { .. } => {
+                    if self.do_reduce {
+                        RingStage::Reduce { step: 0, seg: 0 }
+                    } else {
+                        RingStage::Gather { step: 0, seg: 0 }
+                    }
+                }
+                RingStage::Reduce { step, .. } => {
+                    if step < self.p - 2 {
+                        RingStage::Reduce {
+                            step: step + 1,
+                            seg: 0,
+                        }
+                    } else if self.do_gather {
+                        RingStage::Gather { step: 0, seg: 0 }
+                    } else {
+                        RingStage::Done
+                    }
+                }
+                RingStage::Gather { step, .. } => {
+                    if step < self.p - 2 {
+                        RingStage::Gather {
+                            step: step + 1,
+                            seg: 0,
+                        }
+                    } else {
+                        RingStage::Done
+                    }
+                }
+                RingStage::Done => return,
+            };
+        }
+    }
+}
+
+impl Schedule for RingSchedule {
+    fn current(&self) -> Option<Op> {
+        let right = (self.me + 1) % self.p;
+        let left = (self.me + self.p - 1) % self.p;
+        let last = |step: usize| step == self.p - 2;
+        match self.stage {
+            RingStage::Done => None,
+            RingStage::Prime { seg } => {
+                let phase = if self.do_reduce {
+                    Phase::Reduce
+                } else {
+                    Phase::Gather
+                };
+                Some(Op::Send {
+                    to: right,
+                    tag: self.tags.tag(phase, 0, seg),
+                    win: self.seg_win(self.stage_chunk(self.stage), seg),
+                })
+            }
+            RingStage::Reduce { step, seg } => {
+                let (act, then) = if !last(step) {
+                    (
+                        RecvAct::FoldForward,
+                        Disposal::Forward {
+                            to: right,
+                            tag: self.tags.tag(Phase::Reduce, step + 1, seg),
+                        },
+                    )
+                } else if self.do_gather {
+                    // The handoff: finish the chunk in the payload, land it,
+                    // and forward it as the allgather's priming message.
+                    (
+                        RecvAct::FoldLand,
+                        Disposal::Forward {
+                            to: right,
+                            tag: self.tags.tag(Phase::Gather, 0, seg),
+                        },
+                    )
+                } else {
+                    (RecvAct::FoldIntoBuf, Disposal::Release)
+                };
+                Some(Op::Recv {
+                    from: left,
+                    tag: self.tags.tag(Phase::Reduce, step, seg),
+                    win: self.seg_win(self.stage_chunk(self.stage), seg),
+                    act,
+                    then,
+                })
+            }
+            RingStage::Gather { step, seg } => {
+                let then = if last(step) {
+                    Disposal::Release
+                } else {
+                    Disposal::Forward {
+                        to: right,
+                        tag: self.tags.tag(Phase::Gather, step + 1, seg),
+                    }
+                };
+                Some(Op::Recv {
+                    from: left,
+                    tag: self.tags.tag(Phase::Gather, step, seg),
+                    win: self.seg_win(self.stage_chunk(self.stage), seg),
+                    act: RecvAct::Copy,
+                    then,
+                })
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        self.stage = match self.stage {
+            RingStage::Prime { seg } => RingStage::Prime { seg: seg + 1 },
+            RingStage::Reduce { step, seg } => RingStage::Reduce { step, seg: seg + 1 },
+            RingStage::Gather { step, seg } => RingStage::Gather { step, seg: seg + 1 },
+            RingStage::Done => RingStage::Done,
+        };
+        self.normalize();
+    }
+}
+
+/// Recursive-doubling allreduce (id 4): `log2 p` full-buffer exchanges,
+/// send-then-receive per step. Sends even empty buffers unconditionally,
+/// like the historical implementation.
+pub(crate) struct RdSchedule {
+    p: usize,
+    me: usize,
+    n: usize,
+    dist: usize,
+    step: usize,
+    recv_pending: bool,
+}
+
+impl RdSchedule {
+    pub(crate) fn new(p: usize, me: usize, n: usize) -> Self {
+        assert!(
+            p.is_power_of_two(),
+            "recursive doubling needs power-of-two world"
+        );
+        RdSchedule {
+            p,
+            me,
+            n,
+            dist: 1,
+            step: 0,
+            recv_pending: false,
+        }
+    }
+}
+
+impl Schedule for RdSchedule {
+    fn current(&self) -> Option<Op> {
+        if self.dist >= self.p {
+            return None;
+        }
+        let peer = self.me ^ self.dist;
+        let t = tag_seg(4, self.step, 0);
+        Some(if self.recv_pending {
+            Op::Recv {
+                from: peer,
+                tag: t,
+                win: (0, self.n),
+                act: RecvAct::FoldIntoBuf,
+                then: Disposal::Release,
+            }
+        } else {
+            Op::Send {
+                to: peer,
+                tag: t,
+                win: (0, self.n),
+            }
+        })
+    }
+
+    fn advance(&mut self) {
+        if self.recv_pending {
+            self.recv_pending = false;
+            self.dist <<= 1;
+            self.step += 1;
+        } else {
+            self.recv_pending = true;
+        }
+    }
+}
+
+/// Rabenseifner allreduce: recursive-halving reduce-scatter (id 5) then
+/// recursive-doubling allgather (id 6). The step counter runs continuously
+/// across the phase boundary — the doubling phase's first tag is
+/// `tag(6, log2 p)` — exactly as the historical implementation numbered it.
+pub(crate) struct RabenseifnerSchedule {
+    p: usize,
+    me: usize,
+    lo: usize,
+    hi: usize,
+    dist: usize,
+    step: usize,
+    halving: bool,
+    recv_pending: bool,
+}
+
+impl RabenseifnerSchedule {
+    pub(crate) fn new(p: usize, me: usize, n: usize) -> Self {
+        assert!(p.is_power_of_two(), "rabenseifner needs power-of-two world");
+        assert!(
+            n.is_multiple_of(p),
+            "buffer length must be divisible by world size"
+        );
+        RabenseifnerSchedule {
+            p,
+            me,
+            lo: 0,
+            hi: n,
+            // p == 1 starts (and therefore ends) in the doubling phase.
+            dist: if p == 1 { 1 } else { p / 2 },
+            step: 0,
+            halving: p > 1,
+            recv_pending: false,
+        }
+    }
+
+    /// The halving step's window split: `(keep, send)` halves of `[lo, hi)`.
+    fn halves(&self) -> ((usize, usize), (usize, usize)) {
+        let mid = self.lo + (self.hi - self.lo) / 2;
+        if self.me & self.dist == 0 {
+            ((self.lo, mid), (mid, self.hi))
+        } else {
+            ((mid, self.hi), (self.lo, mid))
+        }
+    }
+
+    /// The doubling step's peer window (the mirror of ours at this level).
+    fn peer_window(&self) -> (usize, usize) {
+        let window = self.hi - self.lo;
+        if self.me & self.dist == 0 {
+            (self.lo + window, self.hi + window)
+        } else {
+            (self.lo - window, self.hi - window)
+        }
+    }
+}
+
+impl Schedule for RabenseifnerSchedule {
+    fn current(&self) -> Option<Op> {
+        if self.halving {
+            let peer = self.me ^ self.dist;
+            let t = tag_seg(5, self.step, 0);
+            let (keep, send) = self.halves();
+            Some(if self.recv_pending {
+                Op::Recv {
+                    from: peer,
+                    tag: t,
+                    win: keep,
+                    act: RecvAct::FoldIntoBuf,
+                    then: Disposal::Release,
+                }
+            } else {
+                Op::Send {
+                    to: peer,
+                    tag: t,
+                    win: send,
+                }
+            })
+        } else {
+            if self.dist >= self.p {
+                return None;
+            }
+            let peer = self.me ^ self.dist;
+            let t = tag_seg(6, self.step, 0);
+            Some(if self.recv_pending {
+                Op::Recv {
+                    from: peer,
+                    tag: t,
+                    win: self.peer_window(),
+                    act: RecvAct::Copy,
+                    then: Disposal::Release,
+                }
+            } else {
+                Op::Send {
+                    to: peer,
+                    tag: t,
+                    win: (self.lo, self.hi),
+                }
+            })
+        }
+    }
+
+    fn advance(&mut self) {
+        if !self.recv_pending {
+            self.recv_pending = true;
+            return;
+        }
+        self.recv_pending = false;
+        self.step += 1;
+        if self.halving {
+            let (keep, _) = self.halves();
+            (self.lo, self.hi) = keep;
+            self.dist /= 2;
+            if self.dist == 0 {
+                self.halving = false;
+                self.dist = 1;
+            }
+        } else {
+            let (plo, phi) = self.peer_window();
+            self.lo = self.lo.min(plo);
+            self.hi = self.hi.max(phi);
+            self.dist <<= 1;
+        }
+    }
+}
+
+/// Cursor of a [`BroadcastSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BcastState {
+    /// Waiting for the parent's message at tree edge `mask`.
+    Recv {
+        mask: usize,
+    },
+    /// Sending to the child at tree edge `mask` (descending masks).
+    Send {
+        mask: usize,
+    },
+    Done,
+}
+
+/// Binomial-tree broadcast over a fixed-size buffer (`binomial_broadcast_into`,
+/// historical id 9; the tree allreduce reuses it with its own id). A rank
+/// receives at its lowest set (virtual-rank) bit, then forwards to children
+/// at all smaller masks.
+pub(crate) struct BroadcastSchedule {
+    p: usize,
+    root: usize,
+    vrank: usize,
+    n: usize,
+    tag_id: u64,
+    state: BcastState,
+}
+
+impl BroadcastSchedule {
+    pub(crate) fn new(p: usize, me: usize, n: usize, root: usize, tag_id: u64) -> Self {
+        let vrank = (me + p - root) % p;
+        let state = if p == 1 {
+            BcastState::Done
+        } else if vrank == 0 {
+            // Root: start sending at the largest tree edge below p.
+            let mut mask = 1usize;
+            while mask < p {
+                mask <<= 1;
+            }
+            BcastState::Send { mask: mask >> 1 }
+        } else {
+            BcastState::Recv {
+                mask: vrank & vrank.wrapping_neg(), // lowest set bit
+            }
+        };
+        let mut s = BroadcastSchedule {
+            p,
+            root,
+            vrank,
+            n,
+            tag_id,
+            state,
+        };
+        s.normalize();
+        s
+    }
+
+    /// Skip send edges whose child falls outside the world.
+    fn normalize(&mut self) {
+        while let BcastState::Send { mask } = self.state {
+            if mask == 0 {
+                self.state = BcastState::Done;
+            } else if self.vrank + mask < self.p {
+                return;
+            } else {
+                self.state = BcastState::Send { mask: mask >> 1 };
+            }
+        }
+    }
+}
+
+impl Schedule for BroadcastSchedule {
+    fn current(&self) -> Option<Op> {
+        match self.state {
+            BcastState::Done => None,
+            BcastState::Recv { mask } => {
+                let parent = (self.vrank - mask + self.root) % self.p;
+                Some(Op::Recv {
+                    from: parent,
+                    tag: tag_seg(self.tag_id, mask.trailing_zeros() as usize, 0),
+                    win: (0, self.n),
+                    act: RecvAct::Copy,
+                    then: Disposal::Release,
+                })
+            }
+            BcastState::Send { mask } => {
+                let child = (self.vrank + mask + self.root) % self.p;
+                Some(Op::Send {
+                    to: child,
+                    tag: tag_seg(self.tag_id, mask.trailing_zeros() as usize, 0),
+                    win: (0, self.n),
+                })
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        self.state = match self.state {
+            BcastState::Recv { mask } | BcastState::Send { mask } => {
+                BcastState::Send { mask: mask >> 1 }
+            }
+            BcastState::Done => BcastState::Done,
+        };
+        self.normalize();
+    }
+}
+
+/// Cursor of a [`ReduceSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RedState {
+    /// Receiving from the child at tree edge `mask` (ascending masks).
+    Recv {
+        mask: usize,
+    },
+    /// Sending the partial to the parent at tree edge `mask`, then done.
+    SendParent {
+        mask: usize,
+    },
+    Done,
+}
+
+/// Binomial-tree reduce to `root` (id 8): ascending masks; a rank folds in
+/// its children's partials, then sends its own to its parent and exits.
+pub(crate) struct ReduceSchedule {
+    p: usize,
+    root: usize,
+    vrank: usize,
+    n: usize,
+    state: RedState,
+}
+
+impl ReduceSchedule {
+    pub(crate) fn new(p: usize, me: usize, n: usize, root: usize) -> Self {
+        let vrank = (me + p - root) % p;
+        let mut s = ReduceSchedule {
+            p,
+            root,
+            vrank,
+            n,
+            state: if p == 1 {
+                RedState::Done
+            } else {
+                RedState::Recv { mask: 1 }
+            },
+        };
+        s.normalize();
+        s
+    }
+
+    /// Settle the cursor on the next real op: the parent send at this
+    /// rank's set bit, a child receive at a smaller mask, or done.
+    fn normalize(&mut self) {
+        while let RedState::Recv { mask } = self.state {
+            if mask >= self.p {
+                self.state = RedState::Done;
+            } else if self.vrank & mask != 0 {
+                self.state = RedState::SendParent { mask };
+            } else if self.vrank + mask < self.p {
+                return;
+            } else {
+                self.state = RedState::Recv { mask: mask << 1 };
+            }
+        }
+    }
+}
+
+impl Schedule for ReduceSchedule {
+    fn current(&self) -> Option<Op> {
+        match self.state {
+            RedState::Done => None,
+            RedState::Recv { mask } => {
+                let child = (self.vrank + mask + self.root) % self.p;
+                Some(Op::Recv {
+                    from: child,
+                    tag: tag_seg(8, mask.trailing_zeros() as usize, 0),
+                    win: (0, self.n),
+                    act: RecvAct::FoldIntoBuf,
+                    then: Disposal::Release,
+                })
+            }
+            RedState::SendParent { mask } => {
+                let parent = ((self.vrank & !mask) + self.root) % self.p;
+                Some(Op::Send {
+                    to: parent,
+                    tag: tag_seg(8, mask.trailing_zeros() as usize, 0),
+                    win: (0, self.n),
+                })
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        self.state = match self.state {
+            RedState::Recv { mask } => RedState::Recv { mask: mask << 1 },
+            RedState::SendParent { .. } | RedState::Done => RedState::Done,
+        };
+        self.normalize();
+    }
+}
+
+/// Cursor of a [`HierarchicalSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HState {
+    /// Member: send the local buffer up to the group leader.
+    SendUp,
+    /// Member: receive the result back from the leader.
+    RecvDown,
+    /// Leader: fold in lane `l`'s contribution.
+    RecvUp {
+        l: usize,
+    },
+    /// Leader ring reduce-scatter step `s` (send half, then recv half).
+    Rs {
+        s: usize,
+        recv: bool,
+    },
+    /// Leader ring allgather step `s`.
+    Ag {
+        s: usize,
+        recv: bool,
+    },
+    /// Leader: broadcast the result down to lane `l`.
+    SendDown {
+        l: usize,
+    },
+    Done,
+}
+
+/// Two-level allreduce (ids 13–16) mirroring Summit's NVLink-inside,
+/// InfiniBand-between structure: linear reduce to each group leader, ring
+/// reduce-scatter + allgather over the leaders (chunked by group id), then
+/// linear broadcast back into each group. All ops are unconditional — empty
+/// chunk windows still send empty messages, like the historical code.
+pub(crate) struct HierarchicalSchedule {
+    n: usize,
+    group_size: usize,
+    groups: usize,
+    gid: usize,
+    leader: usize,
+    lane: usize,
+    right_leader: usize,
+    left_leader: usize,
+    state: HState,
+}
+
+impl HierarchicalSchedule {
+    pub(crate) fn new(p: usize, me: usize, n: usize, group_size: usize) -> Self {
+        assert!(
+            group_size > 0 && p.is_multiple_of(group_size),
+            "world must tile into groups"
+        );
+        let leader = me - me % group_size;
+        let lane = me - leader;
+        let groups = p / group_size;
+        let gid = me / group_size;
+        let mut s = HierarchicalSchedule {
+            n,
+            group_size,
+            groups,
+            gid,
+            leader,
+            lane,
+            right_leader: ((gid + 1) % groups) * group_size,
+            left_leader: ((gid + groups - 1) % groups) * group_size,
+            state: if lane == 0 {
+                HState::RecvUp { l: 1 }
+            } else {
+                HState::SendUp
+            },
+        };
+        s.normalize();
+        s
+    }
+
+    /// Leader-ring chunk bounds: the buffer partitioned over the *groups*.
+    fn gbounds(&self, chunk: usize) -> (usize, usize) {
+        chunk_bounds(self.n, self.groups, chunk)
+    }
+
+    /// Settle the cursor on the next real op, skipping phases this rank
+    /// does not participate in (single-member groups, single-group worlds).
+    fn normalize(&mut self) {
+        loop {
+            match self.state {
+                HState::RecvUp { l } if l >= self.group_size => {
+                    self.state = if self.groups > 1 {
+                        HState::Rs { s: 0, recv: false }
+                    } else {
+                        HState::SendDown { l: 1 }
+                    };
+                }
+                HState::Rs { s, .. } if s >= self.groups - 1 => {
+                    self.state = HState::Ag { s: 0, recv: false };
+                }
+                HState::Ag { s, .. } if s >= self.groups - 1 => {
+                    self.state = HState::SendDown { l: 1 };
+                }
+                HState::SendDown { l } if l >= self.group_size => {
+                    self.state = HState::Done;
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+impl Schedule for HierarchicalSchedule {
+    fn current(&self) -> Option<Op> {
+        let full = (0, self.n);
+        match self.state {
+            HState::Done => None,
+            HState::SendUp => Some(Op::Send {
+                to: self.leader,
+                tag: tag_seg(13, self.lane, 0),
+                win: full,
+            }),
+            HState::RecvDown => Some(Op::Recv {
+                from: self.leader,
+                tag: tag_seg(16, self.lane, 0),
+                win: full,
+                act: RecvAct::Copy,
+                then: Disposal::Release,
+            }),
+            HState::RecvUp { l } => Some(Op::Recv {
+                from: self.leader + l,
+                tag: tag_seg(13, l, 0),
+                win: full,
+                act: RecvAct::FoldIntoBuf,
+                then: Disposal::Release,
+            }),
+            HState::Rs { s, recv: false } => Some(Op::Send {
+                to: self.right_leader,
+                tag: tag_seg(14, s, 0),
+                win: self.gbounds((self.gid + self.groups - s) % self.groups),
+            }),
+            HState::Rs { s, recv: true } => Some(Op::Recv {
+                from: self.left_leader,
+                tag: tag_seg(14, s, 0),
+                win: self.gbounds((self.gid + self.groups - s - 1) % self.groups),
+                act: RecvAct::FoldIntoBuf,
+                then: Disposal::Release,
+            }),
+            HState::Ag { s, recv: false } => Some(Op::Send {
+                to: self.right_leader,
+                tag: tag_seg(15, s, 0),
+                win: self.gbounds((self.gid + 1 + self.groups - s) % self.groups),
+            }),
+            HState::Ag { s, recv: true } => Some(Op::Recv {
+                from: self.left_leader,
+                tag: tag_seg(15, s, 0),
+                win: self.gbounds((self.gid + self.groups - s) % self.groups),
+                act: RecvAct::Copy,
+                then: Disposal::Release,
+            }),
+            HState::SendDown { l } => Some(Op::Send {
+                to: self.leader + l,
+                tag: tag_seg(16, l, 0),
+                win: full,
+            }),
+        }
+    }
+
+    fn advance(&mut self) {
+        self.state = match self.state {
+            HState::SendUp => HState::RecvDown,
+            HState::RecvDown => HState::Done,
+            HState::RecvUp { l } => HState::RecvUp { l: l + 1 },
+            HState::Rs { s, recv: false } => HState::Rs { s, recv: true },
+            HState::Rs { s, recv: true } => HState::Rs {
+                s: s + 1,
+                recv: false,
+            },
+            HState::Ag { s, recv: false } => HState::Ag { s, recv: true },
+            HState::Ag { s, recv: true } => HState::Ag {
+                s: s + 1,
+                recv: false,
+            },
+            HState::SendDown { l } => HState::SendDown { l: l + 1 },
+            HState::Done => HState::Done,
+        };
+        self.normalize();
+    }
+}
+
+/// Personalized all-to-all (id 10) over owned slot vectors: pairwise
+/// exchange (`peer = me ^ s`) for power-of-two worlds, the shifted-ring
+/// schedule (`send to me+s, recv from me-s`) otherwise.
+///
+/// Uses a `2p`-entry slot array: sends draw from `slots[0..p]` (the
+/// outgoing buffers) and receives land in `slots[p..2p]`, because on the
+/// shifted-ring schedule step `p - s` sends to the rank step `s` received
+/// from — in-place slots would send received data instead of this rank's
+/// contribution. Slot `me` is left for the wrapper to move across.
+pub(crate) struct AlltoallSchedule {
+    p: usize,
+    me: usize,
+    s: usize,
+    recv_pending: bool,
+}
+
+impl AlltoallSchedule {
+    pub(crate) fn new(p: usize, me: usize) -> Self {
+        AlltoallSchedule {
+            p,
+            me,
+            s: 1,
+            recv_pending: false,
+        }
+    }
+}
+
+impl Schedule for AlltoallSchedule {
+    fn current(&self) -> Option<Op> {
+        if self.s >= self.p {
+            return None;
+        }
+        let t = tag_seg(10, self.s, 0);
+        Some(if self.p.is_power_of_two() {
+            let peer = self.me ^ self.s;
+            if self.recv_pending {
+                Op::RecvSlot {
+                    from: peer,
+                    tag: t,
+                    slot: self.p + peer,
+                }
+            } else {
+                Op::SendSlot {
+                    to: peer,
+                    tag: t,
+                    slot: peer,
+                }
+            }
+        } else if self.recv_pending {
+            let from = (self.me + self.p - self.s) % self.p;
+            Op::RecvSlot {
+                from,
+                tag: t,
+                slot: self.p + from,
+            }
+        } else {
+            let to = (self.me + self.s) % self.p;
+            Op::SendSlot {
+                to,
+                tag: t,
+                slot: to,
+            }
+        })
+    }
+
+    fn advance(&mut self) {
+        if self.recv_pending {
+            self.recv_pending = false;
+            self.s += 1;
+        } else {
+            self.recv_pending = true;
+        }
+    }
+}
+
+/// Scatter from `root` (id 11): the root sends slot `dst` to each rank in
+/// ascending order; every other rank receives its own slot.
+pub(crate) struct ScatterSchedule {
+    p: usize,
+    me: usize,
+    root: usize,
+    /// Root: next destination; non-root: 0 = pending receive, `p` = done.
+    cursor: usize,
+}
+
+impl ScatterSchedule {
+    pub(crate) fn new(p: usize, me: usize, root: usize) -> Self {
+        let mut s = ScatterSchedule {
+            p,
+            me,
+            root,
+            cursor: 0,
+        };
+        s.skip_root();
+        s
+    }
+
+    fn skip_root(&mut self) {
+        if self.me == self.root && self.cursor == self.root {
+            self.cursor += 1;
+        }
+    }
+}
+
+impl Schedule for ScatterSchedule {
+    fn current(&self) -> Option<Op> {
+        if self.me == self.root {
+            (self.cursor < self.p).then_some(Op::SendSlot {
+                to: self.cursor,
+                tag: tag_seg(11, self.cursor, 0),
+                slot: self.cursor,
+            })
+        } else {
+            (self.cursor == 0).then_some(Op::RecvSlot {
+                from: self.root,
+                tag: tag_seg(11, self.me, 0),
+                slot: self.me,
+            })
+        }
+    }
+
+    fn advance(&mut self) {
+        self.cursor = if self.me == self.root {
+            self.cursor + 1
+        } else {
+            self.p
+        };
+        self.skip_root();
+    }
+}
+
+/// Gather to `root` (id 12): every rank sends its slot to the root, which
+/// receives them in ascending source order.
+pub(crate) struct GatherSchedule {
+    p: usize,
+    me: usize,
+    root: usize,
+    /// Root: next source; non-root: 0 = pending send, `p` = done.
+    cursor: usize,
+}
+
+impl GatherSchedule {
+    pub(crate) fn new(p: usize, me: usize, root: usize) -> Self {
+        let mut s = GatherSchedule {
+            p,
+            me,
+            root,
+            cursor: 0,
+        };
+        s.skip_root();
+        s
+    }
+
+    fn skip_root(&mut self) {
+        if self.me == self.root && self.cursor == self.root {
+            self.cursor += 1;
+        }
+    }
+}
+
+impl Schedule for GatherSchedule {
+    fn current(&self) -> Option<Op> {
+        if self.me == self.root {
+            (self.cursor < self.p).then_some(Op::RecvSlot {
+                from: self.cursor,
+                tag: tag_seg(12, self.cursor, 0),
+                slot: self.cursor,
+            })
+        } else {
+            (self.cursor == 0).then_some(Op::SendSlot {
+                to: self.root,
+                tag: tag_seg(12, self.me, 0),
+                slot: self.me,
+            })
+        }
+    }
+
+    fn advance(&mut self) {
+        self.cursor = if self.me == self.root {
+            self.cursor + 1
+        } else {
+            self.p
+        };
+        self.skip_root();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Modeled surface: the same schedules against per-rank virtual clocks.
+
+/// Which collective to run on the model transport. Mirrors the executable
+/// entry points one to one; `elems` in [`simulate`] plays the role each
+/// wrapper's buffer length plays (per-slot length for the personalized
+/// collectives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collective {
+    /// `ring_allreduce_bucketed` (use `usize::MAX` for the flat path).
+    RingAllreduce { bucket_elems: usize },
+    /// `reduce_scatter`.
+    ReduceScatter,
+    /// `ring_allgather`.
+    RingAllgather,
+    /// `recursive_doubling_allreduce` (power-of-two worlds only).
+    RecursiveDoubling,
+    /// `rabenseifner_allreduce` (power-of-two worlds, `p | elems`).
+    Rabenseifner,
+    /// `binomial_broadcast_into`.
+    BinomialBroadcast { root: usize },
+    /// `binomial_reduce`.
+    BinomialReduce { root: usize },
+    /// `tree_allreduce` (reduce to 0 then broadcast from 0).
+    TreeAllreduce,
+    /// `hierarchical_allreduce`.
+    HierarchicalAllreduce { group_size: usize },
+    /// `alltoall` with `elems` elements per destination.
+    Alltoall,
+    /// `scatter` with `elems` elements per chunk.
+    Scatter { root: usize },
+    /// `gather` with `elems` elements per rank.
+    Gather { root: usize },
+}
+
+/// Result of a modeled run: per-rank counters and virtual completion times.
+///
+/// `per_rank_messages` / `per_rank_bytes` count exactly what each rank's
+/// executed twin would send (including zero-length messages and forwarded
+/// ring payloads), so they can be compared for strict equality against
+/// [`Rank::traffic`](crate::world::Rank::traffic) counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelReport {
+    /// Messages sent by each rank.
+    pub per_rank_messages: Vec<u64>,
+    /// Payload bytes sent by each rank (4 bytes per f32 element).
+    pub per_rank_bytes: Vec<u64>,
+    /// Virtual clock of each rank at its last operation, in seconds.
+    pub per_rank_seconds: Vec<f64>,
+    /// Predicted collective completion time: the maximum per-rank clock.
+    pub time_seconds: f64,
+}
+
+impl ModelReport {
+    /// Total messages across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.per_rank_messages.iter().sum()
+    }
+
+    /// Total payload bytes across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_rank_bytes.iter().sum()
+    }
+}
+
+/// The per-rank schedule chain of a collective (multi-phase collectives,
+/// like the tree allreduce, run their phases back to back).
+fn phases(c: Collective, p: usize, me: usize, elems: usize) -> Vec<Box<dyn Schedule>> {
+    match c {
+        Collective::RingAllreduce { bucket_elems } => vec![Box::new(RingSchedule::allreduce(
+            p,
+            me,
+            elems,
+            bucket_elems.max(1),
+        ))],
+        Collective::ReduceScatter => vec![Box::new(RingSchedule::reduce_scatter(p, me, elems))],
+        Collective::RingAllgather => vec![Box::new(RingSchedule::allgather(p, me, elems))],
+        Collective::RecursiveDoubling => vec![Box::new(RdSchedule::new(p, me, elems))],
+        Collective::Rabenseifner => vec![Box::new(RabenseifnerSchedule::new(p, me, elems))],
+        Collective::BinomialBroadcast { root } => {
+            vec![Box::new(BroadcastSchedule::new(p, me, elems, root, 9))]
+        }
+        Collective::BinomialReduce { root } => {
+            vec![Box::new(ReduceSchedule::new(p, me, elems, root))]
+        }
+        Collective::TreeAllreduce => vec![
+            Box::new(ReduceSchedule::new(p, me, elems, 0)),
+            Box::new(BroadcastSchedule::new(p, me, elems, 0, 9)),
+        ],
+        Collective::HierarchicalAllreduce { group_size } => {
+            vec![Box::new(HierarchicalSchedule::new(
+                p, me, elems, group_size,
+            ))]
+        }
+        Collective::Alltoall => vec![Box::new(AlltoallSchedule::new(p, me))],
+        Collective::Scatter { root } => vec![Box::new(ScatterSchedule::new(p, me, root))],
+        Collective::Gather { root } => vec![Box::new(GatherSchedule::new(p, me, root))],
+    }
+}
+
+/// Initial slot lengths for the personalized collectives (empty for the
+/// windowed ones).
+fn slots_for(c: Collective, p: usize, me: usize, elems: usize) -> Vec<usize> {
+    match c {
+        Collective::Alltoall => {
+            // Send half populated, receive half empty (see AlltoallSchedule).
+            let mut v = vec![elems; p];
+            v.extend(std::iter::repeat_n(0, p));
+            v
+        }
+        Collective::Scatter { root } => {
+            if me == root {
+                vec![elems; p]
+            } else {
+                vec![0; p]
+            }
+        }
+        Collective::Gather { .. } => {
+            let mut v = vec![0; p];
+            v[me] = elems;
+            v
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// In-flight modeled messages keyed `(from, to, tag)`, each a FIFO of
+/// `(payload elements, ready time)` pairs.
+type InFlight = HashMap<(usize, usize, u64), VecDeque<(usize, f64)>>;
+
+/// Run a collective's schedule against the model transport: no bytes move;
+/// each rank advances a virtual clock under the α–β `link` cost
+/// (`transfer_time = α + bytes/β` per message, fire-and-forget sends,
+/// receives completing at `max(local clock, message ready time)`).
+///
+/// Because the model executes the *same* [`Schedule`] the real transport
+/// executes, the reported per-rank message and byte counters equal the
+/// executed collective's counters exactly — the property
+/// `model_vs_execution` pins — and the predicted times reproduce the
+/// closed-form α–β collective models for the uniform cases they cover.
+///
+/// # Panics
+/// Panics if `p == 0`, on each algorithm's own world-shape requirements,
+/// or if the schedules deadlock (a schedule bug, not a data condition).
+pub fn simulate(collective: Collective, p: usize, elems: usize, link: LinkModel) -> ModelReport {
+    assert!(p > 0, "world size must be positive");
+    let mut scheds: Vec<Vec<Box<dyn Schedule>>> =
+        (0..p).map(|me| phases(collective, p, me, elems)).collect();
+    let mut slot_len: Vec<Vec<usize>> = (0..p)
+        .map(|me| slots_for(collective, p, me, elems))
+        .collect();
+    let mut clock = vec![0.0f64; p];
+    let mut messages = vec![0u64; p];
+    let mut bytes = vec![0u64; p];
+    // In-flight messages keyed (from, to, tag); per-key FIFO order matches
+    // the channel transport's per-(source, tag) ordering guarantee.
+    let mut in_flight: InFlight = HashMap::new();
+
+    // A send is fire-and-forget: the sender's clock does not advance (the
+    // textbook α–β models charge the transfer to the critical path through
+    // the receiver), the message becomes receivable at `clock + α + m/β`.
+    let post = |me: usize,
+                to: usize,
+                tag: u64,
+                len: usize,
+                clock: &[f64],
+                messages: &mut [u64],
+                bytes: &mut [u64],
+                in_flight: &mut InFlight| {
+        let ready = clock[me] + link.transfer_time((len * 4) as f64);
+        in_flight
+            .entry((me, to, tag))
+            .or_default()
+            .push_back((len, ready));
+        messages[me] += 1;
+        bytes[me] += (len * 4) as u64;
+    };
+
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for me in 0..p {
+            while let Some(sched) = scheds[me].first_mut() {
+                let Some(op) = sched.current() else {
+                    scheds[me].remove(0);
+                    continue;
+                };
+                match op {
+                    Op::Send { to, tag, win } => {
+                        post(
+                            me,
+                            to,
+                            tag,
+                            win.1 - win.0,
+                            &clock,
+                            &mut messages,
+                            &mut bytes,
+                            &mut in_flight,
+                        );
+                    }
+                    Op::SendSlot { to, tag, slot } => {
+                        let len = std::mem::take(&mut slot_len[me][slot]);
+                        post(
+                            me,
+                            to,
+                            tag,
+                            len,
+                            &clock,
+                            &mut messages,
+                            &mut bytes,
+                            &mut in_flight,
+                        );
+                    }
+                    Op::Recv {
+                        from, tag, then, ..
+                    } => {
+                        let Some((len, ready)) = in_flight
+                            .get_mut(&(from, me, tag))
+                            .and_then(VecDeque::pop_front)
+                        else {
+                            break; // blocked on a message not yet posted
+                        };
+                        clock[me] = clock[me].max(ready);
+                        if let Disposal::Forward { to, tag } = then {
+                            post(
+                                me,
+                                to,
+                                tag,
+                                len,
+                                &clock,
+                                &mut messages,
+                                &mut bytes,
+                                &mut in_flight,
+                            );
+                        }
+                    }
+                    Op::RecvSlot { from, tag, slot } => {
+                        let Some((len, ready)) = in_flight
+                            .get_mut(&(from, me, tag))
+                            .and_then(VecDeque::pop_front)
+                        else {
+                            break;
+                        };
+                        clock[me] = clock[me].max(ready);
+                        slot_len[me][slot] = len;
+                    }
+                }
+                sched.advance();
+                progressed = true;
+            }
+            if !scheds[me].is_empty() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        assert!(
+            progressed,
+            "model transport deadlock: schedules stalled with ranks unfinished"
+        );
+    }
+
+    let time_seconds = clock.iter().copied().fold(0.0, f64::max);
+    ModelReport {
+        per_rank_messages: messages,
+        per_rank_bytes: bytes,
+        per_rank_seconds: clock,
+        time_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Algorithm, CollectiveModel};
+
+    fn link() -> LinkModel {
+        LinkModel::new(2.0e-6, 12.5e9)
+    }
+
+    /// The modeled run reproduces the closed-form α–β allreduce times
+    /// exactly for the uniform cases the closed forms describe (power-of-two
+    /// worlds, chunk-divisible buffers).
+    #[test]
+    fn simulated_times_match_closed_forms() {
+        let link = link();
+        let model = CollectiveModel::new(link);
+        let cases = [
+            (
+                Collective::RingAllreduce {
+                    bucket_elems: usize::MAX,
+                },
+                Algorithm::Ring,
+            ),
+            (Collective::RecursiveDoubling, Algorithm::RecursiveDoubling),
+            (Collective::Rabenseifner, Algorithm::Rabenseifner),
+            (Collective::TreeAllreduce, Algorithm::BinomialTree),
+        ];
+        for p in [2usize, 4, 8] {
+            // Divisible by every p and by 2^log2(p) halvings.
+            let elems = 64usize;
+            for (collective, alg) in cases {
+                let sim = simulate(collective, p, elems, link).time_seconds;
+                let closed = model.allreduce_time(alg, p as u64, (elems * 4) as f64);
+                assert!(
+                    (sim - closed).abs() <= 1e-9 * closed.max(1e-12),
+                    "{alg:?} p={p}: simulated {sim} vs closed form {closed}"
+                );
+            }
+        }
+    }
+
+    /// Ring traffic is exact even for uneven chunks: 2(p-1) · n elements
+    /// moved in total, one message per rank per step when no chunk is empty.
+    #[test]
+    fn simulated_ring_traffic_is_exact() {
+        let link = link();
+        for p in [2usize, 3, 4, 8] {
+            for n in [1usize, 5, 37, 96] {
+                let r = simulate(
+                    Collective::RingAllreduce {
+                        bucket_elems: usize::MAX,
+                    },
+                    p,
+                    n,
+                    link,
+                );
+                assert_eq!(r.total_bytes(), (4 * 2 * (p - 1) * n) as u64, "p={p} n={n}");
+                if n >= p {
+                    assert_eq!(r.total_messages(), (2 * (p - 1) * p) as u64);
+                }
+            }
+        }
+    }
+
+    /// Bucketing changes message counts but never byte volume.
+    #[test]
+    fn simulated_bucketing_preserves_bytes() {
+        let link = link();
+        let (p, n) = (4usize, 37usize);
+        let flat = simulate(
+            Collective::RingAllreduce {
+                bucket_elems: usize::MAX,
+            },
+            p,
+            n,
+            link,
+        );
+        for bucket in [1usize, 3, 8] {
+            let b = simulate(
+                Collective::RingAllreduce {
+                    bucket_elems: bucket,
+                },
+                p,
+                n,
+                link,
+            );
+            assert_eq!(b.total_bytes(), flat.total_bytes(), "bucket={bucket}");
+            assert!(b.total_messages() >= flat.total_messages());
+        }
+    }
+
+    /// A binomial broadcast sends exactly p - 1 messages of the full buffer.
+    #[test]
+    fn simulated_broadcast_counts() {
+        let link = link();
+        for p in [2usize, 3, 4, 7, 8] {
+            let r = simulate(Collective::BinomialBroadcast { root: 0 }, p, 10, link);
+            assert_eq!(r.total_messages(), (p - 1) as u64, "p={p}");
+            assert_eq!(r.total_bytes(), (4 * 10 * (p - 1)) as u64, "p={p}");
+        }
+    }
+
+    /// Every personalized collective moves the volume its pattern implies.
+    #[test]
+    fn simulated_personalized_counts() {
+        let link = link();
+        for p in [2usize, 3, 4, 8] {
+            let a2a = simulate(Collective::Alltoall, p, 6, link);
+            assert_eq!(a2a.total_messages(), (p * (p - 1)) as u64, "alltoall p={p}");
+            assert_eq!(a2a.total_bytes(), (4 * 6 * p * (p - 1)) as u64);
+            let sc = simulate(Collective::Scatter { root: 1 % p }, p, 6, link);
+            assert_eq!(sc.total_messages(), (p - 1) as u64, "scatter p={p}");
+            let ga = simulate(Collective::Gather { root: 1 % p }, p, 6, link);
+            assert_eq!(ga.total_messages(), (p - 1) as u64, "gather p={p}");
+            assert_eq!(ga.total_bytes(), (4 * 6 * (p - 1)) as u64);
+        }
+    }
+
+    /// A single-rank world is free on every collective.
+    #[test]
+    fn single_rank_world_is_free() {
+        let link = link();
+        for c in [
+            Collective::RingAllreduce { bucket_elems: 8 },
+            Collective::ReduceScatter,
+            Collective::RingAllgather,
+            Collective::RecursiveDoubling,
+            Collective::Rabenseifner,
+            Collective::BinomialBroadcast { root: 0 },
+            Collective::BinomialReduce { root: 0 },
+            Collective::TreeAllreduce,
+            Collective::HierarchicalAllreduce { group_size: 1 },
+            Collective::Alltoall,
+            Collective::Scatter { root: 0 },
+            Collective::Gather { root: 0 },
+        ] {
+            let r = simulate(c, 1, 16, link);
+            assert_eq!(r.total_messages(), 0, "{c:?}");
+            assert_eq!(r.total_bytes(), 0, "{c:?}");
+            assert_eq!(r.time_seconds, 0.0, "{c:?}");
+        }
+    }
+
+    /// The hierarchical model's leaders exchange chunked windows; total
+    /// bytes are the two linear phases plus the leader ring.
+    #[test]
+    fn simulated_hierarchical_counts() {
+        let link = link();
+        let (p, g, n) = (6usize, 3usize, 12usize);
+        let r = simulate(
+            Collective::HierarchicalAllreduce { group_size: g },
+            p,
+            n,
+            link,
+        );
+        let groups = p / g;
+        // Linear up + down: 2 (g - 1) full-buffer messages per group.
+        let linear = (2 * (g - 1) * groups * n) as u64;
+        // Leader ring: 2 (groups - 1) steps moving n / groups each, per leader.
+        let ring = (2 * (groups - 1) * groups * (n / groups)) as u64;
+        assert_eq!(r.total_bytes(), 4 * (linear + ring));
+    }
+}

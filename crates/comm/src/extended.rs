@@ -1,45 +1,89 @@
 //! Extended collectives: personalized all-to-all, scatter/gather, and the
 //! hierarchical (two-level) allreduce that mirrors Summit's NVLink-inside,
 //! InfiniBand-between structure.
+//!
+//! Like the core set in [`crate::collectives`], each pattern is defined once
+//! as an engine schedule ([`crate::engine`]) and surfaced here as a blocking
+//! wrapper plus a deadline-bounded `try_` twin, so the extended collectives
+//! get `FaultPlan` coverage and modeled ([`crate::engine::simulate`]) twins
+//! for free.
 
-use crate::collectives::{binomial_broadcast, ring_allreduce, ReduceOp};
+use std::time::{Duration, Instant};
+
+use crate::collectives::{binomial_broadcast_into, ring_allreduce, ReduceOp};
+use crate::engine::{
+    drive_blocking, drive_checked, AlltoallSchedule, GatherSchedule, HierarchicalSchedule,
+    ScatterSchedule,
+};
+use crate::faults::CommError;
 use crate::world::Rank;
 
-fn tag(collective: u64, step: usize) -> u64 {
-    (collective << 32) | step as u64
+/// Set up the all-to-all slot array: send buffers in `0..p`, received
+/// buffers land in `p..2p`; this rank's own contribution moves straight
+/// across.
+fn alltoall_slots(rank: &Rank, send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let p = rank.size();
+    assert_eq!(send.len(), p, "alltoall needs one buffer per rank");
+    let mut slots = send;
+    slots.extend((0..p).map(|_| Vec::new()));
+    slots[p + rank.id()] = std::mem::take(&mut slots[rank.id()]);
+    slots
 }
 
 /// Personalized all-to-all: rank i sends `send[j]` to rank j and receives
 /// rank j's `send[i]`. Returns the received buffers indexed by source.
 ///
+/// Pairwise-exchange schedule (`peer = me ^ s`) for power-of-two worlds,
+/// shifted-ring schedule otherwise; this rank's own contribution stays in
+/// place.
+///
 /// # Panics
 /// Panics if `send.len() != world size`.
 pub fn alltoall(rank: &Rank, send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let mut slots = alltoall_slots(rank, send);
+    let mut sched = AlltoallSchedule::new(rank.size(), rank.id());
+    drive_blocking(rank, &mut [], &mut slots, ReduceOp::Sum, &mut sched);
+    slots.split_off(rank.size())
+}
+
+/// Timeout-aware [`alltoall`]. On error the exchange is torn mid-flight and
+/// the send buffers are lost with it.
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+///
+/// # Panics
+/// Panics on the conditions of [`alltoall`].
+pub fn try_alltoall(
+    rank: &Rank,
+    send: Vec<Vec<f32>>,
+    timeout: Duration,
+) -> Result<Vec<Vec<f32>>, CommError> {
+    let mut slots = alltoall_slots(rank, send);
+    rank.poll_fault_kill()?;
+    let mut sched = AlltoallSchedule::new(rank.size(), rank.id());
+    drive_checked(
+        rank,
+        &mut [],
+        &mut slots,
+        ReduceOp::Sum,
+        &mut sched,
+        Some(Instant::now() + timeout),
+    )?;
+    Ok(slots.split_off(rank.size()))
+}
+
+/// Set up the scatter slot array: the root's chunks, empty elsewhere.
+fn scatter_slots(rank: &Rank, chunks: Option<Vec<Vec<f32>>>, root: usize) -> Vec<Vec<f32>> {
     let p = rank.size();
-    assert_eq!(send.len(), p, "alltoall needs one buffer per rank");
-    let me = rank.id();
-    let mut recv: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
-    let mut send = send;
-    // Pairwise-exchange schedule: in step s, exchange with me ^ s when the
-    // world is a power of two; otherwise fall back to the shifted ring
-    // schedule (peer = (me + s) % p both ways).
-    if p.is_power_of_two() {
-        recv[me] = std::mem::take(&mut send[me]);
-        for s in 1..p {
-            let peer = me ^ s;
-            let payload = std::mem::take(&mut send[peer]);
-            recv[peer] = rank.send_recv(peer, peer, tag(10, s), payload);
-        }
+    if rank.id() == root {
+        let chunks = chunks.expect("root must provide chunks");
+        assert_eq!(chunks.len(), p, "scatter needs one chunk per rank");
+        chunks
     } else {
-        recv[me] = std::mem::take(&mut send[me]);
-        for s in 1..p {
-            let to = (me + s) % p;
-            let from = (me + p - s) % p;
-            rank.send(to, tag(10, s), std::mem::take(&mut send[to]));
-            recv[from] = rank.recv(from, tag(10, s));
-        }
+        assert!(chunks.is_none(), "non-root ranks pass None");
+        (0..p).map(|_| Vec::new()).collect()
     }
-    recv
 }
 
 /// Scatter: the root distributes `chunks[i]` to rank i. Returns this
@@ -49,117 +93,123 @@ pub fn alltoall(rank: &Rank, send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
 /// Panics if the root's `chunks` has the wrong length, or a non-root
 /// passes `Some`.
 pub fn scatter(rank: &Rank, chunks: Option<Vec<Vec<f32>>>, root: usize) -> Vec<f32> {
-    let p = rank.size();
-    if rank.id() == root {
-        let mut chunks = chunks.expect("root must provide chunks");
-        assert_eq!(chunks.len(), p, "scatter needs one chunk per rank");
-        for (dst, chunk) in chunks.iter_mut().enumerate() {
-            if dst != root {
-                rank.send(dst, tag(11, dst), std::mem::take(chunk));
-            }
-        }
-        std::mem::take(&mut chunks[root])
-    } else {
-        assert!(chunks.is_none(), "non-root ranks pass None");
-        rank.recv(root, tag(11, rank.id()))
-    }
+    let mut slots = scatter_slots(rank, chunks, root);
+    let mut sched = ScatterSchedule::new(rank.size(), rank.id(), root);
+    drive_blocking(rank, &mut [], &mut slots, ReduceOp::Sum, &mut sched);
+    std::mem::take(&mut slots[rank.id()])
+}
+
+/// Timeout-aware [`scatter`].
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+///
+/// # Panics
+/// Panics on the conditions of [`scatter`].
+pub fn try_scatter(
+    rank: &Rank,
+    chunks: Option<Vec<Vec<f32>>>,
+    root: usize,
+    timeout: Duration,
+) -> Result<Vec<f32>, CommError> {
+    let mut slots = scatter_slots(rank, chunks, root);
+    rank.poll_fault_kill()?;
+    let mut sched = ScatterSchedule::new(rank.size(), rank.id(), root);
+    drive_checked(
+        rank,
+        &mut [],
+        &mut slots,
+        ReduceOp::Sum,
+        &mut sched,
+        Some(Instant::now() + timeout),
+    )?;
+    Ok(std::mem::take(&mut slots[rank.id()]))
+}
+
+/// Set up the gather slot array: this rank's contribution in its own slot.
+fn gather_slots(rank: &Rank, data: Vec<f32>) -> Vec<Vec<f32>> {
+    let mut slots: Vec<Vec<f32>> = (0..rank.size()).map(|_| Vec::new()).collect();
+    slots[rank.id()] = data;
+    slots
 }
 
 /// Gather: every rank contributes `data`; the root returns all
 /// contributions indexed by rank, others return an empty vector.
-#[allow(clippy::needless_range_loop)] // skip-root loop over rank ids
 pub fn gather(rank: &Rank, data: Vec<f32>, root: usize) -> Vec<Vec<f32>> {
-    let p = rank.size();
+    let mut slots = gather_slots(rank, data);
+    let mut sched = GatherSchedule::new(rank.size(), rank.id(), root);
+    drive_blocking(rank, &mut [], &mut slots, ReduceOp::Sum, &mut sched);
     if rank.id() == root {
-        let mut out: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
-        out[root] = data;
-        for src in 0..p {
-            if src != root {
-                out[src] = rank.recv(src, tag(12, src));
-            }
-        }
-        out
+        slots
     } else {
-        rank.send(root, tag(12, rank.id()), data);
         Vec::new()
     }
 }
 
+/// Timeout-aware [`gather`].
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+pub fn try_gather(
+    rank: &Rank,
+    data: Vec<f32>,
+    root: usize,
+    timeout: Duration,
+) -> Result<Vec<Vec<f32>>, CommError> {
+    let mut slots = gather_slots(rank, data);
+    rank.poll_fault_kill()?;
+    let mut sched = GatherSchedule::new(rank.size(), rank.id(), root);
+    drive_checked(
+        rank,
+        &mut [],
+        &mut slots,
+        ReduceOp::Sum,
+        &mut sched,
+        Some(Instant::now() + timeout),
+    )?;
+    Ok(if rank.id() == root { slots } else { Vec::new() })
+}
+
 /// Two-level allreduce mirroring Summit's hierarchy: ranks are grouped
-/// into "nodes" of `group_size`; each group tree-reduces to its leader,
-/// leaders ring-allreduce among themselves, then each leader broadcasts
-/// back into its group. The result equals a flat allreduce.
+/// into "nodes" of `group_size`; each group linearly reduces to its leader
+/// (groups are small — the NVLink triplet/node — so a linear gather-reduce
+/// is what NCCL does), leaders ring reduce-scatter + allgather among
+/// themselves chunked by group id, then each leader broadcasts back into
+/// its group. The result equals a flat allreduce.
 ///
 /// # Panics
 /// Panics unless the world size is a multiple of `group_size`.
 pub fn hierarchical_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp, group_size: usize) {
-    let p = rank.size();
-    assert!(
-        group_size > 0 && p.is_multiple_of(group_size),
-        "world must tile into groups"
-    );
-    let me = rank.id();
-    let leader = me - me % group_size;
-    let lane = me - leader;
+    let mut sched = HierarchicalSchedule::new(rank.size(), rank.id(), buf.len(), group_size);
+    drive_blocking(rank, buf, &mut [], op, &mut sched);
+}
 
-    // Phase 1: linear reduce to the group leader (groups are small — the
-    // NVLink triplet/node — so a linear gather-reduce is what NCCL does).
-    if lane != 0 {
-        rank.send_from(leader, tag(13, lane), buf);
-    } else {
-        for l in 1..group_size {
-            rank.recv_with(leader + l, tag(13, l), |got| op.fold(buf, got));
-        }
-    }
-
-    // Phase 2: leaders allreduce over a ring of leaders. We reuse the flat
-    // ring by mapping leaders onto a virtual contiguous communicator: each
-    // leader exchanges with the next/previous leader directly.
-    if lane == 0 && p > group_size {
-        let groups = p / group_size;
-        let gid = me / group_size;
-        let right = ((gid + 1) % groups) * group_size;
-        let left = ((gid + groups - 1) % groups) * group_size;
-        // Reduce-scatter + allgather over leader ring, chunked by group id.
-        let n = buf.len();
-        let chunk_bounds = |chunk: usize| -> (usize, usize) {
-            let base = n / groups;
-            let extra = n % groups;
-            let start = chunk * base + chunk.min(extra);
-            (start, start + base + usize::from(chunk < extra))
-        };
-        for s in 0..groups - 1 {
-            let send_chunk = (gid + groups - s) % groups;
-            let recv_chunk = (gid + groups - s - 1) % groups;
-            let (src, dst) = crate::collectives::send_recv_windows(
-                buf,
-                chunk_bounds(send_chunk),
-                chunk_bounds(recv_chunk),
-            );
-            rank.send_from(right, tag(14, s), src);
-            rank.recv_with(left, tag(14, s), |got| op.fold(dst, got));
-        }
-        for s in 0..groups - 1 {
-            let send_chunk = (gid + 1 + groups - s) % groups;
-            let recv_chunk = (gid + groups - s) % groups;
-            let (src, dst) = crate::collectives::send_recv_windows(
-                buf,
-                chunk_bounds(send_chunk),
-                chunk_bounds(recv_chunk),
-            );
-            rank.send_from(right, tag(15, s), src);
-            rank.recv_into(left, tag(15, s), dst);
-        }
-    }
-
-    // Phase 3: leaders broadcast into their groups.
-    if lane == 0 {
-        for l in 1..group_size {
-            rank.send_from(leader + l, tag(16, l), buf);
-        }
-    } else {
-        rank.recv_into(leader, tag(16, lane), buf);
-    }
+/// Timeout-aware [`hierarchical_allreduce`]: same schedule under checked,
+/// deadline-bounded receives, so drop/corrupt/kill faults targeting any of
+/// its phases (tags 13–16) surface as [`CommError`] instead of hanging.
+///
+/// # Errors
+/// Any [`CommError`] surfaced by the checked receives or the kill poll.
+///
+/// # Panics
+/// Panics on the conditions of [`hierarchical_allreduce`].
+pub fn try_hierarchical_allreduce(
+    rank: &Rank,
+    buf: &mut [f32],
+    op: ReduceOp,
+    group_size: usize,
+    timeout: Duration,
+) -> Result<(), CommError> {
+    rank.poll_fault_kill()?;
+    let mut sched = HierarchicalSchedule::new(rank.size(), rank.id(), buf.len(), group_size);
+    drive_checked(
+        rank,
+        buf,
+        &mut [],
+        op,
+        &mut sched,
+        Some(Instant::now() + timeout),
+    )
 }
 
 /// Flat allreduce convenience wrapper choosing the hierarchical path when
@@ -172,31 +222,34 @@ pub fn auto_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp, group_size: us
     }
 }
 
-/// Broadcast re-export companion for the extended set (binomial tree).
-pub use crate::collectives::binomial_broadcast as broadcast;
+/// Broadcast companion for the extended set (binomial tree, fixed-size
+/// buffers — the `_into` surface).
+pub use crate::collectives::binomial_broadcast_into as broadcast;
 
 /// All-gather personalized payloads via gather + broadcast (convenience
 /// for small control-plane messages; bandwidth-optimal paths should use
 /// `ring_allgather`).
 pub fn gather_then_broadcast(rank: &Rank, data: Vec<f32>, root: usize) -> Vec<Vec<f32>> {
+    let p = rank.size();
     let gathered = gather(rank, data, root);
-    // Flatten with offsets so broadcast carries one buffer.
-    let (mut flat, mut header) = if rank.id() == root {
-        let mut flat = Vec::new();
-        let mut header = Vec::with_capacity(gathered.len() + 1);
-        header.push(gathered.len() as f32);
-        for g in &gathered {
-            header.push(g.len() as f32);
+    // Broadcast a fixed-size header (count + per-rank lengths — every rank
+    // knows p, so the header needs no growable buffer) and then the flat
+    // payload, sized from the header.
+    let mut header = vec![0.0f32; p + 1];
+    let mut flat = Vec::new();
+    if rank.id() == root {
+        header[0] = gathered.len() as f32;
+        for (h, g) in header[1..].iter_mut().zip(&gathered) {
+            *h = g.len() as f32;
         }
         for g in &gathered {
             flat.extend_from_slice(g);
         }
-        (flat, header)
-    } else {
-        (Vec::new(), Vec::new())
-    };
-    binomial_broadcast(rank, &mut header, root);
-    binomial_broadcast(rank, &mut flat, root);
+    }
+    binomial_broadcast_into(rank, &mut header, root);
+    let total: usize = header[1..].iter().map(|&l| l as usize).sum();
+    flat.resize(total, 0.0);
+    binomial_broadcast_into(rank, &mut flat, root);
     let count = header[0] as usize;
     let mut out = Vec::with_capacity(count);
     let mut off = 0usize;
@@ -321,5 +374,70 @@ mod tests {
             let mut buf = vec![0.0f32; 4];
             hierarchical_allreduce(rank, &mut buf, ReduceOp::Sum, 3);
         });
+    }
+
+    /// Every extended try_ twin runs the identical engine schedule, so a
+    /// fault-free checked run matches the blocking one exactly.
+    #[test]
+    fn try_twins_match_blocking() {
+        use std::time::Duration;
+        let t = Duration::from_secs(5);
+        for p in [2usize, 4, 6] {
+            let plain = World::run(p, |rank| {
+                let send: Vec<Vec<f32>> =
+                    (0..p).map(|j| vec![(rank.id() * p + j) as f32]).collect();
+                let a2a = alltoall(rank, send);
+                let chunks = (rank.id() == 0).then(|| (0..p).map(|i| vec![i as f32]).collect());
+                let sc = scatter(rank, chunks, 0);
+                let ga = gather(rank, vec![rank.id() as f32], 1 % p);
+                let mut h = vec![rank.id() as f32; 6];
+                hierarchical_allreduce(rank, &mut h, ReduceOp::Sum, 2.min(p));
+                (a2a, sc, ga, h)
+            });
+            let checked = World::run(p, |rank| {
+                let send: Vec<Vec<f32>> =
+                    (0..p).map(|j| vec![(rank.id() * p + j) as f32]).collect();
+                let a2a = try_alltoall(rank, send, t).unwrap();
+                let chunks = (rank.id() == 0).then(|| (0..p).map(|i| vec![i as f32]).collect());
+                let sc = try_scatter(rank, chunks, 0, t).unwrap();
+                let ga = try_gather(rank, vec![rank.id() as f32], 1 % p, t).unwrap();
+                let mut h = vec![rank.id() as f32; 6];
+                try_hierarchical_allreduce(rank, &mut h, ReduceOp::Sum, 2.min(p), t).unwrap();
+                (a2a, sc, ga, h)
+            });
+            for (a, b) in plain.iter().zip(&checked) {
+                assert_eq!(a.0, b.0, "alltoall p={p}");
+                assert_eq!(a.1, b.1, "scatter p={p}");
+                assert_eq!(a.2, b.2, "gather p={p}");
+                for (x, y) in a.3.iter().zip(&b.3) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "hierarchical p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_hierarchical_surfaces_dropped_leader_message() {
+        use crate::faults::{FaultPlan, TagClass};
+        use std::sync::Arc;
+        use std::time::Duration;
+        // Drop a leader-ring reduce-scatter message (tag id 14).
+        let plan = Arc::new(FaultPlan::empty().drop_message(0, 2, TagClass::Blocking(14), 0));
+        let (out, _) = World::run_with_faults(4, plan, |rank| {
+            let mut buf = vec![1.0f32; 8];
+            let res = try_hierarchical_allreduce(
+                rank,
+                &mut buf,
+                ReduceOp::Sum,
+                2,
+                Duration::from_millis(200),
+            );
+            rank.barrier();
+            res.is_err()
+        });
+        assert!(
+            out.iter().any(|&e| e),
+            "a dropped leader-ring message must surface as an error"
+        );
     }
 }

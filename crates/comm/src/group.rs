@@ -86,12 +86,8 @@ impl Group {
         let right = self.members[(me + 1) % g];
         let left = self.members[(me + g - 1) % g];
         let n = buf.len();
-        let bounds = |chunk: usize| -> (usize, usize) {
-            let base = n / g;
-            let extra = n % g;
-            let start = chunk * base + chunk.min(extra);
-            (start, start + base + usize::from(chunk < extra))
-        };
+        let bounds =
+            |chunk: usize| -> (usize, usize) { crate::collectives::chunk_bounds(n, g, chunk) };
         // Tag namespace 20/21 with a group fingerprint so disjoint groups
         // sharing a rank pair (impossible for a partition, but cheap
         // insurance) do not collide.

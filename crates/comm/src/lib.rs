@@ -38,6 +38,7 @@
 //! ```
 
 pub mod collectives;
+pub mod engine;
 pub mod extended;
 pub mod faults;
 pub mod group;
@@ -46,6 +47,7 @@ pub mod nonblocking;
 pub mod world;
 
 pub use collectives::ReduceOp;
+pub use engine::{simulate, Collective, ModelReport};
 pub use extended::{alltoall, gather, hierarchical_allreduce, scatter};
 pub use faults::{all_agree, CommError, FaultKind, FaultPlan, FaultRates, TagClass, CONTROL_BIT};
 pub use group::Group;
@@ -54,4 +56,4 @@ pub use nonblocking::{
     ring_allreduce_start, ring_allreduce_start_windowed, RecvHandle, RingAllreduceHandle,
     SendHandle,
 };
-pub use world::{Rank, World};
+pub use world::{Rank, RankTraffic, World};

@@ -11,6 +11,8 @@
 use serde::Serialize;
 use summit_machine::LinkModel;
 
+use crate::engine::Collective;
+
 /// Which collective algorithm to cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum Algorithm {
@@ -44,6 +46,12 @@ impl Algorithm {
         }
     }
 }
+
+/// Largest rank count [`CollectiveModel::simulated_allreduce_time`] will
+/// simulate step-by-step. Beyond this, schedule simulation cost grows
+/// without buying accuracy over the closed forms (which it converges to),
+/// so callers fall back to [`CollectiveModel::allreduce_time`].
+pub const MAX_SIM_RANKS: u64 = 128;
 
 /// Cost model for collectives over a homogeneous link.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -104,6 +112,54 @@ impl CollectiveModel {
             Algorithm::RecursiveDoubling => pf.log2() * bytes * inv_b,
             Algorithm::BinomialTree => 2.0 * pf.log2() * bytes * inv_b,
         }
+    }
+
+    /// Allreduce time predicted by driving the **executable schedule** of
+    /// `alg` against per-rank virtual clocks ([`crate::engine::simulate`])
+    /// instead of a closed form.
+    ///
+    /// The simulation runs the exact per-step schedule the executed
+    /// collective runs — uneven chunk splits, empty tail segments and the
+    /// reduce→gather handoff included — so it refines the closed forms
+    /// where they idealize (`m/p` divisibility). It returns `None` when
+    /// the schedule cannot be instantiated: `p > `[`MAX_SIM_RANKS`]
+    /// (simulation cost without accuracy benefit — use
+    /// [`Self::allreduce_time`]), non-power-of-two `p` for recursive
+    /// doubling / Rabenseifner, or a message smaller than one f32 per rank
+    /// for Rabenseifner (its schedule requires `p | elems`).
+    ///
+    /// `bytes` is rounded to whole f32 elements, matching the executed
+    /// collectives' payloads.
+    pub fn simulated_allreduce_time(&self, alg: Algorithm, p: u64, bytes: f64) -> Option<f64> {
+        assert!(p > 0, "rank count must be positive");
+        assert!(bytes >= 0.0, "message size cannot be negative");
+        if p > MAX_SIM_RANKS {
+            return None;
+        }
+        if p == 1 {
+            return Some(0.0);
+        }
+        let pu = p as usize;
+        let elems = (bytes / 4.0).round() as usize;
+        let collective = match alg {
+            Algorithm::Ring => Collective::RingAllreduce {
+                bucket_elems: usize::MAX,
+            },
+            Algorithm::RecursiveDoubling => {
+                if !p.is_power_of_two() {
+                    return None;
+                }
+                Collective::RecursiveDoubling
+            }
+            Algorithm::Rabenseifner => {
+                if !p.is_power_of_two() || !elems.is_multiple_of(pu) {
+                    return None;
+                }
+                Collective::Rabenseifner
+            }
+            Algorithm::BinomialTree => Collective::TreeAllreduce,
+        };
+        Some(crate::engine::simulate(collective, pu, elems, self.link).time_seconds)
     }
 
     /// The fastest algorithm and its time for the given size.
@@ -276,6 +332,78 @@ mod tests {
         assert!(t > inter_only);
         // NVLink is fast; the hierarchy should cost < 2x the inter-node part.
         assert!(t < 2.0 * inter_only);
+    }
+
+    /// On even splits (p | elems, power-of-two p) the schedule simulation
+    /// reproduces every closed form exactly — same algorithm, two
+    /// derivations.
+    #[test]
+    fn simulation_matches_closed_forms_on_even_splits() {
+        let m = summit_model();
+        for p in [2u64, 4, 8, 16, 64, 128] {
+            let bytes = (p * 1024 * 4) as f64; // p | elems, whole f32s
+            for alg in Algorithm::ALL {
+                let closed = m.allreduce_time(alg, p, bytes);
+                let sim = m
+                    .simulated_allreduce_time(alg, p, bytes)
+                    .expect("simulable: pow2 p ≤ MAX_SIM_RANKS, p | elems");
+                assert!(
+                    (sim - closed).abs() <= 1e-9 * closed.max(1e-12),
+                    "{} p={p}: sim {sim} vs closed {closed}",
+                    alg.name()
+                );
+            }
+        }
+    }
+
+    /// Uneven chunk splits are where simulation refines the closed form:
+    /// the ring's critical path carries ceil(n/p) chunks, so the simulated
+    /// time is never below the idealized m/p arithmetic.
+    #[test]
+    fn simulation_refines_uneven_ring_splits() {
+        let m = summit_model();
+        let bytes = (4 * 1001) as f64; // 1001 elems across 4 ranks: uneven
+        let closed = m.allreduce_time(Algorithm::Ring, 4, bytes);
+        let sim = m
+            .simulated_allreduce_time(Algorithm::Ring, 4, bytes)
+            .unwrap();
+        assert!(sim >= closed - 1e-15, "sim {sim} below closed {closed}");
+        assert!(sim <= closed * 1.01, "sim {sim} far from closed {closed}");
+    }
+
+    /// The simulation gate: beyond MAX_SIM_RANKS or with an
+    /// algorithm/world mismatch callers must use the closed forms.
+    #[test]
+    fn simulation_gate_falls_back_to_closed_forms() {
+        let m = summit_model();
+        assert_eq!(
+            m.simulated_allreduce_time(Algorithm::Ring, 1, 4096.0),
+            Some(0.0)
+        );
+        assert!(m
+            .simulated_allreduce_time(Algorithm::Ring, 129, 4096.0)
+            .is_none());
+        assert!(m
+            .simulated_allreduce_time(Algorithm::Ring, 4608, 4096.0)
+            .is_none());
+        // Non-power-of-two worlds have no RD/Rabenseifner schedule.
+        assert!(m
+            .simulated_allreduce_time(Algorithm::RecursiveDoubling, 6, 4096.0)
+            .is_none());
+        assert!(m
+            .simulated_allreduce_time(Algorithm::Rabenseifner, 6, 4096.0)
+            .is_none());
+        // Rabenseifner additionally needs p | elems.
+        assert!(m
+            .simulated_allreduce_time(Algorithm::Rabenseifner, 8, 4.0 * 9.0)
+            .is_none());
+        // Ring and tree simulate at any p ≤ MAX_SIM_RANKS.
+        assert!(m
+            .simulated_allreduce_time(Algorithm::Ring, 6, 4096.0)
+            .is_some());
+        assert!(m
+            .simulated_allreduce_time(Algorithm::BinomialTree, 8, 4096.0)
+            .is_some());
     }
 
     #[test]

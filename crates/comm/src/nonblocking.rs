@@ -39,19 +39,10 @@
 
 use std::time::{Duration, Instant};
 
-use crate::collectives::{chunk_bounds, ReduceOp};
+use crate::collectives::ReduceOp;
+use crate::engine::{self, Op, RingSchedule, Schedule};
 use crate::faults::CommError;
 use crate::world::Rank;
-
-/// Tag-space separator: nonblocking tags set the top bit, which no blocking
-/// collective tag (`collective id << 32`, ids < 2^7) can reach, so handles
-/// and blocking collectives coexist on one wire without collisions.
-const NB_BIT: u64 = 1 << 63;
-
-/// Reduce-scatter phase marker inside a handle's tag.
-const PHASE_REDUCE: u64 = 0;
-/// Allgather phase marker inside a handle's tag.
-const PHASE_GATHER: u64 = 1;
 
 impl Rank {
     /// Nonblocking send: enqueue a copy of `src` for rank `to` and return a
@@ -163,17 +154,6 @@ impl Drop for RecvHandle<'_> {
     }
 }
 
-/// Phase of an in-flight ring allreduce.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    /// Reduce-scatter step `step` is waiting for its message.
-    Reduce { step: usize },
-    /// Allgather step `step` is waiting for its message.
-    Gather { step: usize },
-    /// The collective has completed; `buf` holds the reduction.
-    Done,
-}
-
 /// An in-flight ring allreduce advanced by [`progress`] / [`wait`].
 ///
 /// Started by [`ring_allreduce_start`] (whole buffer) or
@@ -194,13 +174,9 @@ pub struct RingAllreduceHandle<'a> {
     rank: &'a Rank,
     buf: &'a mut [f32],
     op: ReduceOp,
-    collective: u64,
-    /// Length of the full gradient this window belongs to; the chunk
-    /// partition is computed against this, not against `buf.len()`.
-    total_len: usize,
-    /// Offset of `buf` within the full gradient.
-    window_start: usize,
-    state: State,
+    /// The engine schedule — the *same* [`RingSchedule`] state machine the
+    /// blocking and modeled surfaces run, under nonblocking tags.
+    sched: RingSchedule,
 }
 
 /// Begin a nonblocking ring allreduce over all of `buf`.
@@ -249,56 +225,30 @@ pub fn ring_allreduce_start_windowed<'a>(
         total_len
     );
     assert!(collective < 1 << 50, "collective id out of tag range");
-    let p = rank.size();
-    let me = rank.id();
-    let handle = RingAllreduceHandle {
+    let mut handle = RingAllreduceHandle {
+        sched: RingSchedule::allreduce_windowed(
+            rank.size(),
+            rank.id(),
+            total_len,
+            window_start,
+            buf.len(),
+            collective,
+        ),
         rank,
         buf,
         op,
-        collective,
-        total_len,
-        window_start,
-        state: if p == 1 {
-            State::Done
-        } else {
-            State::Reduce { step: 0 }
-        },
     };
-    if p > 1 {
-        // Prime the ring with this rank's own chunk window (empty windows
-        // send nothing, on every rank consistently).
-        let (ws, we) = handle.window(me);
-        if ws < we {
-            rank.send_from(
-                (me + 1) % p,
-                handle.tag(PHASE_REDUCE, 0),
-                &handle.buf[ws..we],
-            );
-        }
+    // Prime the ring immediately: execute the schedule's leading sends (this
+    // rank's own chunk window; empty windows produce no send ops, on every
+    // rank consistently) so peers can progress before our first `progress`.
+    while let Some(Op::Send { to, tag, win }) = handle.sched.current() {
+        handle.rank.send_from(to, tag, &handle.buf[win.0..win.1]);
+        handle.sched.advance();
     }
     handle
 }
 
 impl RingAllreduceHandle<'_> {
-    /// This handle's window of global chunk `c`, in `buf`-local coordinates
-    /// (`(0, 0)` when the chunk misses the window). Pure arithmetic — the
-    /// handle stores no per-chunk state, so starting one allocates nothing.
-    fn window(&self, c: usize) -> (usize, usize) {
-        let (cs, ce) = chunk_bounds(self.total_len, self.rank.size(), c);
-        let lo = cs.max(self.window_start);
-        let hi = ce.min(self.window_start + self.buf.len());
-        if lo < hi {
-            (lo - self.window_start, hi - self.window_start)
-        } else {
-            (0, 0)
-        }
-    }
-
-    fn tag(&self, phase: u64, step: usize) -> u64 {
-        debug_assert!(step < 1 << 12, "ring step out of tag range");
-        NB_BIT | (self.collective << 13) | (phase << 12) | step as u64
-    }
-
     /// Attempt one step of the state machine. Returns whether the state
     /// advanced; `block` chooses between a blocking receive and a poll.
     fn advance(&mut self, block: bool) -> bool {
@@ -306,97 +256,24 @@ impl RingAllreduceHandle<'_> {
             .expect("communication failure in infallible nonblocking path")
     }
 
-    /// Fallible core of the state machine: receives are checked (transport
-    /// checksum, scheduled rank kill) and, when `deadline` is set, bounded.
-    /// The schedule, fold order, and operand order are unchanged, so a
-    /// fault-free run stays bit-identical to the infallible path.
+    /// Fallible core of the state machine: one engine step with checked
+    /// receives (transport checksum, scheduled rank kill) and, when
+    /// `deadline` is set, bounded blocking. The schedule, fold order, and
+    /// operand order are the engine's — identical to the blocking path —
+    /// so a fault-free run stays bit-identical to it.
     fn advance_checked(
         &mut self,
         block: bool,
         deadline: Option<Instant>,
     ) -> Result<bool, CommError> {
-        let p = self.rank.size();
-        let me = self.rank.id();
-        let left = (me + p - 1) % p;
-        let right = (me + 1) % p;
-        match self.state {
-            State::Done => Ok(false),
-            State::Reduce { step } => {
-                // Same schedule as the serial reduce-scatter: step s
-                // combines into chunk (me - s - 1) mod p.
-                let c = (me + p - step - 1) % p;
-                let (rs, re) = self.window(c);
-                let last = step == p - 2;
-                if rs == re {
-                    self.state = if last {
-                        State::Gather { step: 0 }
-                    } else {
-                        State::Reduce { step: step + 1 }
-                    };
-                    return Ok(true);
-                }
-                let tag = self.tag(PHASE_REDUCE, step);
-                let payload = if block {
-                    Some(self.rank.recv_checked(left, tag, deadline)?)
-                } else {
-                    self.rank.try_recv_checked(left, tag)?
-                };
-                let Some(mut payload) = payload else {
-                    return Ok(false);
-                };
-                // `local ⊕ incoming`, the serial engine's operand order.
-                self.op.fold_into_payload(&mut payload, &self.buf[rs..re]);
-                if last {
-                    // Final hop: land the finished chunk and forward the
-                    // payload as the allgather's priming message — the same
-                    // handoff fusion as the serial path, so this phase
-                    // boundary costs no pooled copy.
-                    self.buf[rs..re].copy_from_slice(&payload);
-                    self.rank.send(right, self.tag(PHASE_GATHER, 0), payload);
-                    self.state = State::Gather { step: 0 };
-                } else {
-                    self.rank
-                        .send(right, self.tag(PHASE_REDUCE, step + 1), payload);
-                    self.state = State::Reduce { step: step + 1 };
-                }
-                Ok(true)
-            }
-            State::Gather { step } => {
-                // Allgather schedule: step s lands chunk (me - s + 1) mod p
-                // (step 0 consumes the reduce handoff, which carried this
-                // rank's finished chunk from the left neighbour).
-                let c = (me + p - step) % p;
-                let (rs, re) = self.window(c);
-                let last = step == p - 2;
-                if rs == re {
-                    self.state = if last {
-                        State::Done
-                    } else {
-                        State::Gather { step: step + 1 }
-                    };
-                    return Ok(true);
-                }
-                let tag = self.tag(PHASE_GATHER, step);
-                let payload = if block {
-                    Some(self.rank.recv_checked(left, tag, deadline)?)
-                } else {
-                    self.rank.try_recv_checked(left, tag)?
-                };
-                let Some(payload) = payload else {
-                    return Ok(false);
-                };
-                self.buf[rs..re].copy_from_slice(&payload);
-                if last {
-                    self.rank.release_payload(payload);
-                    self.state = State::Done;
-                } else {
-                    self.rank
-                        .send(right, self.tag(PHASE_GATHER, step + 1), payload);
-                    self.state = State::Gather { step: step + 1 };
-                }
-                Ok(true)
-            }
-        }
+        engine::step_nonblocking(
+            self.rank,
+            self.buf,
+            self.op,
+            &mut self.sched,
+            block,
+            deadline,
+        )
     }
 
     /// Drive every step whose message has already arrived, without
@@ -447,7 +324,7 @@ impl RingAllreduceHandle<'_> {
 
     /// Whether the collective has completed.
     pub fn is_complete(&self) -> bool {
-        self.state == State::Done
+        self.sched.current().is_none()
     }
 }
 

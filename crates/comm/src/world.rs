@@ -148,6 +148,22 @@ pub struct Rank {
     /// a single never-taken branch (the hot-path allocator test pins this).
     faults: Option<FaultState>,
     pool: BufferPool,
+    /// Messages posted by this rank (Cell: a `Rank` is `!Sync` by design).
+    sent_messages: Cell<u64>,
+    /// Payload bytes posted by this rank.
+    sent_bytes: Cell<u64>,
+}
+
+/// Per-rank traffic counters, for strict comparison against the engine's
+/// modeled run ([`crate::engine::simulate`] reports the same quantities per
+/// rank). Counted at post time — before the fault plane's drop hook — so an
+/// injected drop still counts as a send, matching the model's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RankTraffic {
+    /// Messages this rank sent.
+    pub messages_sent: u64,
+    /// Payload bytes this rank sent (4 bytes per f32 element).
+    pub bytes_sent: u64,
 }
 
 impl Rank {
@@ -175,6 +191,9 @@ impl Rank {
         self.bytes_sent
             .fetch_add((payload.len() * 4) as u64, Ordering::Relaxed);
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.sent_messages.set(self.sent_messages.get() + 1);
+        self.sent_bytes
+            .set(self.sent_bytes.get() + (payload.len() * 4) as u64);
         let mut checksum = None;
         if let Some(faults) = &self.faults {
             if tag & CONTROL_BIT == 0 {
@@ -556,6 +575,14 @@ impl Rank {
         self.pool.stats()
     }
 
+    /// This rank's own traffic counters (see [`RankTraffic`]).
+    pub fn traffic(&self) -> RankTraffic {
+        RankTraffic {
+            messages_sent: self.sent_messages.get(),
+            bytes_sent: self.sent_bytes.get(),
+        }
+    }
+
     /// Block until every rank has reached this barrier.
     pub fn barrier(&self) {
         self.barrier.wait();
@@ -670,6 +697,8 @@ impl World {
                     .as_ref()
                     .map(|pl| FaultState::new(Arc::clone(pl), id, Arc::clone(&faults_injected))),
                 pool: BufferPool::default(),
+                sent_messages: Cell::new(0),
+                sent_bytes: Cell::new(0),
             });
         }
 

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use summit_comm::{
     collectives::{
-        binomial_broadcast, rabenseifner_allreduce, recursive_doubling_allreduce, ring_allreduce,
-        tree_allreduce, ReduceOp,
+        binomial_broadcast_into, chunk_bounds, rabenseifner_allreduce,
+        recursive_doubling_allreduce, ring_allreduce, tree_allreduce, ReduceOp,
     },
     model::{Algorithm, CollectiveModel},
     world::World,
@@ -100,13 +100,39 @@ proptest! {
         let payload = random_input(seed, root, n);
         let expect = payload.clone();
         let out = World::run(p, |rank| {
-            let mut buf = if rank.id() == root { payload.clone() } else { vec![] };
-            binomial_broadcast(rank, &mut buf, root);
+            let mut buf = if rank.id() == root { payload.clone() } else { vec![0.0; n] };
+            binomial_broadcast_into(rank, &mut buf, root);
             buf
         });
         for got in out {
             prop_assert_eq!(&got, &expect);
         }
+    }
+
+    /// The canonical partition helper covers `0..n` with `p` disjoint,
+    /// contiguous, ascending chunks whose sizes differ by at most one —
+    /// and agrees with the legacy closed-form split every call site used
+    /// before deduplication.
+    #[test]
+    fn chunk_bounds_partitions_exactly(n in 0usize..512, p in 1usize..32) {
+        let mut cursor = 0usize;
+        for chunk in 0..p {
+            let (start, end) = chunk_bounds(n, p, chunk);
+            prop_assert_eq!(start, cursor);
+            prop_assert!(end >= start);
+            let len = end - start;
+            prop_assert!(len == n / p || len == n / p + 1);
+            // Legacy formula, verbatim from the pre-refactor call sites.
+            let base = n / p;
+            let extra = n % p;
+            let legacy_start = chunk * base + chunk.min(extra);
+            let legacy_end = legacy_start + base + usize::from(chunk < extra);
+            prop_assert_eq!((start, end), (legacy_start, legacy_end));
+            let range = summit_pool::chunk_range(n, p, chunk);
+            prop_assert_eq!((range.start, range.end), (start, end));
+            cursor = end;
+        }
+        prop_assert_eq!(cursor, n);
     }
 
     /// Model sanity: allreduce time is monotone in message size and never

@@ -20,8 +20,10 @@
 //!
 //! Recovery is **bit-exact**: data sharding is a pure function of the global
 //! step index, fault events are one-shot (a replayed step re-executes
-//! clean), and the checked collectives share the infallible engines'
-//! schedule, fold order, and operand order — so a faulted run converges to
+//! clean), and the checked collectives are a different driver
+//! (`engine::drive_checked`) over the *same* schedule objects as the
+//! infallible path, sharing fold order and operand order by
+//! construction — so a faulted run converges to
 //! exactly the fault-free trajectory, bit for bit. The chaos suite in
 //! `tests/` pins this for drop, delay, corrupt, and kill scenarios.
 

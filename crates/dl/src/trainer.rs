@@ -8,6 +8,11 @@
 //! project used on Summit. A test asserts that `R` ranks with per-rank
 //! batch `B/R` follow the same parameter trajectory as one process with
 //! batch `B`.
+//!
+//! Both comm paths — the serial `ring_allreduce_bucketed` and the
+//! overlapped windowed handles — are drivers over the *same*
+//! `summit_comm::engine` ring schedule, which is what makes serial,
+//! bucketed, and overlapped training bit-identical by construction.
 
 use std::time::Instant;
 

@@ -64,6 +64,20 @@ impl LinkModel {
         self.alpha * self.beta
     }
 
+    /// A copy of this link with the latency term dropped (`α = 0`).
+    ///
+    /// Production collectives pipeline chunks so the serialized latency of
+    /// the textbook schedules is largely hidden; the paper's Section VI-B
+    /// arithmetic neglects latency entirely. Feeding a `bandwidth_only`
+    /// link to a schedule simulation reproduces that arithmetic while still
+    /// charging every byte to the critical path.
+    pub fn bandwidth_only(&self) -> Self {
+        LinkModel {
+            alpha: 0.0,
+            beta: self.beta,
+        }
+    }
+
     /// A derated copy of this link: bandwidth scaled by `factor` in (0, 1].
     ///
     /// Used to model contention (e.g. ring allreduce achieving half the

@@ -110,6 +110,30 @@ impl ScalingModel {
         u64::from(nodes) * u64::from(self.machine.node.gpus_per_node)
     }
 
+    /// One allreduce stage: prefer driving the executable schedule against
+    /// virtual clocks (exact about uneven chunk splits and empty tail
+    /// segments); fall back to the closed form when the schedule is not
+    /// simulable — `p` above `summit_comm::model::MAX_SIM_RANKS` (e.g. the
+    /// full-Summit 4608-node ring) or an algorithm/world-size mismatch.
+    /// `include_latency == false` reproduces the paper's bandwidth-only
+    /// arithmetic by zeroing the link's α before simulating.
+    fn stage_seconds(&self, link: LinkModel, alg: Algorithm, p: u64, msg: f64) -> f64 {
+        let sim_link = if self.include_latency {
+            link
+        } else {
+            link.bandwidth_only()
+        };
+        if let Some(t) = CollectiveModel::new(sim_link).simulated_allreduce_time(alg, p, msg) {
+            return t;
+        }
+        let closed = CollectiveModel::new(link);
+        if self.include_latency {
+            closed.allreduce_time(alg, p, msg)
+        } else {
+            closed.bandwidth_term(alg, p, msg)
+        }
+    }
+
     /// Hierarchical allreduce time (NVLink ring inside the node, the chosen
     /// algorithm between nodes) for the workload's gradient message.
     pub fn allreduce_seconds(&self, nodes: u32) -> f64 {
@@ -117,22 +141,22 @@ impl ScalingModel {
         let msg = self.workload.gradient_message_bytes() / self.compression_factor;
         let g = u64::from(self.machine.node.gpus_per_node);
         let intra = if g > 1 {
-            let nv = CollectiveModel::new(LinkModel::nvlink(&self.machine.node));
-            if self.include_latency {
-                nv.allreduce_time(Algorithm::Ring, g, msg)
-            } else {
-                nv.bandwidth_term(Algorithm::Ring, g, msg)
-            }
+            self.stage_seconds(
+                LinkModel::nvlink(&self.machine.node),
+                Algorithm::Ring,
+                g,
+                msg,
+            )
         } else {
             0.0
         };
         let inter = if nodes > 1 {
-            let ib = CollectiveModel::new(LinkModel::inter_node(&self.machine.node));
-            if self.include_latency {
-                ib.allreduce_time(self.algorithm, u64::from(nodes), msg)
-            } else {
-                ib.bandwidth_term(self.algorithm, u64::from(nodes), msg)
-            }
+            self.stage_seconds(
+                LinkModel::inter_node(&self.machine.node),
+                self.algorithm,
+                u64::from(nodes),
+                msg,
+            )
         } else {
             0.0
         };

@@ -184,6 +184,91 @@ fn abandoned_ring_handles_drain_without_leaks() {
     );
 }
 
+/// Hierarchical allreduce under the targeted chaos matrix: a drop and a
+/// corruption injected into every phase of the engine schedule (member→
+/// leader reduce tag 13, leader ring reduce-scatter 14, leader ring
+/// allgather 15, leader→member broadcast 16). Each world must surface at
+/// least one loud `CommError`, and any rank that does complete must hold
+/// the bitwise fault-free reduction.
+#[test]
+fn chaos_hierarchical_allreduce_drop_and_corrupt_matrix() {
+    let p = 4usize;
+    let group = 2usize;
+    let n = 24usize;
+    let reference: Vec<Vec<f32>> = (0..p)
+        .map(|r| (0..n).map(|i| ((r * n + i) as f32).cos()).collect())
+        .collect();
+    let fault_free = World::run(p, |rank| {
+        let mut buf = reference[rank.id()].clone();
+        summit_comm::extended::hierarchical_allreduce(rank, &mut buf, ReduceOp::Sum, group);
+        buf
+    });
+    // (phase tag, src, dst) covering every message class of the p=4, g=2
+    // schedule: up-reduce within each group, both leader-ring directions,
+    // down-broadcast within each group.
+    let matrix: &[(u64, usize, usize)] = &[
+        (13, 1, 0),
+        (13, 3, 2),
+        (14, 0, 2),
+        (14, 2, 0),
+        (15, 0, 2),
+        (15, 2, 0),
+        (16, 0, 1),
+        (16, 2, 3),
+    ];
+    for &(phase, src, dst) in matrix {
+        for corrupt in [false, true] {
+            let plan = if corrupt {
+                FaultPlan::empty().corrupt_message(src, dst, TagClass::Blocking(phase), 0)
+            } else {
+                FaultPlan::empty().drop_message(src, dst, TagClass::Blocking(phase), 0)
+            };
+            let plan = Arc::new(plan);
+            let reference = reference.clone();
+            let (out, _) = World::run_with_faults(p, Arc::clone(&plan), move |rank| {
+                rank.set_fault_step(0);
+                let mut buf = reference[rank.id()].clone();
+                let res = summit_comm::extended::try_hierarchical_allreduce(
+                    rank,
+                    &mut buf,
+                    ReduceOp::Sum,
+                    group,
+                    Duration::from_millis(250),
+                );
+                // Quiesce so a rank that erred out does not tear down its
+                // receiver while peers are still draining the schedule.
+                rank.barrier();
+                rank.drain_all();
+                rank.barrier();
+                (res, buf)
+            });
+            let label = format!(
+                "phase {phase} {src}->{dst} {}",
+                if corrupt { "corrupt" } else { "drop" }
+            );
+            assert!(
+                plan.fired_count() > 0,
+                "{label}: injected fault never matched a message"
+            );
+            assert!(
+                out.iter().any(|(res, _)| res.is_err()),
+                "{label}: no rank surfaced the fault"
+            );
+            for (r, (res, buf)) in out.iter().enumerate() {
+                if res.is_ok() {
+                    for (i, (got, want)) in buf.iter().zip(&fault_free[r]).enumerate() {
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "{label} rank {r} element {i}: completed ranks must be bit-exact"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end training: each fault class recovers to the bitwise
 // fault-free final state.

@@ -1,11 +1,25 @@
 //! Integration X1: the executed collectives and the analytic cost models
 //! agree on the quantities both can observe — transferred bytes and
 //! message (step) counts.
+//!
+//! The exact half of the pin is `model_transport_counts_match_execution`:
+//! the model transport drives the *same* engine schedule the channel
+//! transport drives, so its per-rank message and byte counters must equal
+//! the executed collective's [`summit_comm::RankTraffic`] to the message —
+//! every algorithm, even and uneven chunk splits, p ∈ {2, 3, 4, 8}.
 
 use summit_comm::{
-    collectives::{recursive_doubling_allreduce, ring_allreduce, ReduceOp},
+    collectives::{
+        binomial_broadcast_into, binomial_reduce, rabenseifner_allreduce,
+        recursive_doubling_allreduce, reduce_scatter, ring_allgather, ring_allreduce,
+        ring_allreduce_bucketed, tree_allreduce, ReduceOp,
+    },
+    engine::{simulate, Collective},
+    extended,
     world::World,
+    RankTraffic,
 };
+use summit_machine::LinkModel;
 
 /// Ring allreduce moves exactly 2(p−1)/p · n elements per rank — the byte
 /// term the analytic ring model charges to the link.
@@ -40,6 +54,103 @@ fn recursive_doubling_traffic_matches_model() {
         });
         assert_eq!(stats.bytes_sent, (p * logp as usize * n * 4) as u64);
         assert_eq!(stats.messages_sent, (p * logp as usize) as u64);
+    }
+}
+
+/// Run the executed twin of `c` on a live world and return every rank's
+/// transport counters.
+fn executed_traffic(c: Collective, p: usize, elems: usize) -> Vec<RankTraffic> {
+    World::run(p, move |rank| {
+        let me = rank.id();
+        let mut buf: Vec<f32> = (0..elems).map(|i| (me * elems + i) as f32).collect();
+        match c {
+            Collective::RingAllreduce { bucket_elems } => {
+                ring_allreduce_bucketed(rank, &mut buf, ReduceOp::Sum, bucket_elems);
+            }
+            Collective::ReduceScatter => {
+                reduce_scatter(rank, &mut buf, ReduceOp::Sum);
+            }
+            Collective::RingAllgather => ring_allgather(rank, &mut buf),
+            Collective::RecursiveDoubling => {
+                recursive_doubling_allreduce(rank, &mut buf, ReduceOp::Sum);
+            }
+            Collective::Rabenseifner => rabenseifner_allreduce(rank, &mut buf, ReduceOp::Sum),
+            Collective::BinomialBroadcast { root } => binomial_broadcast_into(rank, &mut buf, root),
+            Collective::BinomialReduce { root } => {
+                binomial_reduce(rank, &mut buf, ReduceOp::Sum, root);
+            }
+            Collective::TreeAllreduce => tree_allreduce(rank, &mut buf, ReduceOp::Sum),
+            Collective::HierarchicalAllreduce { group_size } => {
+                extended::hierarchical_allreduce(rank, &mut buf, ReduceOp::Sum, group_size);
+            }
+            Collective::Alltoall => {
+                let send: Vec<Vec<f32>> =
+                    (0..p).map(|d| vec![(me * p + d) as f32; elems]).collect();
+                let _ = extended::alltoall(rank, send);
+            }
+            Collective::Scatter { root } => {
+                let chunks = (me == root).then(|| (0..p).map(|d| vec![d as f32; elems]).collect());
+                let _ = extended::scatter(rank, chunks, root);
+            }
+            Collective::Gather { root } => {
+                let _ = extended::gather(rank, vec![me as f32; elems], root);
+            }
+        }
+        rank.traffic()
+    })
+}
+
+/// Every collective the engine models, executed and simulated over the
+/// same schedule: per-rank message counts and byte volumes must agree
+/// **exactly** — not in aggregate, rank by rank.
+#[test]
+fn model_transport_counts_match_execution_exactly() {
+    let link = LinkModel::new(1.5e-6, 10.0e9);
+    for p in [2usize, 3, 4, 8] {
+        // 24 divides evenly by every p here; 13 exercises uneven chunks
+        // and empty tail segments.
+        for elems in [24usize, 13] {
+            let mut cases = vec![
+                Collective::RingAllreduce {
+                    bucket_elems: usize::MAX,
+                },
+                Collective::RingAllreduce { bucket_elems: 5 },
+                Collective::ReduceScatter,
+                Collective::RingAllgather,
+                Collective::BinomialBroadcast { root: p - 1 },
+                Collective::BinomialReduce { root: 0 },
+                Collective::TreeAllreduce,
+                Collective::Alltoall,
+                Collective::Scatter { root: 0 },
+                Collective::Gather { root: p - 1 },
+            ];
+            if p.is_power_of_two() {
+                cases.push(Collective::RecursiveDoubling);
+                if elems % p == 0 {
+                    cases.push(Collective::Rabenseifner);
+                }
+            }
+            for g in [1usize, 2, p] {
+                if p % g == 0 {
+                    cases.push(Collective::HierarchicalAllreduce { group_size: g });
+                }
+            }
+            cases.dedup();
+            for c in cases {
+                let predicted = simulate(c, p, elems, link);
+                let executed = executed_traffic(c, p, elems);
+                for (r, traffic) in executed.iter().enumerate() {
+                    assert_eq!(
+                        traffic.messages_sent, predicted.per_rank_messages[r],
+                        "{c:?} p={p} n={elems} rank {r}: message count"
+                    );
+                    assert_eq!(
+                        traffic.bytes_sent, predicted.per_rank_bytes[r],
+                        "{c:?} p={p} n={elems} rank {r}: byte volume"
+                    );
+                }
+            }
+        }
     }
 }
 
