@@ -360,11 +360,13 @@ fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
 /// transport, which the `model_vs_execution` suite pins to the executed
 /// counters.
 fn write_summary(smoke: bool) {
+    use summit_bench::harness;
     use summit_comm::{simulate, Collective};
 
     let iters = if smoke { 1 } else { 5 };
     let link = LinkModel::inter_node(&NodeSpec::summit());
     let mut entries = Vec::new();
+    let mut headline = std::collections::BTreeMap::new();
     for &(p, n, rounds) in &[
         (2usize, 16_384usize, 8usize),
         (4, 16_384, 8),
@@ -405,27 +407,14 @@ fn write_summary(smoke: bool) {
             report.total_messages(),
             report.total_bytes(),
         ));
+        headline.insert(format!("ring_p{p}_n{n}_speedup"), unpooled / pooled);
     }
     let json = format!(
         "{{\n  \"bench\": \"comm\",\n  \"collective\": \"ring_allreduce\",\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
-    // Anchor to the workspace root: cargo runs bench binaries with the
-    // package directory as CWD, so a bare relative "target" would land in
-    // crates/bench/target, not the workspace target CI uploads from.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("bench crate lives two levels below the workspace root")
-        .join("target");
-    let _ = std::fs::create_dir_all(&path);
-    let file = path.join("BENCH_comm.json");
-    if let Err(e) = std::fs::write(&file, &json) {
-        eprintln!("could not write {}: {e}", file.display());
-    } else {
-        println!("wrote {}", file.display());
-    }
-    print!("{json}");
+    harness::write_bench_json("comm", &json);
+    harness::record_trajectory(&harness::TrajectoryEntry::now("comm", headline));
 }
 
 criterion_group!(

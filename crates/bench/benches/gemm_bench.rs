@@ -8,14 +8,27 @@
 //!   strided-`B` traversal is exactly what the pool + packing removed.
 //!
 //! Besides the criterion timings, the bench writes a machine-readable
-//! summary to `target/BENCH_gemm.json` (GFLOP/s per variant/shape, the
-//! scoped-vs-pooled speedup, and the pool's activity counters). In `--test`
-//! mode (CI smoke) every measurement runs a single iteration.
+//! scaling-curve summary to `target/BENCH_gemm.json`: pool sizes 1→N ×
+//! {f32, mixed} × all three kernels × {128³, 256³, 512³}, each point
+//! reporting achieved GFLOP/s **and percent-of-roofline** against
+//! `summit_perf::roofline`'s CPU ceiling for the detected backend (AVX2
+//! f32x8 lanes or the scalar fallback). Every pool-size configuration runs
+//! inside `summit_pool::with_core_budget`, whose drop-guard restore
+//! guarantees one configuration can never leak its budget into the next —
+//! even if an iteration panics (regression-tested in `summit-pool`).
+//! Headline 512³ numbers feed the committed perf trajectory via
+//! `summit_bench::harness` (append gated behind `SUMMIT_BENCH_RECORD=1`),
+//! and `src/bin/gemm_gate.rs` enforces the floor / no-regression contract
+//! in CI. In `--test` mode (CI smoke) every measurement runs a single
+//! iteration.
 
 use criterion::{BenchmarkId, Criterion};
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
-use summit_tensor::Matrix;
+use summit_bench::harness;
+use summit_perf::roofline::{Kernel, Roofline};
+use summit_tensor::{simd, Matrix, Precision};
 
 /// The paper-scale shapes: square m = k = n.
 const SHAPES: [usize; 3] = [128, 256, 512];
@@ -134,30 +147,140 @@ fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// Measure GFLOP/s per variant/shape plus the scoped-vs-pooled A/B and
-/// write `target/BENCH_gemm.json`.
-fn write_summary(smoke: bool) {
-    let iters = if smoke { 1 } else { 5 };
-    let mut entries = Vec::new();
-    for &s in &SHAPES {
-        let a = square(s, 1);
-        let b = square(s, 2);
-        let mut out = Matrix::zeros(s, s);
-        let flops = 2.0 * (s as f64).powi(3);
-        // Warm the pool and the packing scratch before timing.
-        a.matmul_into(&b, &mut out);
-        let mm = time_best(iters, || a.matmul_into(&b, &mut out));
-        let atb = time_best(iters, || a.matmul_at_b_into(&b, &mut out));
-        let abt = time_best(iters, || a.matmul_a_bt_into(&b, &mut out));
-        for (name, secs) in [("matmul", mm), ("matmul_at_b", atb), ("matmul_a_bt", abt)] {
-            entries.push(format!(
-                "    {{\"variant\": \"{name}\", \"shape\": {s}, \"seconds\": {secs:.6}, \"gflops\": {:.3}}}",
-                flops / secs / 1e9
-            ));
+/// Base clock of the host CPU in GHz, for the roofline ceiling:
+/// `SUMMIT_CPU_GHZ` overrides, else the `@ X.XXGHz` suffix of the
+/// `/proc/cpuinfo` model name, else the live `cpu MHz` line, else 2.0.
+fn cpu_ghz() -> f64 {
+    if let Some(g) = std::env::var("SUMMIT_CPU_GHZ")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        return g;
+    }
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in info.lines() {
+            if line.starts_with("model name") {
+                if let Some(at) = line.rfind('@') {
+                    let tail = line[at + 1..].trim();
+                    if let Some(ghz) = tail
+                        .strip_suffix("GHz")
+                        .and_then(|v| v.trim().parse::<f64>().ok())
+                    {
+                        return ghz;
+                    }
+                }
+            }
+        }
+        for line in info.lines() {
+            if line.starts_with("cpu MHz") {
+                if let Some(mhz) = line
+                    .split(':')
+                    .nth(1)
+                    .and_then(|v| v.trim().parse::<f64>().ok())
+                {
+                    return mhz / 1000.0;
+                }
+            }
         }
     }
+    2.0
+}
 
-    // Spawn-overhead A/B at the acceptance shape.
+/// Assumed host memory bandwidth (bytes/s) for the roofline's memory leg;
+/// paper-scale GEMM tiles are compute-bound well below any plausible
+/// value, so precision here barely moves the ceiling. `SUMMIT_CPU_MEMBW`
+/// overrides.
+fn cpu_mem_bw() -> f64 {
+    std::env::var("SUMMIT_CPU_MEMBW")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(2.5e10)
+}
+
+/// Run one (variant, precision) product.
+fn run_variant(a: &Matrix, b: &Matrix, out: &mut Matrix, variant: &str, prec: Precision) {
+    match variant {
+        "matmul" => a.matmul_into_prec(b, out, prec),
+        "matmul_at_b" => a.matmul_at_b_into_prec(b, out, prec),
+        _ => a.matmul_a_bt_into_prec(b, out, prec),
+    }
+}
+
+/// The scaling-curve sweep: pool sizes 1→N × {f32, mixed} × all three
+/// kernels × all shapes, each point scored as percent-of-roofline, plus
+/// the scoped-vs-pooled A/B; writes `target/BENCH_gemm.json` through the
+/// shared harness and (when recording) appends the trajectory entry.
+fn write_summary(smoke: bool) {
+    let iters = if smoke { 1 } else { 5 };
+    let machine = summit_pool::machine_parallelism();
+    // Powers of two up to min(max(machine, 4), 8): small hosts still get a
+    // curve (the oversubscribed tail shows where dispatch overhead flattens
+    // it), big hosts stop at 8 as the issue's 1→8 contract.
+    let max_pool = machine.clamp(4, 8);
+    let pools: Vec<usize> = (0..4)
+        .map(|i| 1usize << i)
+        .filter(|&p| p <= max_pool)
+        .collect();
+    let simd_active = simd::active();
+    let lanes = if simd_active { 8 } else { 1 };
+    let ghz = cpu_ghz();
+    let mem_bw = cpu_mem_bw();
+
+    let mut entries = Vec::new();
+    let mut headline: BTreeMap<String, f64> = BTreeMap::new();
+    let mut headline_max = |key: String, v: f64| {
+        let e = headline.entry(key).or_insert(f64::MIN);
+        *e = e.max(v);
+    };
+    for &pool in &pools {
+        // The drop-guard restore in `with_core_budget` is what keeps one
+        // configuration's pool size from leaking into the next.
+        summit_pool::with_core_budget(pool, || {
+            // Oversubscribed pools cannot raise the hardware ceiling.
+            let cores = pool.min(machine).max(1) as u32;
+            for prec in [Precision::F32, Precision::Mixed] {
+                let prec_name = match prec {
+                    Precision::F32 => "f32",
+                    Precision::Mixed => "mixed",
+                };
+                for &s in &SHAPES {
+                    let a = square(s, 1);
+                    let b = square(s, 2);
+                    let mut out = Matrix::zeros(s, s);
+                    let flops = 2.0 * (s as f64).powi(3);
+                    let kernel = match prec {
+                        Precision::F32 => Kernel::matmul_f32(s as u32),
+                        Precision::Mixed => Kernel::matmul_mixed_bf16(s as u32),
+                    };
+                    let roof = Roofline::of_cpu(cores, ghz, lanes, 2, mem_bw);
+                    let ceiling = roof.evaluate(kernel).attainable_flops / 1e9;
+                    for variant in ["matmul", "matmul_at_b", "matmul_a_bt"] {
+                        // Warm the pool and packing scratch before timing.
+                        run_variant(&a, &b, &mut out, variant, prec);
+                        let secs =
+                            time_best(iters, || run_variant(&a, &b, &mut out, variant, prec));
+                        let gflops = flops / secs / 1e9;
+                        let pct = 100.0 * gflops / ceiling;
+                        entries.push(format!(
+                            "    {{\"variant\": \"{variant}\", \"shape\": {s}, \
+                             \"precision\": \"{prec_name}\", \"pool\": {pool}, \
+                             \"cores\": {cores}, \"seconds\": {secs:.6}, \
+                             \"gflops\": {gflops:.3}, \"roofline_gflops\": {ceiling:.3}, \
+                             \"pct_of_roofline\": {pct:.2}}}"
+                        ));
+                        if s == 512 {
+                            // Best-over-pools headline: stable on any core
+                            // count, and what the CI gate compares.
+                            headline_max(format!("{variant}_512_{prec_name}_gflops"), gflops);
+                            headline_max(format!("{variant}_512_{prec_name}_pct"), pct);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // Spawn-overhead A/B at the acceptance shape, under the default budget.
     let s = 512;
     let a = square(s, 3);
     let b = square(s, 4);
@@ -169,11 +292,14 @@ fn write_summary(smoke: bool) {
     let pooled = time_best(iters, || a.matmul_into(&b, &mut out));
     let stats = summit_pool::global().stats();
 
+    let headline_json = headline
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v:.4}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!
 (
-        "{{\n  \"bench\": \"gemm\",\n  \"cores\": {},\n  \"budget\": {},\n  \"results\": [\n{}\n  ],\n  \"spawn_overhead_ab\": {{\"shape\": {s}, \"scoped_seconds\": {scoped:.6}, \"pooled_seconds\": {pooled:.6}, \"speedup\": {:.3}}},\n  \"pool\": {{\"tasks_dispatched\": {}, \"tasks_stolen\": {}, \"parks\": {}, \"workers\": {}, \"busy_seconds\": {:.3}, \"max_concurrency\": {}}}\n}}\n",
-        summit_pool::machine_parallelism(),
-        summit_pool::core_budget(),
+        "{{\n  \"bench\": \"gemm\",\n  \"cores\": {machine},\n  \"simd\": {simd_active},\n  \"lanes\": {lanes},\n  \"ghz\": {ghz:.3},\n  \"results\": [\n{}\n  ],\n  \"headline\": {{{headline_json}}},\n  \"spawn_overhead_ab\": {{\"shape\": {s}, \"scoped_seconds\": {scoped:.6}, \"pooled_seconds\": {pooled:.6}, \"speedup\": {:.3}}},\n  \"pool\": {{\"tasks_dispatched\": {}, \"tasks_stolen\": {}, \"parks\": {}, \"workers\": {}, \"busy_seconds\": {:.3}, \"max_concurrency\": {}}}\n}}\n",
         entries.join(",\n"),
         scoped / pooled,
         stats.tasks_dispatched,
@@ -183,22 +309,8 @@ fn write_summary(smoke: bool) {
         stats.busy_seconds(),
         stats.max_concurrency,
     );
-    // Anchor to the workspace root: cargo runs bench binaries with the
-    // package directory as CWD, so a bare relative "target" would land in
-    // crates/bench/target, not the workspace target CI uploads from.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("bench crate lives two levels below the workspace root")
-        .join("target");
-    let _ = std::fs::create_dir_all(&path);
-    let file = path.join("BENCH_gemm.json");
-    if let Err(e) = std::fs::write(&file, &json) {
-        eprintln!("could not write {}: {e}", file.display());
-    } else {
-        println!("wrote {}", file.display());
-    }
-    print!("{json}");
+    harness::write_bench_json("gemm", &json);
+    harness::record_trajectory(&harness::TrajectoryEntry::now("gemm", headline));
 }
 
 fn main() {

@@ -1,0 +1,103 @@
+//! CI gate over the gemm scaling bench: reads the `headline` block of
+//! `target/BENCH_gemm.json` (written by `gemm_bench`, which must run
+//! first) and fails the build when
+//!
+//! 1. the 512³ f32 matmul's percent-of-roofline drops below a generous
+//!    absolute floor (`SUMMIT_GATE_PCT_FLOOR`, default 5% — low enough
+//!    that scalar-only runners pass, high enough to catch a kernel that
+//!    stopped vectorizing *and* regressed), or
+//! 2. any headline percent-of-roofline regresses more than 10% relative
+//!    to the last committed `BENCH_trajectory.json` entry
+//!    (`SUMMIT_GATE_SKIP_TRAJECTORY=1` skips this leg on hosts that are
+//!    not comparable to the recording machine).
+//!
+//! Percent-of-roofline is the compared figure rather than raw GFLOP/s
+//! because the roofline ceiling already normalizes for the runner's core
+//! count, clock, and detected SIMD backend. The gate also writes
+//! `target/BENCH_trajectory_diff.txt` (baseline vs current per metric) for
+//! CI to upload next to the bench JSON.
+
+use summit_bench::harness;
+
+fn main() {
+    let path = harness::target_dir().join("BENCH_gemm.json");
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "gemm_gate: cannot read {} ({e}) — run the gemm bench first",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+    };
+    let current = harness::parse_flat_object(&body, "headline");
+    if current.is_empty() {
+        eprintln!("gemm_gate: no headline block in {}", path.display());
+        std::process::exit(2);
+    }
+
+    let mut failures = Vec::new();
+
+    // Leg 1: absolute percent-of-roofline floor.
+    let floor = std::env::var("SUMMIT_GATE_PCT_FLOOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(5.0);
+    let pct = current.get("matmul_512_f32_pct").copied().unwrap_or(0.0);
+    if pct < floor {
+        failures.push(format!(
+            "matmul_512_f32_pct = {pct:.2}% is below the {floor:.2}% floor"
+        ));
+    } else {
+        println!("floor:      matmul_512_f32_pct {pct:.2}% >= {floor:.2}% ✓");
+    }
+
+    // Leg 2: no >10% relative regression vs the committed trajectory.
+    let skip_trajectory = std::env::var("SUMMIT_GATE_SKIP_TRAJECTORY").as_deref() == Ok("1");
+    let baseline = if skip_trajectory {
+        println!("trajectory: comparison skipped (SUMMIT_GATE_SKIP_TRAJECTORY=1)");
+        None
+    } else {
+        harness::latest_trajectory_metrics("gemm")
+    };
+    let mut diff = String::from("metric, baseline, current, ratio\n");
+    if let Some(baseline) = &baseline {
+        for (key, base) in baseline {
+            if !key.ends_with("_pct") {
+                continue;
+            }
+            let Some(&now) = current.get(key) else {
+                failures.push(format!("{key} missing from current headline"));
+                continue;
+            };
+            let ratio = if *base > 0.0 { now / base } else { 1.0 };
+            diff.push_str(&format!("{key}, {base:.2}, {now:.2}, {ratio:.3}\n"));
+            if ratio < 0.9 {
+                failures.push(format!(
+                    "{key} regressed {:.1}% vs trajectory ({base:.2} -> {now:.2})",
+                    (1.0 - ratio) * 100.0
+                ));
+            } else {
+                println!("trajectory: {key} {base:.2} -> {now:.2} ({ratio:.3}×) ✓");
+            }
+        }
+    } else if !skip_trajectory {
+        println!("trajectory: no committed gemm entry yet — floor check only");
+    }
+    let diff_path = harness::target_dir().join("BENCH_trajectory_diff.txt");
+    if let Err(e) = std::fs::write(&diff_path, &diff) {
+        eprintln!("gemm_gate: could not write {} ({e})", diff_path.display());
+    } else {
+        println!("wrote {}", diff_path.display());
+    }
+
+    if failures.is_empty() {
+        println!("gemm_gate: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("gemm_gate: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}

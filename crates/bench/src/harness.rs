@@ -1,0 +1,255 @@
+//! Shared machinery for the machine-readable bench artifacts.
+//!
+//! Every bench target that used to hand-roll its own `target/BENCH_*.json`
+//! writing (path anchoring, directory creation, error reporting) goes
+//! through [`write_bench_json`] instead, and records its headline numbers
+//! into the **committed perf trajectory** `BENCH_trajectory.json` at the
+//! workspace root — one JSON line per (bench, PR) with the git revision and
+//! date, so perf history survives `target/` cleans and reviews can diff the
+//! curve instead of re-running old revisions.
+//!
+//! The trajectory file is append-per-PR: routine bench runs only *read* it
+//! (the regression gate in `src/bin/gemm_gate.rs` compares fresh numbers
+//! against the last committed entry); a run with `SUMMIT_BENCH_RECORD=1`
+//! appends the new entry, which the PR then commits. No serde_json is
+//! vendored, so both directions speak a line-oriented subset: one complete
+//! JSON object per line, string keys, number/string scalar values.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The workspace root (the bench crate lives two levels below it).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// The workspace `target/` directory the CI artifacts upload from. Bench
+/// binaries run with the *package* directory as CWD, so a bare relative
+/// `target` would land in `crates/bench/target` — always anchor here.
+pub fn target_dir() -> PathBuf {
+    let dir = workspace_root().join("target");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write a bench summary to `target/BENCH_<name>.json`, echoing the JSON
+/// and the path to stdout (the CI log is the fallback artifact). Returns
+/// the path written.
+pub fn write_bench_json(name: &str, json: &str) -> PathBuf {
+    let file = target_dir().join(format!("BENCH_{name}.json"));
+    match std::fs::write(&file, json) {
+        Ok(()) => println!("wrote {}", file.display()),
+        Err(e) => eprintln!("could not write {}: {e}", file.display()),
+    }
+    print!("{json}");
+    file
+}
+
+/// One committed trajectory record: a bench's headline metrics at one
+/// revision.
+#[derive(Debug, Clone)]
+pub struct TrajectoryEntry {
+    /// Bench name (`gemm`, `comm`, ...).
+    pub bench: String,
+    /// Abbreviated git revision the numbers were measured at.
+    pub rev: String,
+    /// ISO date of the measurement.
+    pub date: String,
+    /// Headline metrics, name → value. BTreeMap so the serialized line is
+    /// deterministic.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl TrajectoryEntry {
+    /// Build an entry for `bench` stamped with the current git revision
+    /// and today's date.
+    pub fn now(bench: &str, metrics: BTreeMap<String, f64>) -> Self {
+        TrajectoryEntry {
+            bench: bench.to_string(),
+            rev: git_rev(),
+            date: today(),
+            metrics,
+        }
+    }
+
+    fn to_json_line(&self) -> String {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"bench\": \"{}\", \"rev\": \"{}\", \"date\": \"{}\", \"metrics\": {{{metrics}}}}}",
+            self.bench, self.rev, self.date
+        )
+    }
+}
+
+/// Path of the committed trajectory file.
+pub fn trajectory_path() -> PathBuf {
+    workspace_root().join("BENCH_trajectory.json")
+}
+
+/// Append `entry` to the committed trajectory — only when
+/// `SUMMIT_BENCH_RECORD=1`, so routine bench runs never dirty the working
+/// tree. Returns whether a line was written.
+pub fn record_trajectory(entry: &TrajectoryEntry) -> bool {
+    if std::env::var("SUMMIT_BENCH_RECORD").as_deref() != Ok("1") {
+        return false;
+    }
+    let path = trajectory_path();
+    let mut body = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| "{\"schema\": \"summit-bench-trajectory-v1\"}\n".to_string());
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    body.push_str(&entry.to_json_line());
+    body.push('\n');
+    match std::fs::write(&path, body) {
+        Ok(()) => {
+            println!(
+                "recorded trajectory entry for '{}' in {}",
+                entry.bench,
+                path.display()
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("could not append {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+/// The metrics of the most recent committed trajectory entry for `bench`,
+/// or `None` if the file or entry does not exist. This is the regression
+/// gate's baseline.
+pub fn latest_trajectory_metrics(bench: &str) -> Option<BTreeMap<String, f64>> {
+    let body = std::fs::read_to_string(trajectory_path()).ok()?;
+    let prefix = format!("{{\"bench\": \"{bench}\"");
+    body.lines()
+        .rev()
+        .find(|l| l.trim_start().starts_with(&prefix))
+        .map(|l| parse_flat_object(l, "metrics"))
+}
+
+/// Extract the flat `"key": {...}` string→number object named `key` from
+/// `text` (a trajectory line's `metrics`, a bench JSON's `headline`).
+/// Tolerant of exactly the subset this module writes — the object must sit
+/// on one line with scalar number values; anything unparseable is skipped.
+pub fn parse_flat_object(text: &str, key: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Some(start) = text.find(&format!("\"{key}\"")) else {
+        return out;
+    };
+    let Some(open) = text[start..].find('{') else {
+        return out;
+    };
+    let inner = &text[start + open + 1..];
+    let inner = &inner[..inner.find('}').unwrap_or(inner.len())];
+    for pair in inner.split(',') {
+        let mut halves = pair.splitn(2, ':');
+        let (Some(k), Some(v)) = (halves.next(), halves.next()) else {
+            continue;
+        };
+        let k = k.trim().trim_matches('"');
+        if let Ok(v) = v.trim().parse::<f64>() {
+            out.insert(k.to_string(), v);
+        }
+    }
+    out
+}
+
+/// Abbreviated git revision of the working tree, or `"unknown"` outside a
+/// repository.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(workspace_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Today's civil date (UTC) as `YYYY-MM-DD`, derived from the system clock
+/// with the standard days-from-epoch algorithm — no chrono dependency.
+pub fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil-from-days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectory_line_round_trips_through_the_parser() {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("matmul_512_f32_gflops".to_string(), 56.8123);
+        metrics.insert("matmul_512_f32_pct_of_roofline".to_string(), 84.5);
+        let entry = TrajectoryEntry {
+            bench: "gemm".to_string(),
+            rev: "abc1234".to_string(),
+            date: "2026-08-07".to_string(),
+            metrics: metrics.clone(),
+        };
+        let line = entry.to_json_line();
+        let parsed = parse_flat_object(&line, "metrics");
+        for (k, v) in &metrics {
+            let got = parsed.get(k).copied().expect("key survives");
+            assert!((got - v).abs() < 1e-3, "{k}: {got} vs {v}");
+        }
+    }
+
+    #[test]
+    fn date_arithmetic_is_civil() {
+        // The algorithm is pure in the epoch-seconds → date direction;
+        // spot-check the format and a sane range rather than a wall-clock
+        // value.
+        let d = today();
+        assert_eq!(d.len(), 10);
+        assert_eq!(&d[4..5], "-");
+        assert_eq!(&d[7..8], "-");
+        let year: i32 = d[..4].parse().expect("year parses");
+        assert!((2024..2124).contains(&year), "year {year}");
+    }
+
+    #[test]
+    fn workspace_root_holds_the_manifest() {
+        assert!(workspace_root().join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn record_is_inert_without_the_env_gate() {
+        // SUMMIT_BENCH_RECORD unset/≠1 → nothing written.
+        if std::env::var("SUMMIT_BENCH_RECORD").as_deref() == Ok("1") {
+            return; // someone is deliberately recording; don't fight them
+        }
+        let entry = TrajectoryEntry::now("harness-selftest", BTreeMap::new());
+        assert!(!record_trajectory(&entry));
+        assert!(latest_trajectory_metrics("harness-selftest").is_none());
+    }
+}

@@ -5,6 +5,8 @@
 //! (`src/bin/repro.rs`) prints every reproduced artifact. This library only
 //! hosts small shared utilities so the bench targets stay declarative.
 
+pub mod harness;
+
 /// Node counts used by every scaling sweep: powers of two to full Summit.
 pub const NODE_SWEEP: [u32; 8] = [1, 8, 64, 256, 1024, 2048, 4096, 4608];
 

@@ -1,6 +1,6 @@
 //! Multi-layer perceptrons with explicit backprop.
 
-use summit_tensor::{ops, Initializer, Matrix};
+use summit_tensor::{ops, Initializer, Matrix, Precision};
 
 /// A fully-connected layer `in_dim → out_dim` with its gradient buffers.
 #[derive(Debug, Clone)]
@@ -11,10 +11,14 @@ pub struct Linear {
     gb: Vec<f32>,
     /// Input cached by the last forward pass, consumed by backward.
     input: Option<Matrix>,
+    /// GEMM storage precision for this layer's three products (f32
+    /// accumulation either way — the mixed-precision lever from the
+    /// paper's rate assumptions).
+    precision: Precision,
 }
 
 impl Linear {
-    /// Create with He initialization for weights, zero biases.
+    /// Create with He initialization for weights, zero biases, f32 GEMMs.
     pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
         Linear {
             w: Initializer::HeNormal.init(in_dim, out_dim, seed),
@@ -22,12 +26,14 @@ impl Linear {
             gw: Matrix::zeros(in_dim, out_dim),
             gb: vec![0.0; out_dim],
             input: None,
+            precision: Precision::F32,
         }
     }
 
     /// Forward: `y = x·W + b`, caching `x` for backward.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.w);
+        let mut y = Matrix::zeros(x.rows(), self.w.cols());
+        x.matmul_into_prec(&self.w, &mut y, self.precision);
         ops::add_bias(&mut y, &self.b);
         self.input = Some(x.clone());
         y
@@ -40,11 +46,15 @@ impl Linear {
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
         let x = self.input.as_ref().expect("backward called before forward");
-        self.gw.add_assign(&x.matmul_at_b(dy));
+        let mut gw_step = Matrix::zeros(x.cols(), dy.cols());
+        x.matmul_at_b_into_prec(dy, &mut gw_step, self.precision);
+        self.gw.add_assign(&gw_step);
         for (g, s) in self.gb.iter_mut().zip(ops::column_sums(dy)) {
             *g += s;
         }
-        dy.matmul_a_bt(&self.w)
+        let mut dx = Matrix::zeros(dy.rows(), self.w.rows());
+        dy.matmul_a_bt_into_prec(&self.w, &mut dx, self.precision);
+        dx
     }
 
     fn zero_grads(&mut self) {
@@ -116,6 +126,22 @@ impl Mlp {
     /// Number of layers.
     pub fn depth(&self) -> usize {
         self.layers.len()
+    }
+
+    /// Set the GEMM storage precision of every layer (forward and both
+    /// backward products). `Precision::Mixed` stores the packed operand in
+    /// bf16 and accumulates in f32 — training throughput goes up, weights
+    /// and gradients stay f32 end to end.
+    pub fn set_precision(&mut self, p: Precision) {
+        for layer in &mut self.layers {
+            layer.precision = p;
+        }
+    }
+
+    /// The GEMM precision of the first layer (all layers agree after
+    /// [`Mlp::set_precision`]).
+    pub fn precision(&self) -> Precision {
+        self.layers.first().map_or(Precision::F32, |l| l.precision)
     }
 
     /// Total scalar parameter count.
@@ -375,6 +401,35 @@ mod tests {
         }
         m.zero_grads();
         assert!(m.flat_grads().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mixed_precision_training_tracks_f32() {
+        let mut full = MlpSpec::new(6, &[16], 3).build(11);
+        let mut mixed = full.clone();
+        mixed.set_precision(Precision::Mixed);
+        assert_eq!(mixed.precision(), Precision::Mixed);
+        assert_eq!(full.precision(), Precision::F32);
+        let x = Matrix::from_vec(4, 6, (0..24).map(|i| (i as f32 * 0.37).sin()).collect());
+        let yf = full.forward(&x);
+        let ym = mixed.forward(&x);
+        // bf16 storage keeps 8 mantissa bits on one operand per product:
+        // activations agree to ~1% through one hidden layer.
+        for (a, b) in yf.as_slice().iter().zip(ym.as_slice()) {
+            assert!((a - b).abs() <= a.abs() * 0.02 + 0.02, "{a} vs {b}");
+        }
+        let d = Matrix::from_vec(4, 3, vec![0.1; 12]);
+        mixed.zero_grads();
+        mixed.backward(&d);
+        let gm = mixed.flat_grads();
+        full.zero_grads();
+        full.backward(&d);
+        let gf = full.flat_grads();
+        assert!(gm.iter().all(|g| g.is_finite()));
+        // Gradients track the f32 path within the same storage tolerance.
+        for (a, b) in gf.iter().zip(&gm) {
+            assert!((a - b).abs() <= a.abs() * 0.05 + 0.02, "{a} vs {b}");
+        }
     }
 
     #[test]

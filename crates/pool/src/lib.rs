@@ -622,6 +622,36 @@ mod tests {
         assert_eq!(core_budget(), base);
     }
 
+    /// A panicking closure inside `with_core_budget` — a bench iteration
+    /// blowing up mid-sweep — must not leak its pool-size override into
+    /// the next configuration on the same thread.
+    #[test]
+    fn panicking_scope_cannot_leak_budget_override() {
+        std::thread::spawn(|| {
+            set_core_budget(2);
+            let result = std::panic::catch_unwind(|| {
+                with_core_budget(7, || {
+                    assert_eq!(core_budget(), 7);
+                    panic!("bench iteration failed");
+                })
+            });
+            assert!(result.is_err(), "closure must have panicked");
+            assert_eq!(
+                core_budget(),
+                2,
+                "panic leaked the temporary budget override"
+            );
+            // Nested scopes restore pairwise even when the inner panics.
+            let result = std::panic::catch_unwind(|| {
+                with_core_budget(5, || with_core_budget(3, || -> () { panic!("inner") }))
+            });
+            assert!(result.is_err());
+            assert_eq!(core_budget(), 2);
+        })
+        .join()
+        .expect("budget thread");
+    }
+
     #[test]
     fn budgets_are_per_thread() {
         set_core_budget(2);

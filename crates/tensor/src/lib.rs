@@ -33,39 +33,72 @@
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod simd;
 
 pub use init::Initializer;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, Precision};
 
 /// Dot product of two equal-length slices.
+///
+/// Dispatches to the AVX2+FMA lane kernel when the host supports it
+/// ([`simd::active`]); the scalar loop is the cross-platform reference and
+/// the SIMD result stays within the documented ULP bound of it. On a given
+/// machine the result is deterministic — the backend is a pure function of
+/// the host CPU (and the `force-scalar` feature).
 ///
 /// # Panics
 /// Panics if lengths differ.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    if simd::active() {
+        // SAFETY: `active()` verified AVX2+FMA on this CPU.
+        unsafe { simd::dot_dispatch(a, b) }
+    } else {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
 }
 
-/// Euclidean norm of a slice.
+/// Euclidean norm of a slice — the self-dot on the same backend as
+/// [`dot`], so optimizer norms see the same speedup.
 pub fn l2_norm(a: &[f32]) -> f32 {
-    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+    if simd::active() {
+        // SAFETY: `active()` verified AVX2+FMA on this CPU.
+        unsafe { simd::dot_dispatch(a, a) }.sqrt()
+    } else {
+        a.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
 }
 
 /// `y += alpha * x` over equal-length slices.
+///
+/// The SIMD path fuses the multiply-add per element (one rounding); the
+/// scalar fallback rounds the product first — a ≤ 1-ULP-per-element
+/// difference covered by the kernel ULP contract.
 ///
 /// # Panics
 /// Panics if lengths differ.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+    if simd::active() {
+        // SAFETY: `active()` verified AVX2+FMA on this CPU.
+        unsafe { simd::axpy_dispatch(alpha, x, y) }
+    } else {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
     }
 }
 
-/// Scale a slice in place.
+/// Scale a slice in place. Both backends perform exactly one multiply per
+/// element, so this is bit-identical across them.
 pub fn scale(a: &mut [f32], s: f32) {
-    for v in a {
-        *v *= s;
+    if simd::active() {
+        // SAFETY: `active()` verified AVX2+FMA on this CPU.
+        unsafe { simd::scale_dispatch(a, s) }
+    } else {
+        for v in a {
+            *v *= s;
+        }
     }
 }
 

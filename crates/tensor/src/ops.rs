@@ -26,13 +26,20 @@ fn elem_parts(elems: usize, rows: usize) -> usize {
     }
 }
 
-/// ReLU forward, in place.
+/// ReLU forward, in place. The SIMD backend (`max` against zero, no
+/// reassociation) is bit-identical to the scalar loop.
 pub fn relu_inplace(x: &mut Matrix) {
     let (rows, cols) = (x.rows(), x.cols());
     let parts = elem_parts(rows * cols, rows);
+    let use_simd = crate::simd::active();
     summit_pool::global().run_rows(x.as_mut_slice(), cols, parts, |chunk, _| {
-        for v in chunk.iter_mut() {
-            *v = v.max(0.0);
+        if use_simd {
+            // SAFETY: `active()` verified AVX2+FMA on this CPU.
+            unsafe { crate::simd::relu_dispatch(chunk) }
+        } else {
+            for v in chunk.iter_mut() {
+                *v = v.max(0.0);
+            }
         }
     });
 }
@@ -68,10 +75,17 @@ pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
     assert_eq!(bias.len(), x.cols(), "bias length mismatch");
     let (rows, cols) = (x.rows(), x.cols());
     let parts = elem_parts(rows * cols, rows);
+    let use_simd = crate::simd::active();
     summit_pool::global().run_rows(x.as_mut_slice(), cols, parts, |chunk, _| {
-        for row in chunk.chunks_exact_mut(cols) {
-            for (v, b) in row.iter_mut().zip(bias) {
-                *v += b;
+        if use_simd {
+            // SAFETY: `active()` verified AVX2+FMA on this CPU (one add per
+            // element — bit-identical to the scalar loop).
+            unsafe { crate::simd::add_bias_dispatch(chunk, bias) }
+        } else {
+            for row in chunk.chunks_exact_mut(cols) {
+                for (v, b) in row.iter_mut().zip(bias) {
+                    *v += b;
+                }
             }
         }
     });
