@@ -20,7 +20,7 @@
 //! infallible pooled primitives) and the fallible `try_` surface (the same
 //! schedule under deadline-bounded checked receives). The nonblocking
 //! handles ([`crate::nonblocking`]) and the α–β model transport
-//! ([`crate::engine::simulate`]) execute the identical schedules, so all
+//! ([`crate::sim::simulate`]) execute the identical schedules, so all
 //! four surfaces share one source of truth for the message pattern.
 //!
 //! All functions must be called by **every** rank of the world collectively,
@@ -303,8 +303,9 @@ pub fn try_ring_allgather(
 
 /// Recursive-doubling allreduce: `log2 p` full-buffer exchanges.
 ///
-/// # Panics
-/// Panics unless the world size is a power of two.
+/// Non-power-of-two worlds fold into a power-of-two core first (MPICH
+/// style): the `p − 2^⌊log2 p⌋` surplus ranks pre-reduce into a partner,
+/// sit out the core exchange, and receive the result afterwards.
 pub fn recursive_doubling_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) {
     let mut sched = RdSchedule::new(rank.size(), rank.id(), buf.len());
     drive_blocking(rank, buf, &mut [], op, &mut sched);
@@ -314,9 +315,6 @@ pub fn recursive_doubling_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) 
 ///
 /// # Errors
 /// Any [`CommError`] surfaced by the checked receives or the kill poll.
-///
-/// # Panics
-/// Panics unless the world size is a power of two.
 pub fn try_recursive_doubling_allreduce(
     rank: &Rank,
     buf: &mut [f32],
@@ -337,11 +335,13 @@ pub fn try_recursive_doubling_allreduce(
 
 /// Rabenseifner allreduce: recursive-halving reduce-scatter followed by
 /// recursive-doubling allgather. Bandwidth-optimal like the ring but with
-/// `2 log2 p` latency terms instead of `2(p-1)`.
+/// `2 log2 p` latency terms instead of `2(p-1)`. Non-power-of-two worlds
+/// fold into a power-of-two core first, as in
+/// [`recursive_doubling_allreduce`].
 ///
 /// # Panics
-/// Panics unless the world size is a power of two and the buffer length is
-/// divisible by the world size.
+/// Panics unless the buffer length is divisible by the power-of-two core
+/// of the world size (`2^⌊log2 p⌋`).
 pub fn rabenseifner_allreduce(rank: &Rank, buf: &mut [f32], op: ReduceOp) {
     let mut sched = engine::RabenseifnerSchedule::new(rank.size(), rank.id(), buf.len());
     drive_blocking(rank, buf, &mut [], op, &mut sched);
@@ -564,9 +564,30 @@ mod tests {
         }
     }
 
+    /// Non-power-of-two worlds reduce through the fold: surplus ranks
+    /// pre-combine into the power-of-two core and still end with the sum.
+    #[test]
+    fn recursive_doubling_folds_any_world() {
+        for p in [3usize, 5, 6, 7, 9] {
+            for n in [1usize, 13, 24] {
+                check_allreduce(recursive_doubling_allreduce, p, n);
+            }
+        }
+    }
+
     #[test]
     fn rabenseifner_power_of_two() {
         for p in [1usize, 2, 4, 8] {
+            check_allreduce(rabenseifner_allreduce, p, 32);
+        }
+    }
+
+    /// The fold lifts Rabenseifner's world-shape restriction to "buffer
+    /// divisible by the power-of-two core".
+    #[test]
+    fn rabenseifner_folds_any_world() {
+        for p in [3usize, 5, 6, 7, 9] {
+            // core = 2, 4, 4, 4, 8 → 32 is divisible by all of them.
             check_allreduce(rabenseifner_allreduce, p, 32);
         }
     }

@@ -46,11 +46,14 @@ pub(crate) const NB_BIT: u64 = 1 << 63;
 
 /// Tag for one segment of a bucketed chunk transfer: `(collective id,
 /// step, segment)` packed so that the flat path (`segment == 0`) produces
-/// the same tags as the historical unsegmented collectives.
+/// the same tags as the historical unsegmented collectives. The 15-bit
+/// step field covers ring steps on full-Summit worlds (p − 2 = 27,646 at
+/// p = 27,648); the collective id stays at bit 32, which
+/// [`TagClass`](crate::faults::TagClass) decoding relies on.
 pub(crate) fn tag_seg(collective: u64, step: usize, seg: usize) -> u64 {
-    debug_assert!(step < 1 << 12, "step out of tag range");
-    assert!(seg < 1 << 20, "segment index out of tag range");
-    (collective << 32) | ((seg as u64) << 12) | step as u64
+    debug_assert!(step < 1 << 15, "step out of tag range");
+    assert!(seg < 1 << 17, "segment index out of tag range");
+    (collective << 32) | ((seg as u64) << 15) | step as u64
 }
 
 /// What a receive does with the payload relative to the schedule's buffer
@@ -104,6 +107,58 @@ pub(crate) enum Op {
     SendSlot { to: usize, tag: u64, slot: usize },
     /// Receive from `from` into `slots[slot]` (takes payload ownership).
     RecvSlot { from: usize, tag: u64, slot: usize },
+    /// Bruck round: send the concatenation of every `slots[i]` whose index
+    /// has `bit` set, ascending, as one wire message.
+    SendGather { to: usize, tag: u64, bit: u32 },
+    /// Bruck round: split the payload from `from` evenly across the slots
+    /// whose index has `bit` set, ascending.
+    RecvScatter { from: usize, tag: u64, bit: u32 },
+}
+
+/// Number of slot indices in `0..p` with `bit` set — a Bruck round's block
+/// count, closed-form so the simulators never scan `p` slots per message.
+pub(crate) fn bruck_count(p: usize, bit: u32) -> usize {
+    let half = 1usize << bit;
+    (p >> (bit + 1)) * half + (p & (2 * half - 1)).saturating_sub(half)
+}
+
+/// Concatenate the slots a Bruck round sends (ascending index order).
+fn bruck_gather(slots: &[Vec<f32>], bit: u32) -> Vec<f32> {
+    let mut out = Vec::with_capacity(
+        (0..slots.len())
+            .filter(|i| i >> bit & 1 == 1)
+            .map(|i| slots[i].len())
+            .sum(),
+    );
+    for (i, slot) in slots.iter().enumerate() {
+        if i >> bit & 1 == 1 {
+            out.extend_from_slice(slot);
+        }
+    }
+    out
+}
+
+/// Scatter a received Bruck payload back into the bit-selected slots.
+fn bruck_scatter(slots: &mut [Vec<f32>], bit: u32, payload: &[f32]) {
+    let count = bruck_count(slots.len(), bit);
+    if count == 0 {
+        assert!(payload.is_empty(), "Bruck payload for an empty round");
+        return;
+    }
+    assert_eq!(
+        payload.len() % count,
+        0,
+        "Bruck payload not block-divisible"
+    );
+    let each = payload.len() / count;
+    let mut off = 0;
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if i >> bit & 1 == 1 {
+            slot.clear();
+            slot.extend_from_slice(&payload[off..off + each]);
+            off += each;
+        }
+    }
 }
 
 /// A collective as a polled sequence of transport operations.
@@ -175,6 +230,12 @@ pub(crate) fn drive_blocking(
                 rank.send(to, tag, std::mem::take(&mut slots[slot]));
             }
             Op::RecvSlot { from, tag, slot } => slots[slot] = rank.recv(from, tag),
+            Op::SendGather { to, tag, bit } => rank.send(to, tag, bruck_gather(slots, bit)),
+            Op::RecvScatter { from, tag, bit } => {
+                let payload = rank.recv(from, tag);
+                bruck_scatter(slots, bit, &payload);
+                rank.release_payload(payload);
+            }
         }
         sched.advance();
     }
@@ -214,6 +275,12 @@ pub(crate) fn drive_checked(
             }
             Op::RecvSlot { from, tag, slot } => {
                 slots[slot] = rank.recv_checked(from, tag, deadline)?;
+            }
+            Op::SendGather { to, tag, bit } => rank.send(to, tag, bruck_gather(slots, bit)),
+            Op::RecvScatter { from, tag, bit } => {
+                let payload = rank.recv_checked(from, tag, deadline)?;
+                bruck_scatter(slots, bit, &payload);
+                rank.release_payload(payload);
             }
         }
         sched.advance();
@@ -259,7 +326,10 @@ pub(crate) fn step_nonblocking(
             };
             apply(rank, buf, op, win, act, then, payload);
         }
-        Op::SendSlot { .. } | Op::RecvSlot { .. } => {
+        Op::SendSlot { .. }
+        | Op::RecvSlot { .. }
+        | Op::SendGather { .. }
+        | Op::RecvScatter { .. } => {
             unreachable!("slot collectives have no nonblocking surface")
         }
     }
@@ -351,6 +421,12 @@ pub(crate) struct RingSchedule {
     do_reduce: bool,
     do_gather: bool,
     stage: RingStage,
+    /// `total_len / p` — the base chunk size, precomputed so the per-op
+    /// chunk arithmetic is division-free (the event-driven simulator runs
+    /// these cursors ~10⁸ times per full-machine collective).
+    base: usize,
+    /// `total_len % p` — the first `rem` chunks carry one extra element.
+    rem: usize,
 }
 
 impl RingSchedule {
@@ -383,6 +459,8 @@ impl RingSchedule {
             } else {
                 RingStage::Prime { seg: 0 }
             },
+            base: total_len / p,
+            rem: total_len % p,
         };
         s.normalize();
         s
@@ -473,7 +551,11 @@ impl RingSchedule {
     /// This schedule's window of global chunk `c`, in buffer-local
     /// coordinates (`(0, 0)` when the chunk misses the window).
     fn window(&self, c: usize) -> (usize, usize) {
-        let (cs, ce) = chunk_bounds(self.total_len, self.p, c);
+        // Division-free `chunk_bounds(self.total_len, self.p, c)`: the
+        // first `rem` chunks get `base + 1` elements, the rest `base`.
+        let cs = c * self.base + c.min(self.rem);
+        let ce = cs + self.base + usize::from(c < self.rem);
+        debug_assert_eq!((cs, ce), chunk_bounds(self.total_len, self.p, c));
         let lo = cs.max(self.win_start);
         let hi = ce.min(self.win_start + self.win_len);
         if lo < hi {
@@ -502,11 +584,35 @@ impl RingSchedule {
     /// its own prime) — exactly the historical `offset` parameter.
     fn stage_chunk(&self, stage: RingStage) -> usize {
         let (p, me) = (self.p, self.me);
+        // `x mod p` for `x < 2p`, division-free (step < p − 1 always).
+        let wrap = |x: usize| if x >= p { x - p } else { x };
         match stage {
             RingStage::Prime { .. } => me,
-            RingStage::Reduce { step, .. } => (me + p - step - 1) % p,
-            RingStage::Gather { step, .. } => (me + p - step - 1 + usize::from(self.do_reduce)) % p,
+            RingStage::Reduce { step, .. } => wrap(me + p - step - 1),
+            RingStage::Gather { step, .. } => wrap(me + p - step - 1 + usize::from(self.do_reduce)),
             RingStage::Done => unreachable!("Done has no chunk"),
+        }
+    }
+
+    /// Whether the sparse fast-forward applies: a flat (full-window)
+    /// schedule over fewer elements than ranks, so chunks `rem..p` are all
+    /// empty and the stage cursor can jump over the empty run in O(1)
+    /// instead of visiting every empty step.
+    fn sparse(&self) -> bool {
+        self.base == 0 && self.win_start == 0 && self.win_len == self.total_len
+    }
+
+    /// From an empty chunk `c` at `step`, the step at which the next
+    /// non-empty chunk appears (capped at the stage's last step
+    /// `p − 2`). The stage chunk decreases by one per step, and the
+    /// non-empty chunks are exactly `0..rem`, so the cursor next meets a
+    /// non-empty chunk at `rem − 1`.
+    fn sparse_jump(&self, step: usize, c: usize) -> usize {
+        debug_assert!(self.sparse() && c >= self.rem);
+        if self.rem == 0 {
+            self.p - 2 // zero-length buffer: every chunk is empty
+        } else {
+            (step + (c + 1 - self.rem)).min(self.p - 2)
         }
     }
 
@@ -520,9 +626,16 @@ impl RingSchedule {
                 | RingStage::Gather { seg, .. } => seg,
                 RingStage::Done => return,
             };
-            if seg < self.segs(self.stage_chunk(self.stage)) {
+            let chunk = self.stage_chunk(self.stage);
+            if seg < self.segs(chunk) {
                 return;
             }
+            // An exhausted cursor on an *empty* chunk (seg == 0) under a
+            // sparse flat schedule means every chunk until `rem − 1`
+            // reappears is also empty — jump the whole run at once instead
+            // of iterating p − rem empty steps (O(p²) across ranks, fatal
+            // at p = 27,648).
+            let skip = seg == 0 && self.sparse();
             self.stage = match self.stage {
                 RingStage::Prime { .. } => {
                     if self.do_reduce {
@@ -534,7 +647,11 @@ impl RingSchedule {
                 RingStage::Reduce { step, .. } => {
                     if step < self.p - 2 {
                         RingStage::Reduce {
-                            step: step + 1,
+                            step: if skip {
+                                self.sparse_jump(step, chunk)
+                            } else {
+                                step + 1
+                            },
                             seg: 0,
                         }
                     } else if self.do_gather {
@@ -546,7 +663,11 @@ impl RingSchedule {
                 RingStage::Gather { step, .. } => {
                     if step < self.p - 2 {
                         RingStage::Gather {
-                            step: step + 1,
+                            step: if skip {
+                                self.sparse_jump(step, chunk)
+                            } else {
+                                step + 1
+                            },
                             seg: 0,
                         }
                     } else {
@@ -561,8 +682,16 @@ impl RingSchedule {
 
 impl Schedule for RingSchedule {
     fn current(&self) -> Option<Op> {
-        let right = (self.me + 1) % self.p;
-        let left = (self.me + self.p - 1) % self.p;
+        let right = if self.me + 1 == self.p {
+            0
+        } else {
+            self.me + 1
+        };
+        let left = if self.me == 0 {
+            self.p - 1
+        } else {
+            self.me - 1
+        };
         let last = |step: usize| step == self.p - 2;
         match self.stage {
             RingStage::Done => None,
@@ -639,109 +768,229 @@ impl Schedule for RingSchedule {
     }
 }
 
-/// Recursive-doubling allreduce (id 4): `log2 p` full-buffer exchanges,
-/// send-then-receive per step. Sends even empty buffers unconditionally,
+/// The largest power of two not exceeding `p`.
+pub(crate) fn pow2_core(p: usize) -> usize {
+    assert!(p > 0, "world size must be positive");
+    1 << (usize::BITS - 1 - p.leading_zeros())
+}
+
+/// Virtual step ids of the non-power-of-two fold phases. They live far
+/// outside the `0..log2(core)` range the core exchange steps occupy (and
+/// under `tag_seg`'s 2¹² step cap), so fold tags never collide with core
+/// tags.
+const FOLD_PRE_STEP: usize = 0xE00;
+const FOLD_POST_STEP: usize = 0xE01;
+
+/// Cursor of the MPICH-style non-power-of-two fold wrapped around a
+/// power-of-two core exchange (recursive doubling and Rabenseifner).
+///
+/// With `core = 2^⌊log2 p⌋` and `rem = p − core`, the first `2·rem` ranks
+/// pair up: each even rank sends its buffer to its odd neighbour
+/// (`PreSend`/`PreRecv`) and then sits out the core, receiving the final
+/// result afterwards (`PostRecv`/`PostSend`). The `core` surviving ranks —
+/// the odd halves of the pairs plus every rank ≥ `2·rem` — run the
+/// power-of-two exchange under *virtual* ranks. For power-of-two worlds
+/// `rem == 0` and every rank starts (and ends) in `Core`, byte-identical to
+/// the historical schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FoldState {
+    PreSend,
+    PreRecv,
+    Core,
+    PostSend,
+    PostRecv,
+    Done,
+}
+
+/// Initial fold state and virtual rank of `me` in a `p`-rank world with a
+/// `core`-rank power-of-two kernel. Folded-out ranks get a dummy vrank.
+fn fold_entry(p: usize, me: usize, core: usize) -> (FoldState, usize) {
+    let rem = p - core;
+    if me < 2 * rem {
+        if me.is_multiple_of(2) {
+            (FoldState::PreSend, usize::MAX)
+        } else {
+            (FoldState::PreRecv, me / 2)
+        }
+    } else {
+        (FoldState::Core, me - rem)
+    }
+}
+
+/// The real rank holding virtual rank `v` (inverse of [`fold_entry`]).
+fn fold_real_rank(rem: usize, v: usize) -> usize {
+    if v < rem {
+        2 * v + 1
+    } else {
+        v + rem
+    }
+}
+
+/// Recursive-doubling allreduce (id 4): `log2 core` full-buffer exchanges,
+/// send-then-receive per step, wrapped in the [`FoldState`] pre/post fold
+/// for non-power-of-two worlds. Sends even empty buffers unconditionally,
 /// like the historical implementation.
 pub(crate) struct RdSchedule {
-    p: usize,
     me: usize,
     n: usize,
+    core: usize,
+    rem: usize,
+    vrank: usize,
     dist: usize,
     step: usize,
     recv_pending: bool,
+    state: FoldState,
 }
 
 impl RdSchedule {
     pub(crate) fn new(p: usize, me: usize, n: usize) -> Self {
-        assert!(
-            p.is_power_of_two(),
-            "recursive doubling needs power-of-two world"
-        );
+        let core = pow2_core(p);
+        let (state, vrank) = fold_entry(p, me, core);
         RdSchedule {
-            p,
             me,
             n,
+            core,
+            rem: p - core,
+            vrank,
             dist: 1,
             step: 0,
             recv_pending: false,
+            state,
         }
     }
 }
 
 impl Schedule for RdSchedule {
     fn current(&self) -> Option<Op> {
-        if self.dist >= self.p {
-            return None;
-        }
-        let peer = self.me ^ self.dist;
-        let t = tag_seg(4, self.step, 0);
-        Some(if self.recv_pending {
-            Op::Recv {
-                from: peer,
-                tag: t,
-                win: (0, self.n),
+        let win = (0, self.n);
+        match self.state {
+            FoldState::Done => None,
+            FoldState::PreSend => Some(Op::Send {
+                to: self.me + 1,
+                tag: tag_seg(4, FOLD_PRE_STEP, 0),
+                win,
+            }),
+            FoldState::PreRecv => Some(Op::Recv {
+                from: self.me - 1,
+                tag: tag_seg(4, FOLD_PRE_STEP, 0),
+                win,
                 act: RecvAct::FoldIntoBuf,
                 then: Disposal::Release,
+            }),
+            FoldState::PostSend => Some(Op::Send {
+                to: self.me - 1,
+                tag: tag_seg(4, FOLD_POST_STEP, 0),
+                win,
+            }),
+            FoldState::PostRecv => Some(Op::Recv {
+                from: self.me + 1,
+                tag: tag_seg(4, FOLD_POST_STEP, 0),
+                win,
+                act: RecvAct::Copy,
+                then: Disposal::Release,
+            }),
+            FoldState::Core => {
+                if self.dist >= self.core {
+                    return None; // p == 1 only; larger cores exit via advance
+                }
+                let peer = fold_real_rank(self.rem, self.vrank ^ self.dist);
+                let t = tag_seg(4, self.step, 0);
+                Some(if self.recv_pending {
+                    Op::Recv {
+                        from: peer,
+                        tag: t,
+                        win,
+                        act: RecvAct::FoldIntoBuf,
+                        then: Disposal::Release,
+                    }
+                } else {
+                    Op::Send {
+                        to: peer,
+                        tag: t,
+                        win,
+                    }
+                })
             }
-        } else {
-            Op::Send {
-                to: peer,
-                tag: t,
-                win: (0, self.n),
-            }
-        })
+        }
     }
 
     fn advance(&mut self) {
-        if self.recv_pending {
-            self.recv_pending = false;
-            self.dist <<= 1;
-            self.step += 1;
-        } else {
-            self.recv_pending = true;
+        match self.state {
+            FoldState::PreSend => self.state = FoldState::PostRecv,
+            FoldState::PreRecv => self.state = FoldState::Core,
+            FoldState::PostSend | FoldState::PostRecv | FoldState::Done => {
+                self.state = FoldState::Done;
+            }
+            FoldState::Core => {
+                if self.recv_pending {
+                    self.recv_pending = false;
+                    self.dist <<= 1;
+                    self.step += 1;
+                    if self.dist >= self.core {
+                        self.state = if self.me < 2 * self.rem {
+                            FoldState::PostSend
+                        } else {
+                            FoldState::Done
+                        };
+                    }
+                } else {
+                    self.recv_pending = true;
+                }
+            }
         }
     }
 }
 
 /// Rabenseifner allreduce: recursive-halving reduce-scatter (id 5) then
-/// recursive-doubling allgather (id 6). The step counter runs continuously
-/// across the phase boundary — the doubling phase's first tag is
-/// `tag(6, log2 p)` — exactly as the historical implementation numbered it.
+/// recursive-doubling allgather (id 6) across the power-of-two core, with
+/// the [`FoldState`] pre/post fold absorbing the `p − core` extra ranks of
+/// non-power-of-two worlds. The step counter runs continuously across the
+/// phase boundary — the doubling phase's first tag is `tag(6, log2 core)` —
+/// exactly as the historical implementation numbered it.
 pub(crate) struct RabenseifnerSchedule {
-    p: usize,
     me: usize,
+    n: usize,
+    core: usize,
+    rem: usize,
+    vrank: usize,
     lo: usize,
     hi: usize,
     dist: usize,
     step: usize,
     halving: bool,
     recv_pending: bool,
+    state: FoldState,
 }
 
 impl RabenseifnerSchedule {
     pub(crate) fn new(p: usize, me: usize, n: usize) -> Self {
-        assert!(p.is_power_of_two(), "rabenseifner needs power-of-two world");
+        let core = pow2_core(p);
         assert!(
-            n.is_multiple_of(p),
-            "buffer length must be divisible by world size"
+            n.is_multiple_of(core),
+            "buffer length must be divisible by the power-of-two core of the world size"
         );
+        let (state, vrank) = fold_entry(p, me, core);
         RabenseifnerSchedule {
-            p,
             me,
+            n,
+            core,
+            rem: p - core,
+            vrank,
             lo: 0,
             hi: n,
-            // p == 1 starts (and therefore ends) in the doubling phase.
-            dist: if p == 1 { 1 } else { p / 2 },
+            // core == 1 starts (and therefore ends) in the doubling phase.
+            dist: if core == 1 { 1 } else { core / 2 },
             step: 0,
-            halving: p > 1,
+            halving: core > 1,
             recv_pending: false,
+            state,
         }
     }
 
     /// The halving step's window split: `(keep, send)` halves of `[lo, hi)`.
     fn halves(&self) -> ((usize, usize), (usize, usize)) {
         let mid = self.lo + (self.hi - self.lo) / 2;
-        if self.me & self.dist == 0 {
+        if self.vrank & self.dist == 0 {
             ((self.lo, mid), (mid, self.hi))
         } else {
             ((mid, self.hi), (self.lo, mid))
@@ -751,7 +1000,7 @@ impl RabenseifnerSchedule {
     /// The doubling step's peer window (the mirror of ours at this level).
     fn peer_window(&self) -> (usize, usize) {
         let window = self.hi - self.lo;
-        if self.me & self.dist == 0 {
+        if self.vrank & self.dist == 0 {
             (self.lo + window, self.hi + window)
         } else {
             (self.lo - window, self.hi - window)
@@ -761,8 +1010,44 @@ impl RabenseifnerSchedule {
 
 impl Schedule for RabenseifnerSchedule {
     fn current(&self) -> Option<Op> {
+        match self.state {
+            FoldState::Done => return None,
+            FoldState::PreSend => {
+                return Some(Op::Send {
+                    to: self.me + 1,
+                    tag: tag_seg(5, FOLD_PRE_STEP, 0),
+                    win: (0, self.n),
+                });
+            }
+            FoldState::PreRecv => {
+                return Some(Op::Recv {
+                    from: self.me - 1,
+                    tag: tag_seg(5, FOLD_PRE_STEP, 0),
+                    win: (0, self.n),
+                    act: RecvAct::FoldIntoBuf,
+                    then: Disposal::Release,
+                });
+            }
+            FoldState::PostSend => {
+                return Some(Op::Send {
+                    to: self.me - 1,
+                    tag: tag_seg(6, FOLD_POST_STEP, 0),
+                    win: (0, self.n),
+                });
+            }
+            FoldState::PostRecv => {
+                return Some(Op::Recv {
+                    from: self.me + 1,
+                    tag: tag_seg(6, FOLD_POST_STEP, 0),
+                    win: (0, self.n),
+                    act: RecvAct::Copy,
+                    then: Disposal::Release,
+                });
+            }
+            FoldState::Core => {}
+        }
         if self.halving {
-            let peer = self.me ^ self.dist;
+            let peer = fold_real_rank(self.rem, self.vrank ^ self.dist);
             let t = tag_seg(5, self.step, 0);
             let (keep, send) = self.halves();
             Some(if self.recv_pending {
@@ -781,10 +1066,10 @@ impl Schedule for RabenseifnerSchedule {
                 }
             })
         } else {
-            if self.dist >= self.p {
-                return None;
+            if self.dist >= self.core {
+                return None; // p == 1 only; larger cores exit via advance
             }
-            let peer = self.me ^ self.dist;
+            let peer = fold_real_rank(self.rem, self.vrank ^ self.dist);
             let t = tag_seg(6, self.step, 0);
             Some(if self.recv_pending {
                 Op::Recv {
@@ -805,6 +1090,21 @@ impl Schedule for RabenseifnerSchedule {
     }
 
     fn advance(&mut self) {
+        match self.state {
+            FoldState::PreSend => {
+                self.state = FoldState::PostRecv;
+                return;
+            }
+            FoldState::PreRecv => {
+                self.state = FoldState::Core;
+                return;
+            }
+            FoldState::PostSend | FoldState::PostRecv | FoldState::Done => {
+                self.state = FoldState::Done;
+                return;
+            }
+            FoldState::Core => {}
+        }
         if !self.recv_pending {
             self.recv_pending = true;
             return;
@@ -824,6 +1124,13 @@ impl Schedule for RabenseifnerSchedule {
             self.lo = self.lo.min(plo);
             self.hi = self.hi.max(phi);
             self.dist <<= 1;
+            if self.dist >= self.core {
+                self.state = if self.me < 2 * self.rem {
+                    FoldState::PostSend
+                } else {
+                    FoldState::Done
+                };
+            }
         }
     }
 }
@@ -1286,6 +1593,72 @@ impl Schedule for AlltoallSchedule {
     }
 }
 
+/// Small-message payloads at or below this many bytes per block route
+/// [`Collective::Alltoall`] through the Bruck log-p schedule instead of the
+/// pairwise exchange — the MPICH small-message switch. Pairwise moves each
+/// block once but costs `p − 1` messages per rank (7.6×10⁸ total at full
+/// Summit); Bruck sends each block `⌈lg p⌉` times but only `⌈lg p⌉`
+/// messages per rank, which is what makes the full machine simulable and
+/// is the latency-optimal choice for real small-block exchanges.
+pub(crate) const BRUCK_MAX_BYTES: usize = 256;
+
+/// Bruck all-to-all (id 10, segment 1 tags): `⌈lg p⌉` rounds over the
+/// `p`-entry work array (`slots[i]` starts as the block for rank
+/// `(me + i) mod p` — the caller's local rotation). Round `k` ships every
+/// slot whose index has bit `k` set to rank `me + 2^k` as one combined
+/// message and refills the same positions from rank `me − 2^k`; after the
+/// last round `slots[i]` holds the block *from* rank `(me − i) mod p` and
+/// the caller un-rotates. Works for any `p`, power of two or not.
+pub(crate) struct BruckAlltoallSchedule {
+    p: usize,
+    me: usize,
+    k: u32,
+    recv_pending: bool,
+}
+
+impl BruckAlltoallSchedule {
+    pub(crate) fn new(p: usize, me: usize) -> Self {
+        BruckAlltoallSchedule {
+            p,
+            me,
+            k: 0,
+            recv_pending: false,
+        }
+    }
+}
+
+impl Schedule for BruckAlltoallSchedule {
+    fn current(&self) -> Option<Op> {
+        let d = 1usize << self.k;
+        if d >= self.p {
+            return None;
+        }
+        let t = tag_seg(10, self.k as usize, 1);
+        Some(if self.recv_pending {
+            Op::RecvScatter {
+                from: (self.me + self.p - d) % self.p,
+                tag: t,
+                bit: self.k,
+            }
+        } else {
+            Op::SendGather {
+                to: (self.me + d) % self.p,
+                tag: t,
+                bit: self.k,
+            }
+        })
+    }
+
+    fn advance(&mut self) {
+        if self.recv_pending {
+            self.recv_pending = false;
+            self.k += 1;
+        } else {
+            self.recv_pending = true;
+        }
+    }
+}
+
 /// Scatter from `root` (id 11): the root sends slot `dst` to each rank in
 /// ascending order; every other rank receives its own slot.
 pub(crate) struct ScatterSchedule {
@@ -1413,9 +1786,10 @@ pub enum Collective {
     ReduceScatter,
     /// `ring_allgather`.
     RingAllgather,
-    /// `recursive_doubling_allreduce` (power-of-two worlds only).
+    /// `recursive_doubling_allreduce` (non-power-of-two worlds fold into
+    /// a power-of-two core).
     RecursiveDoubling,
-    /// `rabenseifner_allreduce` (power-of-two worlds, `p | elems`).
+    /// `rabenseifner_allreduce` (requires `pow2_core(p) | elems`).
     Rabenseifner,
     /// `binomial_broadcast_into`.
     BinomialBroadcast { root: usize },
@@ -1425,7 +1799,9 @@ pub enum Collective {
     TreeAllreduce,
     /// `hierarchical_allreduce`.
     HierarchicalAllreduce { group_size: usize },
-    /// `alltoall` with `elems` elements per destination.
+    /// `alltoall` with `elems` elements per destination (blocks at or
+    /// below [`BRUCK_MAX_BYTES`] take the Bruck log-p schedule, larger
+    /// ones the direct pairwise exchange).
     Alltoall,
     /// `scatter` with `elems` elements per chunk.
     Scatter { root: usize },
@@ -1463,50 +1839,116 @@ impl ModelReport {
     }
 }
 
+/// A concrete schedule behind enum dispatch. The simulators drive ~10⁸
+/// cursor reads per full-machine collective; a `match` on a concrete enum
+/// inlines where `Box<dyn Schedule>` virtual calls cannot.
+pub(crate) enum AnySchedule {
+    Ring(RingSchedule),
+    Rd(RdSchedule),
+    Rab(RabenseifnerSchedule),
+    Bcast(BroadcastSchedule),
+    Reduce(ReduceSchedule),
+    Hier(HierarchicalSchedule),
+    A2a(AlltoallSchedule),
+    Bruck(BruckAlltoallSchedule),
+    Scatter(ScatterSchedule),
+    Gather(GatherSchedule),
+}
+
+impl Schedule for AnySchedule {
+    #[inline]
+    fn current(&self) -> Option<Op> {
+        match self {
+            AnySchedule::Ring(s) => s.current(),
+            AnySchedule::Rd(s) => s.current(),
+            AnySchedule::Rab(s) => s.current(),
+            AnySchedule::Bcast(s) => s.current(),
+            AnySchedule::Reduce(s) => s.current(),
+            AnySchedule::Hier(s) => s.current(),
+            AnySchedule::A2a(s) => s.current(),
+            AnySchedule::Bruck(s) => s.current(),
+            AnySchedule::Scatter(s) => s.current(),
+            AnySchedule::Gather(s) => s.current(),
+        }
+    }
+
+    #[inline]
+    fn advance(&mut self) {
+        match self {
+            AnySchedule::Ring(s) => s.advance(),
+            AnySchedule::Rd(s) => s.advance(),
+            AnySchedule::Rab(s) => s.advance(),
+            AnySchedule::Bcast(s) => s.advance(),
+            AnySchedule::Reduce(s) => s.advance(),
+            AnySchedule::Hier(s) => s.advance(),
+            AnySchedule::A2a(s) => s.advance(),
+            AnySchedule::Bruck(s) => s.advance(),
+            AnySchedule::Scatter(s) => s.advance(),
+            AnySchedule::Gather(s) => s.advance(),
+        }
+    }
+}
+
 /// The per-rank schedule chain of a collective (multi-phase collectives,
 /// like the tree allreduce, run their phases back to back).
-fn phases(c: Collective, p: usize, me: usize, elems: usize) -> Vec<Box<dyn Schedule>> {
+pub(crate) fn phases(c: Collective, p: usize, me: usize, elems: usize) -> Vec<AnySchedule> {
     match c {
-        Collective::RingAllreduce { bucket_elems } => vec![Box::new(RingSchedule::allreduce(
-            p,
-            me,
-            elems,
-            bucket_elems.max(1),
-        ))],
-        Collective::ReduceScatter => vec![Box::new(RingSchedule::reduce_scatter(p, me, elems))],
-        Collective::RingAllgather => vec![Box::new(RingSchedule::allgather(p, me, elems))],
-        Collective::RecursiveDoubling => vec![Box::new(RdSchedule::new(p, me, elems))],
-        Collective::Rabenseifner => vec![Box::new(RabenseifnerSchedule::new(p, me, elems))],
+        Collective::RingAllreduce { bucket_elems } => vec![AnySchedule::Ring(
+            RingSchedule::allreduce(p, me, elems, bucket_elems.max(1)),
+        )],
+        Collective::ReduceScatter => {
+            vec![AnySchedule::Ring(RingSchedule::reduce_scatter(
+                p, me, elems,
+            ))]
+        }
+        Collective::RingAllgather => vec![AnySchedule::Ring(RingSchedule::allgather(p, me, elems))],
+        Collective::RecursiveDoubling => vec![AnySchedule::Rd(RdSchedule::new(p, me, elems))],
+        Collective::Rabenseifner => vec![AnySchedule::Rab(RabenseifnerSchedule::new(p, me, elems))],
         Collective::BinomialBroadcast { root } => {
-            vec![Box::new(BroadcastSchedule::new(p, me, elems, root, 9))]
+            vec![AnySchedule::Bcast(BroadcastSchedule::new(
+                p, me, elems, root, 9,
+            ))]
         }
         Collective::BinomialReduce { root } => {
-            vec![Box::new(ReduceSchedule::new(p, me, elems, root))]
+            vec![AnySchedule::Reduce(ReduceSchedule::new(p, me, elems, root))]
         }
         Collective::TreeAllreduce => vec![
-            Box::new(ReduceSchedule::new(p, me, elems, 0)),
-            Box::new(BroadcastSchedule::new(p, me, elems, 0, 9)),
+            AnySchedule::Reduce(ReduceSchedule::new(p, me, elems, 0)),
+            AnySchedule::Bcast(BroadcastSchedule::new(p, me, elems, 0, 9)),
         ],
         Collective::HierarchicalAllreduce { group_size } => {
-            vec![Box::new(HierarchicalSchedule::new(
+            vec![AnySchedule::Hier(HierarchicalSchedule::new(
                 p, me, elems, group_size,
             ))]
         }
-        Collective::Alltoall => vec![Box::new(AlltoallSchedule::new(p, me))],
-        Collective::Scatter { root } => vec![Box::new(ScatterSchedule::new(p, me, root))],
-        Collective::Gather { root } => vec![Box::new(GatherSchedule::new(p, me, root))],
+        Collective::Alltoall => {
+            if elems * 4 <= BRUCK_MAX_BYTES {
+                vec![AnySchedule::Bruck(BruckAlltoallSchedule::new(p, me))]
+            } else {
+                vec![AnySchedule::A2a(AlltoallSchedule::new(p, me))]
+            }
+        }
+        Collective::Scatter { root } => {
+            vec![AnySchedule::Scatter(ScatterSchedule::new(p, me, root))]
+        }
+        Collective::Gather { root } => vec![AnySchedule::Gather(GatherSchedule::new(p, me, root))],
     }
 }
 
 /// Initial slot lengths for the personalized collectives (empty for the
 /// windowed ones).
-fn slots_for(c: Collective, p: usize, me: usize, elems: usize) -> Vec<usize> {
+pub(crate) fn slots_for(c: Collective, p: usize, me: usize, elems: usize) -> Vec<usize> {
     match c {
         Collective::Alltoall => {
-            // Send half populated, receive half empty (see AlltoallSchedule).
-            let mut v = vec![elems; p];
-            v.extend(std::iter::repeat_n(0, p));
-            v
+            if elems * 4 <= BRUCK_MAX_BYTES {
+                // Bruck work array: every slot starts holding one block.
+                vec![elems; p]
+            } else {
+                // Send half populated, receive half empty (see AlltoallSchedule).
+                let mut v = vec![elems; p];
+                v.extend(std::iter::repeat_n(0, p));
+                v
+            }
         }
         Collective::Scatter { root } => {
             if me == root {
@@ -1528,23 +1970,27 @@ fn slots_for(c: Collective, p: usize, me: usize, elems: usize) -> Vec<usize> {
 /// `(payload elements, ready time)` pairs.
 type InFlight = HashMap<(usize, usize, u64), VecDeque<(usize, f64)>>;
 
-/// Run a collective's schedule against the model transport: no bytes move;
-/// each rank advances a virtual clock under the α–β `link` cost
-/// (`transfer_time = α + bytes/β` per message, fire-and-forget sends,
-/// receives completing at `max(local clock, message ready time)`).
-///
-/// Because the model executes the *same* [`Schedule`] the real transport
-/// executes, the reported per-rank message and byte counters equal the
-/// executed collective's counters exactly — the property
-/// `model_vs_execution` pins — and the predicted times reproduce the
-/// closed-form α–β collective models for the uniform cases they cover.
+/// The retired per-step polling simulator, kept as the **oracle** for the
+/// event-driven engine in [`crate::sim`]: every rank is scanned every
+/// iteration (O(p) per step), so it only scales to small worlds, but its
+/// semantics — fire-and-forget sends becoming receivable at
+/// `clock + α + m/β`, receives completing at `max(local clock, ready)`,
+/// per-`(src, dst, tag)` FIFO — define what the fast engine must reproduce
+/// *bit-for-bit*. The `sim_equivalence` suite pins `sim::simulate` against
+/// this function (identical `f64` virtual times, identical per-rank
+/// message/byte counts) for all 12 collectives.
 ///
 /// # Panics
 /// Panics if `p == 0`, on each algorithm's own world-shape requirements,
 /// or if the schedules deadlock (a schedule bug, not a data condition).
-pub fn simulate(collective: Collective, p: usize, elems: usize, link: LinkModel) -> ModelReport {
+pub fn simulate_reference(
+    collective: Collective,
+    p: usize,
+    elems: usize,
+    link: LinkModel,
+) -> ModelReport {
     assert!(p > 0, "world size must be positive");
-    let mut scheds: Vec<Vec<Box<dyn Schedule>>> =
+    let mut scheds: Vec<Vec<AnySchedule>> =
         (0..p).map(|me| phases(collective, p, me, elems)).collect();
     let mut slot_len: Vec<Vec<usize>> = (0..p)
         .map(|me| slots_for(collective, p, me, elems))
@@ -1644,6 +2090,29 @@ pub fn simulate(collective: Collective, p: usize, elems: usize, link: LinkModel)
                         clock[me] = clock[me].max(ready);
                         slot_len[me][slot] = len;
                     }
+                    // Bruck rounds keep every slot at `elems`; the combined
+                    // message length is the closed-form block count.
+                    Op::SendGather { to, tag, bit } => {
+                        post(
+                            me,
+                            to,
+                            tag,
+                            bruck_count(p, bit) * elems,
+                            &clock,
+                            &mut messages,
+                            &mut bytes,
+                            &mut in_flight,
+                        );
+                    }
+                    Op::RecvScatter { from, tag, .. } => {
+                        let Some((_, ready)) = in_flight
+                            .get_mut(&(from, me, tag))
+                            .and_then(VecDeque::pop_front)
+                        else {
+                            break;
+                        };
+                        clock[me] = clock[me].max(ready);
+                    }
                 }
                 sched.advance();
                 progressed = true;
@@ -1672,6 +2141,7 @@ pub fn simulate(collective: Collective, p: usize, elems: usize, link: LinkModel)
 
 #[cfg(test)]
 mod tests {
+    use super::simulate_reference as simulate;
     use super::*;
     use crate::model::{Algorithm, CollectiveModel};
 
@@ -1773,18 +2243,41 @@ mod tests {
     }
 
     /// Every personalized collective moves the volume its pattern implies.
+    /// `n = 128` keeps alltoall above the Bruck threshold, pinning the
+    /// direct pairwise exchange: one block once per (source, destination).
     #[test]
     fn simulated_personalized_counts() {
         let link = link();
+        let n = 128;
         for p in [2usize, 3, 4, 8] {
-            let a2a = simulate(Collective::Alltoall, p, 6, link);
+            let a2a = simulate(Collective::Alltoall, p, n, link);
             assert_eq!(a2a.total_messages(), (p * (p - 1)) as u64, "alltoall p={p}");
-            assert_eq!(a2a.total_bytes(), (4 * 6 * p * (p - 1)) as u64);
-            let sc = simulate(Collective::Scatter { root: 1 % p }, p, 6, link);
+            assert_eq!(a2a.total_bytes(), (4 * n * p * (p - 1)) as u64);
+            let sc = simulate(Collective::Scatter { root: 1 % p }, p, n, link);
             assert_eq!(sc.total_messages(), (p - 1) as u64, "scatter p={p}");
-            let ga = simulate(Collective::Gather { root: 1 % p }, p, 6, link);
+            let ga = simulate(Collective::Gather { root: 1 % p }, p, n, link);
             assert_eq!(ga.total_messages(), (p - 1) as u64, "gather p={p}");
-            assert_eq!(ga.total_bytes(), (4 * 6 * (p - 1)) as u64);
+            assert_eq!(ga.total_bytes(), (4 * n * (p - 1)) as u64);
+        }
+    }
+
+    /// Small blocks route alltoall through Bruck: `⌈lg p⌉` messages per
+    /// rank, and each block rides `popcount(distance)` combined messages —
+    /// total bytes `4 n p Σ_{i<p} popcount(i)`.
+    #[test]
+    fn simulated_bruck_alltoall_counts() {
+        let link = link();
+        let n = 6;
+        for p in [2usize, 3, 4, 5, 8] {
+            let rounds = usize::BITS - (p - 1).leading_zeros();
+            let popcounts: u32 = (0..p as u32).map(u32::count_ones).sum();
+            let r = simulate(Collective::Alltoall, p, n, link);
+            assert_eq!(r.total_messages(), (p as u32 * rounds) as u64, "p={p}");
+            assert_eq!(
+                r.total_bytes(),
+                (4 * n * p) as u64 * u64::from(popcounts),
+                "p={p}"
+            );
         }
     }
 

@@ -5,15 +5,15 @@
 //! Like the core set in [`crate::collectives`], each pattern is defined once
 //! as an engine schedule ([`crate::engine`]) and surfaced here as a blocking
 //! wrapper plus a deadline-bounded `try_` twin, so the extended collectives
-//! get `FaultPlan` coverage and modeled ([`crate::engine::simulate`]) twins
+//! get `FaultPlan` coverage and modeled ([`crate::sim::simulate`]) twins
 //! for free.
 
 use std::time::{Duration, Instant};
 
 use crate::collectives::{binomial_broadcast_into, ring_allreduce, ReduceOp};
 use crate::engine::{
-    drive_blocking, drive_checked, AlltoallSchedule, GatherSchedule, HierarchicalSchedule,
-    ScatterSchedule,
+    drive_blocking, drive_checked, AlltoallSchedule, BruckAlltoallSchedule, GatherSchedule,
+    HierarchicalSchedule, ScatterSchedule, BRUCK_MAX_BYTES,
 };
 use crate::faults::CommError;
 use crate::world::Rank;
@@ -30,16 +30,56 @@ fn alltoall_slots(rank: &Rank, send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
     slots
 }
 
+/// Whether this exchange takes the Bruck log-p schedule: uniform block
+/// lengths (Bruck's combined messages split evenly on receive) at or below
+/// the small-message threshold. Deterministic in `(p, block length)`, so
+/// the modeled twin ([`crate::sim::simulate`]) makes the same choice.
+fn bruck_eligible(send: &[Vec<f32>]) -> bool {
+    let n = send.first().map_or(0, Vec::len);
+    send.iter().all(|b| b.len() == n) && n * 4 <= BRUCK_MAX_BYTES
+}
+
+/// Bruck phase 1: the local rotation — `work[i]` holds the block destined
+/// for rank `(me + i) mod p`.
+fn bruck_rotate(me: usize, mut send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let p = send.len();
+    (0..p)
+        .map(|i| std::mem::take(&mut send[(me + i) % p]))
+        .collect()
+}
+
+/// Bruck phase 3: after the rounds `work[i]` holds the block *from* rank
+/// `(me - i) mod p`; un-rotate so the result is indexed by source.
+fn bruck_unrotate(me: usize, mut work: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let p = work.len();
+    (0..p)
+        .map(|src| std::mem::take(&mut work[(me + p - src) % p]))
+        .collect()
+}
+
 /// Personalized all-to-all: rank i sends `send[j]` to rank j and receives
 /// rank j's `send[i]`. Returns the received buffers indexed by source.
 ///
-/// Pairwise-exchange schedule (`peer = me ^ s`) for power-of-two worlds,
-/// shifted-ring schedule otherwise; this rank's own contribution stays in
-/// place.
+/// Small uniform blocks (≤ [`BRUCK_MAX_BYTES`]) take the Bruck log-p
+/// store-and-forward schedule — `⌈lg p⌉` combined messages per rank
+/// instead of `p − 1`. Larger or ragged exchanges use the direct pairwise
+/// schedule (`peer = me ^ s`) for power-of-two worlds, the shifted ring
+/// otherwise; this rank's own contribution stays in place either way.
 ///
 /// # Panics
 /// Panics if `send.len() != world size`.
 pub fn alltoall(rank: &Rank, send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    assert_eq!(
+        send.len(),
+        rank.size(),
+        "alltoall needs one buffer per rank"
+    );
+    if bruck_eligible(&send) {
+        let mut work = bruck_rotate(rank.id(), send);
+        let mut sched = BruckAlltoallSchedule::new(rank.size(), rank.id());
+        drive_blocking(rank, &mut [], &mut work, ReduceOp::Sum, &mut sched);
+        return bruck_unrotate(rank.id(), work);
+    }
     let mut slots = alltoall_slots(rank, send);
     let mut sched = AlltoallSchedule::new(rank.size(), rank.id());
     drive_blocking(rank, &mut [], &mut slots, ReduceOp::Sum, &mut sched);
@@ -59,8 +99,27 @@ pub fn try_alltoall(
     send: Vec<Vec<f32>>,
     timeout: Duration,
 ) -> Result<Vec<Vec<f32>>, CommError> {
-    let mut slots = alltoall_slots(rank, send);
+    assert_eq!(
+        send.len(),
+        rank.size(),
+        "alltoall needs one buffer per rank"
+    );
     rank.poll_fault_kill()?;
+    let deadline = Some(Instant::now() + timeout);
+    if bruck_eligible(&send) {
+        let mut work = bruck_rotate(rank.id(), send);
+        let mut sched = BruckAlltoallSchedule::new(rank.size(), rank.id());
+        drive_checked(
+            rank,
+            &mut [],
+            &mut work,
+            ReduceOp::Sum,
+            &mut sched,
+            deadline,
+        )?;
+        return Ok(bruck_unrotate(rank.id(), work));
+    }
+    let mut slots = alltoall_slots(rank, send);
     let mut sched = AlltoallSchedule::new(rank.size(), rank.id());
     drive_checked(
         rank,
@@ -68,7 +127,7 @@ pub fn try_alltoall(
         &mut slots,
         ReduceOp::Sum,
         &mut sched,
-        Some(Instant::now() + timeout),
+        deadline,
     )?;
     Ok(slots.split_off(rank.size()))
 }
@@ -279,6 +338,48 @@ mod tests {
                 for (j, buf) in recv.iter().enumerate() {
                     assert_eq!(buf, &vec![(j * p + i) as f32], "p={p} rank {i} from {j}");
                 }
+            }
+        }
+    }
+
+    /// Blocks above the Bruck threshold exercise the direct pairwise
+    /// schedule (the small-block test above lands on Bruck).
+    #[test]
+    fn alltoall_large_blocks_take_the_pairwise_path() {
+        let n = BRUCK_MAX_BYTES / 4 + 1;
+        for p in [4usize, 5] {
+            let out = World::run(p, |rank| {
+                let send: Vec<Vec<f32>> = (0..p)
+                    .map(|j| vec![(rank.id() * p + j) as f32; n])
+                    .collect();
+                alltoall(rank, send)
+            });
+            for (i, recv) in out.iter().enumerate() {
+                for (j, buf) in recv.iter().enumerate() {
+                    assert_eq!(buf, &vec![(j * p + i) as f32; n], "p={p} rank {i} from {j}");
+                }
+            }
+        }
+    }
+
+    /// Ragged block lengths are ineligible for Bruck (its combined
+    /// messages split evenly) and must stay on the pairwise schedule.
+    #[test]
+    fn alltoall_ragged_blocks_stay_pairwise() {
+        let p = 4;
+        let out = World::run(p, |rank| {
+            let send: Vec<Vec<f32>> = (0..p)
+                .map(|j| vec![(rank.id() * p + j) as f32; j + 1])
+                .collect();
+            alltoall(rank, send)
+        });
+        for (i, recv) in out.iter().enumerate() {
+            for (j, buf) in recv.iter().enumerate() {
+                assert_eq!(
+                    buf,
+                    &vec![(j * p + i) as f32; i + 1],
+                    "p={p} rank {i} from {j}"
+                );
             }
         }
     }

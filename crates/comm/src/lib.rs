@@ -44,10 +44,11 @@ pub mod faults;
 pub mod group;
 pub mod model;
 pub mod nonblocking;
+pub mod sim;
 pub mod world;
 
 pub use collectives::ReduceOp;
-pub use engine::{simulate, Collective, ModelReport};
+pub use engine::{simulate_reference, Collective, ModelReport};
 pub use extended::{alltoall, gather, hierarchical_allreduce, scatter};
 pub use faults::{all_agree, CommError, FaultKind, FaultPlan, FaultRates, TagClass, CONTROL_BIT};
 pub use group::Group;
@@ -56,4 +57,6 @@ pub use nonblocking::{
     ring_allreduce_start, ring_allreduce_start_windowed, RecvHandle, RingAllreduceHandle,
     SendHandle,
 };
+pub use sim::{simulate, simulate_on, FabricReport};
+pub use summit_machine::LinkModel;
 pub use world::{Rank, RankTraffic, World};

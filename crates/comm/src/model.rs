@@ -47,11 +47,14 @@ impl Algorithm {
     }
 }
 
-/// Largest rank count [`CollectiveModel::simulated_allreduce_time`] will
-/// simulate step-by-step. Beyond this, schedule simulation cost grows
-/// without buying accuracy over the closed forms (which it converges to),
-/// so callers fall back to [`CollectiveModel::allreduce_time`].
-pub const MAX_SIM_RANKS: u64 = 128;
+/// Memo table for [`CollectiveModel::simulated_allreduce_time`]: the perf
+/// models call it repeatedly with identical (algorithm, world, size, link)
+/// tuples while sweeping other parameters, and a full-machine simulation is
+/// the expensive leg. Keyed on the link's exact bit patterns so distinct
+/// fabrics never collide.
+type SimMemoKey = (u8, u64, u64, u64, u64);
+type SimMemo = std::sync::Mutex<std::collections::HashMap<SimMemoKey, f64>>;
+static SIM_MEMO: std::sync::OnceLock<SimMemo> = std::sync::OnceLock::new();
 
 /// Cost model for collectives over a homogeneous link.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -115,27 +118,25 @@ impl CollectiveModel {
     }
 
     /// Allreduce time predicted by driving the **executable schedule** of
-    /// `alg` against per-rank virtual clocks ([`crate::engine::simulate`])
+    /// `alg` against per-rank virtual clocks ([`crate::sim::simulate`])
     /// instead of a closed form.
     ///
     /// The simulation runs the exact per-step schedule the executed
     /// collective runs — uneven chunk splits, empty tail segments and the
     /// reduce→gather handoff included — so it refines the closed forms
-    /// where they idealize (`m/p` divisibility). It returns `None` when
-    /// the schedule cannot be instantiated: `p > `[`MAX_SIM_RANKS`]
-    /// (simulation cost without accuracy benefit — use
-    /// [`Self::allreduce_time`]), non-power-of-two `p` for recursive
-    /// doubling / Rabenseifner, or a message smaller than one f32 per rank
-    /// for Rabenseifner (its schedule requires `p | elems`).
+    /// where they idealize (`m/p` divisibility). The event-driven engine
+    /// simulates any world size, full-Summit (p = 27,648) included; there
+    /// is no rank-count gate. It returns `None` only when the schedule
+    /// cannot be instantiated: Rabenseifner with a message not divisible
+    /// by the power-of-two core of `p` (its halving phase has no schedule
+    /// for such splits).
     ///
     /// `bytes` is rounded to whole f32 elements, matching the executed
-    /// collectives' payloads.
+    /// collectives' payloads. Results are memoized process-wide — the perf
+    /// models re-ask identical questions across sweeps.
     pub fn simulated_allreduce_time(&self, alg: Algorithm, p: u64, bytes: f64) -> Option<f64> {
         assert!(p > 0, "rank count must be positive");
         assert!(bytes >= 0.0, "message size cannot be negative");
-        if p > MAX_SIM_RANKS {
-            return None;
-        }
         if p == 1 {
             return Some(0.0);
         }
@@ -145,21 +146,29 @@ impl CollectiveModel {
             Algorithm::Ring => Collective::RingAllreduce {
                 bucket_elems: usize::MAX,
             },
-            Algorithm::RecursiveDoubling => {
-                if !p.is_power_of_two() {
-                    return None;
-                }
-                Collective::RecursiveDoubling
-            }
+            Algorithm::RecursiveDoubling => Collective::RecursiveDoubling,
             Algorithm::Rabenseifner => {
-                if !p.is_power_of_two() || !elems.is_multiple_of(pu) {
+                if !elems.is_multiple_of(crate::engine::pow2_core(pu)) {
                     return None;
                 }
                 Collective::Rabenseifner
             }
             Algorithm::BinomialTree => Collective::TreeAllreduce,
         };
-        Some(crate::engine::simulate(collective, pu, elems, self.link).time_seconds)
+        let key = (
+            alg as u8,
+            p,
+            elems as u64,
+            self.link.alpha.to_bits(),
+            self.link.beta.to_bits(),
+        );
+        let memo = SIM_MEMO.get_or_init(Default::default);
+        if let Some(&t) = memo.lock().expect("sim memo poisoned").get(&key) {
+            return Some(t);
+        }
+        let t = crate::sim::simulate(collective, pu, elems, self.link).time_seconds;
+        memo.lock().expect("sim memo poisoned").insert(key, t);
+        Some(t)
     }
 
     /// The fastest algorithm and its time for the given size.
@@ -346,7 +355,7 @@ mod tests {
                 let closed = m.allreduce_time(alg, p, bytes);
                 let sim = m
                     .simulated_allreduce_time(alg, p, bytes)
-                    .expect("simulable: pow2 p ≤ MAX_SIM_RANKS, p | elems");
+                    .expect("simulable: pow2 p, p | elems");
                 assert!(
                     (sim - closed).abs() <= 1e-9 * closed.max(1e-12),
                     "{} p={p}: sim {sim} vs closed {closed}",
@@ -371,36 +380,44 @@ mod tests {
         assert!(sim <= closed * 1.01, "sim {sim} far from closed {closed}");
     }
 
-    /// The simulation gate: beyond MAX_SIM_RANKS or with an
-    /// algorithm/world mismatch callers must use the closed forms.
+    /// The old 128-rank simulation gate is gone: every algorithm simulates
+    /// at any world size, including beyond the former `MAX_SIM_RANKS`, and
+    /// the simulated value agrees with the closed form it converges to.
+    /// The only remaining `None` is Rabenseifner's divisibility condition.
     #[test]
-    fn simulation_gate_falls_back_to_closed_forms() {
+    fn simulation_has_no_rank_gate() {
         let m = summit_model();
         assert_eq!(
             m.simulated_allreduce_time(Algorithm::Ring, 1, 4096.0),
             Some(0.0)
         );
-        assert!(m
-            .simulated_allreduce_time(Algorithm::Ring, 129, 4096.0)
-            .is_none());
+        // 129 and 4608 ranks — both rejected by the retired gate.
+        let t129 = m
+            .simulated_allreduce_time(Algorithm::Ring, 129, 129.0 * 4096.0)
+            .expect("no gate");
+        let closed129 = m.allreduce_time(Algorithm::Ring, 129, 129.0 * 4096.0);
+        assert!((t129 - closed129).abs() <= 1e-9 * closed129, "got {t129}");
         assert!(m
             .simulated_allreduce_time(Algorithm::Ring, 4608, 4096.0)
-            .is_none());
-        // Non-power-of-two worlds have no RD/Rabenseifner schedule.
-        assert!(m
+            .is_some());
+        // Non-power-of-two worlds fold into a power-of-two core.
+        let t6 = m
             .simulated_allreduce_time(Algorithm::RecursiveDoubling, 6, 4096.0)
-            .is_none());
+            .expect("folded schedule");
+        // The fold adds a pre-reduce and post-broadcast step on top of the
+        // pow2-core exchange, so the non-pow2 time exceeds the p=4 time.
+        let t4 = m
+            .simulated_allreduce_time(Algorithm::RecursiveDoubling, 4, 4096.0)
+            .unwrap();
+        assert!(t6 > t4, "fold overhead missing: {t6} vs {t4}");
         assert!(m
             .simulated_allreduce_time(Algorithm::Rabenseifner, 6, 4096.0)
-            .is_none());
-        // Rabenseifner additionally needs p | elems.
+            .is_some());
+        // Rabenseifner still needs pow2_core(p) | elems: 9 elems on a
+        // p=8 world has no halving schedule.
         assert!(m
             .simulated_allreduce_time(Algorithm::Rabenseifner, 8, 4.0 * 9.0)
             .is_none());
-        // Ring and tree simulate at any p ≤ MAX_SIM_RANKS.
-        assert!(m
-            .simulated_allreduce_time(Algorithm::Ring, 6, 4096.0)
-            .is_some());
         assert!(m
             .simulated_allreduce_time(Algorithm::BinomialTree, 8, 4096.0)
             .is_some());

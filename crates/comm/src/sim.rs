@@ -1,0 +1,522 @@
+//! The event-driven modeled transport: full-machine collective simulation.
+//!
+//! [`engine::simulate_reference`](crate::engine::simulate_reference) scans
+//! every rank every iteration — O(p) busy work per delivered message, which
+//! is why the modeled surface used to be gated at 128 ranks. This module
+//! replaces the polling loop with a **dependency-driven** engine: a worklist
+//! of runnable ranks, each run until it blocks on a message that has not
+//! been posted yet, and woken exactly once when that message arrives. Every
+//! schedule cursor advances only when one of its events fires, so the cost
+//! is O(events), and all 12 [`Collective`] variants simulate at Summit's
+//! full 27,648 GPUs in seconds.
+//!
+//! Two fabrics sit under the same engine:
+//!
+//! * [`simulate`] charges every transfer to a uniform α–β [`LinkModel`] —
+//!   **bit-equal** to the retired polling simulator (same `f64` virtual
+//!   times, same per-rank message/byte counts; pinned by the
+//!   `sim_equivalence` suite). Equality holds by construction: sends are
+//!   fire-and-forget (a sender's clock never depends on scheduling order),
+//!   each message's ready time is fixed at post time, and per-(src, dst,
+//!   tag) FIFO is preserved — so rank clocks are independent of the order
+//!   in which the worklist happens to run ranks.
+//! * [`simulate_on`] routes every transfer over a
+//!   [`ClusterModel`](summit_machine::ClusterModel) — intra-node hops at
+//!   NVLink/X-bus rates, inter-node hops through the fat tree's NIC and
+//!   leaf-uplink reservations ([`FlowNet`]) — so concurrent transfers
+//!   sharing a link serialize instead of enjoying the independent-link
+//!   fiction. Resources serve transfers FCFS in (deterministic) simulator
+//!   arrival order, which tracks virtual time.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use summit_machine::{ClusterModel, FlowNet, LinkModel};
+
+use crate::engine::{
+    phases, slots_for, AnySchedule, Collective, Disposal, ModelReport, Op, Schedule,
+};
+
+/// Cost model a simulated transfer is charged against: returns the virtual
+/// time at which a message of `bytes` posted by `src` at `start` becomes
+/// receivable at `dst`.
+trait Fabric {
+    fn transfer(&mut self, src: usize, dst: usize, bytes: f64, start: f64) -> f64;
+}
+
+/// Uniform independent α–β links — the reference simulator's cost model.
+struct Uniform(LinkModel);
+
+impl Fabric for Uniform {
+    #[inline]
+    fn transfer(&mut self, _src: usize, _dst: usize, bytes: f64, start: f64) -> f64 {
+        // Exactly `clock + link.transfer_time(bytes)` as the reference
+        // computes it, so uniform-fabric times stay bit-equal.
+        start + self.0.transfer_time(bytes)
+    }
+}
+
+impl Fabric for FlowNet {
+    #[inline]
+    fn transfer(&mut self, src: usize, dst: usize, bytes: f64, start: f64) -> f64 {
+        FlowNet::transfer(self, src, dst, bytes, start)
+    }
+}
+
+/// Multiply-xor hasher for the channel map (the std SipHash costs more than
+/// the rest of a simulated message combined). Keys are two u64s — the
+/// packed (src, dst) pair and the tag — already well-distributed; one
+/// round of mixing per word suffices.
+#[derive(Default)]
+struct ChanHasher(u64);
+
+impl Hasher for ChanHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let mut h = (self.0 ^ x).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// In-flight messages of one (src, dst, tag) channel. Single-message
+/// channels (the overwhelmingly common case) stay inline; a queue is
+/// allocated only if a second message arrives before the first is consumed.
+enum Chan {
+    One(usize, f64),
+    Many(VecDeque<(usize, f64)>),
+}
+
+impl Chan {
+    fn push(&mut self, len: usize, ready: f64) {
+        match self {
+            Chan::One(l, r) => {
+                let mut q = VecDeque::with_capacity(2);
+                q.push_back((*l, *r));
+                q.push_back((len, ready));
+                *self = Chan::Many(q);
+            }
+            Chan::Many(q) => q.push_back((len, ready)),
+        }
+    }
+
+    /// Pop the oldest message; `None` means the channel is now empty and
+    /// must be removed from the map (alltoall visits p² distinct keys —
+    /// keeping empty channels alive would hoard ~10⁹ entries at full
+    /// machine).
+    fn pop(&mut self) -> ((usize, f64), bool) {
+        match self {
+            Chan::One(l, r) => ((*l, *r), true),
+            Chan::Many(q) => {
+                let msg = q.pop_front().expect("Many is non-empty");
+                (msg, q.is_empty())
+            }
+        }
+    }
+}
+
+type ChanMap = HashMap<(u64, u64), Chan, BuildHasherDefault<ChanHasher>>;
+
+#[inline]
+fn chan_key(src: usize, dst: usize, tag: u64) -> (u64, u64) {
+    ((src as u64) << 32 | dst as u64, tag)
+}
+
+/// Per-rank chain of schedule phases with a cursor (multi-phase
+/// collectives run their phases back to back).
+struct Chain {
+    phases: Vec<AnySchedule>,
+    idx: usize,
+}
+
+impl Chain {
+    fn current(&mut self) -> Option<Op> {
+        while let Some(sched) = self.phases.get(self.idx) {
+            if let Some(op) = sched.current() {
+                return Some(op);
+            }
+            self.idx += 1;
+        }
+        None
+    }
+
+    fn advance(&mut self) {
+        self.phases[self.idx].advance();
+    }
+}
+
+struct Engine<'f, F: Fabric> {
+    fabric: &'f mut F,
+    /// Per-destination slot payload length. Every `SendSlot` in the current
+    /// schedules moves a slot that still holds its *initial* `elems`-element
+    /// payload (received slots are never re-sent), so the simulators charge
+    /// `elems` per slot send without materializing the p² slot table the
+    /// reference keeps — 12 GB at p = 27,648 for alltoall.
+    elems: usize,
+    chains: Vec<Chain>,
+    clock: Vec<f64>,
+    messages: Vec<u64>,
+    bytes: Vec<u64>,
+    /// `waiting[r] = Some((src, tag))` while rank `r` is blocked on that
+    /// channel — the sender-side rendezvous that wakes `r` without a map
+    /// round trip.
+    waiting: Vec<Option<(usize, u64)>>,
+    /// Message handed directly to a blocked rank, consumed on wake.
+    direct: Vec<Option<(usize, f64)>>,
+    chans: ChanMap,
+    runnable: Vec<usize>,
+    /// Ranks whose chains have not finished.
+    live: usize,
+}
+
+impl<F: Fabric> Engine<'_, F> {
+    /// Fire-and-forget send: the sender's clock does not advance; the
+    /// message becomes receivable at the fabric's completion time. If the
+    /// receiver is already blocked on exactly this channel, hand the
+    /// message over and requeue the receiver.
+    fn post(&mut self, me: usize, to: usize, tag: u64, len: usize) {
+        let ready = self
+            .fabric
+            .transfer(me, to, (len * 4) as f64, self.clock[me]);
+        self.messages[me] += 1;
+        self.bytes[me] += (len * 4) as u64;
+        if self.waiting[to] == Some((me, tag)) {
+            self.waiting[to] = None;
+            debug_assert!(self.direct[to].is_none());
+            self.direct[to] = Some((len, ready));
+            self.runnable.push(to);
+        } else {
+            match self.chans.entry(chan_key(me, to, tag)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(len, ready),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Chan::One(len, ready));
+                }
+            }
+        }
+    }
+
+    /// The oldest undelivered message on `(from, me, tag)`, if any.
+    fn take_msg(&mut self, from: usize, me: usize, tag: u64) -> Option<(usize, f64)> {
+        if let Some(msg) = self.direct[me].take() {
+            return Some(msg);
+        }
+        match self.chans.entry(chan_key(from, me, tag)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (msg, now_empty) = e.get_mut().pop();
+                if now_empty {
+                    e.remove();
+                }
+                Some(msg)
+            }
+            std::collections::hash_map::Entry::Vacant(_) => None,
+        }
+    }
+
+    /// Run rank `me` until it blocks on an unposted message or finishes.
+    fn run_rank(&mut self, me: usize) {
+        loop {
+            let Some(op) = self.chains[me].current() else {
+                self.live -= 1;
+                return;
+            };
+            match op {
+                Op::Send { to, tag, win } => self.post(me, to, tag, win.1 - win.0),
+                Op::SendSlot { to, tag, .. } => self.post(me, to, tag, self.elems),
+                Op::Recv {
+                    from, tag, then, ..
+                } => {
+                    let Some((len, ready)) = self.take_msg(from, me, tag) else {
+                        self.waiting[me] = Some((from, tag));
+                        return;
+                    };
+                    if ready > self.clock[me] {
+                        self.clock[me] = ready;
+                    }
+                    if let Disposal::Forward { to, tag } = then {
+                        self.post(me, to, tag, len);
+                    }
+                }
+                Op::RecvSlot { from, tag, .. } | Op::RecvScatter { from, tag, .. } => {
+                    let Some((_len, ready)) = self.take_msg(from, me, tag) else {
+                        self.waiting[me] = Some((from, tag));
+                        return;
+                    };
+                    if ready > self.clock[me] {
+                        self.clock[me] = ready;
+                    }
+                }
+                // A Bruck round's combined message: closed-form block count
+                // (all slots stay at their initial `elems` length).
+                Op::SendGather { to, tag, bit } => {
+                    let len = crate::engine::bruck_count(self.clock.len(), bit) * self.elems;
+                    self.post(me, to, tag, len);
+                }
+            }
+            self.chains[me].advance();
+        }
+    }
+
+    fn run(mut self) -> ModelReport {
+        while let Some(me) = self.runnable.pop() {
+            self.run_rank(me);
+        }
+        assert!(
+            self.live == 0,
+            "model transport deadlock: schedules stalled with ranks unfinished"
+        );
+        let time_seconds = self.clock.iter().copied().fold(0.0, f64::max);
+        ModelReport {
+            per_rank_messages: self.messages,
+            per_rank_bytes: self.bytes,
+            per_rank_seconds: self.clock,
+            time_seconds,
+        }
+    }
+}
+
+fn run_engine<F: Fabric>(
+    collective: Collective,
+    p: usize,
+    elems: usize,
+    fabric: &mut F,
+) -> ModelReport {
+    assert!(p > 0, "world size must be positive");
+    // Sanity-check the slot invariant the engine relies on (see
+    // `Engine::elems`): every initially populated slot holds `elems`.
+    debug_assert!((0..p.min(4)).all(|me| slots_for(collective, p, me, elems)
+        .iter()
+        .all(|&l| l == 0 || l == elems)));
+    let chains = (0..p)
+        .map(|me| Chain {
+            phases: phases(collective, p, me, elems),
+            idx: 0,
+        })
+        .collect();
+    Engine {
+        fabric,
+        elems,
+        chains,
+        clock: vec![0.0; p],
+        messages: vec![0u64; p],
+        bytes: vec![0u64; p],
+        waiting: vec![None; p],
+        direct: vec![None; p],
+        chans: ChanMap::default(),
+        // Seed in reverse so rank 0 runs first — matches the reference
+        // loop's 0..p scan order (irrelevant for uniform fabrics, fixes
+        // the deterministic FCFS order for routed ones).
+        runnable: (0..p).rev().collect(),
+        live: p,
+    }
+    .run()
+}
+
+/// Run a collective's schedule against the model transport: no bytes move;
+/// each rank advances a virtual clock under the α–β `link` cost
+/// (`transfer_time = α + bytes/β` per message, fire-and-forget sends,
+/// receives completing at `max(local clock, message ready time)`).
+///
+/// Because the model executes the *same* [`Schedule`] the real transport
+/// executes, the reported per-rank message and byte counters equal the
+/// executed collective's counters exactly — the property
+/// `model_vs_execution` pins — and the predicted times reproduce the
+/// closed-form α–β collective models for the uniform cases they cover.
+/// Event-driven: cost is O(events · log p) worst case (hash-map channel
+/// operations), so full-Summit worlds (p = 27,648) simulate in seconds.
+///
+/// # Panics
+/// Panics if `p == 0`, on each algorithm's own world-shape requirements,
+/// or if the schedules deadlock (a schedule bug, not a data condition).
+pub fn simulate(collective: Collective, p: usize, elems: usize, link: LinkModel) -> ModelReport {
+    run_engine(collective, p, elems, &mut Uniform(link))
+}
+
+/// A [`ModelReport`] extended with the routed fabric's traffic breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricReport {
+    /// The engine's per-rank accounting (counts identical to the uniform
+    /// simulator's — the fabric changes *times*, never traffic).
+    pub report: ModelReport,
+    /// Simulated events processed (== total messages posted).
+    pub events: u64,
+    /// Transfers that stayed on intra-node NVLink/X-bus.
+    pub nvlink_messages: u64,
+    /// Inter-node transfers that stayed under one leaf switch.
+    pub intra_leaf_messages: u64,
+    /// Transfers that crossed the spine.
+    pub spine_messages: u64,
+}
+
+/// Simulate a collective with every transfer routed over `cluster`'s fat
+/// tree and NVLink graph instead of uniform independent links: intra-node
+/// hops run at NVLink/X-bus rates, inter-node hops reserve the source NIC,
+/// destination NIC, and (when crossing the spine) both leaf uplink bundles,
+/// so concurrent transfers sharing a link serialize — contention the α–β
+/// closed forms cannot see.
+///
+/// Rank placement is block-wise (`rank / gpus_per_node`), matching the
+/// grouping `hierarchical_allreduce` assumes.
+///
+/// # Panics
+/// Panics if `p` exceeds the cluster capacity, plus [`simulate`]'s own
+/// conditions.
+pub fn simulate_on(
+    collective: Collective,
+    p: usize,
+    elems: usize,
+    cluster: ClusterModel,
+) -> FabricReport {
+    let mut net = FlowNet::new(cluster, p);
+    let report = run_engine(collective, p, elems, &mut net);
+    FabricReport {
+        events: report.total_messages(),
+        nvlink_messages: net.nvlink_messages,
+        intra_leaf_messages: net.intra_leaf_messages,
+        spine_messages: net.spine_messages,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_reference;
+
+    const LINK: LinkModel = LinkModel {
+        alpha: 2.0e-6,
+        beta: 12.5e9,
+    };
+
+    fn all_collectives(p: usize) -> Vec<Collective> {
+        let mut v = vec![
+            Collective::RingAllreduce {
+                bucket_elems: usize::MAX,
+            },
+            Collective::RingAllreduce { bucket_elems: 5 },
+            Collective::ReduceScatter,
+            Collective::RingAllgather,
+            Collective::RecursiveDoubling,
+            Collective::BinomialBroadcast { root: p - 1 },
+            Collective::BinomialReduce { root: 0 },
+            Collective::TreeAllreduce,
+            Collective::Alltoall,
+            Collective::Scatter { root: 0 },
+            Collective::Gather { root: p - 1 },
+        ];
+        for g in [1, 2, p] {
+            if p.is_multiple_of(g) {
+                v.push(Collective::HierarchicalAllreduce { group_size: g });
+            }
+        }
+        v
+    }
+
+    /// The event-driven engine is bit-equal to the polling reference:
+    /// identical virtual times (exact f64 equality) and identical traffic.
+    #[test]
+    fn event_engine_matches_reference_bit_for_bit() {
+        for p in [1usize, 2, 3, 4, 5, 8] {
+            for elems in [0usize, 1, 13, 24, 64] {
+                for c in all_collectives(p) {
+                    let fast = simulate(c, p, elems, LINK);
+                    let slow = simulate_reference(c, p, elems, LINK);
+                    assert_eq!(
+                        fast.per_rank_messages, slow.per_rank_messages,
+                        "{c:?} p={p}"
+                    );
+                    assert_eq!(fast.per_rank_bytes, slow.per_rank_bytes, "{c:?} p={p}");
+                    assert_eq!(
+                        fast.per_rank_seconds, slow.per_rank_seconds,
+                        "{c:?} p={p} n={elems}"
+                    );
+                }
+                // Rabenseifner wants elems divisible by the pow2 core.
+                let core = crate::engine::pow2_core(p);
+                if elems % core == 0 {
+                    let c = Collective::Rabenseifner;
+                    let fast = simulate(c, p, elems, LINK);
+                    let slow = simulate_reference(c, p, elems, LINK);
+                    assert_eq!(fast.per_rank_seconds, slow.per_rank_seconds, "rab p={p}");
+                    assert_eq!(fast.per_rank_bytes, slow.per_rank_bytes, "rab p={p}");
+                }
+            }
+        }
+    }
+
+    /// Routing over the cluster keeps traffic counts identical to the
+    /// uniform fabric — only the times change.
+    #[test]
+    fn routed_fabric_preserves_traffic_counts() {
+        let cluster = ClusterModel::summit_like(4);
+        for c in all_collectives(12) {
+            let uniform = simulate(c, 12, 24, LINK);
+            let routed = simulate_on(c, 12, 24, cluster);
+            assert_eq!(uniform.per_rank_messages, routed.report.per_rank_messages);
+            assert_eq!(uniform.per_rank_bytes, routed.report.per_rank_bytes);
+            assert_eq!(routed.events, routed.report.total_messages());
+            assert_eq!(
+                routed.events,
+                routed.nvlink_messages + routed.intra_leaf_messages + routed.spine_messages,
+                "every message is classified once: {c:?}"
+            );
+        }
+    }
+
+    /// A hierarchical allreduce on the block placement keeps its intra-group
+    /// phases on NVLink: only the leader ring crosses the fabric.
+    #[test]
+    fn hierarchical_traffic_lands_on_nvlink() {
+        let cluster = ClusterModel::summit_like(4);
+        let out = simulate_on(
+            Collective::HierarchicalAllreduce { group_size: 6 },
+            24,
+            48,
+            cluster,
+        );
+        // Up/down fan traffic (intra-node) must be NVLink; the 4-leader
+        // ring crosses nodes.
+        assert!(out.nvlink_messages > 0);
+        assert!(out.intra_leaf_messages + out.spine_messages > 0);
+        // 20 members send up + 20 receive down = 40 NVLink messages.
+        assert_eq!(out.nvlink_messages, 40);
+    }
+
+    /// Full-machine smoke: a sparse ring allreduce at p = 27,648 completes
+    /// (the sparse fast-forward keeps empty chunks O(1)) and matches the
+    /// exact sparse traffic formula 2(p−1)·elems messages... of which the
+    /// elems non-empty chunks each travel 2(p−1) hops.
+    #[test]
+    fn full_summit_sparse_ring_traffic_is_exact() {
+        let p = 27_648usize;
+        let elems = 16usize;
+        let out = simulate(
+            Collective::RingAllreduce {
+                bucket_elems: usize::MAX,
+            },
+            p,
+            elems,
+            LINK,
+        );
+        // Sparse ring: only chunks 0..elems are non-empty; each non-empty
+        // chunk moves p−1 times in each phase, 4 bytes per element.
+        assert_eq!(out.total_bytes() as usize, 4 * 2 * (p - 1) * elems);
+    }
+}

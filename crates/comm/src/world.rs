@@ -155,7 +155,7 @@ pub struct Rank {
 }
 
 /// Per-rank traffic counters, for strict comparison against the engine's
-/// modeled run ([`crate::engine::simulate`] reports the same quantities per
+/// modeled run ([`crate::sim::simulate`] reports the same quantities per
 /// rank). Counted at post time — before the fault plane's drop hook — so an
 /// injected drop still counts as a send, matching the model's accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -11,6 +11,23 @@ use serde::{Deserialize, Serialize};
 
 use crate::spec::NodeSpec;
 
+/// Summit EDR InfiniBand per-message injection latency (seconds).
+///
+/// These `SUMMIT_*` constants are the **single source of truth** for the
+/// paper's link numbers: `NodeSpec::summit()` builds its injection fields
+/// from them, [`NvLinkGraph`](crate::topology::NvLinkGraph) takes its NVLink
+/// and X-bus rates from them, and `summit-comm` re-exports [`LinkModel`] so
+/// the collective models never restate the figures.
+pub const SUMMIT_INJECTION_LATENCY_S: f64 = 1.5e-6;
+/// Summit dual-rail EDR injection bandwidth (bytes/s): 2 × 12.5 GB/s.
+pub const SUMMIT_INJECTION_BW_BPS: f64 = 25.0e9;
+/// NVLink 2.0 per-hop latency on an AC922 node (seconds).
+pub const SUMMIT_NVLINK_LATENCY_S: f64 = 0.7e-6;
+/// NVLink 2.0 bandwidth between GPUs in one AC922 triplet (bytes/s).
+pub const SUMMIT_NVLINK_BW_BPS: f64 = 50.0e9;
+/// X-bus bandwidth between the two POWER9 sockets of an AC922 (bytes/s).
+pub const SUMMIT_XBUS_BW_BPS: f64 = 64.0e9;
+
 /// A point-to-point link cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkModel {
@@ -42,7 +59,7 @@ impl LinkModel {
     /// Panics if the node has no NVLink (CPU-only node).
     pub fn nvlink(node: &NodeSpec) -> Self {
         assert!(node.nvlink_bw > 0.0, "node has no NVLink");
-        LinkModel::new(0.7e-6, node.nvlink_bw)
+        LinkModel::new(SUMMIT_NVLINK_LATENCY_S, node.nvlink_bw)
     }
 
     /// Time in seconds to move `bytes` over this link.

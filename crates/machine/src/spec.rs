@@ -150,9 +150,9 @@ impl NodeSpec {
             dram_bytes: 512.0 * GIB,
             gpus_per_node: 6,
             gpu: GpuSpec::v100(),
-            nvlink_bw: 50.0 * GB,
-            injection_bw: 25.0 * GB,
-            injection_latency: 1.5e-6,
+            nvlink_bw: crate::link::SUMMIT_NVLINK_BW_BPS,
+            injection_bw: crate::link::SUMMIT_INJECTION_BW_BPS,
+            injection_latency: crate::link::SUMMIT_INJECTION_LATENCY_S,
         }
     }
 

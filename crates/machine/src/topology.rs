@@ -152,8 +152,8 @@ impl NvLinkGraph {
         NvLinkGraph {
             sockets: 2,
             gpus_per_socket: 3,
-            nvlink_bw: 50.0e9,
-            xbus_bw: 64.0e9,
+            nvlink_bw: crate::link::SUMMIT_NVLINK_BW_BPS,
+            xbus_bw: crate::link::SUMMIT_XBUS_BW_BPS,
         }
     }
 

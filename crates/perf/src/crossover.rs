@@ -8,6 +8,12 @@
 //! time stays roughly constant, while the allreduce message (and therefore
 //! the ring's bandwidth time) grows linearly with the parameter count. The
 //! crossover parameter count is where the two curves meet.
+//!
+//! [`AlgorithmCrossoverStudy`] answers the adjacent question — *which*
+//! allreduce algorithm wins at each (message size, world size) cell — from
+//! the simulated schedules rather than the closed forms, so fold overheads
+//! and uneven splits are priced in. `summit-bench`'s `sim_gate` writes the
+//! study through the bench harness.
 
 use serde::Serialize;
 use summit_comm::model::{Algorithm, CollectiveModel};
@@ -60,6 +66,126 @@ impl CommCrossover {
         let pf = self.ranks as f64;
         let factor = 2.0 * (pf - 1.0) / pf * self.precision.bytes() / self.link.beta;
         self.step_compute_seconds / factor
+    }
+}
+
+/// One (world size, message size) cell of the algorithm crossover study:
+/// simulated allreduce seconds per algorithm and the winner.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrossoverCell {
+    /// Total GPU ranks participating in the allreduce.
+    pub ranks: u64,
+    /// Allreduce message per rank, bytes.
+    pub message_bytes: f64,
+    /// Flat ring over all ranks.
+    pub ring_seconds: f64,
+    /// Recursive doubling (non-power-of-two worlds fold).
+    pub recursive_doubling_seconds: f64,
+    /// Rabenseifner (falls back to its closed form when the message does
+    /// not divide by the power-of-two core — no schedule exists there).
+    pub rabenseifner_seconds: f64,
+    /// NVLink ring inside each node + fabric ring across node leaders —
+    /// the same GPU count as the flat variants, restructured.
+    pub hierarchical_seconds: f64,
+    /// Name of the fastest entry.
+    pub winner: &'static str,
+}
+
+/// Ring vs recursive doubling vs Rabenseifner vs hierarchical, swept over
+/// message size × world size, every time taken from the event-driven
+/// schedule simulation (full α–β: the latency terms decide the
+/// small-message end of the crossover, the bandwidth terms the large end).
+///
+/// The flat algorithms place all `p` GPU ranks on the fabric; hierarchical
+/// restructures the *same* `p` ranks as a NVLink ring inside each node
+/// plus a fabric ring across the `p / gpus_per_node` leaders, so every
+/// cell compares equal-sized machines.
+#[derive(Debug, Clone, Serialize)]
+pub struct AlgorithmCrossoverStudy {
+    /// Inter-node link.
+    pub link: LinkModel,
+    /// Intra-node link for the hierarchical variant.
+    pub nvlink: LinkModel,
+    /// GPUs per node for the hierarchical variant.
+    pub gpus_per_node: u64,
+    /// Total GPU rank counts to sweep (multiples of `gpus_per_node`).
+    pub world_sizes: Vec<u64>,
+    /// Message sizes to sweep, bytes per rank.
+    pub message_sizes: Vec<f64>,
+}
+
+impl AlgorithmCrossoverStudy {
+    /// Summit's links and a sweep spanning the latency-bound to
+    /// bandwidth-bound regimes: 1 KB – 32 MB across 24 – 6144 GPUs
+    /// (4 – 1024 nodes).
+    pub fn summit() -> Self {
+        let node = NodeSpec::summit();
+        AlgorithmCrossoverStudy {
+            link: LinkModel::inter_node(&node),
+            nvlink: LinkModel::nvlink(&node),
+            gpus_per_node: u64::from(node.gpus_per_node),
+            world_sizes: vec![24, 96, 768, 6144],
+            message_sizes: vec![1024.0, 32.0 * 1024.0, 1024.0 * 1024.0, 32.0e6],
+        }
+    }
+
+    fn algo_seconds(&self, alg: Algorithm, p: u64, bytes: f64) -> f64 {
+        let m = CollectiveModel::new(self.link);
+        m.simulated_allreduce_time(alg, p, bytes)
+            .unwrap_or_else(|| m.allreduce_time(alg, p, bytes))
+    }
+
+    /// Simulated seconds for one cell of the sweep.
+    ///
+    /// # Panics
+    /// Panics unless `gpus_per_node` divides `ranks`.
+    pub fn cell(&self, ranks: u64, message_bytes: f64) -> CrossoverCell {
+        assert!(
+            ranks.is_multiple_of(self.gpus_per_node),
+            "world must fill whole nodes"
+        );
+        let ring = self.algo_seconds(Algorithm::Ring, ranks, message_bytes);
+        let rd = self.algo_seconds(Algorithm::RecursiveDoubling, ranks, message_bytes);
+        let rab = self.algo_seconds(Algorithm::Rabenseifner, ranks, message_bytes);
+        // Hierarchical: NVLink ring across the node's GPUs, then the
+        // fabric ring across node leaders — the HierarchicalModel
+        // decomposition, each stage simulated.
+        let intra = CollectiveModel::new(self.nvlink)
+            .simulated_allreduce_time(Algorithm::Ring, self.gpus_per_node, message_bytes)
+            .expect("ring simulates at any p");
+        let inter = self.algo_seconds(Algorithm::Ring, ranks / self.gpus_per_node, message_bytes);
+        let hier = intra + inter;
+        let entries = [
+            ("ring", ring),
+            ("recursive-doubling", rd),
+            ("rabenseifner", rab),
+            ("hierarchical", hier),
+        ];
+        let winner = entries
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty")
+            .0;
+        CrossoverCell {
+            ranks,
+            message_bytes,
+            ring_seconds: ring,
+            recursive_doubling_seconds: rd,
+            rabenseifner_seconds: rab,
+            hierarchical_seconds: hier,
+            winner,
+        }
+    }
+
+    /// The full sweep, row-major over `world_sizes` × `message_sizes`.
+    pub fn run(&self) -> Vec<CrossoverCell> {
+        let mut cells = Vec::with_capacity(self.world_sizes.len() * self.message_sizes.len());
+        for &p in &self.world_sizes {
+            for &bytes in &self.message_sizes {
+                cells.push(self.cell(p, bytes));
+            }
+        }
+        cells
     }
 }
 
@@ -122,5 +248,71 @@ mod tests {
         let p = x.crossover_params();
         assert!(!x.comm_bound(p * 0.999));
         assert!(x.comm_bound(p * 1.001));
+    }
+
+    /// Down-scaled algorithm crossover: the textbook regimes emerge from
+    /// the simulated schedules. Latency-dominated cells go to a
+    /// logarithmic-step algorithm, bandwidth-dominated cells to a
+    /// bandwidth-optimal one.
+    #[test]
+    fn algorithm_crossover_shows_both_regimes() {
+        let study = AlgorithmCrossoverStudy {
+            world_sizes: vec![24, 96],
+            message_sizes: vec![64.0, 1024.0 * 1024.0],
+            ..AlgorithmCrossoverStudy::summit()
+        };
+        let cells = study.run();
+        assert_eq!(cells.len(), 4);
+        for cell in &cells {
+            let best = [
+                cell.ring_seconds,
+                cell.recursive_doubling_seconds,
+                cell.rabenseifner_seconds,
+                cell.hierarchical_seconds,
+            ]
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+            assert!(best > 0.0);
+            // The winner label matches the minimum.
+            let named = match cell.winner {
+                "ring" => cell.ring_seconds,
+                "recursive-doubling" => cell.recursive_doubling_seconds,
+                "rabenseifner" => cell.rabenseifner_seconds,
+                "hierarchical" => cell.hierarchical_seconds,
+                other => panic!("unknown winner {other}"),
+            };
+            assert_eq!(named, best, "winner mislabeled in {cell:?}");
+        }
+        // 64 B across 96 ranks: pure latency — a log-step algorithm wins.
+        let tiny = &cells[2];
+        assert!(
+            matches!(tiny.winner, "recursive-doubling" | "rabenseifner"),
+            "latency regime picked {}",
+            tiny.winner
+        );
+        assert!(tiny.recursive_doubling_seconds < tiny.ring_seconds);
+        // 1 MB across 96 ranks: bandwidth — the flat ring's 2(p−1) latency
+        // terms are amortized and a bandwidth-optimal variant wins.
+        let big = &cells[3];
+        assert!(
+            matches!(big.winner, "ring" | "rabenseifner" | "hierarchical"),
+            "bandwidth regime picked {}",
+            big.winner
+        );
+    }
+
+    /// Hierarchical beats the flat ring once the world is large and the
+    /// message sizable: 2(p−1) fabric latency terms shrink to
+    /// 2(p/g−1) and most bandwidth moves to NVLink.
+    #[test]
+    fn hierarchical_wins_at_scale() {
+        let study = AlgorithmCrossoverStudy::summit();
+        let cell = study.cell(768, 1024.0 * 1024.0);
+        assert!(
+            cell.hierarchical_seconds < cell.ring_seconds,
+            "hierarchical {} vs flat ring {}",
+            cell.hierarchical_seconds,
+            cell.ring_seconds
+        );
     }
 }

@@ -16,8 +16,14 @@ proptest! {
 
     /// Throughput never exceeds linear scaling, efficiency stays in (0, 1]
     /// relative to any base, for every zoo workload and configuration.
+    ///
+    /// Node counts are capped at 576: every distinct (workload, nodes)
+    /// draw simulates a fresh full ring schedule, and the full-machine
+    /// p = 4608 path is pinned deterministically in `summit_perf::model`'s
+    /// unit tests — randomizing it here would only re-run multi-second
+    /// simulations without new coverage.
     #[test]
-    fn efficiency_bounded(widx in 0usize..9, nodes in 1u32..4608, base in 1u32..64,
+    fn efficiency_bounded(widx in 0usize..9, nodes in 1u32..576, base in 1u32..64,
                           overlap in 0.0f64..1.0) {
         prop_assume!(nodes >= base);
         let m = ScalingModel {
@@ -33,7 +39,7 @@ proptest! {
 
     /// Step decomposition components are non-negative and total as summed.
     #[test]
-    fn step_components_sane(widx in 0usize..9, nodes in 1u32..4608) {
+    fn step_components_sane(widx in 0usize..9, nodes in 1u32..576) {
         let m = ScalingModel::summit_defaults(zoo(widx));
         let s = m.step(nodes);
         prop_assert!(s.compute > 0.0);
@@ -46,7 +52,7 @@ proptest! {
 
     /// More overlap never hurts; more compression never hurts.
     #[test]
-    fn monotone_levers(widx in 0usize..9, nodes in 2u32..4608,
+    fn monotone_levers(widx in 0usize..9, nodes in 2u32..576,
                        o1 in 0.0f64..1.0, o2 in 0.0f64..1.0,
                        c1 in 1.0f64..64.0, c2 in 1.0f64..64.0) {
         let base = ScalingModel::summit_defaults(zoo(widx));

@@ -14,10 +14,10 @@ use summit_comm::{
         recursive_doubling_allreduce, reduce_scatter, ring_allgather, ring_allreduce,
         ring_allreduce_bucketed, tree_allreduce, ReduceOp,
     },
-    engine::{simulate, Collective},
     extended,
+    sim::simulate,
     world::World,
-    RankTraffic,
+    Collective, RankTraffic,
 };
 use summit_machine::LinkModel;
 
@@ -124,11 +124,13 @@ fn model_transport_counts_match_execution_exactly() {
                 Collective::Scatter { root: 0 },
                 Collective::Gather { root: p - 1 },
             ];
-            if p.is_power_of_two() {
-                cases.push(Collective::RecursiveDoubling);
-                if elems % p == 0 {
-                    cases.push(Collective::Rabenseifner);
-                }
+            // Recursive doubling folds non-power-of-two worlds into a
+            // power-of-two core; Rabenseifner does too but needs the
+            // buffer divisible by that core.
+            cases.push(Collective::RecursiveDoubling);
+            let core = 1usize << (usize::BITS - 1 - p.leading_zeros());
+            if elems % core == 0 {
+                cases.push(Collective::Rabenseifner);
             }
             for g in [1usize, 2, p] {
                 if p % g == 0 {

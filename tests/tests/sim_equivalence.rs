@@ -1,0 +1,171 @@
+//! Integration X2: the event-driven simulator is a drop-in replacement for
+//! the retired per-step polling simulator.
+//!
+//! [`summit_comm::sim::simulate`] (worklist engine, O(events)) and
+//! [`summit_comm::engine::simulate_reference`] (per-step polling oracle,
+//! O(p · steps)) drive the same schedules under the same α–β cost rules,
+//! so they must agree **bit for bit**: identical `f64` virtual clocks per
+//! rank — not approximately, exactly — and identical per-rank message and
+//! byte counts, for every collective, world size, and payload shape.
+
+use proptest::prelude::*;
+use summit_comm::{
+    engine::simulate_reference,
+    sim::{simulate, simulate_on},
+    Collective,
+};
+use summit_machine::{ClusterModel, LinkModel};
+
+const LINK: LinkModel = LinkModel {
+    alpha: 1.5e-6,
+    beta: 10.0e9,
+};
+
+/// Largest power of two ≤ p.
+fn pow2_core(p: usize) -> usize {
+    1 << (usize::BITS - 1 - p.leading_zeros())
+}
+
+/// Every modeled collective, with parameters legal for world size `p` and
+/// payload `elems` (Rabenseifner included only when its divisibility
+/// condition holds).
+fn all_collectives(p: usize, elems: usize) -> Vec<Collective> {
+    let mut v = vec![
+        Collective::RingAllreduce {
+            bucket_elems: usize::MAX,
+        },
+        Collective::RingAllreduce { bucket_elems: 5 },
+        Collective::ReduceScatter,
+        Collective::RingAllgather,
+        Collective::RecursiveDoubling,
+        Collective::BinomialBroadcast { root: p - 1 },
+        Collective::BinomialReduce { root: 0 },
+        Collective::TreeAllreduce,
+        Collective::Alltoall,
+        Collective::Scatter { root: 0 },
+        Collective::Gather { root: p - 1 },
+    ];
+    if elems.is_multiple_of(pow2_core(p)) {
+        v.push(Collective::Rabenseifner);
+    }
+    for g in [1, 2, 3, p] {
+        if p.is_multiple_of(g) {
+            v.push(Collective::HierarchicalAllreduce { group_size: g });
+        }
+    }
+    v.dedup();
+    v
+}
+
+fn assert_bit_equal(c: Collective, p: usize, elems: usize) {
+    let fast = simulate(c, p, elems, LINK);
+    let slow = simulate_reference(c, p, elems, LINK);
+    assert_eq!(
+        fast.per_rank_messages, slow.per_rank_messages,
+        "{c:?} p={p} n={elems}: message counts"
+    );
+    assert_eq!(
+        fast.per_rank_bytes, slow.per_rank_bytes,
+        "{c:?} p={p} n={elems}: byte counts"
+    );
+    // Exact f64 equality — same additions in the same order, no tolerance.
+    assert_eq!(
+        fast.per_rank_seconds, slow.per_rank_seconds,
+        "{c:?} p={p} n={elems}: virtual clocks"
+    );
+    assert_eq!(fast.time_seconds, slow.time_seconds);
+}
+
+/// The pinned matrix from `model_vs_execution`, against the oracle: all
+/// 12 collectives × p ∈ {2, 3, 4, 8} × even/uneven payloads.
+#[test]
+fn event_engine_matches_per_step_oracle_on_pinned_matrix() {
+    for p in [2usize, 3, 4, 8] {
+        for elems in [24usize, 13] {
+            for c in all_collectives(p, elems) {
+                assert_bit_equal(c, p, elems);
+            }
+        }
+    }
+}
+
+/// Degenerate shapes the worklist engine must not mishandle: one rank
+/// (nothing to do), empty payloads (zero-length messages still count),
+/// payloads smaller than the world (empty chunks / sparse fast-forward).
+#[test]
+fn event_engine_matches_oracle_on_degenerate_shapes() {
+    for p in [1usize, 2, 3, 5, 8] {
+        for elems in [0usize, 1, p.saturating_sub(1)] {
+            for c in all_collectives(p, elems) {
+                assert_bit_equal(c, p, elems);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized sweep over world size, payload, and collective.
+    #[test]
+    fn event_engine_matches_oracle(
+        p in 2usize..=9,
+        raw_elems in 0usize..=64,
+        pick in 0usize..64,
+    ) {
+        // Round the payload so Rabenseifner stays in the mix when drawn.
+        let elems = raw_elems - raw_elems % pow2_core(p);
+        let cases = all_collectives(p, elems);
+        let c = cases[pick % cases.len()];
+        assert_bit_equal(c, p, elems);
+    }
+}
+
+/// Routing over the fat tree never reports *less* time than uniform
+/// independent links with the same injection α–β (contention and NVLink
+/// latency only add), and traffic counts are fabric-independent.
+#[test]
+fn routed_times_dominate_uniform_times_across_nodes() {
+    let cluster = ClusterModel::summit_nodes(9); // 1 GPU per node: all inter-node
+    let link = cluster.tree.injection;
+    for p in [2usize, 4, 9] {
+        for elems in [16usize, 64] {
+            for c in all_collectives(p, elems) {
+                let uniform = simulate(c, p, elems, link);
+                let routed = simulate_on(c, p, elems, cluster);
+                assert_eq!(uniform.per_rank_messages, routed.report.per_rank_messages);
+                assert_eq!(uniform.per_rank_bytes, routed.report.per_rank_bytes);
+                assert!(
+                    routed.report.time_seconds >= uniform.time_seconds - 1e-15,
+                    "{c:?} p={p}: routed {} < uniform {}",
+                    routed.report.time_seconds,
+                    uniform.time_seconds
+                );
+            }
+        }
+    }
+}
+
+/// Contention pin at the collective level: a gather funnels every rank's
+/// payload into one NIC, so the routed time is at least the serialized
+/// drain of p−1 messages through that link — far above the uniform model,
+/// which lets all senders land concurrently.
+#[test]
+fn gather_serializes_on_the_root_nic() {
+    let mut cluster = ClusterModel::summit_nodes(16);
+    cluster.tree.injection.alpha = 0.0;
+    cluster.tree.hop_latency = 0.0;
+    let p = 16usize;
+    let elems = 1 << 14;
+    let bytes = (elems * 4) as f64;
+    let routed = simulate_on(Collective::Gather { root: 0 }, p, elems, cluster);
+    let serialized = (p - 1) as f64 * bytes / cluster.tree.injection.beta;
+    assert!(
+        (routed.report.time_seconds - serialized).abs() <= 1e-12 * serialized,
+        "gather should drain the root NIC serially: got {}, want {serialized}",
+        routed.report.time_seconds
+    );
+    // 16 nodes fit under one 18-port leaf: everything is leaf-local.
+    assert_eq!(routed.intra_leaf_messages, (p - 1) as u64);
+    assert_eq!(routed.spine_messages, 0);
+}
