@@ -1,0 +1,213 @@
+//! CI gate over the elastic-shrink vs rollback-and-replay study.
+//!
+//! Quantifies, on the simulated full machine, what the elastic recovery
+//! path in `summit_dl::recovery` buys over the classic
+//! checkpoint-rollback-and-replay path it replaces. One rank dies at
+//! p = 27,648; both paths are costed in rank-seconds over the routed
+//! fat-tree fabric ([`summit_comm::sim::elastic_shrink_study`]):
+//!
+//! * **elastic** — survivor vote (1-element all-to-all) + two quiesce
+//!   barriers (token gather + release scatter) + the first allreduce step
+//!   at p − 1, paid by the p − 1 survivors;
+//! * **replay** — a scheduler requeue stall for a replacement rank
+//!   (default 300 s, `SUMMIT_ELASTIC_STALL_S`) + `SUMMIT_ELASTIC_REPLAY`
+//!   (default 10) replayed allreduce steps at p, paid by all p ranks.
+//!
+//! The gate asserts the study's internal composition identities, that the
+//! shrink protocol itself is sub-second (it is control-plane only), and
+//! that the elastic path wins by at least `SUMMIT_ELASTIC_MIN_ADVANTAGE`
+//! (default 10×) under the default stall. It also reports the break-even
+//! stall — the requeue time below which replay would win — which the
+//! advantage formula yields in closed form, and a small-p sweep so the
+//! scaling trend is visible in the JSON.
+//!
+//! Writes `target/BENCH_elastic.json`; `SUMMIT_BENCH_RECORD=1` appends
+//! the headline metrics to the committed `BENCH_trajectory.json`. The
+//! trajectory leg fails on a >10% advantage regression
+//! (`SUMMIT_GATE_SKIP_TRAJECTORY=1` skips it).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use summit_bench::harness;
+use summit_comm::sim;
+use summit_machine::ClusterModel;
+
+/// Full-machine world: 4,608 nodes × 6 GPUs.
+const P: usize = 27_648;
+/// 100 MB of f32 gradients — the paper's Section VI-B payload.
+const ELEMS: usize = 25_000_000;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let replay_steps = env_f64("SUMMIT_ELASTIC_REPLAY", 10.0) as usize;
+    let stall_s = env_f64("SUMMIT_ELASTIC_STALL_S", 300.0);
+    let min_advantage = env_f64("SUMMIT_ELASTIC_MIN_ADVANTAGE", 10.0);
+    let mut failures: Vec<String> = Vec::new();
+
+    println!(
+        "elastic_gate: one rank dies at p = {P}, {ELEMS} gradient elements, \
+         replay = {replay_steps} steps, requeue stall = {stall_s:.0} s"
+    );
+    let t0 = Instant::now();
+    let study = sim::elastic_shrink_study(P, ELEMS, replay_steps, stall_s, ClusterModel::summit());
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "  shrink protocol  {:>10.6} s  (vote + 2 quiesce barriers, control plane only)",
+        study.shrink_protocol_s
+    );
+    println!(
+        "  step at p-1      {:>10.6} s   step at p {:>10.6} s",
+        study.step_after_shrink_s, study.step_before_shrink_s
+    );
+    println!(
+        "  elastic total    {:>10.3} s × {} survivors = {:.3e} rank-seconds",
+        study.elastic_total_s,
+        P - 1,
+        study.elastic_rank_seconds
+    );
+    println!(
+        "  replay total     {:>10.3} s × {} ranks     = {:.3e} rank-seconds",
+        study.replay_total_s, P, study.replay_rank_seconds
+    );
+    let node_hours_saved = (study.replay_rank_seconds - study.elastic_rank_seconds) / 6.0 / 3600.0;
+    // Advantage is linear in the stall, so the break-even requeue time —
+    // below which rollback-and-replay would win — falls out in closed form.
+    let break_even_stall = (study.elastic_total_s * (P - 1) as f64 / P as f64
+        - replay_steps as f64 * study.step_before_shrink_s)
+        .max(0.0);
+    println!(
+        "  advantage {:.1}×, {node_hours_saved:.1} node-hours saved per failure, \
+         break-even stall {break_even_stall:.3} s  ({wall:.1} s simulated)",
+        study.advantage
+    );
+
+    // The study must be internally consistent (same identities the unit
+    // test pins at small p, re-checked here at full scale).
+    if study.elastic_total_s != study.shrink_protocol_s + study.step_after_shrink_s {
+        failures.push("elastic_total_s is not protocol + first step at p-1".into());
+    }
+    if study.replay_total_s != stall_s + replay_steps as f64 * study.step_before_shrink_s {
+        failures.push("replay_total_s is not stall + replayed steps at p".into());
+    }
+    if !(study.shrink_protocol_s > 0.0 && study.shrink_protocol_s < 1.0) {
+        failures.push(format!(
+            "shrink protocol is {:.3} s — the vote and barriers carry one element each and must \
+             stay sub-second even at p = {P}",
+            study.shrink_protocol_s
+        ));
+    }
+    if study.advantage < min_advantage {
+        failures.push(format!(
+            "elastic advantage {:.1}× is below the {min_advantage:.0}× floor under a \
+             {stall_s:.0} s stall",
+            study.advantage
+        ));
+    }
+
+    // Scaling sweep at proportionally-shrunk payloads so the trend is
+    // cheap to simulate and visible in the JSON.
+    let mut rows = String::new();
+    for nodes in [8u32, 64, 512] {
+        let p = nodes as usize * 6;
+        let elems = ELEMS * p / P;
+        let s = sim::elastic_shrink_study(
+            p,
+            elems,
+            replay_steps,
+            stall_s,
+            ClusterModel::summit_like(nodes),
+        );
+        println!(
+            "  sweep p = {p:<5} protocol {:.6} s  advantage {:.1}×",
+            s.shrink_protocol_s, s.advantage
+        );
+        if s.advantage <= 1.0 {
+            failures.push(format!(
+                "sweep p = {p}: elastic does not beat replay ({:.2}×)",
+                s.advantage
+            ));
+        }
+        rows.push_str(&format!(
+            "    {{\"ranks\": {p}, \"elems\": {elems}, \"protocol_s\": {:.6e}, \
+             \"elastic_rank_s\": {:.6e}, \"replay_rank_s\": {:.6e}, \"advantage\": {:.4}}},\n",
+            s.shrink_protocol_s, s.elastic_rank_seconds, s.replay_rank_seconds, s.advantage
+        ));
+    }
+    rows.push_str(&format!(
+        "    {{\"ranks\": {P}, \"elems\": {ELEMS}, \"protocol_s\": {:.6e}, \
+         \"elastic_rank_s\": {:.6e}, \"replay_rank_s\": {:.6e}, \"advantage\": {:.4}}},\n",
+        study.shrink_protocol_s,
+        study.elastic_rank_seconds,
+        study.replay_rank_seconds,
+        study.advantage
+    ));
+
+    let mut metrics = BTreeMap::new();
+    metrics.insert("elastic_advantage".to_string(), study.advantage);
+    metrics.insert(
+        "elastic_rank_seconds".to_string(),
+        study.elastic_rank_seconds,
+    );
+    metrics.insert("replay_rank_seconds".to_string(), study.replay_rank_seconds);
+    metrics.insert("node_hours_saved".to_string(), node_hours_saved);
+    metrics.insert("shrink_protocol_s".to_string(), study.shrink_protocol_s);
+    let headline = metrics
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v:.6}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"elastic\",\n  \"world\": {P},\n  \"replay_steps\": {replay_steps},\n  \
+         \"realloc_stall_s\": {stall_s},\n  \"break_even_stall_s\": {break_even_stall:.6},\n  \
+         \"headline\": {{{headline}}},\n  \"sweep\": [\n{}  ]\n}}\n",
+        rows.trim_end_matches(",\n").to_string() + "\n"
+    );
+    harness::write_bench_json("elastic", &json);
+    harness::record_trajectory(&harness::TrajectoryEntry::now("elastic", metrics.clone()));
+
+    // Regression leg: the study is a deterministic function of the fabric
+    // model, so any drift in the committed advantage is a modeling change
+    // that must be deliberate.
+    let skip_trajectory = std::env::var("SUMMIT_GATE_SKIP_TRAJECTORY").as_deref() == Ok("1");
+    if skip_trajectory {
+        println!("trajectory: comparison skipped (SUMMIT_GATE_SKIP_TRAJECTORY=1)");
+    } else if let Some(baseline) = harness::latest_trajectory_metrics("elastic") {
+        if let Some(&base) = baseline.get("elastic_advantage") {
+            let ratio = if base > 0.0 {
+                study.advantage / base
+            } else {
+                1.0
+            };
+            if ratio < 0.9 {
+                failures.push(format!(
+                    "elastic_advantage regressed {:.1}% vs trajectory ({base:.1} -> {:.1})",
+                    (1.0 - ratio) * 100.0,
+                    study.advantage
+                ));
+            } else {
+                println!(
+                    "trajectory: elastic_advantage {base:.1} -> {:.1} ({ratio:.3}×) ✓",
+                    study.advantage
+                );
+            }
+        }
+    } else {
+        println!("trajectory: no committed elastic entry yet — consistency checks only");
+    }
+
+    if failures.is_empty() {
+        println!("elastic_gate: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("elastic_gate: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}

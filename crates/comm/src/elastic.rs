@@ -1,0 +1,248 @@
+//! Elastic membership control plane: votes, barriers, and collectives over
+//! a [`WorldView`] — the machinery that lets a world shrink past a dead
+//! rank (or grow one back in) instead of rolling back and replaying.
+//!
+//! The protocol is deliberately small. All of it rides on control-plane
+//! tags ([`CONTROL_BIT`]), which the fault plane never drops, delays, or
+//! corrupts — the same assumption the rollback path's [`all_agree`] vote
+//! already makes (a production transport would carry these over a reliable
+//! out-of-band channel). Three primitives:
+//!
+//! * [`vote_members`] — every member learns every member's health bit, so
+//!   all survivors compute the *same* survivor mask from the same inputs.
+//! * [`view_barrier`] — a gather-then-release rendezvous among the view's
+//!   members only. The elastic path never touches the world's physical
+//!   [`Rank::barrier`], which is sized for the full world and would
+//!   deadlock (or worse, mis-release) once spectators stop participating.
+//! * [`try_ring_allreduce_view`] — the data-plane collective: the exact
+//!   ring schedule of the classic path, re-derived at the view's size over
+//!   dense ids and remapped to physical ranks on the wire, in the view's
+//!   epoch tag namespace.
+//!
+//! [`all_agree`]: crate::faults::all_agree
+
+use std::time::{Duration, Instant};
+
+use crate::collectives::ReduceOp;
+use crate::engine::{self, RemapSchedule, RingSchedule};
+use crate::faults::{CommError, CONTROL_BIT};
+use crate::world::{Rank, WorldView};
+
+/// Control-message kinds, carried in bits 32..40 of the tag so they can
+/// never collide with [`all_agree`]'s historical `CONTROL_BIT | round`
+/// encoding (kind 0).
+///
+/// [`all_agree`]: crate::faults::all_agree
+const K_VOTE: u64 = 1;
+const K_GATHER: u64 = 2;
+const K_RELEASE: u64 = 3;
+const K_JOIN: u64 = 4;
+const K_STATE: u64 = 5;
+
+/// Compose a control tag: kind, membership epoch, and a per-use round.
+fn ctl_tag(kind: u64, epoch: u64, round: u64) -> u64 {
+    CONTROL_BIT | (kind << 32) | ((epoch & 0xfff) << 16) | (round & 0xffff)
+}
+
+/// Tag of the hot-join signal a member sends a waiting spectator at step
+/// boundary `step`. Epoch-free: the spectator left the membership before
+/// the current epoch existed, so the tag is keyed on the agreed rejoin
+/// step instead (the signal payload carries the epoch to adopt).
+pub fn join_tag(step: u64) -> u64 {
+    ctl_tag(K_JOIN, 0, step)
+}
+
+/// Tag of the state transfer (encoded size-agnostic checkpoint) that
+/// follows a [`join_tag`] signal.
+pub fn state_tag(step: u64) -> u64 {
+    ctl_tag(K_STATE, 0, step)
+}
+
+/// All-to-all health vote among the view's members: returns the mask of
+/// members (dense-indexed) that reported `healthy`. Control traffic is
+/// reliable, so every member computes the identical mask — this is the
+/// agreement step that lets survivors adopt the same shrunk view without
+/// a leader.
+///
+/// `round` must be unique per (epoch, call site); the elastic runner keys
+/// it on the training step.
+///
+/// # Panics
+/// Panics if this rank is not a member of `view`.
+pub fn vote_members(rank: &Rank, view: &WorldView, healthy: bool, round: u64) -> Vec<bool> {
+    let me = view.my_index().expect("only members vote");
+    let tag = ctl_tag(K_VOTE, view.epoch(), round);
+    let vote = [if healthy { 1.0f32 } else { 0.0 }];
+    for (dense, &peer) in view.members().iter().enumerate() {
+        if dense != me {
+            rank.send_from(peer, tag, &vote);
+        }
+    }
+    let mut mask = vec![false; view.size()];
+    mask[me] = healthy;
+    for (dense, &peer) in view.members().iter().enumerate() {
+        if dense != me {
+            rank.recv_with(peer, tag, |payload| mask[dense] = payload[0] != 0.0);
+        }
+    }
+    mask
+}
+
+/// Rendezvous among the view's members: dense rank 0 collects a token from
+/// every other member, then releases them all. No member passes the
+/// barrier until every member has reached it — the property the quiesce
+/// protocol (barrier → drain → barrier) needs so that all pre-barrier data
+/// traffic is already in the receive queues when the drain sweeps them.
+///
+/// # Panics
+/// Panics if this rank is not a member of `view`.
+pub fn view_barrier(rank: &Rank, view: &WorldView, round: u64) {
+    let me = view.my_index().expect("only members synchronize");
+    if view.size() == 1 {
+        return;
+    }
+    let gather = ctl_tag(K_GATHER, view.epoch(), round);
+    let release = ctl_tag(K_RELEASE, view.epoch(), round);
+    let leader = view.physical(0);
+    if me == 0 {
+        for &peer in &view.members()[1..] {
+            rank.recv_with(peer, gather, |_| ());
+        }
+        for &peer in &view.members()[1..] {
+            rank.send_from(peer, release, &[1.0]);
+        }
+    } else {
+        rank.send_from(leader, gather, &[1.0]);
+        rank.recv_with(leader, release, |_| ());
+    }
+}
+
+/// Fallible bucketed ring allreduce over a [`WorldView`]: the schedule is
+/// derived at `(view.size(), dense id)` — exactly the classic schedule at
+/// that size — and remapped to physical ranks on the wire, tagged in the
+/// view's epoch namespace. At full membership and epoch 0 this is wire-
+/// and bit-identical to `try_ring_allreduce_bucketed`.
+///
+/// # Errors
+/// Any [`CommError`] from the checked receives or the kill poll.
+///
+/// # Panics
+/// Panics if this rank is not a member of `view`.
+pub fn try_ring_allreduce_view(
+    rank: &Rank,
+    view: &WorldView,
+    buf: &mut [f32],
+    op: ReduceOp,
+    bucket_elems: usize,
+    timeout: Duration,
+) -> Result<(), CommError> {
+    let me = view.my_index().expect("only members join collectives");
+    rank.poll_fault_kill()?;
+    if view.size() == 1 {
+        return Ok(());
+    }
+    let mut sched =
+        RingSchedule::allreduce_ns(view.size(), me, buf.len(), bucket_elems, view.blocking_ns());
+    let mut remap = RemapSchedule::new(&mut sched, view.members());
+    engine::drive_checked(
+        rank,
+        buf,
+        &mut [],
+        op,
+        &mut remap,
+        Some(Instant::now() + timeout),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use std::time::Duration;
+
+    #[test]
+    fn full_view_allreduce_matches_classic() {
+        let results = World::run(4, |rank| {
+            let view = WorldView::full(rank);
+            let mut elastic = vec![rank.id() as f32 + 0.25; 32];
+            let mut classic = elastic.clone();
+            try_ring_allreduce_view(
+                rank,
+                &view,
+                &mut elastic,
+                ReduceOp::Sum,
+                8,
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            crate::collectives::try_ring_allreduce_bucketed(
+                rank,
+                &mut classic,
+                ReduceOp::Sum,
+                8,
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            (elastic, classic)
+        });
+        for (elastic, classic) in results {
+            assert_eq!(elastic, classic);
+        }
+    }
+
+    #[test]
+    fn shrunk_view_matches_fresh_small_world() {
+        // 4-rank world, member set {0, 2, 3} at epoch 1: the survivors'
+        // allreduce must be bit-identical to a fresh 3-rank world's.
+        let big = World::run(4, |rank| {
+            let view = WorldView::full(rank).shrink_to(&[true, false, true, true]);
+            let Some(dense) = view.my_index() else {
+                return None; // rank 1 is a spectator
+            };
+            let mut buf: Vec<f32> = (0..10).map(|i| (dense * 10 + i) as f32 * 0.5).collect();
+            try_ring_allreduce_view(
+                rank,
+                &view,
+                &mut buf,
+                ReduceOp::Sum,
+                4,
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            Some(buf)
+        });
+        let small = World::run(3, |rank| {
+            let mut buf: Vec<f32> = (0..10).map(|i| (rank.id() * 10 + i) as f32 * 0.5).collect();
+            crate::collectives::ring_allreduce_bucketed(rank, &mut buf, ReduceOp::Sum, 4);
+            buf
+        });
+        let survivors: Vec<_> = big.into_iter().flatten().collect();
+        assert_eq!(survivors.len(), 3);
+        for (s, f) in survivors.iter().zip(&small) {
+            assert_eq!(s, f, "shrunk-view collective diverged from fresh world");
+        }
+    }
+
+    #[test]
+    fn view_barrier_and_vote_exclude_spectators() {
+        let results = World::run(4, |rank| {
+            let view = WorldView::full(rank).shrink_to(&[true, true, false, true]);
+            if view.my_index().is_none() {
+                return vec![];
+            }
+            view_barrier(rank, &view, 7);
+            let healthy = rank.id() != 3;
+            let mask = vote_members(rank, &view, healthy, 9);
+            view_barrier(rank, &view, 8);
+            mask
+        });
+        for (id, mask) in results.iter().enumerate() {
+            if id == 2 {
+                assert!(mask.is_empty());
+            } else {
+                // Members are {0, 1, 3}; dense index 2 (physical 3) voted no.
+                assert_eq!(mask, &vec![true, true, false]);
+            }
+        }
+    }
+}

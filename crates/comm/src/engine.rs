@@ -337,6 +337,79 @@ pub(crate) fn step_nonblocking(
     Ok(true)
 }
 
+/// A schedule adapter that rewrites *dense* member indices into *physical*
+/// rank ids through a membership table — the elastic surface.
+///
+/// Every schedule in this module is a pure function of `(p, me)` over dense
+/// ids `0..p`. An elastic view re-derives the same schedule at the
+/// surviving size and threads it through this adapter, which maps each
+/// op's endpoints (`to`, `from`, and the zero-copy `Forward` relay) through
+/// `members[dense]` on the way out. Ops are rewritten, never reordered, so
+/// the fold order — and with it bit-identity — is untouched.
+pub(crate) struct RemapSchedule<'a> {
+    inner: &'a mut dyn Schedule,
+    members: &'a [usize],
+}
+
+impl<'a> RemapSchedule<'a> {
+    pub(crate) fn new(inner: &'a mut dyn Schedule, members: &'a [usize]) -> Self {
+        Self { inner, members }
+    }
+}
+
+impl Schedule for RemapSchedule<'_> {
+    fn current(&self) -> Option<Op> {
+        let m = self.members;
+        self.inner.current().map(|op| match op {
+            Op::Send { to, tag, win } => Op::Send {
+                to: m[to],
+                tag,
+                win,
+            },
+            Op::Recv {
+                from,
+                tag,
+                win,
+                act,
+                then,
+            } => Op::Recv {
+                from: m[from],
+                tag,
+                win,
+                act,
+                then: match then {
+                    Disposal::Release => Disposal::Release,
+                    Disposal::Forward { to, tag } => Disposal::Forward { to: m[to], tag },
+                },
+            },
+            Op::SendSlot { to, tag, slot } => Op::SendSlot {
+                to: m[to],
+                tag,
+                slot,
+            },
+            Op::RecvSlot { from, tag, slot } => Op::RecvSlot {
+                from: m[from],
+                tag,
+                slot,
+            },
+            Op::SendGather { to, tag, bit } => Op::SendGather {
+                to: m[to],
+                tag,
+                bit,
+            },
+            Op::RecvScatter { from, tag, bit } => Op::RecvScatter {
+                from: m[from],
+                tag,
+                bit,
+            },
+        })
+    }
+
+    fn advance(&mut self) {
+        self.inner.advance();
+    }
+}
+
 /// Which ring phase a tag belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -508,6 +581,35 @@ impl RingSchedule {
             true,
             true,
         )
+    }
+
+    /// Blocking allreduce in an explicit tag namespace `ns` (an elastic
+    /// view's epoch namespace): collective ids `ns` / `ns | 1`. Namespace 0
+    /// is exactly [`RingSchedule::allreduce`], so a full-membership view at
+    /// epoch 0 is wire-identical to the classic path.
+    pub(crate) fn allreduce_ns(p: usize, me: usize, n: usize, bucket: usize, ns: u64) -> Self {
+        Self::new(
+            p,
+            me,
+            n,
+            0,
+            n,
+            bucket,
+            TagScheme::Blocking {
+                reduce_id: ns,
+                gather_id: ns | 1,
+            },
+            true,
+            true,
+        )
+    }
+
+    /// Abort the collective: jump the cursor straight to `Done` so no
+    /// further ops are emitted. The elastic path cancels in-flight
+    /// schedules before quiescing, so a stale handle poked after the drain
+    /// cannot inject traffic from a dead membership epoch.
+    pub(crate) fn cancel(&mut self) {
+        self.stage = RingStage::Done;
     }
 
     /// Standalone reduce-scatter (id 2): after completion rank `i` holds

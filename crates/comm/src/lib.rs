@@ -38,6 +38,7 @@
 //! ```
 
 pub mod collectives;
+pub mod elastic;
 pub mod engine;
 pub mod extended;
 pub mod faults;
@@ -48,15 +49,16 @@ pub mod sim;
 pub mod world;
 
 pub use collectives::ReduceOp;
+pub use elastic::{try_ring_allreduce_view, view_barrier, vote_members};
 pub use engine::{simulate_reference, Collective, ModelReport};
 pub use extended::{alltoall, gather, hierarchical_allreduce, scatter};
 pub use faults::{all_agree, CommError, FaultKind, FaultPlan, FaultRates, TagClass, CONTROL_BIT};
 pub use group::Group;
 pub use model::{Algorithm, CollectiveModel};
 pub use nonblocking::{
-    ring_allreduce_start, ring_allreduce_start_windowed, RecvHandle, RingAllreduceHandle,
-    SendHandle,
+    ring_allreduce_start, ring_allreduce_start_windowed, ring_allreduce_start_windowed_view,
+    RecvHandle, RingAllreduceHandle, SendHandle,
 };
-pub use sim::{simulate, simulate_on, FabricReport};
+pub use sim::{elastic_shrink_study, simulate, simulate_on, ElasticStudy, FabricReport};
 pub use summit_machine::LinkModel;
-pub use world::{Rank, RankTraffic, World};
+pub use world::{Rank, RankTraffic, World, WorldView};

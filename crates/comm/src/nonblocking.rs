@@ -40,9 +40,9 @@
 use std::time::{Duration, Instant};
 
 use crate::collectives::ReduceOp;
-use crate::engine::{self, Op, RingSchedule, Schedule};
+use crate::engine::{self, Op, RemapSchedule, RingSchedule, Schedule};
 use crate::faults::CommError;
-use crate::world::Rank;
+use crate::world::{Rank, WorldView};
 
 impl Rank {
     /// Nonblocking send: enqueue a copy of `src` for rank `to` and return a
@@ -177,6 +177,10 @@ pub struct RingAllreduceHandle<'a> {
     /// The engine schedule — the *same* [`RingSchedule`] state machine the
     /// blocking and modeled surfaces run, under nonblocking tags.
     sched: RingSchedule,
+    /// Dense-to-physical member map when this handle runs over an elastic
+    /// [`WorldView`] ([`ring_allreduce_start_windowed_view`]); `None` on
+    /// the classic full-world path, which stays allocation-free.
+    members: Option<Vec<usize>>,
 }
 
 /// Begin a nonblocking ring allreduce over all of `buf`.
@@ -237,18 +241,71 @@ pub fn ring_allreduce_start_windowed<'a>(
         rank,
         buf,
         op,
+        members: None,
     };
-    // Prime the ring immediately: execute the schedule's leading sends (this
-    // rank's own chunk window; empty windows produce no send ops, on every
-    // rank consistently) so peers can progress before our first `progress`.
-    while let Some(Op::Send { to, tag, win }) = handle.sched.current() {
-        handle.rank.send_from(to, tag, &handle.buf[win.0..win.1]);
-        handle.sched.advance();
-    }
+    handle.prime();
+    handle
+}
+
+/// [`ring_allreduce_start_windowed`] over an elastic [`WorldView`]: the
+/// schedule is derived at `(view.size(), dense id)` and its endpoints are
+/// remapped to physical ranks on the wire, with the view's epoch folded
+/// into the collective's tag namespace. At full membership and epoch 0
+/// this is wire-identical to the classic start.
+///
+/// # Panics
+/// Panics if this rank is not a member of `view`, if the window overruns
+/// `total_len`, or if `collective >= 2^20` (the epoch namespace occupies
+/// the bits above).
+pub fn ring_allreduce_start_windowed_view<'a>(
+    rank: &'a Rank,
+    view: &WorldView,
+    buf: &'a mut [f32],
+    op: ReduceOp,
+    collective: u64,
+    total_len: usize,
+    window_start: usize,
+) -> RingAllreduceHandle<'a> {
+    let me = view.my_index().expect("only members join collectives");
+    assert!(
+        window_start + buf.len() <= total_len,
+        "window [{}, {}) overruns total length {}",
+        window_start,
+        window_start + buf.len(),
+        total_len
+    );
+    assert!(collective < 1 << 20, "collective id out of epoch-tag range");
+    let mut handle = RingAllreduceHandle {
+        sched: RingSchedule::allreduce_windowed(
+            view.size(),
+            me,
+            total_len,
+            window_start,
+            buf.len(),
+            view.nb_ns() | collective,
+        ),
+        rank,
+        buf,
+        op,
+        members: Some(view.members().to_vec()),
+    };
+    handle.prime();
     handle
 }
 
 impl RingAllreduceHandle<'_> {
+    /// Prime the ring immediately after construction: execute the
+    /// schedule's leading sends (this rank's own chunk window; empty
+    /// windows produce no send ops, on every rank consistently) so peers
+    /// can progress before our first `progress`.
+    fn prime(&mut self) {
+        while let Some(Op::Send { to, tag, win }) = self.sched.current() {
+            let to = self.members.as_ref().map_or(to, |m| m[to]);
+            self.rank.send_from(to, tag, &self.buf[win.0..win.1]);
+            self.sched.advance();
+        }
+    }
+
     /// Attempt one step of the state machine. Returns whether the state
     /// advanced; `block` chooses between a blocking receive and a poll.
     fn advance(&mut self, block: bool) -> bool {
@@ -266,14 +323,29 @@ impl RingAllreduceHandle<'_> {
         block: bool,
         deadline: Option<Instant>,
     ) -> Result<bool, CommError> {
-        engine::step_nonblocking(
-            self.rank,
-            self.buf,
-            self.op,
-            &mut self.sched,
-            block,
-            deadline,
-        )
+        match &self.members {
+            None => engine::step_nonblocking(
+                self.rank,
+                self.buf,
+                self.op,
+                &mut self.sched,
+                block,
+                deadline,
+            ),
+            Some(m) => {
+                let mut remap = RemapSchedule::new(&mut self.sched, m);
+                engine::step_nonblocking(self.rank, self.buf, self.op, &mut remap, block, deadline)
+            }
+        }
+    }
+
+    /// Abort the collective: the schedule jumps to its terminal state and
+    /// never emits another op, so later `progress`/`wait` calls are no-ops
+    /// and — critically — cannot inject sends into a fabric that elastic
+    /// recovery has already quiesced. Messages already in flight toward
+    /// this rank stay in its queues until `drain_all` recycles them.
+    pub fn cancel(&mut self) {
+        self.sched.cancel();
     }
 
     /// Drive every step whose message has already arrived, without

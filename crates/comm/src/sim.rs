@@ -395,6 +395,99 @@ pub fn simulate_on(
     }
 }
 
+/// Simulated cost of one elastic shrink event versus rollback-and-replay,
+/// at a given world size — the node-hours argument for elasticity.
+///
+/// Both paths are modeled on the routed fabric ([`simulate_on`]), so the
+/// numbers carry the fat-tree contention the α–β closed forms miss. The
+/// model is communication-only: the compute time of the replayed steps is
+/// *excluded*, so the reported advantage of the elastic path is a lower
+/// bound — real replayed steps also redo their forward/backward work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticStudy {
+    /// World size before the kill.
+    pub p: usize,
+    /// Gradient elements per allreduce step.
+    pub elems: usize,
+    /// Control-plane time of the shrink protocol: the survivor vote
+    /// (all-to-all health bits) plus two quiesce barriers (token gather +
+    /// release fan-out each), in seconds. The drain itself is local.
+    pub shrink_protocol_s: f64,
+    /// One allreduce step at p − 1 — the first post-shrink step.
+    pub step_after_shrink_s: f64,
+    /// One allreduce step at p — what the rollback path replays.
+    pub step_before_shrink_s: f64,
+    /// Elastic path: protocol + the first step at p − 1.
+    pub elastic_total_s: f64,
+    /// Rollback path: reallocation stall + `replay_steps` steps at p.
+    pub replay_total_s: f64,
+    /// Steps the rollback path replays (checkpoint interval / 2 on
+    /// average).
+    pub replay_steps: usize,
+    /// Scheduler requeue stall the rollback path waits out for a
+    /// replacement rank, in seconds.
+    pub realloc_stall_s: f64,
+    /// Rank-seconds lost by the elastic path (p − 1 survivors stalled for
+    /// the shrink).
+    pub elastic_rank_seconds: f64,
+    /// Rank-seconds lost by the replay path (all p ranks stalled and
+    /// replaying).
+    pub replay_rank_seconds: f64,
+    /// `replay_rank_seconds / elastic_rank_seconds`.
+    pub advantage: f64,
+}
+
+/// Model one shrink event at world size `p` against rollback-and-replay
+/// with `replay_steps` lost steps and a `realloc_stall_s` scheduler
+/// requeue, over `cluster`'s routed fabric.
+///
+/// # Panics
+/// Panics if `p < 2` or `p` exceeds the cluster capacity.
+pub fn elastic_shrink_study(
+    p: usize,
+    elems: usize,
+    replay_steps: usize,
+    realloc_stall_s: f64,
+    cluster: ClusterModel,
+) -> ElasticStudy {
+    assert!(p >= 2, "a shrink needs at least two ranks");
+    let time = |collective, ranks, n| {
+        simulate_on(collective, ranks, n, cluster)
+            .report
+            .time_seconds
+    };
+    // The vote is an all-to-all of 1-element health bits among the old
+    // members; each quiesce barrier is a token gather to the leader plus a
+    // release fan-out (modeled as a 1-element scatter).
+    let vote_s = time(Collective::Alltoall, p, 1);
+    let barrier_s =
+        time(Collective::Gather { root: 0 }, p, 1) + time(Collective::Scatter { root: 0 }, p, 1);
+    let shrink_protocol_s = vote_s + 2.0 * barrier_s;
+    let ring = Collective::RingAllreduce {
+        bucket_elems: usize::MAX,
+    };
+    let step_after_shrink_s = time(ring, p - 1, elems);
+    let step_before_shrink_s = time(ring, p, elems);
+    let elastic_total_s = shrink_protocol_s + step_after_shrink_s;
+    let replay_total_s = realloc_stall_s + replay_steps as f64 * step_before_shrink_s;
+    let elastic_rank_seconds = elastic_total_s * (p - 1) as f64;
+    let replay_rank_seconds = replay_total_s * p as f64;
+    ElasticStudy {
+        p,
+        elems,
+        shrink_protocol_s,
+        step_after_shrink_s,
+        step_before_shrink_s,
+        elastic_total_s,
+        replay_total_s,
+        replay_steps,
+        realloc_stall_s,
+        elastic_rank_seconds,
+        replay_rank_seconds,
+        advantage: replay_rank_seconds / elastic_rank_seconds,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,5 +611,27 @@ mod tests {
         // Sparse ring: only chunks 0..elems are non-empty; each non-empty
         // chunk moves p−1 times in each phase, 4 bytes per element.
         assert_eq!(out.total_bytes() as usize, 4 * 2 * (p - 1) * elems);
+    }
+
+    /// The elastic study's accounting is internally consistent, and with
+    /// any nonzero reallocation stall the shrink protocol (microseconds of
+    /// control traffic) beats rollback-and-replay on rank-seconds.
+    #[test]
+    fn elastic_shrink_study_is_consistent() {
+        let study = elastic_shrink_study(48, 1 << 16, 10, 30.0, ClusterModel::summit_like(8));
+        assert!(study.shrink_protocol_s > 0.0);
+        assert!(study.step_after_shrink_s > 0.0 && study.step_before_shrink_s > 0.0);
+        assert_eq!(
+            study.elastic_total_s,
+            study.shrink_protocol_s + study.step_after_shrink_s
+        );
+        assert_eq!(
+            study.replay_total_s,
+            study.realloc_stall_s + 10.0 * study.step_before_shrink_s
+        );
+        assert!(
+            study.advantage > 1.0,
+            "elastic must beat replay under a stall: {study:?}"
+        );
     }
 }

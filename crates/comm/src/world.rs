@@ -456,29 +456,60 @@ impl Rank {
     /// Recovery uses this between barriers to clear the fabric of stale
     /// traffic from an aborted step, so the replay's tag matching starts
     /// from a clean slate and the pool books stay balanced.
+    ///
+    /// The sweep runs to a fixpoint: after a pass that drains anything, the
+    /// queues are swept again until a full pass finds nothing. A single pass
+    /// is enough for traffic that was posted before the surrounding barrier
+    /// (the channels are unbounded, so a send completes synchronously), but
+    /// an abandoned nonblocking handle poked *between* the two quiesce
+    /// barriers can inject a fresh envelope after its source queue was
+    /// already swept — the fixpoint makes the drain insensitive to sweep
+    /// order relative to such stragglers.
     pub fn drain_all(&self) -> usize {
         let mut drained = 0;
-        for from in 0..self.size {
-            if from == self.id {
-                continue;
+        loop {
+            let mut pass = 0;
+            for from in 0..self.size {
+                if from == self.id {
+                    continue;
+                }
+                // Sweep data traffic only: control-plane messages
+                // (CONTROL_BIT) are the reliable out-of-band network, and
+                // a peer that finished its own drain may already be into
+                // its next control exchange — eating its token would
+                // deadlock the quiesce.
+                let mut pending = self.pending[from].borrow_mut();
+                let mut keep = VecDeque::with_capacity(pending.len());
+                while let Some(env) = pending.pop_front() {
+                    if env.tag & CONTROL_BIT != 0 {
+                        keep.push_back(env);
+                    } else {
+                        self.pool.release(env.payload);
+                        pass += 1;
+                    }
+                }
+                *pending = keep;
+                while let Ok(env) = self.receivers[from].try_recv() {
+                    if env.tag & CONTROL_BIT != 0 {
+                        pending.push_back(env);
+                    } else {
+                        self.pool.release(env.payload);
+                        pass += 1;
+                    }
+                }
             }
-            let mut pending = self.pending[from].borrow_mut();
-            while let Some(env) = pending.pop_front() {
-                self.pool.release(env.payload);
-                drained += 1;
-            }
-            while let Ok(env) = self.receivers[from].try_recv() {
-                self.pool.release(env.payload);
-                drained += 1;
+            drained += pass;
+            if pass == 0 {
+                return drained;
             }
         }
-        drained
     }
 
     /// Return a finished transport payload to this rank's [`BufferPool`].
     /// Used by the nonblocking layer, whose handles hold payloads across
-    /// calls and cannot release them inside a `recv_with` closure.
-    pub(crate) fn release_payload(&self, payload: Vec<f32>) {
+    /// calls and cannot release them inside a `recv_with` closure, and by
+    /// elastic control flows that take ownership via [`Rank::try_recv`].
+    pub fn release_payload(&self, payload: Vec<f32>) {
         self.pool.release(payload);
     }
 
@@ -586,6 +617,155 @@ impl Rank {
     /// Block until every rank has reached this barrier.
     pub fn barrier(&self) {
         self.barrier.wait();
+    }
+}
+
+/// A membership view of a [`World`]: the subset of physical ranks currently
+/// participating in collectives, at a given membership `epoch`.
+///
+/// Elastic recovery shrinks a world by *excluding* a dead rank instead of
+/// rolling back: survivors adopt a new view whose dense ids `0..size()`
+/// remap onto the surviving physical ranks, re-derive their collective
+/// schedules at the smaller size (every schedule is a pure function of
+/// `(size, dense id)`), and keep training. The inverse hot-join grows the
+/// view back to the full world. The epoch is folded into every tag the
+/// view's collectives and control messages use, so traffic from different
+/// membership generations can never satisfy each other's receives — a
+/// straggler envelope from before a shrink is inert, and `drain_all`
+/// recycles it.
+///
+/// A view never exceeds the physical world: membership is a sorted subset
+/// of `0..world_size`, and physical channel indices stay valid across
+/// shrink/grow, so no channels are torn down or rebuilt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldView {
+    /// Sorted physical rank ids of the current members.
+    members: Vec<usize>,
+    /// This rank's *physical* id (fixed for the life of the world).
+    me: usize,
+    /// Membership generation; bumped by every shrink or grow.
+    epoch: u64,
+}
+
+/// Epochs are folded into tags through a 12-bit mask: 4096 membership
+/// changes before wraparound, far beyond any test or plausible run.
+const EPOCH_MASK: u64 = 0xfff;
+
+impl WorldView {
+    /// The full-world view at epoch 0: every physical rank is a member.
+    /// Epoch 0 tags are identical to the classic (non-elastic) tag scheme,
+    /// so a view-based collective at full membership is bit- and
+    /// traffic-identical to the plain one.
+    pub fn full(rank: &Rank) -> Self {
+        Self {
+            members: (0..rank.size()).collect(),
+            me: rank.id(),
+            epoch: 0,
+        }
+    }
+
+    /// Assemble a view from an explicit member list (sorted, deduplicated
+    /// physical ids) at an explicit epoch. `me` is this rank's physical id;
+    /// it does not have to be a member (spectators hold views too, to know
+    /// the current epoch).
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or not strictly increasing.
+    pub fn assemble(members: Vec<usize>, me: usize, epoch: u64) -> Self {
+        assert!(!members.is_empty(), "a view needs at least one member");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "view members must be sorted and unique"
+        );
+        Self { members, me, epoch }
+    }
+
+    /// Number of member ranks (the collective size `p'`).
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Membership generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sorted physical ids of the members.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Whether physical rank `id` is a member.
+    pub fn is_member(&self, id: usize) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+
+    /// This rank's dense id in `0..size()`, or `None` when this rank is a
+    /// spectator (not a member).
+    pub fn my_index(&self) -> Option<usize> {
+        self.members.binary_search(&self.me).ok()
+    }
+
+    /// Map a dense member index back to the physical rank id.
+    ///
+    /// # Panics
+    /// Panics if `dense` is out of range.
+    pub fn physical(&self, dense: usize) -> usize {
+        self.members[dense]
+    }
+
+    /// Map a physical rank id to its dense index, if a member.
+    pub fn dense_of(&self, physical: usize) -> Option<usize> {
+        self.members.binary_search(&physical).ok()
+    }
+
+    /// The shrunk view: keep only `survivors` (given as a membership mask
+    /// over the *current* dense ids), bump the epoch.
+    ///
+    /// # Panics
+    /// Panics if the mask length differs from `size()` or no rank survives.
+    pub fn shrink_to(&self, survivors: &[bool]) -> Self {
+        assert_eq!(survivors.len(), self.size(), "survivor mask length");
+        let members: Vec<usize> = self
+            .members
+            .iter()
+            .zip(survivors)
+            .filter_map(|(&m, &alive)| alive.then_some(m))
+            .collect();
+        assert!(!members.is_empty(), "world collapsed: no surviving ranks");
+        Self {
+            members,
+            me: self.me,
+            epoch: self.epoch + 1,
+        }
+    }
+
+    /// The grown view: back to full world membership at the next epoch.
+    pub fn grow_full(&self, world_size: usize) -> Self {
+        Self {
+            members: (0..world_size).collect(),
+            me: self.me,
+            epoch: self.epoch + 1,
+        }
+    }
+
+    /// Tag namespace for *blocking* collectives at this epoch, to be OR'd
+    /// into the collective id passed to the schedule constructors. Epoch 0
+    /// maps to namespace 0, i.e. the classic tags. The namespace occupies
+    /// bits 7..19 of the collective id — clear of the low ids 0..4 the ring
+    /// constructors use, and small enough that the composed
+    /// `tag_seg(id, step, seg)` stays below [`crate::CONTROL_BIT`].
+    pub fn blocking_ns(&self) -> u64 {
+        (self.epoch & EPOCH_MASK) << 7
+    }
+
+    /// Tag namespace for *nonblocking* collectives at this epoch, to be
+    /// OR'd into the collective (bucket) index. Bucket indices are small
+    /// (thousands at most); the epoch occupies bits 20..32 of the
+    /// collective field, keeping the composed tag inside the 50-bit
+    /// collective budget of the nonblocking tag scheme.
+    pub fn nb_ns(&self) -> u64 {
+        (self.epoch & EPOCH_MASK) << 20
     }
 }
 

@@ -6,10 +6,19 @@
 //! compact binary format for model parameters — little-endian f32 payload,
 //! versioned header, FNV-1a content checksum — over [`bytes::Bytes`]
 //! buffers, with corruption and version-mismatch detection.
+//!
+//! [`ElasticCheckpoint`] is the size-agnostic variant elastic training
+//! needs: it captures parameters *and* optimizer state into one f32 word
+//! stream that can be sharded across any world size with
+//! [`summit_pool::chunk_range`] and reassembled at any other — a snapshot
+//! written at p = 4 restores bit-exactly onto p = 3 (or 8, or 1), because
+//! nothing in the encoding depends on the world size.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use summit_pool::chunk_range;
 
 use crate::model::Mlp;
+use crate::optim::{Optimizer, OptimizerState};
 
 /// Format magic: "SMT1".
 const MAGIC: u32 = 0x534D_5431;
@@ -34,6 +43,8 @@ pub enum CheckpointError {
         /// Parameters in the model.
         model: u64,
     },
+    /// An optimizer slot name index outside the known registry.
+    UnknownSlot(u32),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -48,6 +59,9 @@ impl std::fmt::Display for CheckpointError {
                     f,
                     "parameter count mismatch: checkpoint {checkpoint}, model {model}"
                 )
+            }
+            CheckpointError::UnknownSlot(idx) => {
+                write!(f, "unknown optimizer slot index {idx}")
             }
         }
     }
@@ -124,6 +138,226 @@ pub fn load(model: &mut Mlp, mut buf: Bytes) -> Result<u32, CheckpointError> {
     Ok(step)
 }
 
+/// Format magic of the elastic word stream: "SMT2".
+const ELASTIC_MAGIC: u32 = 0x534D_5432;
+/// Elastic format version.
+const ELASTIC_VERSION: u32 = 1;
+
+/// Every optimizer slot name in the crate, in a fixed order so names
+/// serialize as registry indices. SGD (and the LARS/LARC wrappers around
+/// it) exports `velocity`; Adam (and LAMB's inner Adam) exports `m`/`v`.
+const SLOT_NAMES: &[&str] = &["velocity", "m", "v"];
+
+/// A size-agnostic training snapshot: step, parameters, and optimizer
+/// state, with a word-stream encoding that shards across any world size.
+///
+/// This is the unit elastic recovery re-partitions on a membership change
+/// (each member keeps its [`chunk_range`] shard of [`encode`]) and
+/// transfers whole to a hot-joining rank. Integers travel as raw bit
+/// patterns inside f32 words (`f32::from_bits`), so the stream rides the
+/// same transport as gradients; nothing is lossy.
+///
+/// [`encode`]: ElasticCheckpoint::encode
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticCheckpoint {
+    /// Training step at which the snapshot was taken.
+    pub step: u32,
+    /// Flat model parameters.
+    pub params: Vec<f32>,
+    /// Optimizer snapshot (bias-correction counter + slot vectors).
+    pub opt: OptimizerState,
+}
+
+/// Append a raw u32 as one f32 word.
+fn push_word(words: &mut Vec<f32>, v: u32) {
+    words.push(f32::from_bits(v));
+}
+
+/// A cursor over the word stream that reads raw u32s and f32 runs.
+struct WordReader<'a> {
+    words: &'a [f32],
+    pos: usize,
+}
+
+impl<'a> WordReader<'a> {
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let w = self.words.get(self.pos).ok_or(CheckpointError::Truncated)?;
+        self.pos += 1;
+        Ok(w.to_bits())
+    }
+
+    fn f32_run(&mut self, len: usize) -> Result<&'a [f32], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(CheckpointError::Truncated)?;
+        let run = self
+            .words
+            .get(self.pos..end)
+            .ok_or(CheckpointError::Truncated)?;
+        self.pos = end;
+        Ok(run)
+    }
+}
+
+/// FNV-1a over the little-endian bytes of a word run.
+fn fnv1a_words(words: &[f32]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_bits().to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    hash
+}
+
+impl ElasticCheckpoint {
+    /// Snapshot a model and its optimizer at `step`.
+    pub fn capture(step: u32, model: &Mlp, optimizer: &dyn Optimizer) -> Self {
+        Self {
+            step,
+            params: model.flat_params(),
+            opt: optimizer.export_state(),
+        }
+    }
+
+    /// Write this snapshot back into a model and optimizer.
+    ///
+    /// # Errors
+    /// [`CheckpointError::ShapeMismatch`] if the parameter counts differ;
+    /// the targets are only written on success.
+    pub fn restore(
+        &self,
+        model: &mut Mlp,
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<(), CheckpointError> {
+        if self.params.len() != model.param_count() {
+            return Err(CheckpointError::ShapeMismatch {
+                checkpoint: self.params.len() as u64,
+                model: model.param_count() as u64,
+            });
+        }
+        model.set_flat_params(&self.params);
+        optimizer.import_state(&self.opt);
+        Ok(())
+    }
+
+    /// Serialize to the f32 word stream:
+    /// `magic, version, step, opt step, param count, slot count,
+    /// params…, [name idx, group, len, values…]…, checksum hi, checksum lo`.
+    ///
+    /// # Panics
+    /// Panics if the optimizer exports a slot name outside [`SLOT_NAMES`]
+    /// — that is a registry omission, not a data condition.
+    pub fn encode(&self) -> Vec<f32> {
+        let body: usize = self
+            .opt
+            .slots
+            .iter()
+            .map(|(_, _, v)| 3 + v.len())
+            .sum::<usize>()
+            + self.params.len();
+        let mut words = Vec::with_capacity(8 + body);
+        push_word(&mut words, ELASTIC_MAGIC);
+        push_word(&mut words, ELASTIC_VERSION);
+        push_word(&mut words, self.step);
+        push_word(&mut words, self.opt.step);
+        push_word(&mut words, self.params.len() as u32);
+        push_word(&mut words, self.opt.slots.len() as u32);
+        words.extend_from_slice(&self.params);
+        for (name, group, values) in &self.opt.slots {
+            let idx = SLOT_NAMES
+                .iter()
+                .position(|n| n == name)
+                .unwrap_or_else(|| panic!("optimizer slot {name:?} missing from SLOT_NAMES"));
+            push_word(&mut words, idx as u32);
+            push_word(&mut words, *group as u32);
+            push_word(&mut words, values.len() as u32);
+            words.extend_from_slice(values);
+        }
+        let checksum = fnv1a_words(&words);
+        push_word(&mut words, (checksum >> 32) as u32);
+        push_word(&mut words, checksum as u32);
+        words
+    }
+
+    /// Decode a word stream produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    /// Every malformation is detected: truncation, bad magic/version,
+    /// checksum mismatch, unknown slot names.
+    pub fn decode(words: &[f32]) -> Result<Self, CheckpointError> {
+        if words.len() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let (body, tail) = words.split_at(words.len() - 2);
+        let stored = (u64::from(tail[0].to_bits()) << 32) | u64::from(tail[1].to_bits());
+        if fnv1a_words(body) != stored {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+        let mut r = WordReader {
+            words: body,
+            pos: 0,
+        };
+        if r.u32()? != ELASTIC_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != ELASTIC_VERSION {
+            return Err(CheckpointError::BadVersion(version as u16));
+        }
+        let step = r.u32()?;
+        let opt_step = r.u32()?;
+        let param_count = r.u32()? as usize;
+        let slot_count = r.u32()? as usize;
+        let params = r.f32_run(param_count)?.to_vec();
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            let idx = r.u32()?;
+            let name = *SLOT_NAMES
+                .get(idx as usize)
+                .ok_or(CheckpointError::UnknownSlot(idx))?;
+            let group = r.u32()? as usize;
+            let len = r.u32()? as usize;
+            slots.push((name, group, r.f32_run(len)?.to_vec()));
+        }
+        if r.pos != body.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(Self {
+            step,
+            params,
+            opt: OptimizerState {
+                step: opt_step,
+                slots,
+            },
+        })
+    }
+
+    /// Shard the encoded stream across `parts` owners with [`chunk_range`]
+    /// — the same partition function the data shards use, so a membership
+    /// change re-partitions checkpoint custody and sample custody with one
+    /// rule.
+    pub fn export_shards(&self, parts: usize) -> Vec<Vec<f32>> {
+        let words = self.encode();
+        (0..parts)
+            .map(|i| words[chunk_range(words.len(), parts, i)].to_vec())
+            .collect()
+    }
+
+    /// Reassemble from shards produced by
+    /// [`export_shards`](Self::export_shards) (in owner order, any part
+    /// count).
+    ///
+    /// # Errors
+    /// See [`decode`](Self::decode).
+    pub fn import_shards(shards: &[Vec<f32>]) -> Result<Self, CheckpointError> {
+        let words: Vec<f32> = shards.iter().flatten().copied().collect();
+        Self::decode(&words)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +424,78 @@ mod tests {
         let model = MlpSpec::new(4, &[8], 2).build(3);
         let bytes = save(&model, 0);
         assert_eq!(bytes.len(), 26 + model.param_count() * 4);
+    }
+
+    /// An [`ElasticCheckpoint`] with real Adam state (after a few steps,
+    /// so `m`/`v` slots and the bias-correction counter are nonzero).
+    fn trained_snapshot() -> (ElasticCheckpoint, MlpSpec) {
+        use crate::optim::{Adam, Optimizer};
+        let spec = MlpSpec::new(4, &[8], 3);
+        let mut model = spec.build(5);
+        let mut opt = Adam::new(0.01, 0.0);
+        let n = model.param_count();
+        for s in 0..4usize {
+            let g: Vec<f32> = (0..n).map(|i| ((i + s * 31) as f32 * 0.7).sin()).collect();
+            model.set_flat_grads(&g);
+            model.for_each_group(|id, params, grads| opt.step_group(id, 0.01, params, grads));
+            opt.advance();
+        }
+        (ElasticCheckpoint::capture(9, &model, &opt), spec)
+    }
+
+    #[test]
+    fn elastic_encode_decode_roundtrip_bitwise() {
+        let (ck, _) = trained_snapshot();
+        let decoded = ElasticCheckpoint::decode(&ck.encode()).expect("valid stream");
+        assert_eq!(decoded, ck);
+        assert!(!ck.opt.slots.is_empty(), "Adam must export m/v slots");
+        assert!(ck.opt.step > 0, "bias-correction counter must be captured");
+    }
+
+    #[test]
+    fn elastic_shards_reassemble_at_any_part_count() {
+        let (ck, _) = trained_snapshot();
+        for export_p in [1usize, 2, 3, 4, 8] {
+            let shards = ck.export_shards(export_p);
+            assert_eq!(shards.len(), export_p);
+            let back = ElasticCheckpoint::import_shards(&shards).expect("reassembled stream");
+            assert_eq!(back, ck, "export at p={export_p} lost information");
+        }
+    }
+
+    #[test]
+    fn elastic_detects_corruption_and_truncation() {
+        let (ck, _) = trained_snapshot();
+        let words = ck.encode();
+        assert_eq!(
+            ElasticCheckpoint::decode(&words[..words.len() - 3]).unwrap_err(),
+            CheckpointError::ChecksumMismatch
+        );
+        let mut corrupt = words.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] = f32::from_bits(corrupt[mid].to_bits() ^ 1);
+        assert_eq!(
+            ElasticCheckpoint::decode(&corrupt).unwrap_err(),
+            CheckpointError::ChecksumMismatch
+        );
+        assert_eq!(
+            ElasticCheckpoint::decode(&words[..4]).unwrap_err(),
+            CheckpointError::Truncated
+        );
+    }
+
+    #[test]
+    fn elastic_restore_rejects_wrong_shape() {
+        use crate::optim::Adam;
+        let (ck, spec) = trained_snapshot();
+        let mut right = spec.build(1);
+        let mut opt: Box<dyn crate::optim::Optimizer> = Box::new(Adam::new(0.01, 0.0));
+        ck.restore(&mut right, opt.as_mut()).expect("shapes match");
+        assert_eq!(right.flat_params(), ck.params);
+        let mut wrong = MlpSpec::new(4, &[9], 3).build(1);
+        assert!(matches!(
+            ck.restore(&mut wrong, opt.as_mut()),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
     }
 }

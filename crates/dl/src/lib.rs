@@ -54,11 +54,15 @@ pub mod schedule;
 pub mod trainer;
 pub mod transformer;
 
+pub use checkpoint::{CheckpointError, ElasticCheckpoint};
 pub use compression::{Compressor, GradCompression};
 pub use lm::{MultiHeadAttention, TinyLm};
 pub use model::{Mlp, MlpSpec};
 pub use optim::{Adam, Lamb, Larc, Lars, Optimizer, OptimizerState, Sgd};
-pub use recovery::{FtOutcome, RecoveryConfig};
+pub use recovery::{
+    elastic_clock, ElasticConfig, ElasticOutcome, FtOutcome, RecoveryConfig, SUB_COMM, SUB_DRAIN,
+    SUB_PRE, SUB_REPART, SUB_VOTE,
+};
 pub use schedule::LrSchedule;
 pub use trainer::{
     BucketSchedule, DataParallelTrainer, EpochMetrics, FusionConfig, OverlapConfig, Trainer,

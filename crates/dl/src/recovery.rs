@@ -26,6 +26,16 @@
 //! construction — so a faulted run converges to
 //! exactly the fault-free trajectory, bit for bit. The chaos suite in
 //! `tests/` pins this for drop, delay, corrupt, and kill scenarios.
+//!
+//! [`DataParallelTrainer::run_elastic`] is the second remediation policy:
+//! instead of rolling the *whole world* back to replay lost steps, the
+//! survivors vote a dead rank out ([`vote_members`]), quiesce, re-derive
+//! every collective schedule at `p-1` over a [`WorldView`], re-partition
+//! data and checkpoint shards with [`chunk_range`], and continue from the
+//! failed step — and can later re-admit a recovered rank at a step
+//! boundary (hot join). Elastic continuation is bit-identical to a fresh
+//! `p-1`-rank run from the same checkpoint; `tests/tests/elastic.rs` pins
+//! the full matrix.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,12 +43,17 @@ use std::time::{Duration, Instant};
 use summit_comm::{
     all_agree,
     collectives::{try_ring_allreduce_bucketed, ReduceOp},
-    nonblocking::{ring_allreduce_start_windowed, RingAllreduceHandle},
-    world::{Rank, World},
+    elastic::{join_tag, state_tag, try_ring_allreduce_view, view_barrier, vote_members},
+    nonblocking::{
+        ring_allreduce_start_windowed, ring_allreduce_start_windowed_view, RingAllreduceHandle,
+    },
+    world::{Rank, World, WorldView},
     CommError, FaultPlan,
 };
+use summit_pool::chunk_range;
 use summit_tensor::{ops, Matrix};
 
+use crate::checkpoint::ElasticCheckpoint;
 use crate::model::Mlp;
 use crate::optim::{Optimizer, OptimizerState};
 use crate::schedule::LrSchedule;
@@ -364,6 +379,550 @@ impl DataParallelTrainer {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Elastic shrink/grow recovery
+// ---------------------------------------------------------------------------
+
+/// Substep of the elastic fault clock: before any step work.
+pub const SUB_PRE: u64 = 0;
+/// Substep of the elastic fault clock: during the gradient collective.
+pub const SUB_COMM: u64 = 1;
+/// Substep of the elastic fault clock: after the collective, at the vote.
+pub const SUB_VOTE: u64 = 2;
+/// Substep of the elastic fault clock: during the quiesce drain.
+pub const SUB_DRAIN: u64 = 3;
+/// Substep of the elastic fault clock: during shard re-partitioning.
+pub const SUB_REPART: u64 = 4;
+
+/// The elastic runner's fault-step encoding: `(epoch, step, substep)`
+/// packed into the single `u64` step counter the fault plane keys on.
+/// A [`FaultPlan::kill_rank`] at `elastic_clock(e, k, s)` kills the rank
+/// the first time it polls inside that exact phase — so tests can aim a
+/// kill *before* the allreduce ([`SUB_PRE`]), *during* it ([`SUB_COMM`]),
+/// *after* it ([`SUB_VOTE`]), or at the shrink protocol itself
+/// ([`SUB_DRAIN`], [`SUB_REPART`], or the first post-shrink collective at
+/// the next epoch's [`SUB_COMM`]).
+pub fn elastic_clock(epoch: u64, step: u32, substep: u64) -> u64 {
+    (epoch << 24) | ((step as u64) << 3) | substep
+}
+
+/// Policy for [`DataParallelTrainer::run_elastic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticConfig {
+    /// Deadline for one step's gradient communication; a step that cannot
+    /// finish within this budget is declared failed and triggers a vote.
+    pub step_timeout: Duration,
+    /// Refresh the sharded in-memory checkpoint every this many committed
+    /// steps (a shard is always captured at entry and on every membership
+    /// change).
+    pub checkpoint_interval: u32,
+    /// Abort (panic loudly) after this many shrinks — a guard against a
+    /// fault plan that kills the whole world.
+    pub max_shrinks: u32,
+    /// If set, evicted ranks wait as spectators and the surviving members
+    /// re-admit *all* of them at this step boundary (hot join), restoring
+    /// the full world.
+    pub rejoin_at: Option<u32>,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            step_timeout: Duration::from_secs(2),
+            checkpoint_interval: 4,
+            max_shrinks: 8,
+            rejoin_at: None,
+        }
+    }
+}
+
+/// Result of an elastic run.
+#[derive(Debug, Clone)]
+pub struct ElasticOutcome {
+    /// Final flat parameters (lowest-id active rank's copy).
+    pub params: Vec<f32>,
+    /// Mean loss per step committed by this run, from the lead rank.
+    pub loss: f32,
+    /// Maximum final parameter divergence across active ranks (must be 0).
+    pub max_divergence: f32,
+    /// Final global step (absolute — includes steps from `start_from`).
+    pub steps: u32,
+    /// Membership shrinks this run performed.
+    pub shrinks: u32,
+    /// Hot joins this run performed.
+    pub joins: u32,
+    /// Final member count.
+    pub final_world: usize,
+    /// Final member physical ids, sorted.
+    pub final_members: Vec<usize>,
+    /// Final membership epoch.
+    pub final_epoch: u64,
+    /// Stale messages drained during quiesces, summed over all ranks.
+    pub drained_messages: usize,
+    /// Faults the plan actually injected.
+    pub faults_injected: u64,
+    /// Size-agnostic checkpoint of the final state, from the lead rank —
+    /// feed it to another `run_elastic` (at any world size) to continue.
+    pub checkpoint: ElasticCheckpoint,
+    /// `(step, epoch, members)` at entry and after every membership change.
+    pub membership_log: Vec<(u32, u64, Vec<usize>)>,
+    /// Each active rank's final checkpoint-shard span `(start, end, total)`
+    /// in encoded words — the spans must tile `[0, total)` exactly.
+    pub shard_spans: Vec<(usize, usize, usize)>,
+}
+
+/// Per-rank exit state of the elastic loop.
+struct RankEnd {
+    physical: usize,
+    active: bool,
+    params: Vec<f32>,
+    loss: f32,
+    steps: u32,
+    shrinks: u32,
+    joins: u32,
+    members: Vec<usize>,
+    epoch: u64,
+    drained: usize,
+    checkpoint: ElasticCheckpoint,
+    membership_log: Vec<(u32, u64, Vec<usize>)>,
+    shard_span: (usize, usize, usize),
+}
+
+/// Capture the size-agnostic checkpoint and return this member's
+/// [`chunk_range`] shard of the encoded word stream, plus its span.
+fn capture_shard(
+    step: u32,
+    model: &Mlp,
+    optimizer: &dyn Optimizer,
+    view: &WorldView,
+) -> (Vec<f32>, (usize, usize, usize)) {
+    let words = ElasticCheckpoint::capture(step, model, optimizer).encode();
+    let dense = view
+        .my_index()
+        .expect("only members hold checkpoint shards");
+    let r = chunk_range(words.len(), view.size(), dense);
+    (words[r.clone()].to_vec(), (r.start, r.end, words.len()))
+}
+
+/// Spectator side of the hot join: poll every peer for the join signal
+/// scheduled at step `rejoin`, returning the sender and the membership
+/// epoch to adopt. Panics (loudly, never hangs) if no signal arrives.
+fn wait_for_join(rank: &Rank, rejoin: u32) -> (usize, u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        for peer in 0..rank.size() {
+            if peer == rank.id() {
+                continue;
+            }
+            if let Some(payload) = rank.try_recv(peer, join_tag(rejoin as u64)) {
+                let epoch = payload[0] as u64;
+                rank.release_payload(payload);
+                return (peer, epoch);
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rank {}: hot-join signal for step {rejoin} never arrived",
+            rank.id()
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// One step attempt's communication phase over a [`WorldView`]: the exact
+/// structure of [`step_comm`], with the collectives re-derived at the
+/// view's size and remapped to physical ranks. On error every live handle
+/// is cancelled, so a failed attempt leaves no schedule still emitting
+/// sends while the quiesce drains the fabric.
+#[allow(clippy::too_many_arguments)]
+fn elastic_step_comm(
+    rank: &Rank,
+    view: &WorldView,
+    model: &mut Mlp,
+    dlogits: &Matrix,
+    flat: &mut Vec<f32>,
+    layer_sizes: &[usize],
+    bucket_elems: usize,
+    overlap: bool,
+    deadline: Instant,
+) -> Result<(), CommError> {
+    let n = flat.len();
+    if overlap && view.size() > 1 {
+        let mut sched = BucketSchedule::new(layer_sizes, bucket_elems);
+        let mut windows: Vec<Option<&mut [f32]>> =
+            flat.chunks_mut(bucket_elems).map(Some).collect();
+        let mut handles: Vec<RingAllreduceHandle> = Vec::with_capacity(windows.len());
+        let mut failed: Option<CommError> = None;
+        model.backward_with(dlogits, |layer, gw, gb| {
+            let off = sched.layer_start(layer);
+            let w = gw.as_slice();
+            scatter_into(&mut windows, bucket_elems, off, w);
+            scatter_into(&mut windows, bucket_elems, off + w.len(), gb);
+            for b in sched.on_layer_ready(layer).rev() {
+                let window = windows[b].take().expect("bucket launched twice");
+                handles.push(ring_allreduce_start_windowed_view(
+                    rank,
+                    view,
+                    window,
+                    ReduceOp::Sum,
+                    b as u64,
+                    n,
+                    b * bucket_elems,
+                ));
+            }
+            if failed.is_none() {
+                for h in handles.iter_mut() {
+                    if let Err(e) = h.progress_checked() {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+        });
+        let mut err = failed;
+        for h in handles.iter_mut() {
+            if err.is_none() {
+                if let Err(e) = h.wait_deadline(deadline) {
+                    err = Some(e);
+                }
+            }
+            if err.is_some() {
+                h.cancel();
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    } else {
+        model.backward(dlogits);
+        model.flat_grads_into(flat);
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        try_ring_allreduce_view(rank, view, flat, ReduceOp::Sum, bucket_elems, timeout)
+    }
+}
+
+impl DataParallelTrainer {
+    /// Elastic data-parallel training: on a failed step the surviving
+    /// ranks **shrink the world and keep going** instead of rolling back
+    /// and replaying.
+    ///
+    /// Each step runs on the current [`WorldView`]: sharding, gradient
+    /// averaging, and the collective schedules are all pure functions of
+    /// `(step, view)`, so a run that shrinks from `p` to `p-1` at step `k`
+    /// continues on **exactly** the trajectory a fresh `p-1`-rank run
+    /// would produce from the same step-`k` checkpoint — bit for bit (the
+    /// `tests/` elastic matrix pins this). The shrink protocol on a failed
+    /// vote:
+    ///
+    /// 1. **Quiesce** the old membership: view barrier → [`Rank::drain_all`]
+    ///    → view barrier, sweeping half-finished collective traffic.
+    /// 2. **Adopt** the survivor mask every member computed from the same
+    ///    [`vote_members`] exchange — no leader, no extra round.
+    /// 3. **Re-partition**: data sharding re-derives from the new view,
+    ///    and each survivor re-takes its [`chunk_range`] shard of the
+    ///    size-agnostic checkpoint.
+    /// 4. **Retry** the failed step at the new size, in a fresh tag
+    ///    epoch. Nothing is replayed: no step commits twice.
+    ///
+    /// With [`ElasticConfig::rejoin_at`], evicted ranks wait as spectators
+    /// and hot-join at that step boundary: dense rank 0 transfers the
+    /// current state as an encoded [`ElasticCheckpoint`], the full view is
+    /// adopted at a fresh epoch, and training continues at full size.
+    ///
+    /// `total_steps` is absolute; with `start_from`, training resumes at
+    /// the checkpoint's step (captured at any world size — the state is
+    /// size-agnostic).
+    ///
+    /// # Panics
+    /// Panics if the dataset is smaller than one full-world global batch,
+    /// if more than [`ElasticConfig::max_shrinks`] shrinks occur, if the
+    /// whole world votes itself dead, or if a scheduled hot join never
+    /// completes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_elastic(
+        &self,
+        build_model: impl Fn() -> Mlp + Sync,
+        build_optimizer: impl Fn() -> Box<dyn Optimizer> + Sync,
+        schedule: LrSchedule,
+        x: &Matrix,
+        labels: &[usize],
+        total_steps: u32,
+        start_from: Option<&ElasticCheckpoint>,
+        plan: Arc<FaultPlan>,
+        cfg: ElasticConfig,
+    ) -> ElasticOutcome {
+        assert!(
+            cfg.checkpoint_interval > 0,
+            "checkpoint interval must be positive"
+        );
+        assert!(
+            total_steps < (1 << 13),
+            "elastic clock/round encoding supports at most 8191 steps"
+        );
+        let global_batch = self.ranks * self.per_rank_batch;
+        assert!(
+            x.rows() >= global_batch,
+            "dataset smaller than one global batch"
+        );
+        let ranks = self.ranks;
+        let per_rank = self.per_rank_batch;
+        let bucket_elems = self.fusion.bucket_elems();
+        let overlap = self.overlap.enabled;
+        let rows = x.rows();
+
+        let (results, stats) = World::run_with_faults(ranks, plan, |rank| {
+            let mut model = build_model();
+            let mut optimizer = build_optimizer();
+            let mut step = 0u32;
+            if let Some(ck) = start_from {
+                ck.restore(&mut model, optimizer.as_mut())
+                    .expect("starting checkpoint rejected");
+                step = ck.step;
+            }
+            let layer_sizes = model.layer_param_sizes();
+            let mut flat: Vec<f32> = vec![0.0; model.param_count()];
+
+            let mut view = WorldView::full(rank);
+            let mut loss_sum = 0.0f32;
+            let mut committed = 0u32;
+            let mut shrinks = 0u32;
+            let mut retries = 0u32;
+            let mut joins = 0u32;
+            let mut drained = 0usize;
+            // A kill claimed outside the collective (pre/vote/drain/repart
+            // polls). A poisoned rank stops computing, votes unhealthy, and
+            // leaves the membership at the next vote.
+            let mut poisoned = false;
+            let mut active = true;
+            let mut membership_log: Vec<(u32, u64, Vec<usize>)> =
+                vec![(step, view.epoch(), view.members().to_vec())];
+            let (mut shard, mut shard_span) =
+                capture_shard(step, &model, optimizer.as_ref(), &view);
+
+            while active && step < total_steps {
+                // Hot-join boundary: re-admit every spectator before
+                // attempting this step.
+                if view.size() < rank.size() && cfg.rejoin_at == Some(step) {
+                    let new_epoch = view.epoch() + 1;
+                    if view.my_index() == Some(0) {
+                        let words =
+                            ElasticCheckpoint::capture(step, &model, optimizer.as_ref()).encode();
+                        for peer in 0..rank.size() {
+                            if !view.is_member(peer) {
+                                rank.send_from(peer, join_tag(step as u64), &[new_epoch as f32]);
+                                rank.send_from(peer, state_tag(step as u64), &words);
+                            }
+                        }
+                    }
+                    view = view.grow_full(rank.size());
+                    joins += 1;
+                    view_barrier(rank, &view, ((step as u64) << 3) | 4);
+                    drained += rank.drain_all();
+                    view_barrier(rank, &view, ((step as u64) << 3) | 5);
+                    (shard, shard_span) = capture_shard(step, &model, optimizer.as_ref(), &view);
+                    membership_log.push((step, view.epoch(), view.members().to_vec()));
+                    continue;
+                }
+
+                let me = view.my_index().expect("active ranks are members");
+                rank.set_fault_step(elastic_clock(view.epoch(), step, SUB_PRE));
+                poisoned |= rank.poll_fault_kill().is_err();
+                let deadline = Instant::now() + cfg.step_timeout;
+
+                // Shard for (step, view) — a pure function of both, so an
+                // elastic continuation at size p' reads exactly the rows a
+                // fresh p'-sized run would.
+                let global = view.size() * per_rank;
+                let spe = (rows / global) as u32;
+                let base = (step % spe) as usize * global;
+                let rrange = chunk_range(global, view.size(), me);
+                let (start, end) = (base + rrange.start, base + rrange.end);
+                let bx = slice_rows(x, start, end);
+                let blabels = &labels[start..end];
+
+                let mut loss = 0.0f32;
+                let (comm_ok, i_am_dead) = if poisoned {
+                    // A dead rank computes and sends nothing; the
+                    // survivors' collective times out — the detection path.
+                    (false, true)
+                } else {
+                    let logits = model.forward(&bx);
+                    let (l, dlogits) = ops::softmax_cross_entropy(logits, blabels);
+                    loss = l;
+                    model.zero_grads();
+                    rank.set_fault_step(elastic_clock(view.epoch(), step, SUB_COMM));
+                    match elastic_step_comm(
+                        rank,
+                        &view,
+                        &mut model,
+                        &dlogits,
+                        &mut flat,
+                        &layer_sizes,
+                        bucket_elems,
+                        overlap,
+                        deadline,
+                    ) {
+                        Ok(()) => (true, false),
+                        // My own scheduled death: I must leave the world.
+                        Err(CommError::RankKilled { .. }) => (false, true),
+                        // Someone else's fault surfaced here (timeout
+                        // waiting on a dead peer, drop, corruption): I am
+                        // still a healthy member.
+                        Err(_) => (false, false),
+                    }
+                };
+
+                rank.set_fault_step(elastic_clock(view.epoch(), step, SUB_VOTE));
+                poisoned |= rank.poll_fault_kill().is_err();
+                // Two votes on the control plane: the aliveness vote is the
+                // survivor mask (who stays in the world); the comm vote
+                // gates the commit (did *every* member's collective finish
+                // clean). A completed vote consumes all its messages, so a
+                // retried step can reuse the same rounds safely.
+                let alive = !(i_am_dead || poisoned);
+                let votes = vote_members(rank, &view, alive, (step as u64) << 3);
+                let comm_votes =
+                    vote_members(rank, &view, comm_ok && !poisoned, ((step as u64) << 3) | 6);
+
+                if comm_votes.iter().all(|&v| v) {
+                    let inv = 1.0 / view.size() as f32;
+                    for g in &mut flat {
+                        *g *= inv;
+                    }
+                    model.set_flat_grads(&flat);
+                    let lr = schedule.multiplier(step);
+                    model.for_each_group(|id, params, grads| {
+                        optimizer.step_group(id, lr, params, grads)
+                    });
+                    optimizer.advance();
+                    step += 1;
+                    committed += 1;
+                    loss_sum += loss;
+                    if step.is_multiple_of(cfg.checkpoint_interval) {
+                        (shard, shard_span) =
+                            capture_shard(step, &model, optimizer.as_ref(), &view);
+                    }
+                } else if votes.iter().all(|&v| v) {
+                    // Transient fault (drop/corrupt/delay), nobody dead:
+                    // quiesce and retry the step at the same size. Nothing
+                    // was committed, so nothing is replayed.
+                    retries += 1;
+                    assert!(
+                        retries <= 64,
+                        "rank {}: transient retry limit exceeded",
+                        rank.id()
+                    );
+                    view_barrier(rank, &view, ((step as u64) << 3) | 1);
+                    drained += rank.drain_all();
+                    view_barrier(rank, &view, ((step as u64) << 3) | 2);
+                } else {
+                    // Shrink: quiesce the old membership, adopt the
+                    // survivor mask, re-partition, retry at the new size.
+                    shrinks += 1;
+                    assert!(
+                        shrinks <= cfg.max_shrinks,
+                        "rank {}: shrink limit exceeded ({} shrinks)",
+                        rank.id(),
+                        cfg.max_shrinks
+                    );
+                    rank.set_fault_step(elastic_clock(view.epoch(), step, SUB_DRAIN));
+                    poisoned |= rank.poll_fault_kill().is_err();
+                    view_barrier(rank, &view, ((step as u64) << 3) | 1);
+                    drained += rank.drain_all();
+                    view_barrier(rank, &view, ((step as u64) << 3) | 2);
+                    let next = view.shrink_to(&votes);
+                    if next.is_member(rank.id()) {
+                        view = next;
+                        rank.set_fault_step(elastic_clock(view.epoch(), step, SUB_REPART));
+                        // A kill claimed here surfaces at the retry's vote.
+                        poisoned |= rank.poll_fault_kill().is_err();
+                        (shard, shard_span) =
+                            capture_shard(step, &model, optimizer.as_ref(), &view);
+                        membership_log.push((step, view.epoch(), view.members().to_vec()));
+                    } else {
+                        // Evicted. Wait for a hot join if one is scheduled
+                        // at a step the members will actually reach.
+                        active = false;
+                        if let Some(r) = cfg.rejoin_at {
+                            if r >= step && r < total_steps {
+                                let (peer, epoch) = wait_for_join(rank, r);
+                                let ck = rank
+                                    .recv_with(peer, state_tag(r as u64), ElasticCheckpoint::decode)
+                                    .expect("hot-join state transfer rejected");
+                                ck.restore(&mut model, optimizer.as_mut())
+                                    .expect("hot-join state restore failed");
+                                step = ck.step;
+                                view = WorldView::assemble(
+                                    (0..rank.size()).collect(),
+                                    rank.id(),
+                                    epoch,
+                                );
+                                joins += 1;
+                                active = true;
+                                poisoned = false;
+                                view_barrier(rank, &view, ((step as u64) << 3) | 4);
+                                drained += rank.drain_all();
+                                view_barrier(rank, &view, ((step as u64) << 3) | 5);
+                                (shard, shard_span) =
+                                    capture_shard(step, &model, optimizer.as_ref(), &view);
+                                membership_log.push((step, view.epoch(), view.members().to_vec()));
+                            }
+                        }
+                    }
+                }
+            }
+
+            assert_eq!(
+                shard.len(),
+                shard_span.1 - shard_span.0,
+                "checkpoint shard custody out of sync with its span"
+            );
+            RankEnd {
+                physical: rank.id(),
+                active,
+                params: model.flat_params(),
+                loss: loss_sum / committed.max(1) as f32,
+                steps: step,
+                shrinks,
+                joins,
+                members: view.members().to_vec(),
+                epoch: view.epoch(),
+                drained,
+                checkpoint: ElasticCheckpoint::capture(step, &model, optimizer.as_ref()),
+                membership_log,
+                shard_span,
+            }
+        });
+
+        let mut actives: Vec<&RankEnd> = results.iter().filter(|r| r.active).collect();
+        actives.sort_by_key(|r| r.physical);
+        let lead = *actives.first().expect("no active rank finished the run");
+        let mut max_div = 0.0f32;
+        for r in &actives {
+            for (a, b) in r.params.iter().zip(&lead.params) {
+                max_div = max_div.max((a - b).abs());
+            }
+        }
+        ElasticOutcome {
+            params: lead.params.clone(),
+            loss: lead.loss,
+            max_divergence: max_div,
+            steps: lead.steps,
+            shrinks: lead.shrinks,
+            joins: lead.joins,
+            final_world: lead.members.len(),
+            final_members: lead.members.clone(),
+            final_epoch: lead.epoch,
+            drained_messages: results.iter().map(|r| r.drained).sum(),
+            faults_injected: stats.faults_injected,
+            checkpoint: lead.checkpoint.clone(),
+            membership_log: lead.membership_log.clone(),
+            shard_spans: actives.iter().map(|r| r.shard_span).collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +1023,104 @@ mod tests {
             ft.steps + ft.recoveries * (5 % cfg().checkpoint_interval + 1),
             "each rollback replays the steps since the last checkpoint"
         );
+    }
+
+    fn ecfg() -> ElasticConfig {
+        ElasticConfig {
+            step_timeout: Duration::from_millis(300),
+            checkpoint_interval: 2,
+            max_shrinks: 4,
+            rejoin_at: None,
+        }
+    }
+
+    /// With an empty plan, the elastic runner is the plain runner: same
+    /// trajectory, bit for bit, on both comm paths.
+    #[test]
+    fn fault_free_elastic_run_matches_plain_run_bitwise() {
+        let task = blobs(128, 4, 2, 0.3, 31);
+        let spec = MlpSpec::new(4, &[8, 8], 2);
+        for overlap in [false, true] {
+            let dp = DataParallelTrainer::new(2, 8)
+                .with_fusion(FusionConfig { bucket_bytes: 64 })
+                .with_overlap(OverlapConfig { enabled: overlap });
+            let plain = dp.run(
+                || spec.build(11),
+                || Box::new(Sgd::new(0.05, 0.9, 0.0)),
+                LrSchedule::Constant,
+                &task.x,
+                &task.y,
+                2,
+            );
+            let el = dp.run_elastic(
+                || spec.build(11),
+                || Box::new(Sgd::new(0.05, 0.9, 0.0)),
+                LrSchedule::Constant,
+                &task.x,
+                &task.y,
+                plain.steps,
+                None,
+                Arc::new(FaultPlan::empty()),
+                ecfg(),
+            );
+            assert_eq!(el.steps, plain.steps);
+            assert_eq!(el.shrinks, 0);
+            assert_eq!(el.joins, 0);
+            assert_eq!(el.final_world, 2);
+            assert_eq!(el.final_epoch, 0);
+            assert_eq!(el.max_divergence, 0.0);
+            bitwise_eq(&el.params, &plain.params);
+            // Both ranks hold a shard; the spans tile the word stream.
+            let total = el.shard_spans[0].2;
+            assert_eq!(el.shard_spans[0].0, 0);
+            assert_eq!(el.shard_spans[0].1, el.shard_spans[1].0);
+            assert_eq!(el.shard_spans[1].1, total);
+        }
+    }
+
+    /// A mid-run kill shrinks 3 → 2 and training continues to the target
+    /// step without replaying; the checkpoint resumes a second run.
+    #[test]
+    fn elastic_run_shrinks_past_a_kill_and_continues() {
+        let task = blobs(192, 4, 2, 0.3, 37);
+        let spec = MlpSpec::new(4, &[8], 2);
+        let dp = DataParallelTrainer::new(3, 4).with_overlap(OverlapConfig { enabled: false });
+        let plan = Arc::new(FaultPlan::empty().kill_rank(1, elastic_clock(0, 3, SUB_COMM)));
+        let el = dp.run_elastic(
+            || spec.build(13),
+            || Box::new(Adam::new(0.01, 0.0)),
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            8,
+            None,
+            plan,
+            ecfg(),
+        );
+        assert_eq!(el.steps, 8);
+        assert_eq!(el.shrinks, 1);
+        assert_eq!(el.final_world, 2);
+        assert_eq!(el.final_members, vec![0, 2]);
+        assert_eq!(el.final_epoch, 1);
+        assert_eq!(el.max_divergence, 0.0);
+        assert!(el.faults_injected >= 1);
+        assert_eq!(el.membership_log.len(), 2);
+        assert_eq!(el.membership_log[1], (3, 1, vec![0, 2]));
+        // The outcome checkpoint continues the run at a different size.
+        let dp2 = DataParallelTrainer::new(2, 4).with_overlap(OverlapConfig { enabled: false });
+        let cont = dp2.run_elastic(
+            || spec.build(13),
+            || Box::new(Adam::new(0.01, 0.0)),
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            10,
+            Some(&el.checkpoint),
+            Arc::new(FaultPlan::empty()),
+            ecfg(),
+        );
+        assert_eq!(cont.steps, 10);
+        assert_eq!(cont.max_divergence, 0.0);
     }
 
     /// A scheduled rank kill on the overlapped path: the killed rank

@@ -20,15 +20,16 @@ use std::time::Duration;
 
 use summit_comm::{
     collectives::{try_ring_allreduce_bucketed, ReduceOp},
+    elastic::{try_ring_allreduce_view, view_barrier},
     nonblocking::{ring_allreduce_start_windowed, RingAllreduceHandle},
-    world::World,
+    world::{World, WorldView},
     FaultPlan, FaultRates, TagClass,
 };
 use summit_dl::{
     data::blobs,
     model::MlpSpec,
     optim::{Adam, Optimizer, Sgd},
-    recovery::RecoveryConfig,
+    recovery::{ElasticConfig, RecoveryConfig},
     trainer::{DataParallelTrainer, FusionConfig, OverlapConfig},
     LrSchedule,
 };
@@ -500,5 +501,244 @@ fn injected_fault_telemetry_drives_detector() {
     assert!(
         healthy_clean,
         "threshold rule flagged three consecutive fault-free runs"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Elastic shrink chaos: kills aimed at the shrink protocol itself.
+// ---------------------------------------------------------------------------
+
+/// Kills aimed at every phase of the elastic shrink protocol — the vote,
+/// the quiesce drain, the re-partition, and the first post-shrink
+/// collective at the new epoch. A first kill triggers the shrink at step
+/// `K`; the second lands inside it. Every run must complete at the
+/// doubly-shrunk size on the exact fresh-world trajectory, or fail loudly
+/// — never hang.
+#[test]
+fn chaos_kills_in_every_shrink_phase_complete_or_fail_loudly() {
+    use summit_dl::recovery::{elastic_clock, SUB_COMM, SUB_DRAIN, SUB_REPART, SUB_VOTE};
+
+    let task = blobs(48, 4, 2, 0.3, 59);
+    let spec = MlpSpec::new(4, &[8], 2);
+    let model_spec = spec.clone();
+    let build_model = move || model_spec.build(29);
+    let build_opt = || -> Box<dyn Optimizer> { Box::new(Adam::new(0.01, 0.0)) };
+    const K: u32 = 3;
+    const T: u32 = 8;
+    let ecfg = ElasticConfig {
+        step_timeout: Duration::from_millis(400),
+        checkpoint_interval: 2,
+        max_shrinks: 4,
+        rejoin_at: None,
+    };
+    let dp4 = DataParallelTrainer::new(4, 4).with_overlap(OverlapConfig { enabled: false });
+    let dp2 = DataParallelTrainer::new(2, 4).with_overlap(OverlapConfig { enabled: false });
+
+    let ck = dp4
+        .run_elastic(
+            &build_model,
+            build_opt,
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            K,
+            None,
+            Arc::new(FaultPlan::empty()),
+            ecfg,
+        )
+        .checkpoint;
+    // Ground truth: both kills land, so the run ends as a fresh 2-rank
+    // world (members {0, 3}) continuing from the step-K state.
+    let fresh = dp2.run_elastic(
+        &build_model,
+        build_opt,
+        LrSchedule::Constant,
+        &task.x,
+        &task.y,
+        T,
+        Some(&ck),
+        Arc::new(FaultPlan::empty()),
+        ecfg,
+    );
+
+    for (label, second_kill) in [
+        ("vote", elastic_clock(0, K, SUB_VOTE)),
+        ("quiesce drain", elastic_clock(0, K, SUB_DRAIN)),
+        ("re-partition", elastic_clock(1, K, SUB_REPART)),
+        (
+            "first post-shrink collective",
+            elastic_clock(1, K, SUB_COMM),
+        ),
+    ] {
+        let plan = Arc::new(
+            FaultPlan::empty()
+                .kill_rank(2, elastic_clock(0, K, SUB_COMM))
+                .kill_rank(1, second_kill),
+        );
+        let el = dp4.run_elastic(
+            &build_model,
+            build_opt,
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            T,
+            None,
+            Arc::clone(&plan),
+            ecfg,
+        );
+        assert_eq!(el.steps, T, "kill at {label}");
+        assert_eq!(el.final_world, 2, "kill at {label}");
+        assert_eq!(el.final_members, vec![0, 3], "kill at {label}");
+        assert_eq!(el.max_divergence, 0.0, "kill at {label}");
+        assert!(
+            el.shrinks == 1 || el.shrinks == 2,
+            "kill at {label}: {} shrinks",
+            el.shrinks
+        );
+        assert_eq!(el.faults_injected, 2, "kill at {label}: a kill never fired");
+        for (i, (a, b)) in el.params.iter().zip(&fresh.params).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "kill at {label} param {i}: {a} vs {b}; {}",
+                archive_plan(&plan, &format!("shrink-phase-{}", label.replace(' ', "-")))
+            );
+        }
+    }
+}
+
+/// Randomized shrink leg for the CI seed matrix: the victim, kill step,
+/// and kill substep all derive from `CHAOS_SEED`; the shrunk run must be
+/// bit-identical to a fresh 3-rank world from the same checkpoint. A
+/// failing case archives its fault plan under `target/chaos/`.
+#[test]
+fn chaos_training_randomized_kill_shrinks_bitwise() {
+    use summit_dl::recovery::{elastic_clock, SUB_COMM, SUB_PRE, SUB_VOTE};
+
+    let base = chaos_seed();
+    let task = blobs(48, 4, 2, 0.3, 61);
+    let spec = MlpSpec::new(4, &[8], 2);
+    let model_spec = spec.clone();
+    let build_model = move || model_spec.build(31);
+    let build_opt = || -> Box<dyn Optimizer> { Box::new(Sgd::new(0.05, 0.9, 0.0)) };
+    let ecfg = ElasticConfig {
+        step_timeout: Duration::from_millis(400),
+        checkpoint_interval: 2,
+        max_shrinks: 4,
+        rejoin_at: None,
+    };
+    for case in 0..3u64 {
+        let seed = base.wrapping_mul(424_243).wrapping_add(case);
+        let victim = 1 + (seed % 3) as usize;
+        let k = 2 + (seed / 3 % 4) as u32;
+        let sub = [SUB_PRE, SUB_COMM, SUB_VOTE][(seed / 12 % 3) as usize];
+        let overlap = seed % 2 == 0;
+        let dp4 = DataParallelTrainer::new(4, 4)
+            .with_fusion(FusionConfig { bucket_bytes: 64 })
+            .with_overlap(OverlapConfig { enabled: overlap });
+        let dp3 = DataParallelTrainer::new(3, 4)
+            .with_fusion(FusionConfig { bucket_bytes: 64 })
+            .with_overlap(OverlapConfig { enabled: overlap });
+        let ck = dp4
+            .run_elastic(
+                &build_model,
+                build_opt,
+                LrSchedule::Constant,
+                &task.x,
+                &task.y,
+                k,
+                None,
+                Arc::new(FaultPlan::empty()),
+                ecfg,
+            )
+            .checkpoint;
+        let fresh = dp3.run_elastic(
+            &build_model,
+            build_opt,
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            8,
+            Some(&ck),
+            Arc::new(FaultPlan::empty()),
+            ecfg,
+        );
+        let plan = Arc::new(FaultPlan::empty().kill_rank(victim, elastic_clock(0, k, sub)));
+        let el = dp4.run_elastic(
+            &build_model,
+            build_opt,
+            LrSchedule::Constant,
+            &task.x,
+            &task.y,
+            8,
+            None,
+            Arc::clone(&plan),
+            ecfg,
+        );
+        let label = format!("seed {seed} victim {victim} step {k} substep {sub}");
+        assert_eq!(el.steps, 8, "{label}");
+        assert_eq!(el.shrinks, 1, "{label}");
+        assert_eq!(el.final_world, 3, "{label}");
+        assert!(!el.final_members.contains(&victim), "{label}");
+        assert_eq!(el.max_divergence, 0.0, "{label}");
+        for (i, (a, b)) in el.params.iter().zip(&fresh.params).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{label} param {i}: {a} vs {b}; {}",
+                archive_plan(&plan, &format!("shrink-seed-{seed}"))
+            );
+        }
+    }
+}
+
+/// Regression (satellite): an abandoned, *still-alive*
+/// `RingAllreduceHandle` across an elastic shrink quiesce. The view-based
+/// quiesce (barrier → fixpoint drain → barrier) must sweep the handle's
+/// parked nonblocking-tag traffic without eating control-plane tokens,
+/// the post-shrink epoch-1 collective must produce the fresh-world
+/// result, and the world-wide pool balance must return to zero.
+#[test]
+fn abandoned_handle_alive_across_shrink_quiesce() {
+    let p = 4;
+    let n = 32;
+    let out = World::run(p, |rank| {
+        let mut buf = vec![rank.id() as f32 + 1.0; n];
+        let mut handle = ring_allreduce_start_windowed(rank, &mut buf, ReduceOp::Sum, 7, n, 0);
+        // Land real traffic in peers' queues, then abandon the collective
+        // mid-flight — the handle stays alive across the whole quiesce.
+        handle.progress();
+        let view = WorldView::full(rank);
+        view_barrier(rank, &view, 1);
+        let drained = rank.drain_all();
+        view_barrier(rank, &view, 2);
+        handle.cancel();
+        drop(handle);
+
+        // The survivors' first epoch-1 collective must be unaffected.
+        let shrunk = view.shrink_to(&[true, false, true, true]);
+        if shrunk.my_index().is_some() {
+            let mut data = vec![rank.id() as f32; 8];
+            try_ring_allreduce_view(
+                rank,
+                &shrunk,
+                &mut data,
+                ReduceOp::Sum,
+                4,
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            for v in &data {
+                assert_eq!(*v, 5.0, "post-shrink collective corrupted");
+            }
+        }
+        (drained, rank.pool_stats().outstanding)
+    });
+    let drained: usize = out.iter().map(|(d, _)| d).sum();
+    assert!(drained > 0, "the abandoned collective left no traffic?");
+    assert_eq!(
+        out.iter().map(|(_, o)| o).sum::<i64>(),
+        0,
+        "live abandoned handle leaked pooled buffers across the quiesce: {out:?}"
     );
 }
