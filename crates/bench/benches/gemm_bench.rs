@@ -215,12 +215,25 @@ fn write_summary(smoke: bool) {
     let machine = summit_pool::machine_parallelism();
     // Powers of two up to min(max(machine, 4), 8): small hosts still get a
     // curve (the oversubscribed tail shows where dispatch overhead flattens
-    // it), big hosts stop at 8 as the issue's 1→8 contract.
-    let max_pool = machine.clamp(4, 8);
-    let pools: Vec<usize> = (0..4)
-        .map(|i| 1usize << i)
-        .filter(|&p| p <= max_pool)
-        .collect();
+    // it), big hosts stop at 8 as the issue's 1→8 contract. On a
+    // single-core host the sweep is pure oversubscription — every pool
+    // size time-slices one core — so it measures scheduler noise, not
+    // scaling; run pool = 1 only and say why.
+    let pool_sweep = machine > 1;
+    let pools: Vec<usize> = if pool_sweep {
+        let max_pool = machine.clamp(4, 8);
+        (0..4)
+            .map(|i| 1usize << i)
+            .filter(|&p| p <= max_pool)
+            .collect()
+    } else {
+        println!(
+            "gemm_bench: machine_parallelism() == 1 — skipping the pool scaling sweep \
+             (oversubscribed pools on one core measure time-slicing, not scaling); \
+             running pool = 1 only"
+        );
+        vec![1]
+    };
     let simd_active = simd::active();
     let lanes = if simd_active { 8 } else { 1 };
     let ghz = cpu_ghz();
@@ -299,7 +312,12 @@ fn write_summary(smoke: bool) {
         .join(", ");
     let json = format!
 (
-        "{{\n  \"bench\": \"gemm\",\n  \"cores\": {machine},\n  \"simd\": {simd_active},\n  \"lanes\": {lanes},\n  \"ghz\": {ghz:.3},\n  \"results\": [\n{}\n  ],\n  \"headline\": {{{headline_json}}},\n  \"spawn_overhead_ab\": {{\"shape\": {s}, \"scoped_seconds\": {scoped:.6}, \"pooled_seconds\": {pooled:.6}, \"speedup\": {:.3}}},\n  \"pool\": {{\"tasks_dispatched\": {}, \"tasks_stolen\": {}, \"parks\": {}, \"workers\": {}, \"busy_seconds\": {:.3}, \"max_concurrency\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"gemm\",\n  \"cores\": {machine},\n  \"simd\": {simd_active},\n  \"lanes\": {lanes},\n  \"ghz\": {ghz:.3},\n  \"pool_sweep\": {pool_sweep},\n  \"pool_sweep_note\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"headline\": {{{headline_json}}},\n  \"spawn_overhead_ab\": {{\"shape\": {s}, \"scoped_seconds\": {scoped:.6}, \"pooled_seconds\": {pooled:.6}, \"speedup\": {:.3}}},\n  \"pool\": {{\"tasks_dispatched\": {}, \"tasks_stolen\": {}, \"parks\": {}, \"workers\": {}, \"busy_seconds\": {:.3}, \"max_concurrency\": {}}}\n}}\n",
+        if pool_sweep {
+            "1..=min(max(cores,4),8)"
+        } else {
+            "skipped: machine_parallelism() == 1, pool = 1 only"
+        },
         entries.join(",\n"),
         scoped / pooled,
         stats.tasks_dispatched,

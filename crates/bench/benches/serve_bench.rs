@@ -1,0 +1,91 @@
+//! Serving-plane benchmarks: the batched forward across micro-batch
+//! sizes (the amortization curve the dynamic batcher exploits), the
+//! batcher state machine's per-offer cost, and a full closed-loop
+//! simulation point at 2×10⁵ clients.
+//!
+//! The CI-gated artifact (`target/BENCH_serve.json`) is written by the
+//! `serve_gate` binary, not here — these benches are for interactive
+//! profiling of the same paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summit_dl::inference::ServableModel;
+use summit_dl::model::MlpSpec;
+use summit_serve::batch::{BatchConfig, Batcher, QueuedRequest};
+use summit_serve::service::{batch_matrix, feature_pool, ServiceModel};
+use summit_serve::sim::{simulate, SimConfig};
+
+fn servable() -> ServableModel {
+    let spec = MlpSpec::new(48, &[96, 64], 10);
+    ServableModel::from_spec_params(&spec, &spec.build(1234).flat_params())
+}
+
+/// One packed GEMM per micro-batch vs the batch size: requests/s scales
+/// super-linearly at small b as the per-call overhead amortizes.
+fn batched_forward(c: &mut Criterion) {
+    let model = servable();
+    let pool = feature_pool(model.input_dim(), 64, 7);
+    let mut group = c.benchmark_group("serve_forward");
+    for b in [1usize, 4, 16, 64] {
+        let ids: Vec<u64> = (0..b as u64).collect();
+        let x = batch_matrix(&pool, &ids);
+        group.bench_with_input(BenchmarkId::new("batch", b), &x, |bench, x| {
+            bench.iter(|| {
+                let out = model.forward_batch(x);
+                std::hint::black_box(out.as_slice()[0]);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The batcher itself must be noise next to a forward: offer + take at
+/// queue depth 16, adaptive mode.
+fn batcher_offer_take(c: &mut Criterion) {
+    c.bench_function("serve_batcher_offer_take_16", |bench| {
+        bench.iter_batched(
+            || Batcher::new(BatchConfig::default()),
+            |mut b| {
+                for i in 0..16u64 {
+                    b.offer(QueuedRequest {
+                        id: i,
+                        client: i,
+                        arrival_s: i as f64 * 1e-5,
+                    });
+                }
+                std::hint::black_box(b.take_batch(1.0));
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+/// One moderate-load simulation point at 2×10⁵ closed-loop clients —
+/// the sweep's unit of work.
+fn sim_point(c: &mut Criterion) {
+    let service = ServiceModel {
+        base_s: 1.0e-4,
+        per_row_s: 1.0e-5,
+    };
+    let mut group = c.benchmark_group("serve_sim");
+    group.sample_size(10);
+    group.bench_function("200k_clients_point", |bench| {
+        bench.iter(|| {
+            let p = simulate(
+                &service,
+                BatchConfig::default(),
+                &SimConfig {
+                    clients: 200_000,
+                    duration_s: 0.2,
+                    target_rate_rps: 50_000.0,
+                    replicas: 4,
+                    seed: 11,
+                },
+            );
+            std::hint::black_box(p.achieved_rps);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, batched_forward, batcher_offer_take, sim_point);
+criterion_main!(benches);

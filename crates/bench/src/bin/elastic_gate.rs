@@ -175,32 +175,13 @@ fn main() {
     // Regression leg: the study is a deterministic function of the fabric
     // model, so any drift in the committed advantage is a modeling change
     // that must be deliberate.
-    let skip_trajectory = std::env::var("SUMMIT_GATE_SKIP_TRAJECTORY").as_deref() == Ok("1");
-    if skip_trajectory {
-        println!("trajectory: comparison skipped (SUMMIT_GATE_SKIP_TRAJECTORY=1)");
-    } else if let Some(baseline) = harness::latest_trajectory_metrics("elastic") {
-        if let Some(&base) = baseline.get("elastic_advantage") {
-            let ratio = if base > 0.0 {
-                study.advantage / base
-            } else {
-                1.0
-            };
-            if ratio < 0.9 {
-                failures.push(format!(
-                    "elastic_advantage regressed {:.1}% vs trajectory ({base:.1} -> {:.1})",
-                    (1.0 - ratio) * 100.0,
-                    study.advantage
-                ));
-            } else {
-                println!(
-                    "trajectory: elastic_advantage {base:.1} -> {:.1} ({ratio:.3}×) ✓",
-                    study.advantage
-                );
-            }
-        }
-    } else {
-        println!("trajectory: no committed elastic entry yet — consistency checks only");
-    }
+    harness::gate_trajectory(
+        "elastic",
+        &metrics,
+        &|k| (k == "elastic_advantage").then_some(harness::Direction::HigherIsBetter),
+        0.10,
+        &mut failures,
+    );
 
     if failures.is_empty() {
         println!("elastic_gate: PASS");

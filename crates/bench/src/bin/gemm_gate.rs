@@ -54,37 +54,17 @@ fn main() {
     }
 
     // Leg 2: no >10% relative regression vs the committed trajectory.
-    let skip_trajectory = std::env::var("SUMMIT_GATE_SKIP_TRAJECTORY").as_deref() == Ok("1");
-    let baseline = if skip_trajectory {
-        println!("trajectory: comparison skipped (SUMMIT_GATE_SKIP_TRAJECTORY=1)");
-        None
-    } else {
-        harness::latest_trajectory_metrics("gemm")
-    };
-    let mut diff = String::from("metric, baseline, current, ratio\n");
-    if let Some(baseline) = &baseline {
-        for (key, base) in baseline {
-            if !key.ends_with("_pct") {
-                continue;
-            }
-            let Some(&now) = current.get(key) else {
-                failures.push(format!("{key} missing from current headline"));
-                continue;
-            };
-            let ratio = if *base > 0.0 { now / base } else { 1.0 };
-            diff.push_str(&format!("{key}, {base:.2}, {now:.2}, {ratio:.3}\n"));
-            if ratio < 0.9 {
-                failures.push(format!(
-                    "{key} regressed {:.1}% vs trajectory ({base:.2} -> {now:.2})",
-                    (1.0 - ratio) * 100.0
-                ));
-            } else {
-                println!("trajectory: {key} {base:.2} -> {now:.2} ({ratio:.3}×) ✓");
-            }
-        }
-    } else if !skip_trajectory {
-        println!("trajectory: no committed gemm entry yet — floor check only");
-    }
+    // Percent-of-roofline is throughput-shaped, so higher is better.
+    let diff = harness::gate_trajectory(
+        "gemm",
+        &current,
+        &|k| {
+            k.ends_with("_pct")
+                .then_some(harness::Direction::HigherIsBetter)
+        },
+        0.10,
+        &mut failures,
+    );
     let diff_path = harness::target_dir().join("BENCH_trajectory_diff.txt");
     if let Err(e) = std::fs::write(&diff_path, &diff) {
         eprintln!("gemm_gate: could not write {} ({e})", diff_path.display());

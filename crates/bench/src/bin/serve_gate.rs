@@ -1,0 +1,430 @@
+//! CI gate over the inference-serving plane (`summit-serve`).
+//!
+//! Four legs, all driven by one host-calibrated [`ServiceModel`]:
+//!
+//! 1. **Batched-vs-sequential** — times `forward_batch` against
+//!    per-request matvecs at batch `16` and fails below
+//!    `SUMMIT_SERVE_SPEEDUP_FLOOR` (default 3×). Bit-identity of the
+//!    batched rows is pinned separately by `crates/serve/tests/identity.rs`;
+//!    this leg gates the *throughput* claim.
+//! 2. **Executed-vs-model** — runs the real threaded server
+//!    ([`run_executed`]) at sub-saturation rates and checks the achieved
+//!    throughput against the discrete-event simulator's prediction at the
+//!    same offered rate, within `SUMMIT_SERVE_MODEL_TOL` (default 35%
+//!    relative); p50 latency must agree within a
+//!    `SUMMIT_SERVE_P50_FACTOR` (default 25×) band — wide because the
+//!    executed path pays condvar wakeups and scheduler jitter the service
+//!    model does not, but tight enough to catch an order-of-magnitude
+//!    policy divergence.
+//! 3. **Latency-vs-throughput sweep** — `SUMMIT_SERVE_CLIENTS` (default
+//!    2×10⁵, clamped to the issue's 10⁵–10⁶ window) closed-loop clients
+//!    swept across ≥ 6 arrival rates from light load past the knee;
+//!    the lightest point must meet the SLO
+//!    (`SUMMIT_SERVE_P50_SLO_MS`/`SUMMIT_SERVE_P99_SLO_MS`, defaults
+//!    25/100 ms), and every point must conserve requests
+//!    (completed + rejected + shed = issued).
+//! 4. **Full-Summit capacity** — [`summit_serving_capacity`] at 27,648
+//!    replicas over `ClusterModel::summit()`: weight-rollout broadcast
+//!    time plus the min(compute, ingress) capacity bound, with a small-p
+//!    sweep so the compute→ingress crossover is visible in the JSON.
+//!
+//! Writes `target/BENCH_serve.json`; `SUMMIT_BENCH_RECORD=1` appends the
+//! headline to the committed `BENCH_trajectory.json`. The trajectory leg
+//! is direction-aware (p50/p99 are lower-is-better) at 25% tolerance —
+//! wider than the deterministic gates because every serve metric is
+//! timing-derived (`SUMMIT_GATE_SKIP_TRAJECTORY=1` skips it).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use summit_bench::harness;
+use summit_dl::inference::ServableModel;
+use summit_dl::model::MlpSpec;
+use summit_machine::ClusterModel;
+use summit_serve::batch::BatchConfig;
+use summit_serve::server::{run_executed, ExecutedConfig};
+use summit_serve::service::{batch_matrix, calibrate, feature_pool};
+use summit_serve::sim::{simulate, SimConfig};
+use summit_serve::{summit_serving_capacity, CurvePoint};
+
+/// Full-machine replica fleet: 4,608 nodes × 6 GPUs.
+const SUMMIT_REPLICAS: usize = 27_648;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn curve_json(p: &CurvePoint) -> String {
+    format!(
+        "{{\"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \"p50_ms\": {:.4}, \
+         \"p99_ms\": {:.4}, \"mean_ms\": {:.4}, \"mean_batch\": {:.2}, \
+         \"issued\": {}, \"completed\": {}, \"rejected\": {}, \"shed\": {}, \
+         \"span_s\": {:.4}}}",
+        p.offered_rps,
+        p.achieved_rps,
+        p.p50_ms,
+        p.p99_ms,
+        p.mean_ms,
+        p.mean_batch,
+        p.issued,
+        p.completed,
+        p.rejected,
+        p.shed,
+        p.span_s
+    )
+}
+
+fn main() {
+    let speedup_floor = env_f64("SUMMIT_SERVE_SPEEDUP_FLOOR", 3.0);
+    let model_tol = env_f64("SUMMIT_SERVE_MODEL_TOL", 0.35);
+    let p50_factor = env_f64("SUMMIT_SERVE_P50_FACTOR", 25.0);
+    let p50_slo_ms = env_f64("SUMMIT_SERVE_P50_SLO_MS", 25.0);
+    let p99_slo_ms = env_f64("SUMMIT_SERVE_P99_SLO_MS", 100.0);
+    let clients = (env_f64("SUMMIT_SERVE_CLIENTS", 200_000.0) as u64).clamp(100_000, 1_000_000);
+    let mut failures: Vec<String> = Vec::new();
+
+    // The served model: a surrogate-sized MLP, forward-only, sharing the
+    // trainer's packed-GEMM forward (bit-identity pinned in the serve
+    // crate's tests). Wide enough that one forward costs hundreds of
+    // microseconds — the executed plane's lock/condvar overhead must be
+    // noise next to the service time, or the executed-vs-model check
+    // would measure the thread scheduler instead of the serving policy.
+    let spec = MlpSpec::new(256, &[512, 512], 128);
+    let model = ServableModel::from_spec_params(&spec, &spec.build(1234).flat_params());
+    println!(
+        "serve_gate: MLP {}→{:?}→{} ({} params), max_batch 16",
+        spec.inputs,
+        spec.hidden,
+        spec.outputs,
+        model.param_count()
+    );
+
+    // Calibrate service(b) = base + b·per_row from executed forwards.
+    let (points, fit) = calibrate(&model, &[1, 2, 4, 8, 16, 32], 30, 7);
+    let peak_rps = fit.peak_rps(16);
+    println!(
+        "  service model: base {:.3e} s + b × {:.3e} s, peak {:.0} rps/replica at b=16",
+        fit.base_s, fit.per_row_s, peak_rps
+    );
+
+    // Leg 1: batched forward vs per-request matvecs, measured directly
+    // (not through the fit) so the headline is an executed A/B.
+    let pool = feature_pool(model.input_dim(), 64, 7);
+    let ids: Vec<u64> = (0..16).collect();
+    let x = batch_matrix(&pool, &ids);
+    let mut best_batched = f64::INFINITY;
+    let mut best_seq = f64::INFINITY;
+    for _ in 0..30 {
+        let t0 = Instant::now();
+        let out = model.forward_batch(&x);
+        best_batched = best_batched.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(out.as_slice()[0]);
+        let t0 = Instant::now();
+        for &id in &ids {
+            let y = model.forward_one(&pool[id as usize % pool.len()]);
+            std::hint::black_box(y[0]);
+        }
+        best_seq = best_seq.min(t0.elapsed().as_secs_f64());
+    }
+    let speedup = best_seq / best_batched;
+    println!(
+        "  batch 16 A/B: batched {:.3e} s, sequential {:.3e} s — {speedup:.2}× \
+         (floor {speedup_floor:.1}×)",
+        best_batched, best_seq
+    );
+    if speedup < speedup_floor {
+        failures.push(format!(
+            "batched speedup {speedup:.2}× at batch 16 is below the {speedup_floor:.1}× floor"
+        ));
+    }
+
+    // Leg 2: executed server vs the simulator at matched sub-saturation
+    // rates. One executed replica: the model treats replicas as
+    // independent machines, but on this host they would contend for the
+    // same GEMM worker pool, which is a property of the test box, not of
+    // the serving policy under test. Rates sit well below the knee so
+    // both planes should achieve ≈ the offered rate.
+    let replicas = 1usize;
+    let exec_capacity = replicas as f64 * peak_rps;
+    let batch_cfg = BatchConfig::default();
+    let mut exec_rows = String::new();
+    for frac in [0.1, 0.2, 0.3] {
+        let rate = frac * exec_capacity;
+        let requests = ((rate * 0.5) as usize).clamp(300, 20_000);
+        let executed = run_executed(
+            &model,
+            &ExecutedConfig {
+                rate_rps: rate,
+                requests,
+                replicas,
+                batch: batch_cfg,
+                seed: 31,
+            },
+        );
+        let modeled = simulate(
+            &fit,
+            batch_cfg,
+            &SimConfig {
+                clients,
+                duration_s: (requests as f64 / rate).max(0.2),
+                target_rate_rps: rate,
+                replicas,
+                seed: 31,
+            },
+        );
+        let rps_err =
+            (executed.achieved_rps - modeled.achieved_rps).abs() / modeled.achieved_rps.max(1e-9);
+        let lat_ratio = if modeled.p50_ms > 0.0 {
+            executed.p50_ms / modeled.p50_ms
+        } else {
+            1.0
+        };
+        println!(
+            "  executed-vs-model at {rate:.0} rps: achieved {:.0} vs {:.0} \
+             ({:.1}% off), p50 {:.3} ms vs {:.3} ms ({lat_ratio:.2}×)",
+            executed.achieved_rps,
+            modeled.achieved_rps,
+            100.0 * rps_err,
+            executed.p50_ms,
+            modeled.p50_ms
+        );
+        if rps_err > model_tol {
+            failures.push(format!(
+                "executed throughput at {rate:.0} rps is {:.1}% off the model \
+                 (tolerance {:.0}%)",
+                100.0 * rps_err,
+                100.0 * model_tol
+            ));
+        }
+        if lat_ratio > p50_factor || lat_ratio < 1.0 / p50_factor {
+            failures.push(format!(
+                "executed p50 {:.3} ms vs modeled {:.3} ms is outside the \
+                 {p50_factor:.0}× agreement band",
+                executed.p50_ms, modeled.p50_ms
+            ));
+        }
+        exec_rows.push_str(&format!(
+            "      {{\"offered_rps\": {rate:.1}, \"executed\": {}, \"modeled\": {}}},\n",
+            curve_json(&executed),
+            curve_json(&modeled)
+        ));
+    }
+
+    // Leg 3: the latency-vs-throughput curve at 10⁵–10⁶ clients — seven
+    // rates from light load through the knee into overload, on a
+    // four-replica fleet. Duration shrinks at high rate so the event
+    // count (≈ rate × duration) stays bounded.
+    let sweep_replicas = 4usize;
+    let sweep_capacity = sweep_replicas as f64 * peak_rps;
+    let t0 = Instant::now();
+    let sweep: Vec<CurvePoint> = [0.1, 0.25, 0.5, 0.75, 0.9, 1.05, 1.3]
+        .iter()
+        .map(|&frac| {
+            let rate = frac * sweep_capacity;
+            let duration_s = (400_000.0 / rate).clamp(0.05, 2.0);
+            simulate(
+                &fit,
+                BatchConfig {
+                    queue_cap: 4096,
+                    ..BatchConfig::default()
+                },
+                &SimConfig {
+                    clients,
+                    duration_s,
+                    target_rate_rps: rate,
+                    replicas: sweep_replicas,
+                    seed: 97,
+                },
+            )
+        })
+        .collect();
+    let sweep_wall = t0.elapsed().as_secs_f64();
+    println!(
+        "  sweep: {} clients × {} rates on {sweep_replicas} replicas ({sweep_wall:.1} s wall)",
+        clients,
+        sweep.len()
+    );
+    for p in &sweep {
+        println!(
+            "    offered {:>9.0} rps → achieved {:>9.0}, p50 {:.3} ms, p99 {:.3} ms, \
+             batch {:.1}, rejected {}",
+            p.offered_rps, p.achieved_rps, p.p50_ms, p.p99_ms, p.mean_batch, p.rejected
+        );
+        if p.completed + p.rejected + p.shed != p.issued {
+            failures.push(format!(
+                "sweep at {:.0} rps lost requests: {} + {} + {} != {}",
+                p.offered_rps, p.completed, p.rejected, p.shed, p.issued
+            ));
+        }
+    }
+    if sweep.len() < 6 {
+        failures.push(format!("curve has {} points, need >= 6", sweep.len()));
+    }
+    let light = &sweep[0];
+    if light.p50_ms > p50_slo_ms {
+        failures.push(format!(
+            "light-load p50 {:.3} ms exceeds the {p50_slo_ms:.1} ms SLO",
+            light.p50_ms
+        ));
+    }
+    if light.p99_ms > p99_slo_ms {
+        failures.push(format!(
+            "light-load p99 {:.3} ms exceeds the {p99_slo_ms:.1} ms SLO",
+            light.p99_ms
+        ));
+    }
+    // The knee must actually bend: overload cannot outrun fleet capacity.
+    let knee_rps = sweep.iter().map(|p| p.achieved_rps).fold(0.0, f64::max);
+    if knee_rps > 1.2 * sweep_capacity {
+        failures.push(format!(
+            "peak achieved {knee_rps:.0} rps exceeds modeled capacity {sweep_capacity:.0} — \
+             the service model and the sweep disagree"
+        ));
+    }
+
+    // Leg 4: full-Summit capacity over the routed fabric, with a small-p
+    // sweep so the compute→ingress crossover is visible.
+    let mut summit_rows = String::new();
+    for (reps, cluster) in [
+        (24usize, ClusterModel::summit_like(4)),
+        (384, ClusterModel::summit_like(64)),
+        (SUMMIT_REPLICAS, ClusterModel::summit()),
+    ] {
+        let cap = summit_serving_capacity(
+            &fit,
+            16,
+            model.param_count(),
+            model.input_dim(),
+            reps,
+            cluster,
+        );
+        println!(
+            "  summit: {reps:>6} replicas — rollout {:.3e} s, compute {:.3e} rps, \
+             ingress {:.3e} rps → capacity {:.3e} rps ({})",
+            cap.weight_broadcast_s,
+            cap.compute_capacity_rps,
+            cap.ingress_bound_rps,
+            cap.capacity_rps,
+            if cap.ingress_bound() {
+                "ingress-bound"
+            } else {
+                "compute-bound"
+            }
+        );
+        summit_rows.push_str(&format!(
+            "      {{\"replicas\": {reps}, \"weight_broadcast_s\": {:.6e}, \
+             \"compute_rps\": {:.6e}, \"ingress_rps\": {:.6e}, \"capacity_rps\": {:.6e}, \
+             \"ingress_bound\": {}}},\n",
+            cap.weight_broadcast_s,
+            cap.compute_capacity_rps,
+            cap.ingress_bound_rps,
+            cap.capacity_rps,
+            cap.ingress_bound()
+        ));
+    }
+    let summit = summit_serving_capacity(
+        &fit,
+        16,
+        model.param_count(),
+        model.input_dim(),
+        SUMMIT_REPLICAS,
+        ClusterModel::summit(),
+    );
+    if summit.capacity_rps <= 0.0 {
+        failures.push("full-Summit capacity is not positive".into());
+    }
+    if summit.weight_broadcast_s > 60.0 {
+        failures.push(format!(
+            "weight rollout at {SUMMIT_REPLICAS} replicas takes {:.1} s — a checkpoint \
+             broadcast of {} params should be sub-minute",
+            summit.weight_broadcast_s,
+            model.param_count()
+        ));
+    }
+
+    let calib_rows = points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{\"batch\": {}, \"seconds\": {:.6e}, \"rps\": {:.1}}}",
+                p.batch, p.seconds, p.rps
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let sweep_rows = sweep
+        .iter()
+        .map(|p| format!("      {}", curve_json(p)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    let mut metrics = BTreeMap::new();
+    metrics.insert("serve_speedup_b16".to_string(), speedup);
+    metrics.insert("serve_peak_rps".to_string(), peak_rps);
+    metrics.insert("serve_light_p50_ms".to_string(), light.p50_ms);
+    metrics.insert("serve_light_p99_ms".to_string(), light.p99_ms);
+    metrics.insert("serve_knee_rps".to_string(), knee_rps);
+    metrics.insert("serve_summit_capacity_rps".to_string(), summit.capacity_rps);
+    let headline = metrics
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v:.6}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"model\": {{\"inputs\": {}, \"hidden\": {:?}, \
+         \"outputs\": {}, \"params\": {}}},\n  \"service_model\": {{\"base_s\": {:.6e}, \
+         \"per_row_s\": {:.6e}, \"peak_rps_b16\": {peak_rps:.1}}},\n  \
+         \"calibration\": [\n{calib_rows}\n    ],\n  \
+         \"ab\": {{\"batch\": 16, \"batched_s\": {best_batched:.6e}, \
+         \"sequential_s\": {best_seq:.6e}, \"speedup\": {speedup:.3}, \
+         \"floor\": {speedup_floor}}},\n  \
+         \"executed_vs_model\": {{\"replicas\": {replicas}, \
+         \"throughput_tolerance\": {model_tol}, \"p50_factor\": {p50_factor}, \
+         \"points\": [\n{}    ]}},\n  \
+         \"sim_sweep\": {{\"clients\": {clients}, \"replicas\": {sweep_replicas}, \
+         \"capacity_rps\": {sweep_capacity:.1}, \"wall_s\": {sweep_wall:.2}, \
+         \"points\": [\n{sweep_rows}\n    ]}},\n  \
+         \"summit\": [\n{}    ],\n  \
+         \"headline\": {{{headline}}}\n}}\n",
+        spec.inputs,
+        spec.hidden,
+        spec.outputs,
+        model.param_count(),
+        fit.base_s,
+        fit.per_row_s,
+        exec_rows.trim_end_matches(",\n").to_string() + "\n",
+        summit_rows.trim_end_matches(",\n").to_string() + "\n",
+    );
+    harness::write_bench_json("serve", &json);
+    harness::record_trajectory(&harness::TrajectoryEntry::now("serve", metrics.clone()));
+
+    // Trajectory leg: direction-aware (latency metrics invert), 25%
+    // tolerance because every serve metric is timing-derived.
+    harness::gate_trajectory(
+        "serve",
+        &metrics,
+        &|k| match k {
+            "serve_light_p50_ms" | "serve_light_p99_ms" => Some(harness::Direction::LowerIsBetter),
+            "serve_speedup_b16"
+            | "serve_peak_rps"
+            | "serve_knee_rps"
+            | "serve_summit_capacity_rps" => Some(harness::Direction::HigherIsBetter),
+            _ => None,
+        },
+        0.25,
+        &mut failures,
+    );
+
+    if failures.is_empty() {
+        println!("serve_gate: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("serve_gate: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -165,6 +165,88 @@ pub fn parse_flat_object(text: &str, key: &str) -> BTreeMap<String, f64> {
     out
 }
 
+/// Which way a headline metric improves. Throughput-style metrics
+/// (GFLOP/s, events/s, advantage ratios) are [`Direction::HigherIsBetter`];
+/// latency-style metrics (p50/p99 milliseconds) are
+/// [`Direction::LowerIsBetter`] — a serving gate that treated latency like
+/// throughput would celebrate a 10× p99 blowup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Regression = value dropped more than the tolerance.
+    HigherIsBetter,
+    /// Regression = value grew more than the tolerance.
+    LowerIsBetter,
+}
+
+/// Compare `current` metrics against a `baseline`, pushing a failure per
+/// metric that regressed beyond `tolerance` (relative, e.g. `0.10`) in its
+/// selected [`Direction`]. `select` names the metrics under the gate and
+/// their direction; unselected baseline keys are ignored, selected keys
+/// missing from `current` fail. Returns a `metric, baseline, current,
+/// ratio` diff table for the CI artifact, and prints one `trajectory:`
+/// line per metric checked.
+pub fn compare_metrics(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    select: &dyn Fn(&str) -> Option<Direction>,
+    tolerance: f64,
+    failures: &mut Vec<String>,
+) -> String {
+    let mut diff = String::from("metric, baseline, current, ratio\n");
+    for (key, base) in baseline {
+        let Some(direction) = select(key) else {
+            continue;
+        };
+        let Some(&now) = current.get(key) else {
+            failures.push(format!("{key} missing from current metrics"));
+            continue;
+        };
+        let ratio = if *base > 0.0 { now / base } else { 1.0 };
+        diff.push_str(&format!("{key}, {base:.4}, {now:.4}, {ratio:.3}\n"));
+        let (regressed, moved_pct) = match direction {
+            Direction::HigherIsBetter => (ratio < 1.0 - tolerance, (1.0 - ratio) * 100.0),
+            Direction::LowerIsBetter => (ratio > 1.0 + tolerance, (ratio - 1.0) * 100.0),
+        };
+        if regressed {
+            let verb = match direction {
+                Direction::HigherIsBetter => "regressed",
+                Direction::LowerIsBetter => "grew",
+            };
+            failures.push(format!(
+                "{key} {verb} {moved_pct:.1}% vs trajectory ({base:.4} -> {now:.4})"
+            ));
+        } else {
+            println!("trajectory: {key} {base:.4} -> {now:.4} ({ratio:.3}×) ✓");
+        }
+    }
+    diff
+}
+
+/// The standard trajectory-regression leg every gate binary runs: honors
+/// `SUMMIT_GATE_SKIP_TRAJECTORY=1` (hosts not comparable to the recording
+/// machine), loads the last committed entry for `bench`, and delegates to
+/// [`compare_metrics`]. Returns the diff table (header-only when skipped
+/// or no baseline exists).
+pub fn gate_trajectory(
+    bench: &str,
+    current: &BTreeMap<String, f64>,
+    select: &dyn Fn(&str) -> Option<Direction>,
+    tolerance: f64,
+    failures: &mut Vec<String>,
+) -> String {
+    if std::env::var("SUMMIT_GATE_SKIP_TRAJECTORY").as_deref() == Ok("1") {
+        println!("trajectory: comparison skipped (SUMMIT_GATE_SKIP_TRAJECTORY=1)");
+        return String::from("metric, baseline, current, ratio\n");
+    }
+    match latest_trajectory_metrics(bench) {
+        Some(baseline) => compare_metrics(&baseline, current, select, tolerance, failures),
+        None => {
+            println!("trajectory: no committed {bench} entry yet — other legs only");
+            String::from("metric, baseline, current, ratio\n")
+        }
+    }
+}
+
 /// Abbreviated git revision of the working tree, or `"unknown"` outside a
 /// repository.
 pub fn git_rev() -> String {
@@ -235,6 +317,62 @@ mod tests {
         assert_eq!(&d[7..8], "-");
         let year: i32 = d[..4].parse().expect("year parses");
         assert!((2024..2124).contains(&year), "year {year}");
+    }
+
+    #[test]
+    fn compare_metrics_is_direction_aware() {
+        let base: BTreeMap<String, f64> = [
+            ("p99_ms".to_string(), 10.0),
+            ("peak_rps".to_string(), 1000.0),
+            ("ignored".to_string(), 5.0),
+        ]
+        .into();
+        let select = |k: &str| match k {
+            "p99_ms" => Some(Direction::LowerIsBetter),
+            "peak_rps" => Some(Direction::HigherIsBetter),
+            _ => None,
+        };
+
+        // Latency doubled and throughput halved: both fail.
+        let worse: BTreeMap<String, f64> = [
+            ("p99_ms".to_string(), 20.0),
+            ("peak_rps".to_string(), 500.0),
+        ]
+        .into();
+        let mut failures = Vec::new();
+        let diff = compare_metrics(&base, &worse, &select, 0.10, &mut failures);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("p99_ms grew")));
+        assert!(failures.iter().any(|f| f.contains("peak_rps regressed")));
+        assert!(diff.contains("p99_ms, 10.0000, 20.0000, 2.000"));
+        assert!(!diff.contains("ignored"));
+
+        // Latency halved and throughput doubled: improvements both ways.
+        let better: BTreeMap<String, f64> = [
+            ("p99_ms".to_string(), 5.0),
+            ("peak_rps".to_string(), 2000.0),
+        ]
+        .into();
+        let mut failures = Vec::new();
+        compare_metrics(&base, &better, &select, 0.10, &mut failures);
+        assert!(failures.is_empty(), "{failures:?}");
+
+        // Within tolerance either way: no failure.
+        let noisy: BTreeMap<String, f64> = [
+            ("p99_ms".to_string(), 10.5),
+            ("peak_rps".to_string(), 950.0),
+        ]
+        .into();
+        let mut failures = Vec::new();
+        compare_metrics(&base, &noisy, &select, 0.10, &mut failures);
+        assert!(failures.is_empty(), "{failures:?}");
+
+        // A selected metric missing from current is itself a failure.
+        let missing: BTreeMap<String, f64> = [("p99_ms".to_string(), 9.0)].into();
+        let mut failures = Vec::new();
+        compare_metrics(&base, &missing, &select, 0.10, &mut failures);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("peak_rps missing"));
     }
 
     #[test]

@@ -372,51 +372,6 @@ pub fn try_rabenseifner_allreduce(
     )
 }
 
-/// Binomial-tree broadcast from `root` into a growable buffer.
-///
-/// Non-root ranks may pass an empty buffer; it is replaced by the received
-/// data. Kept as a hand-written legacy path (tag id 7): because non-root
-/// buffer lengths are unknown up front, it cannot be a fixed-window
-/// schedule. New code should size the buffer and use
-/// [`binomial_broadcast_into`].
-#[deprecated(
-    since = "0.5.0",
-    note = "size the buffer on every rank and use `binomial_broadcast_into`"
-)]
-pub fn binomial_broadcast(rank: &Rank, buf: &mut Vec<f32>, root: usize) {
-    let p = rank.size();
-    if p == 1 {
-        return;
-    }
-    let me = rank.id();
-    // Re-map so the root is virtual rank 0; tree edges join vrank and
-    // vrank ± mask. A rank receives at its lowest set bit, then forwards to
-    // children at all smaller masks.
-    let vrank = (me + p - root) % p;
-    let mut mask = 1usize;
-    while mask < p {
-        if vrank & mask != 0 {
-            let parent = (vrank - mask + root) % p;
-            // Reuse `buf`'s own storage and recycle the transport buffer
-            // instead of replacing the allocation wholesale.
-            rank.recv_with(parent, tag(7, mask.trailing_zeros() as usize), |payload| {
-                buf.clear();
-                buf.extend_from_slice(payload);
-            });
-            break;
-        }
-        mask <<= 1;
-    }
-    mask >>= 1;
-    while mask > 0 {
-        if vrank + mask < p {
-            let child = (vrank + mask + root) % p;
-            rank.send_from(child, tag(7, mask.trailing_zeros() as usize), buf);
-        }
-        mask >>= 1;
-    }
-}
-
 /// Binomial-tree broadcast for pre-sized buffers: every rank passes a slice
 /// of the same length and the root's contents are broadcast into it,
 /// without touching any allocation.
@@ -502,14 +457,6 @@ pub fn try_tree_allreduce(
     drive_checked(rank, buf, &mut [], op, &mut reduce, deadline)?;
     let mut bcast = BroadcastSchedule::new(rank.size(), rank.id(), buf.len(), 0, 9);
     drive_checked(rank, buf, &mut [], op, &mut bcast, deadline)
-}
-
-/// Collective tag namespace: `(collective id, step)` packed into a u64 so
-/// different collectives and steps never collide (the legacy growable
-/// broadcast is the only remaining direct user; everything else tags
-/// through its engine schedule).
-fn tag(collective: u64, step: usize) -> u64 {
-    engine::tag_seg(collective, step, 0)
 }
 
 #[cfg(test)]
@@ -609,27 +556,6 @@ mod tests {
             (hi[0], lo[0])
         });
         assert!(out.iter().all(|&(hi, lo)| hi == 4.0 && lo == 0.0));
-    }
-
-    #[test]
-    #[allow(deprecated)] // pins the legacy growable-buffer broadcast
-    fn broadcast_from_every_root() {
-        for p in 1..=8 {
-            for root in 0..p {
-                let out = World::run(p, |rank| {
-                    let mut buf = if rank.id() == root {
-                        vec![42.0, 7.0]
-                    } else {
-                        vec![]
-                    };
-                    binomial_broadcast(rank, &mut buf, root);
-                    buf
-                });
-                for (r, v) in out.iter().enumerate() {
-                    assert_eq!(v, &vec![42.0, 7.0], "p={p} root={root} rank={r}");
-                }
-            }
-        }
     }
 
     #[test]

@@ -46,6 +46,7 @@
 pub mod checkpoint;
 pub mod compression;
 pub mod data;
+pub mod inference;
 pub mod lm;
 pub mod model;
 pub mod optim;
@@ -56,6 +57,7 @@ pub mod transformer;
 
 pub use checkpoint::{CheckpointError, ElasticCheckpoint};
 pub use compression::{Compressor, GradCompression};
+pub use inference::ServableModel;
 pub use lm::{MultiHeadAttention, TinyLm};
 pub use model::{Mlp, MlpSpec};
 pub use optim::{Adam, Lamb, Larc, Lars, Optimizer, OptimizerState, Sgd};

@@ -1,5 +1,6 @@
 //! Multi-layer perceptrons with explicit backprop.
 
+use crate::inference::{dense_forward_into, ServableModel};
 use summit_tensor::{ops, Initializer, Matrix, Precision};
 
 /// A fully-connected layer `in_dim → out_dim` with its gradient buffers.
@@ -30,11 +31,13 @@ impl Linear {
         }
     }
 
-    /// Forward: `y = x·W + b`, caching `x` for backward.
+    /// Forward: `y = x·W + b`, caching `x` for backward. Runs the same
+    /// shared routine the forward-only serving path uses
+    /// ([`crate::inference::ServableModel`]), so served activations are
+    /// bitwise the trained ones.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         let mut y = Matrix::zeros(x.rows(), self.w.cols());
-        x.matmul_into_prec(&self.w, &mut y, self.precision);
-        ops::add_bias(&mut y, &self.b);
+        dense_forward_into(x, &self.w, &self.b, self.precision, &mut y);
         self.input = Some(x.clone());
         y
     }
@@ -313,6 +316,20 @@ impl Mlp {
             layer.b.copy_from_slice(&flat[off..off + blen]);
             off += blen;
         }
+    }
+
+    /// Snapshot the forward-only serving state of this model: weights,
+    /// biases, and the precision knob — none of the gradient buffers or
+    /// cached activations. The snapshot is what a serving replica holds
+    /// and what a weight broadcast ships.
+    pub fn servable(&self) -> ServableModel {
+        ServableModel::from_layers(
+            self.layers
+                .iter()
+                .map(|l| (l.w.clone(), l.b.clone()))
+                .collect(),
+            self.precision(),
+        )
     }
 
     /// Visit each parameter group (per-layer weights and biases separately,

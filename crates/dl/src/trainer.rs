@@ -147,6 +147,14 @@ impl Trainer {
         self.model.forward(x)
     }
 
+    /// Snapshot the forward-only serving state of the model being trained
+    /// — what a serving plane deploys at a step boundary (weights and the
+    /// precision knob; no optimizer state, gradients, or cached
+    /// activations).
+    pub fn servable(&self) -> crate::inference::ServableModel {
+        self.model.servable()
+    }
+
     /// Mean-squared error of the model on a dataset, without updating.
     pub fn evaluate_regression(&mut self, x: &Matrix, targets: &Matrix) -> f32 {
         let pred = self.model.forward(x);

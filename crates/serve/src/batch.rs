@@ -1,0 +1,364 @@
+//! The dynamic micro-batching queue with admission control.
+//!
+//! [`Batcher`] is a **pure state machine over virtual time**: it holds the
+//! bounded request queue and decides, when a replica asks, whether a
+//! micro-batch should dispatch *now* or at a later deadline. Nothing in it
+//! touches the wall clock, threads, or the model — the executed threaded
+//! server ([`crate::server`]) drives it with `Instant`-derived seconds and
+//! the discrete-event load simulator ([`crate::sim`]) drives it with a
+//! virtual clock, **so the policy the simulator predicts is byte-for-byte
+//! the policy the real server executes**.
+//!
+//! ## Batch formation
+//!
+//! Two modes, selected by [`BatchConfig::adaptive`]:
+//!
+//! * **Adaptive (default)** — when a replica goes idle and the queue is
+//!   non-empty, dispatch `min(queue_len, max_batch)` immediately. Under
+//!   light load batches are small (latency ≈ one service time); under
+//!   heavy load the queue fills while replicas are busy, so batches grow
+//!   toward `max_batch` on their own — the continuous-batching behaviour.
+//! * **Hold-for-batch** — an idle replica waits until either `max_batch`
+//!   requests are queued or the oldest queued request has waited
+//!   [`BatchConfig::max_queue_delay_s`], whichever comes first. The delay
+//!   knob is a hard bound: a dispatchable request is never held past it
+//!   while a replica sits idle (property-tested under randomized
+//!   arrivals).
+//!
+//! ## Admission control
+//!
+//! The queue is bounded at [`BatchConfig::queue_cap`]. A full queue either
+//! **rejects** the new request or **sheds the oldest** queued request to
+//! admit the new one ([`AdmissionPolicy`]); both outcomes are surfaced to
+//! the client ([`Admission`]), never silently dropped — backpressure is
+//! part of the API.
+
+use std::collections::VecDeque;
+
+/// Shed-or-reject policy when the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Refuse the incoming request; queued requests keep their slots.
+    /// Clients see fail-fast backpressure in arrival order.
+    #[default]
+    RejectNew,
+    /// Drop the *oldest* queued request and admit the new one — the
+    /// freshest work is the most likely to still matter to a client with
+    /// a deadline (load-shedding semantics).
+    ShedOldest,
+}
+
+/// Knobs of the micro-batching queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchConfig {
+    /// Largest micro-batch a single dispatch may contain.
+    pub max_batch: usize,
+    /// Hold-for-batch mode only: the longest a dispatchable request may
+    /// wait for batch-mates while a replica is idle, in (virtual) seconds.
+    pub max_queue_delay_s: f64,
+    /// Bounded queue capacity; arrivals beyond it hit [`AdmissionPolicy`].
+    pub queue_cap: usize,
+    /// What to do when the queue is full.
+    pub policy: AdmissionPolicy,
+    /// `true`: dispatch whatever is queued as soon as a replica is idle
+    /// (adaptive sizing under load). `false`: hold for a full batch up to
+    /// `max_queue_delay_s`.
+    pub adaptive: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 16,
+            max_queue_delay_s: 2.0e-3,
+            queue_cap: 1024,
+            policy: AdmissionPolicy::RejectNew,
+            adaptive: true,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Validate the knobs (a zero batch or capacity deadlocks the plane).
+    ///
+    /// # Panics
+    /// Panics if `max_batch == 0`, `queue_cap == 0`, or the delay is
+    /// negative/NaN.
+    pub fn validate(&self) {
+        assert!(self.max_batch > 0, "max_batch must be positive");
+        assert!(self.queue_cap > 0, "queue_cap must be positive");
+        assert!(
+            self.max_queue_delay_s >= 0.0,
+            "max_queue_delay_s must be non-negative"
+        );
+    }
+}
+
+/// One queued request: an opaque id, the issuing client, and the
+/// (virtual) admission time the latency accounting starts from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedRequest {
+    /// Caller-assigned request id (unique per request).
+    pub id: u64,
+    /// Issuing client, for per-client ordering guarantees.
+    pub client: u64,
+    /// Admission timestamp in seconds on the caller's clock.
+    pub arrival_s: f64,
+}
+
+/// Outcome of offering a request to the bounded queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// Admitted; it will appear in exactly one future batch.
+    Admitted,
+    /// Admitted by shedding the contained (oldest) request, which will
+    /// never appear in a batch — its client must be told.
+    AdmittedShedding(QueuedRequest),
+    /// Queue full under [`AdmissionPolicy::RejectNew`]; not enqueued.
+    Rejected,
+}
+
+/// Counters the serving plane reports alongside its latency curve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatcherStats {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests refused at admission (queue full, reject policy).
+    pub rejected: u64,
+    /// Requests shed from the queue after admission (shed policy).
+    pub shed: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Requests dispatched inside those batches.
+    pub dispatched: u64,
+}
+
+impl BatcherStats {
+    /// Mean dispatched micro-batch size (0 before the first dispatch).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.dispatched as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The micro-batching queue state machine. See the module docs for the
+/// dispatch and admission rules.
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    cfg: BatchConfig,
+    queue: VecDeque<QueuedRequest>,
+    stats: BatcherStats,
+}
+
+impl Batcher {
+    /// Create an empty queue under `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` is invalid ([`BatchConfig::validate`]).
+    pub fn new(cfg: BatchConfig) -> Self {
+        cfg.validate();
+        Batcher {
+            cfg,
+            queue: VecDeque::with_capacity(cfg.queue_cap.min(4096)),
+            stats: BatcherStats::default(),
+        }
+    }
+
+    /// The configuration this queue runs under.
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    /// Requests currently queued (admitted, not yet dispatched).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Aggregate admission/dispatch counters.
+    pub fn stats(&self) -> BatcherStats {
+        self.stats
+    }
+
+    /// Offer a request for admission at its `arrival_s`. Timestamps must
+    /// be non-decreasing across calls (both drivers guarantee this).
+    pub fn offer(&mut self, req: QueuedRequest) -> Admission {
+        if self.queue.len() < self.cfg.queue_cap {
+            self.queue.push_back(req);
+            self.stats.admitted += 1;
+            return Admission::Admitted;
+        }
+        match self.cfg.policy {
+            AdmissionPolicy::RejectNew => {
+                self.stats.rejected += 1;
+                Admission::Rejected
+            }
+            AdmissionPolicy::ShedOldest => {
+                let victim = self.queue.pop_front().expect("queue_cap > 0");
+                self.queue.push_back(req);
+                self.stats.admitted += 1;
+                self.stats.shed += 1;
+                Admission::AdmittedShedding(victim)
+            }
+        }
+    }
+
+    /// Whether an idle replica asking at `now_s` should dispatch.
+    fn due(&self, now_s: f64) -> bool {
+        match self.queue.front() {
+            None => false,
+            Some(oldest) => {
+                // The deadline comparison must be arithmetically identical
+                // to `next_deadline` (`arrival + delay`, not `now - arrival
+                // >= delay`): a driver that re-asks exactly at the returned
+                // deadline must find the batch due, or it can arm a timer
+                // for the same instant forever.
+                self.cfg.adaptive
+                    || self.queue.len() >= self.cfg.max_batch
+                    || now_s >= oldest.arrival_s + self.cfg.max_queue_delay_s
+            }
+        }
+    }
+
+    /// An idle replica asks for work at `now_s`. Returns the next
+    /// micro-batch (oldest-first, at most `max_batch` requests) when one
+    /// is due, else `None` — in which case [`Batcher::next_deadline`]
+    /// says when to ask again.
+    pub fn take_batch(&mut self, now_s: f64) -> Option<Vec<QueuedRequest>> {
+        if !self.due(now_s) {
+            return None;
+        }
+        let n = self.queue.len().min(self.cfg.max_batch);
+        let batch: Vec<QueuedRequest> = self.queue.drain(..n).collect();
+        self.stats.batches += 1;
+        self.stats.dispatched += batch.len() as u64;
+        Some(batch)
+    }
+
+    /// When the queued work becomes dispatchable if nothing else arrives:
+    /// the oldest request's arrival plus the delay bound (`None` when the
+    /// queue is empty; `Some(arrival)` — i.e. already due — in adaptive
+    /// mode). After this instant, `take_batch` is guaranteed to fire.
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.queue.front().map(|oldest| {
+            if self.cfg.adaptive {
+                oldest.arrival_s
+            } else {
+                oldest.arrival_s + self.cfg.max_queue_delay_s
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, t: f64) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            client: id % 7,
+            arrival_s: t,
+        }
+    }
+
+    #[test]
+    fn adaptive_dispatches_whatever_is_queued() {
+        let mut b = Batcher::new(BatchConfig {
+            max_batch: 8,
+            adaptive: true,
+            ..BatchConfig::default()
+        });
+        assert_eq!(b.take_batch(0.0), None);
+        b.offer(req(1, 0.0));
+        b.offer(req(2, 0.1));
+        let batch = b.take_batch(0.1).expect("due immediately");
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(b.queue_len(), 0);
+    }
+
+    #[test]
+    fn hold_mode_waits_for_full_batch_or_deadline() {
+        let cfg = BatchConfig {
+            max_batch: 4,
+            max_queue_delay_s: 1.0,
+            adaptive: false,
+            ..BatchConfig::default()
+        };
+        let mut b = Batcher::new(cfg);
+        b.offer(req(1, 0.0));
+        b.offer(req(2, 0.2));
+        // Under-full and under-deadline: hold.
+        assert_eq!(b.take_batch(0.5), None);
+        assert_eq!(b.next_deadline(), Some(1.0));
+        // Deadline reached: dispatch the partial batch.
+        let batch = b.take_batch(1.0).expect("deadline dispatch");
+        assert_eq!(batch.len(), 2);
+        // A full batch dispatches without waiting.
+        for (i, t) in [(3u64, 2.0), (4, 2.0), (5, 2.0), (6, 2.0)] {
+            b.offer(req(i, t));
+        }
+        assert_eq!(b.take_batch(2.0).expect("full batch").len(), 4);
+    }
+
+    #[test]
+    fn batch_never_exceeds_max() {
+        let mut b = Batcher::new(BatchConfig {
+            max_batch: 3,
+            ..BatchConfig::default()
+        });
+        for i in 0..10 {
+            b.offer(req(i, 0.0));
+        }
+        assert_eq!(b.take_batch(0.0).expect("due").len(), 3);
+        assert_eq!(b.queue_len(), 7);
+    }
+
+    #[test]
+    fn reject_policy_refuses_at_capacity() {
+        let mut b = Batcher::new(BatchConfig {
+            queue_cap: 2,
+            policy: AdmissionPolicy::RejectNew,
+            ..BatchConfig::default()
+        });
+        assert_eq!(b.offer(req(1, 0.0)), Admission::Admitted);
+        assert_eq!(b.offer(req(2, 0.0)), Admission::Admitted);
+        assert_eq!(b.offer(req(3, 0.0)), Admission::Rejected);
+        assert_eq!(b.stats().rejected, 1);
+        assert_eq!(b.queue_len(), 2);
+    }
+
+    #[test]
+    fn shed_policy_drops_the_oldest() {
+        let mut b = Batcher::new(BatchConfig {
+            queue_cap: 2,
+            policy: AdmissionPolicy::ShedOldest,
+            ..BatchConfig::default()
+        });
+        b.offer(req(1, 0.0));
+        b.offer(req(2, 0.1));
+        match b.offer(req(3, 0.2)) {
+            Admission::AdmittedShedding(victim) => assert_eq!(victim.id, 1),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        let ids: Vec<u64> = b
+            .take_batch(0.2)
+            .expect("due")
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(ids, [2, 3]);
+        assert_eq!(b.stats().shed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be positive")]
+    fn zero_batch_is_rejected() {
+        let _ = Batcher::new(BatchConfig {
+            max_batch: 0,
+            ..BatchConfig::default()
+        });
+    }
+}

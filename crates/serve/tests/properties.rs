@@ -1,0 +1,187 @@
+//! Property tests for the micro-batching queue: ordering, the
+//! max-queue-delay bound, and admission conservation under randomized
+//! arrivals — the invariants the serving plane's correctness (and its
+//! latency SLO) rests on.
+
+use proptest::prelude::*;
+use summit_serve::batch::{Admission, AdmissionPolicy, BatchConfig, Batcher, QueuedRequest};
+
+/// Randomized arrival sequence: (inter-arrival gap, client id) pairs,
+/// gaps in [0, 10 ms] so deadlines and arrivals genuinely interleave.
+fn arb_arrivals(max: usize) -> impl Strategy<Value = Vec<(f64, u64)>> {
+    proptest::collection::vec((0u32..100, 0u64..8), 1..max).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(g, c)| (f64::from(g) * 1e-4, c))
+            .collect()
+    })
+}
+
+fn requests(arrivals: &[(f64, u64)]) -> Vec<QueuedRequest> {
+    let mut t = 0.0;
+    arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &(gap, client))| {
+            t += gap;
+            QueuedRequest {
+                id: i as u64,
+                client,
+                arrival_s: t,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dispatched batches preserve global (hence per-client) arrival
+    /// order, never exceed `max_batch`, and no request is both shed and
+    /// dispatched. Holds for every policy/mode combination.
+    #[test]
+    fn dispatch_preserves_order_and_batch_bound(
+        arrivals in arb_arrivals(120),
+        max_batch in 1usize..12,
+        queue_cap in 1usize..24,
+        take_every in 1usize..6,
+        shed in 0u8..2,
+        adaptive in 0u8..2,
+    ) {
+        let cfg = BatchConfig {
+            max_batch,
+            queue_cap,
+            max_queue_delay_s: 2e-3,
+            policy: if shed == 1 { AdmissionPolicy::ShedOldest } else { AdmissionPolicy::RejectNew },
+            adaptive: adaptive == 1,
+        };
+        let mut b = Batcher::new(cfg);
+        let mut dispatched: Vec<QueuedRequest> = Vec::new();
+        let mut shed_ids: Vec<u64> = Vec::new();
+        let reqs = requests(&arrivals);
+        for (i, req) in reqs.iter().enumerate() {
+            if let Admission::AdmittedShedding(victim) = b.offer(*req) {
+                shed_ids.push(victim.id);
+            }
+            // An idle replica shows up every `take_every` arrivals.
+            if i % take_every == 0 {
+                while let Some(batch) = b.take_batch(req.arrival_s) {
+                    prop_assert!(!batch.is_empty());
+                    prop_assert!(batch.len() <= max_batch);
+                    dispatched.extend(batch);
+                }
+            }
+        }
+        // Drain whatever remains well past the last deadline.
+        let t_end = reqs.last().map_or(0.0, |r| r.arrival_s) + 1.0;
+        while let Some(batch) = b.take_batch(t_end) {
+            dispatched.extend(batch);
+        }
+        // Global FIFO order (ids are issued in arrival order).
+        for w in dispatched.windows(2) {
+            prop_assert!(w[0].id < w[1].id, "order violated: {} then {}", w[0].id, w[1].id);
+        }
+        // Per-client order is a projection of the global order, and a shed
+        // request never reaches a replica.
+        for id in &shed_ids {
+            prop_assert!(dispatched.iter().all(|r| r.id != *id));
+        }
+    }
+
+    /// Hold-for-batch mode: a driver that re-asks at the batcher's own
+    /// deadlines never lets a request wait past `max_queue_delay_s` while
+    /// a replica is idle.
+    #[test]
+    fn hold_mode_never_exceeds_the_delay_bound(
+        arrivals in arb_arrivals(100),
+        max_batch in 1usize..12,
+        delay_ticks in 0u32..50,
+    ) {
+        let delay = f64::from(delay_ticks) * 1e-4;
+        let cfg = BatchConfig {
+            max_batch,
+            max_queue_delay_s: delay,
+            queue_cap: 1024,
+            policy: AdmissionPolicy::RejectNew,
+            adaptive: false,
+        };
+        let mut b = Batcher::new(cfg);
+        let mut check = |batch: &[QueuedRequest], now: f64| {
+            for r in batch {
+                prop_assert!(
+                    now - r.arrival_s <= delay + 1e-9,
+                    "request {} waited {} > {delay}",
+                    r.id,
+                    now - r.arrival_s
+                );
+            }
+            Ok(())
+        };
+        let reqs = requests(&arrivals);
+        for (i, req) in reqs.iter().enumerate() {
+            // Serve every deadline that falls before this arrival — the
+            // idle replica waking exactly when the batcher asked it to.
+            while let Some(d) = b.next_deadline() {
+                if d >= req.arrival_s {
+                    break;
+                }
+                if let Some(batch) = b.take_batch(d) {
+                    check(&batch, d)?;
+                }
+            }
+            b.offer(*req);
+            // A full batch dispatches immediately on arrival.
+            while let Some(batch) = b.take_batch(req.arrival_s) {
+                check(&batch, req.arrival_s)?;
+            }
+            let _ = i;
+        }
+        // Serve the remaining deadlines.
+        while let Some(d) = b.next_deadline() {
+            if let Some(batch) = b.take_batch(d) {
+                check(&batch, d)?;
+            }
+        }
+        prop_assert_eq!(b.queue_len(), 0);
+    }
+
+    /// Admission conservation: every offered request is admitted or
+    /// rejected; every admitted request is dispatched, shed, or still
+    /// queued. Nothing is lost, nothing is duplicated.
+    #[test]
+    fn admission_conserves_requests(
+        arrivals in arb_arrivals(150),
+        queue_cap in 1usize..16,
+        take_every in 2usize..8,
+        shed in 0u8..2,
+    ) {
+        let cfg = BatchConfig {
+            queue_cap,
+            policy: if shed == 1 { AdmissionPolicy::ShedOldest } else { AdmissionPolicy::RejectNew },
+            ..BatchConfig::default()
+        };
+        let mut b = Batcher::new(cfg);
+        let reqs = requests(&arrivals);
+        let mut seen = 0u64;
+        for (i, req) in reqs.iter().enumerate() {
+            b.offer(*req);
+            if i % take_every == 0 {
+                while let Some(batch) = b.take_batch(req.arrival_s) {
+                    seen += batch.len() as u64;
+                }
+            }
+        }
+        let s = b.stats();
+        prop_assert_eq!(s.admitted + s.rejected, reqs.len() as u64);
+        prop_assert_eq!(s.dispatched, seen);
+        prop_assert_eq!(
+            s.admitted,
+            s.dispatched + s.shed + b.queue_len() as u64,
+            "admitted requests must be dispatched, shed, or queued"
+        );
+        if shed == 1 {
+            prop_assert_eq!(s.rejected, 0);
+        } else {
+            prop_assert_eq!(s.shed, 0);
+        }
+    }
+}
