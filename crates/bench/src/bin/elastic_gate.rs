@@ -9,9 +9,13 @@
 //! * **elastic** — survivor vote (1-element all-to-all) + two quiesce
 //!   barriers (token gather + release scatter) + the first allreduce step
 //!   at p − 1, paid by the p − 1 survivors;
-//! * **replay** — a scheduler requeue stall for a replacement rank
-//!   (default 300 s, `SUMMIT_ELASTIC_STALL_S`) + `SUMMIT_ELASTIC_REPLAY`
-//!   (default 10) replayed allreduce steps at p, paid by all p ranks.
+//! * **replay** — a scheduler requeue stall for a replacement rank +
+//!   `SUMMIT_ELASTIC_REPLAY` (default 10) replayed allreduce steps at p,
+//!   paid by all p ranks. The stall is **measured**, not assumed: a small
+//!   requeue probe is injected into the batch simulator's EASY-backfill
+//!   queue under a seeded background trace and its mean wait is used
+//!   ([`summit_sched::facility::measured_requeue_wait_hours`]);
+//!   `SUMMIT_ELASTIC_STALL_S` still overrides it for what-if runs.
 //!
 //! The gate asserts the study's internal composition identities, that the
 //! shrink protocol itself is sub-second (it is control-plane only), and
@@ -47,13 +51,30 @@ fn env_f64(key: &str, default: f64) -> f64 {
 
 fn main() {
     let replay_steps = env_f64("SUMMIT_ELASTIC_REPLAY", 10.0) as usize;
-    let stall_s = env_f64("SUMMIT_ELASTIC_STALL_S", 300.0);
+    // Measure the requeue stall in the simulated batch queue: a 2-node
+    // probe resubmitted amid a seeded background mix, mean wait over 6
+    // injection points. The env override still wins for what-if runs.
+    let measured_stall_s = summit_sched::facility::measured_requeue_wait_hours(
+        &summit_machine::MachineSpec::summit(),
+        90,
+        6,
+    ) * 3600.0;
+    let stall_override = std::env::var("SUMMIT_ELASTIC_STALL_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+    let stall_s = stall_override.unwrap_or(measured_stall_s);
     let min_advantage = env_f64("SUMMIT_ELASTIC_MIN_ADVANTAGE", 10.0);
     let mut failures: Vec<String> = Vec::new();
 
     println!(
         "elastic_gate: one rank dies at p = {P}, {ELEMS} gradient elements, \
-         replay = {replay_steps} steps, requeue stall = {stall_s:.0} s"
+         replay = {replay_steps} steps, requeue stall = {stall_s:.0} s \
+         ({} — measured queue wait {measured_stall_s:.0} s)",
+        if stall_override.is_some() {
+            "env override"
+        } else {
+            "measured in the batch-queue simulator"
+        }
     );
     let t0 = Instant::now();
     let study = sim::elastic_shrink_study(P, ELEMS, replay_steps, stall_s, ClusterModel::summit());
@@ -165,7 +186,9 @@ fn main() {
         .join(", ");
     let json = format!(
         "{{\n  \"bench\": \"elastic\",\n  \"world\": {P},\n  \"replay_steps\": {replay_steps},\n  \
-         \"realloc_stall_s\": {stall_s},\n  \"break_even_stall_s\": {break_even_stall:.6},\n  \
+         \"realloc_stall_s\": {stall_s},\n  \
+         \"requeue_wait_measured_s\": {measured_stall_s:.6},\n  \
+         \"break_even_stall_s\": {break_even_stall:.6},\n  \
          \"headline\": {{{headline}}},\n  \"sweep\": [\n{}  ]\n}}\n",
         rows.trim_end_matches(",\n").to_string() + "\n"
     );

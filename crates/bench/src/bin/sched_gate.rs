@@ -1,0 +1,260 @@
+//! CI gate over the facility plane: the multi-world runtime running a
+//! whole schedule, plus surrogate-steered campaigns.
+//!
+//! Three legs:
+//!
+//! 1. **Facility scenario** — a survey-portfolio mixed trace
+//!    (`SUMMIT_SCHED_JOBS`, default 220 jobs) executed by
+//!    [`summit_sched::facility::run_facility`] in one wave of ≥ 200
+//!    concurrent worlds (real training / stencil / MD kernels, real
+//!    message passing). Fails unless the rendezvous sample proves at
+//!    least `SUMMIT_SCHED_MIN_WORLDS` (default 200) simultaneously live
+//!    core leases, the arbiter conserved its lane budget, and every
+//!    kernel objective is finite.
+//! 2. **Scheduler invariants** — on the same trace's batch schedule:
+//!    utilization in (0, 1], waits non-negative, backfill fraction sane,
+//!    and the EASY property checked constructively: rescheduling with all
+//!    backfilled jobs removed must not start any remaining job later
+//!    (backfill never delays the queue).
+//! 3. **Steered campaign** — [`summit_sched::campaign`] races
+//!    surrogate-steered against submission-order execution of the same
+//!    MD-candidate queue at a pinned seed; the steered node-hours-to-
+//!    target must be *strictly* below the unsteered baseline.
+//!
+//! Writes `target/BENCH_sched.json`; `SUMMIT_BENCH_RECORD=1` appends the
+//! headline to the committed `BENCH_trajectory.json`. The trajectory leg
+//! is direction-aware (steering speedup and utilization are
+//! higher-is-better) at 10% tolerance; kernel and scheduling metrics are
+//! deterministic at the pinned seeds (`SUMMIT_GATE_SKIP_TRAJECTORY=1`
+//! skips it).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use summit_bench::harness;
+use summit_machine::MachineSpec;
+use summit_sched::campaign::{ground_truth, run_campaign, CampaignConfig};
+use summit_sched::facility::{run_facility, FacilityConfig};
+use summit_sched::trace::{generate_mixed, TraceConfig};
+use summit_sched::{Scheduler, SchedulingPolicy, SteeringMode};
+use summit_survey::{build_portfolio, job_mix};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let jobs_n = env_usize("SUMMIT_SCHED_JOBS", 220);
+    let min_worlds = env_usize("SUMMIT_SCHED_MIN_WORLDS", 200);
+    let mut failures: Vec<String> = Vec::new();
+    let machine = MachineSpec::summit();
+
+    // ---- Leg 1: the facility scenario -------------------------------
+    let mix = job_mix(&build_portfolio());
+    let jobs = generate_mixed(
+        &machine,
+        &TraceConfig {
+            jobs: jobs_n,
+            window_hours: 48.0,
+            max_fraction: 0.5,
+        },
+        &mix,
+        90,
+    );
+    println!(
+        "sched_gate: facility scenario — {jobs_n} portfolio jobs in one wave \
+         of concurrent worlds"
+    );
+    let t0 = Instant::now();
+    let report = run_facility(
+        &machine,
+        &jobs,
+        &FacilityConfig {
+            wave_size: jobs_n,
+            policy: SchedulingPolicy::FifoEasy,
+        },
+    );
+    let facility_wall = t0.elapsed().as_secs_f64();
+    let total_ranks: usize = jobs.iter().map(|j| j.workload.ranks).sum();
+    println!(
+        "  {} worlds ({total_ranks} ranks) live at the rendezvous: {} leases, \
+         {}/{} lanes booked, conserved = {}",
+        report.jobs_run,
+        report.peak_live_worlds,
+        report.peak_leased_lanes,
+        report.lane_capacity,
+        report.conserved
+    );
+    println!(
+        "  kernels: {} messages, {:.1} MiB exchanged, {facility_wall:.1} s wall",
+        report.messages,
+        report.bytes as f64 / (1024.0 * 1024.0)
+    );
+    if report.peak_live_worlds < min_worlds {
+        failures.push(format!(
+            "only {} simultaneously live worlds (need ≥ {min_worlds})",
+            report.peak_live_worlds
+        ));
+    }
+    if !report.conserved {
+        failures.push("core arbiter oversubscribed its lane budget".into());
+    }
+    if report.peak_leased_lanes > report.lane_capacity {
+        failures.push(format!(
+            "peak leased lanes {} exceed capacity {}",
+            report.peak_leased_lanes, report.lane_capacity
+        ));
+    }
+    if report.messages == 0 {
+        failures.push("no world exchanged any message — kernels did not run".into());
+    }
+    if !report.objectives.iter().all(|o| o.is_finite()) {
+        failures.push("a kernel produced a non-finite objective".into());
+    }
+
+    // ---- Leg 2: scheduler invariants + the EASY property ------------
+    let m = &report.schedule;
+    println!(
+        "  schedule: utilization {:.3}, mean wait {:.2} h, backfill {:.3}",
+        m.utilization, m.mean_wait_hours, m.backfill_fraction
+    );
+    if !(m.utilization > 0.0 && m.utilization <= 1.0 + 1e-9) {
+        failures.push(format!("utilization {} outside (0, 1]", m.utilization));
+    }
+    if m.mean_wait_hours < 0.0 {
+        failures.push(format!("negative mean wait {}", m.mean_wait_hours));
+    }
+    if !(0.0..=1.0).contains(&m.backfill_fraction) {
+        failures.push(format!(
+            "backfill fraction {} outside [0, 1]",
+            m.backfill_fraction
+        ));
+    }
+    // EASY, constructively: remove every backfilled job and reschedule;
+    // no surviving job may start later than it did with backfill present.
+    let batch: Vec<_> = jobs.iter().map(|j| j.job).collect();
+    let scheduler = Scheduler::new(machine.nodes);
+    let with_backfill = scheduler.schedule(&batch);
+    let kept: Vec<_> = with_backfill
+        .iter()
+        .filter(|p| !p.backfilled)
+        .map(|p| p.job)
+        .collect();
+    let without_backfill = scheduler.schedule(&kept);
+    let mut delayed = 0usize;
+    for p in &without_backfill {
+        let original = with_backfill
+            .iter()
+            .find(|q| q.job == p.job)
+            .expect("kept job existed in the original schedule");
+        if p.start_hours > original.start_hours + 1e-9 {
+            delayed += 1;
+        }
+    }
+    if delayed > 0 {
+        failures.push(format!(
+            "backfill delayed {delayed} non-backfilled jobs (EASY violated)"
+        ));
+    } else {
+        println!("  EASY check: removing backfilled jobs delays nothing ✓");
+    }
+
+    // ---- Leg 3: the steered campaign --------------------------------
+    let mut campaign_cfg = CampaignConfig {
+        candidates: 40,
+        batch: 5,
+        ranks: 2,
+        walltime_hours: 0.5,
+        target: 0.0,
+        seed: 4,
+    };
+    let mut truth = ground_truth(&campaign_cfg);
+    truth.sort_by(|a, b| a.partial_cmp(b).expect("objective NaN"));
+    campaign_cfg.target = truth[1] + (truth[2] - truth[1]) * 0.5;
+    let unsteered = run_campaign(&campaign_cfg, SteeringMode::Unsteered);
+    let steered = run_campaign(&campaign_cfg, SteeringMode::Steered);
+    let steering_speedup = unsteered.node_hours / steered.node_hours.max(1e-12);
+    println!(
+        "  campaign to objective ≤ {:.4}: unsteered {:.1} node-hours ({} jobs), \
+         steered {:.1} node-hours ({} jobs) — {steering_speedup:.2}×",
+        campaign_cfg.target,
+        unsteered.node_hours,
+        unsteered.jobs_run,
+        steered.node_hours,
+        steered.jobs_run
+    );
+    if !(unsteered.hit_target && steered.hit_target) {
+        failures.push("a campaign mode never reached its target".into());
+    }
+    if steered.node_hours >= unsteered.node_hours {
+        failures.push(format!(
+            "steered campaign used {} node-hours, not strictly below unsteered {}",
+            steered.node_hours, unsteered.node_hours
+        ));
+    }
+
+    // ---- Report ------------------------------------------------------
+    let mut metrics = BTreeMap::new();
+    metrics.insert(
+        "sched_peak_live_worlds".to_string(),
+        report.peak_live_worlds as f64,
+    );
+    metrics.insert("sched_utilization".to_string(), m.utilization);
+    metrics.insert("sched_backfill_fraction".to_string(), m.backfill_fraction);
+    metrics.insert("sched_steering_speedup".to_string(), steering_speedup);
+    metrics.insert("sched_steered_node_hours".to_string(), steered.node_hours);
+    let headline = metrics
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v:.6}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"sched\",\n  \"jobs\": {jobs_n},\n  \
+         \"total_ranks\": {total_ranks},\n  \
+         \"peak_live_worlds\": {},\n  \"lane_capacity\": {},\n  \
+         \"messages\": {},\n  \"bytes\": {},\n  \
+         \"mean_wait_hours\": {:.6},\n  \"makespan_hours\": {:.6},\n  \
+         \"campaign\": {{\"target\": {:.6}, \"unsteered_node_hours\": {:.3}, \
+         \"steered_node_hours\": {:.3}, \"unsteered_jobs\": {}, \"steered_jobs\": {}}},\n  \
+         \"headline\": {{{headline}}}\n}}\n",
+        report.peak_live_worlds,
+        report.lane_capacity,
+        report.messages,
+        report.bytes,
+        m.mean_wait_hours,
+        m.makespan_hours,
+        campaign_cfg.target,
+        unsteered.node_hours,
+        steered.node_hours,
+        unsteered.jobs_run,
+        steered.jobs_run,
+    );
+    harness::write_bench_json("sched", &json);
+    harness::record_trajectory(&harness::TrajectoryEntry::now("sched", metrics.clone()));
+
+    harness::gate_trajectory(
+        "sched",
+        &metrics,
+        &|k| match k {
+            "sched_steering_speedup" | "sched_utilization" | "sched_peak_live_worlds" => {
+                Some(harness::Direction::HigherIsBetter)
+            }
+            "sched_steered_node_hours" => Some(harness::Direction::LowerIsBetter),
+            _ => None,
+        },
+        0.10,
+        &mut failures,
+    );
+
+    if failures.is_empty() {
+        println!("sched_gate: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("sched_gate: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -462,6 +462,42 @@ impl DataParallelTrainer {
         labels: &[usize],
         epochs: u32,
     ) -> ParallelOutcome {
+        let mut world = World::new(self.ranks);
+        self.run_in(
+            &mut world,
+            build_model,
+            build_optimizer,
+            schedule,
+            x,
+            labels,
+            epochs,
+        )
+    }
+
+    /// Like [`DataParallelTrainer::run`] but executing on a caller-provided
+    /// [`World`] — the multi-world plumbing the scheduler's execution
+    /// backend uses to run training jobs inside its own leased worlds. The
+    /// world is reusable afterwards.
+    ///
+    /// # Panics
+    /// Panics if `world.size() != self.ranks` or the dataset is smaller
+    /// than one global batch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_in(
+        &self,
+        world: &mut World,
+        build_model: impl Fn() -> Mlp + Sync,
+        build_optimizer: impl Fn() -> Box<dyn Optimizer> + Sync,
+        schedule: LrSchedule,
+        x: &Matrix,
+        labels: &[usize],
+        epochs: u32,
+    ) -> ParallelOutcome {
+        assert_eq!(
+            world.size(),
+            self.ranks,
+            "world size must match the trainer's rank count"
+        );
         let global_batch = self.ranks * self.per_rank_batch;
         assert!(
             x.rows() >= global_batch,
@@ -475,9 +511,9 @@ impl DataParallelTrainer {
         let threads = self.threads;
 
         let stats_before = summit_pool::global().stats();
-        let results = World::run(ranks, |rank| {
-            // `World::run` already gave this rank an even machine share;
-            // an explicit `with_threads` budget overrides it.
+        let results = world.execute(|rank| {
+            // The world's execution already leased this rank a machine
+            // share; an explicit `with_threads` budget overrides it.
             if let Some(t) = threads {
                 summit_pool::set_core_budget(t);
             }

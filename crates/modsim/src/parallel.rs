@@ -36,6 +36,18 @@ impl ParallelSolver {
     /// Panics if `init.ny()` is not divisible by `ranks`, a strip would be
     /// thinner than the halo (1 row), or the stability bound is violated.
     pub fn run(&self, init: &Field, ranks: usize, steps: u32) -> Field {
+        self.run_in(&mut World::new(ranks), init, steps)
+    }
+
+    /// Like [`ParallelSolver::run`] but executing on a caller-provided
+    /// [`World`] (`ranks = world.size()`): the scheduler's execution
+    /// backend runs stencil jobs inside its own leased worlds this way.
+    /// The world is reusable afterwards.
+    ///
+    /// # Panics
+    /// Same contract as [`ParallelSolver::run`].
+    pub fn run_in(&self, world: &mut World, init: &Field, steps: u32) -> Field {
+        let ranks = world.size();
         assert!(self.alpha > 0.0 && self.alpha <= 0.25, "unstable alpha");
         assert!(ranks > 0, "need ranks");
         assert!(
@@ -50,7 +62,7 @@ impl ParallelSolver {
         let dt = self.dt;
         let reaction = self.reaction;
 
-        let strips = World::run(ranks, |rank| {
+        let strips = world.execute(|rank| {
             let me = rank.id();
             let p = rank.size();
             // Local strip with its own halo.

@@ -486,10 +486,179 @@ pub fn rank_budget(machine: usize, ranks: usize, override_threads: Option<usize>
 /// [`rank_budget`] with `SUMMIT_THREADS` read from the environment — the
 /// call sites in `summit_comm::World::run` use this.
 pub fn rank_budget_from_env(ranks: usize) -> usize {
-    let override_threads = std::env::var("SUMMIT_THREADS")
+    rank_budget(machine_parallelism(), ranks, summit_threads_override())
+}
+
+/// The parsed `SUMMIT_THREADS` pin, if set.
+fn summit_threads_override() -> Option<usize> {
+    std::env::var("SUMMIT_THREADS")
         .ok()
-        .and_then(|v| v.parse::<usize>().ok());
-    rank_budget(machine_parallelism(), ranks, override_threads)
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+// ---------------------------------------------------------------------------
+// Core-budget arbiter: disjoint leases for concurrently live worlds.
+// ---------------------------------------------------------------------------
+
+/// Snapshot of the arbiter's books, for conservation assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArbiterStats {
+    /// Lanes the arbiter may lease out (its machine parallelism).
+    pub capacity: usize,
+    /// Currently live leases.
+    pub live_leases: usize,
+    /// Lanes currently leased out. Invariant: `leased <= capacity`, always.
+    pub leased: usize,
+    /// High-water mark of `leased` — the conservation witness: it must
+    /// never exceed `capacity`.
+    pub peak_leased: usize,
+    /// High-water mark of `live_leases`.
+    pub peak_live: usize,
+    /// Leases ever granted (including zero-lane grants).
+    pub total_leases: u64,
+}
+
+#[derive(Debug, Default)]
+struct ArbiterBook {
+    live: usize,
+    leased: usize,
+    peak_leased: usize,
+    peak_live: usize,
+    total: u64,
+}
+
+/// Leases disjoint core budgets to concurrently live worlds.
+///
+/// The old scheme carved the machine by a fixed `available_parallelism / p`
+/// division *per world* — correct for one world, and an oversubscription
+/// the moment two worlds coexist (each claims the full machine divided by
+/// its own size). The arbiter replaces the division with accounting: a
+/// world leases lanes when it starts and returns them when it drops (the
+/// lease is RAII, so a panicking world cannot leak its share), and the sum
+/// of live leases never exceeds the machine.
+///
+/// A lease counts the **extra** compute lanes a world's ranks may occupy
+/// beyond the rank threads themselves: per-rank budget `b` means the rank's
+/// own thread plus `b − 1` pool workers, so a world granted `g` lanes over
+/// `p` ranks runs each rank at budget `1 + g/p`. A world granted nothing
+/// still runs — every rank computes inline on its own thread at budget 1 —
+/// which is what makes hundreds of concurrent small worlds finite: late
+/// worlds degrade to serial compute instead of deadlocking on an empty pot
+/// or oversubscribing the machine.
+///
+/// When exactly one world is live the grant works out to the classic even
+/// share: `1 + (machine − p)/p ≈ machine / p` per rank, so single-world
+/// runs budget exactly as before the arbiter existed. An explicit
+/// `SUMMIT_THREADS` pin bypasses arbitration (the pin is an operator
+/// override; it books zero lanes).
+pub struct CoreArbiter {
+    capacity: usize,
+    book: Mutex<ArbiterBook>,
+}
+
+impl CoreArbiter {
+    /// An arbiter over an explicit lane capacity (tests use small ones).
+    pub fn with_capacity(capacity: usize) -> Self {
+        CoreArbiter {
+            capacity,
+            book: Mutex::new(ArbiterBook::default()),
+        }
+    }
+
+    /// Lanes this arbiter manages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lease a core budget for a world of `ranks` ranks. The want is the
+    /// classic even-share division (`machine/ranks` per rank, minus the
+    /// rank threads themselves); the grant is the want clamped to what is
+    /// still unleased, possibly zero. Never blocks.
+    pub fn lease(&self, ranks: usize) -> CoreLease<'_> {
+        let ranks = ranks.max(1);
+        if let Some(pin) = summit_threads_override() {
+            // Operator override: budgets are pinned, nothing is booked.
+            let mut book = self.book.lock().expect("arbiter book poisoned");
+            book.live += 1;
+            book.peak_live = book.peak_live.max(book.live);
+            book.total += 1;
+            return CoreLease {
+                arbiter: self,
+                granted: 0,
+                per_rank: pin.min(MAX_WORKERS),
+            };
+        }
+        let per_rank_even = (self.capacity / ranks).clamp(1, MAX_WORKERS);
+        let want = ranks * (per_rank_even - 1);
+        let mut book = self.book.lock().expect("arbiter book poisoned");
+        let granted = want.min(self.capacity - book.leased);
+        book.leased += granted;
+        book.live += 1;
+        book.peak_leased = book.peak_leased.max(book.leased);
+        book.peak_live = book.peak_live.max(book.live);
+        book.total += 1;
+        CoreLease {
+            arbiter: self,
+            granted,
+            per_rank: 1 + granted / ranks,
+        }
+    }
+
+    /// Snapshot the books.
+    pub fn stats(&self) -> ArbiterStats {
+        let book = self.book.lock().expect("arbiter book poisoned");
+        ArbiterStats {
+            capacity: self.capacity,
+            live_leases: book.live,
+            leased: book.leased,
+            peak_leased: book.peak_leased,
+            peak_live: book.peak_live,
+            total_leases: book.total,
+        }
+    }
+
+    fn release(&self, granted: usize) {
+        let mut book = self.book.lock().expect("arbiter book poisoned");
+        debug_assert!(book.leased >= granted && book.live >= 1, "double release");
+        book.leased -= granted;
+        book.live -= 1;
+    }
+}
+
+/// A live core lease. Dropping it returns the lanes to the arbiter —
+/// including during unwind, so a panicking world cannot leak its share.
+#[must_use = "dropping the lease immediately returns the lanes"]
+pub struct CoreLease<'a> {
+    arbiter: &'a CoreArbiter,
+    granted: usize,
+    per_rank: usize,
+}
+
+impl CoreLease<'_> {
+    /// Extra lanes this lease holds (beyond the rank threads).
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+
+    /// The per-rank core budget this lease funds (≥ 1: a rank always has
+    /// its own thread).
+    pub fn per_rank_budget(&self) -> usize {
+        self.per_rank
+    }
+}
+
+impl Drop for CoreLease<'_> {
+    fn drop(&mut self) {
+        self.arbiter.release(self.granted);
+    }
+}
+
+/// The process-wide arbiter, capacity = machine parallelism. Every
+/// `summit_comm::World` execution leases from it.
+pub fn arbiter() -> &'static CoreArbiter {
+    static ARBITER: OnceLock<CoreArbiter> = OnceLock::new();
+    ARBITER.get_or_init(|| CoreArbiter::with_capacity(machine_parallelism()))
 }
 
 #[cfg(test)]
@@ -699,5 +868,70 @@ mod tests {
             let want = (rank * 10 + 7) as f32;
             assert!(buf.iter().all(|&v| v == want), "rank {rank} final state");
         }
+    }
+
+    #[test]
+    fn single_lease_matches_even_share() {
+        // One live world must budget exactly as the old fixed division did.
+        let arb = CoreArbiter::with_capacity(16);
+        for ranks in [1usize, 2, 3, 4, 8, 16, 32] {
+            let lease = arb.lease(ranks);
+            let classic = rank_budget(16, ranks, None);
+            assert_eq!(
+                lease.per_rank_budget(),
+                classic,
+                "solo lease for {ranks} ranks"
+            );
+            drop(lease);
+            assert_eq!(arb.stats().leased, 0, "lanes returned");
+        }
+    }
+
+    #[test]
+    fn leases_conserve_capacity() {
+        let arb = CoreArbiter::with_capacity(8);
+        // Three 2-rank worlds each want 2·(4−1)=6 extra lanes; only 8 exist.
+        let a = arb.lease(2);
+        let b = arb.lease(2);
+        let c = arb.lease(2);
+        let s = arb.stats();
+        assert!(s.leased <= s.capacity, "conservation: {s:?}");
+        assert!(s.peak_leased <= s.capacity, "peak conservation: {s:?}");
+        assert_eq!(s.live_leases, 3);
+        // First world got the full even share, later ones degrade, never to 0.
+        assert_eq!(a.per_rank_budget(), 4);
+        assert!(b.per_rank_budget() >= 1 && b.per_rank_budget() <= 4);
+        assert!(c.per_rank_budget() >= 1);
+        drop(a);
+        drop(b);
+        drop(c);
+        let s = arb.stats();
+        assert_eq!((s.leased, s.live_leases), (0, 0), "all released: {s:?}");
+        assert_eq!(s.total_leases, 3);
+    }
+
+    #[test]
+    fn exhausted_arbiter_still_grants_budget_one() {
+        let arb = CoreArbiter::with_capacity(4);
+        let big = arb.lease(1); // takes min(0? no: base=4, want=1·3=3) → 3 lanes
+        assert_eq!(big.per_rank_budget(), 4);
+        let squeezed = arb.lease(1); // only 1 lane left
+        assert_eq!(squeezed.per_rank_budget(), 2);
+        let starved = arb.lease(1); // nothing left
+        assert_eq!(starved.per_rank_budget(), 1, "inline compute floor");
+        assert_eq!(starved.granted(), 0);
+        assert!(arb.stats().leased <= arb.stats().capacity);
+    }
+
+    #[test]
+    fn panicking_holder_releases_lease() {
+        let arb = CoreArbiter::with_capacity(8);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _lease = arb.lease(2);
+            panic!("world died");
+        }));
+        assert!(result.is_err());
+        let s = arb.stats();
+        assert_eq!((s.leased, s.live_leases), (0, 0), "RAII release on panic");
     }
 }

@@ -1,0 +1,287 @@
+//! Run the facility, not just one job: execute a whole schedule's worth of
+//! worlds concurrently in one process.
+//!
+//! The batch simulator decides placement; this module actually *runs* the
+//! placed jobs. Jobs execute in waves of [`FacilityConfig::wave_size`]
+//! concurrent worlds. Every world in a wave rendezvouses at a shared
+//! barrier from **inside** its execution — i.e. while it holds its core
+//! lease from the [`summit_pool::arbiter`] — so a wave of `W` worlds
+//! provably has `W` live leases at one instant; the report records the
+//! arbiter sample taken in that window and checks the conservation
+//! invariant (leased lanes ≤ machine capacity). The kernels themselves
+//! (training / stencil / MD, real message passing) then run concurrently
+//! under per-execution leases.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use serde::Serialize;
+use summit_comm::world::World;
+use summit_machine::MachineSpec;
+
+use crate::scheduler::{ScheduleMetrics, Scheduler, SchedulingPolicy};
+use crate::trace::{generate, MixedJob, TraceConfig};
+use crate::Job;
+use crate::Program;
+
+/// Knobs for the facility executor.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FacilityConfig {
+    /// Worlds live at once per wave. Hundreds are fine: worlds are small
+    /// (1–4 ranks) and construction is lazy.
+    pub wave_size: usize,
+    /// Scheduling policy used for the placement metrics.
+    pub policy: SchedulingPolicy,
+}
+
+impl Default for FacilityConfig {
+    fn default() -> Self {
+        FacilityConfig {
+            wave_size: 200,
+            policy: SchedulingPolicy::FifoEasy,
+        }
+    }
+}
+
+/// What one execution of a facility scenario produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct FacilityReport {
+    /// Jobs actually executed (== input length).
+    pub jobs_run: usize,
+    /// Largest number of simultaneously live world leases observed at a
+    /// wave rendezvous.
+    pub peak_live_worlds: usize,
+    /// Largest number of arbiter lanes booked at any sample.
+    pub peak_leased_lanes: usize,
+    /// The arbiter's lane capacity (machine parallelism).
+    pub lane_capacity: usize,
+    /// Whether leased ≤ capacity held at every sample (the conservation
+    /// invariant; a violation means worlds oversubscribed the machine).
+    pub conserved: bool,
+    /// Per-job kernel objectives, in input order. Bit-stable: the same
+    /// trace reproduces the same vector whether run solo or in waves.
+    pub objectives: Vec<f64>,
+    /// Total point-to-point messages across all worlds.
+    pub messages: u64,
+    /// Total payload bytes across all worlds.
+    pub bytes: u64,
+    /// Placement metrics of the batch schedule for the same jobs.
+    pub schedule: ScheduleMetrics,
+}
+
+/// Schedule `jobs` on `machine`, then execute every job's workload in
+/// waves of concurrent worlds. See the module docs for the concurrency
+/// proof obligations encoded in the report.
+///
+/// # Panics
+/// Panics if `jobs` is empty, `config.wave_size == 0`, or any kernel
+/// panics (the panic names the world and rank).
+pub fn run_facility(
+    machine: &MachineSpec,
+    jobs: &[MixedJob],
+    config: &FacilityConfig,
+) -> FacilityReport {
+    assert!(!jobs.is_empty(), "facility scenario needs jobs");
+    assert!(config.wave_size > 0, "wave size must be positive");
+
+    let batch: Vec<Job> = jobs.iter().map(|m| m.job).collect();
+    let scheduler = Scheduler::new(machine.nodes);
+    let placements = scheduler.schedule_with_policy(&batch, config.policy);
+    let schedule = scheduler.metrics(&placements);
+
+    let arbiter = summit_pool::arbiter();
+    let mut objectives = vec![0.0f64; jobs.len()];
+    let messages = AtomicU64::new(0);
+    let bytes = AtomicU64::new(0);
+    let conserved = AtomicBool::new(true);
+    let mut peak_live = 0usize;
+    let mut peak_leased = 0usize;
+
+    for (wave_start, wave) in jobs
+        .chunks(config.wave_size)
+        .enumerate()
+        .map(|(i, w)| (i * config.wave_size, w))
+    {
+        // Rendezvous: every world's rank 0 plus the sampler. `arrived`
+        // then `released` bracket a window in which all wave worlds hold
+        // live leases; the sampler reads the arbiter inside that window.
+        let arrived = Barrier::new(wave.len() + 1);
+        let released = Barrier::new(wave.len() + 1);
+        let wave_results: Mutex<Vec<(usize, f64, u64, u64)>> =
+            Mutex::new(Vec::with_capacity(wave.len()));
+
+        std::thread::scope(|scope| {
+            for (offset, mixed) in wave.iter().enumerate() {
+                let arrived = &arrived;
+                let released = &released;
+                let wave_results = &wave_results;
+                scope.spawn(move || {
+                    let mut world = World::new(mixed.workload.ranks);
+                    // Hold this world's lease across the rendezvous: the
+                    // execution is live until every wave peer arrives.
+                    world.execute(|rank| {
+                        if rank.id() == 0 {
+                            arrived.wait();
+                            released.wait();
+                        }
+                    });
+                    let result = mixed.workload.execute_in(&mut world);
+                    wave_results.lock().expect("wave results poisoned").push((
+                        wave_start + offset,
+                        result.objective,
+                        result.messages,
+                        result.bytes,
+                    ));
+                });
+            }
+            arrived.wait();
+            let sample = arbiter.stats();
+            if sample.leased > sample.capacity {
+                conserved.store(false, Ordering::Relaxed);
+            }
+            peak_live = peak_live.max(sample.live_leases);
+            peak_leased = peak_leased.max(sample.leased);
+            released.wait();
+        });
+
+        for (idx, objective, msgs, b) in wave_results.into_inner().expect("wave results poisoned") {
+            objectives[idx] = objective;
+            messages.fetch_add(msgs, Ordering::Relaxed);
+            bytes.fetch_add(b, Ordering::Relaxed);
+        }
+    }
+
+    FacilityReport {
+        jobs_run: jobs.len(),
+        peak_live_worlds: peak_live,
+        peak_leased_lanes: peak_leased,
+        lane_capacity: arbiter.capacity(),
+        conserved: conserved.into_inner(),
+        objectives,
+        messages: messages.into_inner(),
+        bytes: bytes.into_inner(),
+        schedule,
+    }
+}
+
+/// Measure the requeue wait a preempted elastic job actually experiences
+/// in the batch queue, instead of assuming a constant.
+///
+/// A shrunken job that must requeue re-enters the queue as a small,
+/// short job amid the normal background mix; EASY backfill usually slots
+/// it into a draining hole quickly, so the measured wait is far below a
+/// naive FIFO estimate. Returns the mean wait in hours over `samples`
+/// requeue probes injected at distinct points of a seeded background
+/// trace.
+///
+/// # Panics
+/// Panics if `samples == 0`.
+pub fn measured_requeue_wait_hours(machine: &MachineSpec, seed: u64, samples: usize) -> f64 {
+    assert!(samples > 0, "need at least one requeue probe");
+    // A leadership queue is never idle: capability-heavy background at
+    // ≈93% utilization, so the probe actually contends for nodes instead
+    // of backfilling into an empty machine.
+    const WINDOW_HOURS: f64 = 48.0;
+    let background = generate(
+        machine,
+        &TraceConfig {
+            jobs: 400,
+            window_hours: WINDOW_HOURS,
+            max_fraction: 1.0,
+        },
+        seed,
+    );
+    let scheduler = Scheduler::new(machine.nodes);
+    let mut total_wait = 0.0f64;
+    for i in 0..samples {
+        // The requeue probe: tiny node count (the replacement resource
+        // set), short remaining walltime, submitted mid-window.
+        let probe = Job {
+            program: Program::DirectorsDiscretionary,
+            nodes: 2,
+            walltime_hours: 0.25,
+            submit_hours: WINDOW_HOURS * 0.1 + WINDOW_HOURS * 0.8 * (i as f64) / (samples as f64),
+        };
+        let mut jobs = background.clone();
+        jobs.push(probe);
+        let placements = scheduler.schedule(&jobs);
+        let placed = placements
+            .iter()
+            .find(|p| p.job == probe)
+            .expect("probe job was scheduled");
+        total_wait += placed.wait_hours();
+    }
+    total_wait / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate_mixed, PortfolioMix};
+
+    #[test]
+    fn small_facility_runs_and_conserves() {
+        let m = MachineSpec::summit();
+        let jobs = generate_mixed(
+            &m,
+            &TraceConfig {
+                jobs: 24,
+                window_hours: 24.0,
+                max_fraction: 0.25,
+            },
+            &PortfolioMix::uniform(),
+            3,
+        );
+        let report = run_facility(
+            &m,
+            &jobs,
+            &FacilityConfig {
+                wave_size: 12,
+                policy: SchedulingPolicy::FifoEasy,
+            },
+        );
+        assert_eq!(report.jobs_run, 24);
+        assert_eq!(report.objectives.len(), 24);
+        assert!(report.conserved, "lease conservation violated");
+        assert_eq!(report.peak_live_worlds, 12, "rendezvous must see the wave");
+        assert!(report.peak_leased_lanes <= report.lane_capacity);
+        assert!(report.messages > 0, "no world communicated");
+        assert!(report.objectives.iter().all(|o| o.is_finite()));
+    }
+
+    #[test]
+    fn facility_objectives_match_solo_runs() {
+        let m = MachineSpec::summit();
+        let jobs = generate_mixed(
+            &m,
+            &TraceConfig {
+                jobs: 10,
+                window_hours: 8.0,
+                max_fraction: 0.1,
+            },
+            &PortfolioMix::uniform(),
+            5,
+        );
+        let report = run_facility(&m, &jobs, &FacilityConfig::default());
+        for (mixed, got) in jobs.iter().zip(&report.objectives) {
+            let solo = mixed.workload.execute();
+            assert_eq!(
+                solo.objective.to_bits(),
+                got.to_bits(),
+                "objective of {mixed:?} drifted under concurrency"
+            );
+        }
+    }
+
+    #[test]
+    fn requeue_wait_is_measured_and_plausible() {
+        let m = MachineSpec::summit();
+        let wait = measured_requeue_wait_hours(&m, 90, 6);
+        assert!(wait.is_finite() && wait >= 0.0);
+        // The probe contends with a ≈93%-utilized background, but EASY
+        // backfill still slots a 2-node 15-minute job far faster than its
+        // FIFO turn: minutes-to-hours, never a queue-drain timescale.
+        assert!(wait < 12.0, "requeue probe waited {wait} h");
+        assert!(wait > 0.0, "probe never waited — background not busy");
+    }
+}

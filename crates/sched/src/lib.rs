@@ -1,4 +1,5 @@
-//! Allocation programs and batch scheduling for a leadership system.
+//! Allocation programs, batch scheduling, and facility execution for a
+//! leadership system.
 //!
 //! Section II-B of the paper describes how OLCF time is allocated: INCITE
 //! receives ≈60% of allocable hours, ALCC ≈20%, and the Director's
@@ -10,7 +11,19 @@
 //! * [`project`] — projects with allocations and usage accounting;
 //! * [`scheduler`] — a batch scheduler simulator (FIFO with EASY backfill)
 //!   that places jobs on a Summit-sized machine and reports utilization,
-//!   wait times, and delivered node-hours per program.
+//!   wait times, and delivered node-hours per program;
+//! * [`trace`] — synthetic job traces, including mixes drawn from the
+//!   survey portfolio's per-program allocations and method counts;
+//! * [`jsrun`] — jsrun resource-set packing (`-n/-a/-c/-g`) onto
+//!   42-core/6-GPU nodes, after signac-flow's Summit environment;
+//! * [`workload`] — the execution backend: dispatched jobs launch real
+//!   [`summit_comm::world::World`]s running training / stencil / MD
+//!   kernels under arbiter-leased core budgets;
+//! * [`facility`] — runs a whole schedule's worth of worlds concurrently
+//!   (hundreds per process) and audits pool-budget conservation;
+//! * [`campaign`] — a Colmena-style steered campaign: a surrogate trained
+//!   on completed jobs reorders the submission queue, measured as
+//!   node-hours-to-target against the unsteered baseline.
 //!
 //! The scheduler is a real event-driven simulator, not a closed-form
 //! estimate: jobs occupy nodes for wall-clock intervals and backfilled jobs
@@ -25,12 +38,20 @@
 //! assert!((Program::Incite.target_share() - 0.60).abs() < 1e-12);
 //! ```
 
+pub mod campaign;
+pub mod facility;
+pub mod jsrun;
 pub mod program;
 pub mod project;
 pub mod scheduler;
 pub mod trace;
+pub mod workload;
 
+pub use campaign::{CampaignConfig, CampaignOutcome, SteeringMode};
+pub use facility::{FacilityConfig, FacilityReport};
+pub use jsrun::{NodeGeometry, ResourceSet};
 pub use program::{Allocation, Program};
 pub use project::Project;
 pub use scheduler::{Job, ScheduleMetrics, Scheduler, SchedulingPolicy};
-pub use trace::{generate as generate_trace, TraceConfig};
+pub use trace::{generate as generate_trace, generate_mixed, MixedJob, PortfolioMix, TraceConfig};
+pub use workload::{Workload, WorkloadKind, WorkloadResult};

@@ -5,12 +5,21 @@
 //! leadership machine runs a few capability jobs and many small ones) and
 //! uniform-ish arrivals. Used by the scheduler benches and the program-share
 //! integration test (X6 in DESIGN.md).
+//!
+//! [`generate_mixed`] additionally attaches a runnable [`Workload`] to each
+//! job, drawing programs and kernel kinds from a [`PortfolioMix`] — the
+//! empirical distribution `summit_survey::job_mix()` extracts from the
+//! paper's project portfolio (per-program allocated node-hours, per-motif
+//! project counts). The mix type lives here, not in the survey crate,
+//! because the dependency points survey → sched.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
 use summit_machine::MachineSpec;
 
 use crate::program::Program;
 use crate::scheduler::Job;
+use crate::workload::{Workload, WorkloadKind};
 
 /// Configuration for trace generation.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +88,126 @@ pub fn generate(machine: &MachineSpec, config: &TraceConfig, seed: u64) -> Vec<J
     jobs
 }
 
+/// An empirical job-mix distribution: how likely each allocation program
+/// and each kernel kind is, weighted by the survey portfolio.
+///
+/// Weights need not be normalized; sampling divides by their sum.
+#[derive(Debug, Clone, Serialize)]
+pub struct PortfolioMix {
+    /// Per-program weight (the survey uses allocated node-hours).
+    pub program_weights: Vec<(Program, f64)>,
+    /// Per-kernel weight (the survey uses motif project counts).
+    pub kind_weights: Vec<(WorkloadKind, f64)>,
+}
+
+impl PortfolioMix {
+    /// A flat mix: every program and kernel equally likely. Baseline for
+    /// tests and a fallback when no portfolio is loaded.
+    pub fn uniform() -> Self {
+        PortfolioMix {
+            program_weights: [
+                Program::Incite,
+                Program::Alcc,
+                Program::DirectorsDiscretionary,
+            ]
+            .into_iter()
+            .map(|p| (p, 1.0))
+            .collect(),
+            kind_weights: WorkloadKind::ALL.into_iter().map(|k| (k, 1.0)).collect(),
+        }
+    }
+
+    fn validate(&self) {
+        let ps: f64 = self.program_weights.iter().map(|(_, w)| *w).sum();
+        let ks: f64 = self.kind_weights.iter().map(|(_, w)| *w).sum();
+        assert!(
+            ps > 0.0 && ks > 0.0,
+            "mix weights must have positive total (programs {ps}, kinds {ks})"
+        );
+        assert!(
+            self.program_weights.iter().all(|(_, w)| *w >= 0.0)
+                && self.kind_weights.iter().all(|(_, w)| *w >= 0.0),
+            "mix weights must be non-negative"
+        );
+    }
+
+    fn pick_program(&self, u: f64) -> Program {
+        Self::pick(&self.program_weights, u)
+    }
+
+    fn pick_kind(&self, u: f64) -> WorkloadKind {
+        Self::pick(&self.kind_weights, u)
+    }
+
+    fn pick<T: Copy>(weights: &[(T, f64)], u: f64) -> T {
+        let total: f64 = weights.iter().map(|(_, w)| *w).sum();
+        let mut acc = 0.0;
+        for (item, w) in weights {
+            acc += w / total;
+            if u < acc {
+                return *item;
+            }
+        }
+        weights.last().expect("weights must be non-empty").0
+    }
+}
+
+/// A scheduler job plus the kernel it runs when dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MixedJob {
+    /// The batch job the scheduler places.
+    pub job: Job,
+    /// The kernel the execution backend launches at dispatch.
+    pub workload: Workload,
+}
+
+/// Like [`generate`], but drawing programs and kernels from `mix` and
+/// attaching a deterministic [`Workload`] to every job. Workload world
+/// sizes are small (1–4 ranks) by design: the facility executor runs
+/// hundreds of them concurrently in one process.
+///
+/// # Panics
+/// Panics on a degenerate config or non-positive mix weights.
+pub fn generate_mixed(
+    machine: &MachineSpec,
+    config: &TraceConfig,
+    mix: &PortfolioMix,
+    seed: u64,
+) -> Vec<MixedJob> {
+    assert!(config.jobs > 0, "trace needs jobs");
+    assert!(config.window_hours > 0.0, "window must be positive");
+    mix.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_nodes = ((f64::from(machine.nodes) * config.max_fraction) as u32).max(1);
+    let mut jobs = Vec::with_capacity(config.jobs);
+    for i in 0..config.jobs {
+        let program = mix.pick_program(rng.gen());
+        let kind = mix.pick_kind(rng.gen());
+        let exponent: f64 = rng.gen();
+        let mut nodes = (f64::from(max_nodes)).powf(exponent).round() as u32;
+        nodes = nodes.clamp(1, max_nodes);
+        if program == Program::Incite {
+            nodes = (nodes.saturating_mul(4)).min(max_nodes);
+        }
+        let walltime_hours = rng.gen_range(0.5..12.0);
+        let submit_hours = rng.gen_range(0.0..config.window_hours);
+        let ranks = rng.gen_range(1..=4usize);
+        // Per-job kernel seed derived from the trace seed and position, so
+        // the whole mixed trace is a pure function of (config, mix, seed).
+        let workload = Workload::new(kind, ranks, seed.wrapping_mul(1009).wrapping_add(i as u64));
+        jobs.push(MixedJob {
+            job: Job {
+                program,
+                nodes,
+                walltime_hours,
+                submit_hours,
+            },
+            workload,
+        });
+    }
+    jobs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +230,42 @@ mod tests {
         let jobs = generate(&m, &TraceConfig::default(), 1);
         assert!(jobs.iter().all(|j| j.nodes >= 1 && j.nodes <= m.nodes));
         assert!(jobs.iter().all(|j| j.walltime_hours > 0.0));
+    }
+
+    #[test]
+    fn mixed_trace_is_deterministic() {
+        let m = MachineSpec::summit();
+        let cfg = TraceConfig {
+            jobs: 64,
+            ..TraceConfig::default()
+        };
+        let mix = PortfolioMix::uniform();
+        let a = generate_mixed(&m, &cfg, &mix, 9);
+        let b = generate_mixed(&m, &cfg, &mix, 9);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_mixed(&m, &cfg, &mix, 10));
+    }
+
+    #[test]
+    fn zero_weight_kind_never_sampled() {
+        let m = MachineSpec::summit();
+        let cfg = TraceConfig {
+            jobs: 200,
+            ..TraceConfig::default()
+        };
+        let mix = PortfolioMix {
+            program_weights: vec![(Program::Incite, 1.0)],
+            kind_weights: vec![
+                (WorkloadKind::Training, 1.0),
+                (WorkloadKind::Stencil, 0.0),
+                (WorkloadKind::Md, 1.0),
+            ],
+        };
+        let jobs = generate_mixed(&m, &cfg, &mix, 4);
+        assert!(jobs
+            .iter()
+            .all(|j| j.workload.kind != WorkloadKind::Stencil));
+        assert!(jobs.iter().all(|j| j.job.program == Program::Incite));
     }
 
     #[test]

@@ -29,10 +29,12 @@
 pub mod analytics;
 pub mod export;
 pub mod gordon_bell;
+pub mod mix;
 pub mod portfolio;
 pub mod taxonomy;
 
 pub use analytics::UsageCounts;
 pub use gordon_bell::{ai_finalists, table3, GbFinalist};
+pub use mix::{job_mix, kind_for_motif};
 pub use portfolio::{build as build_portfolio, ProjectRecord};
 pub use taxonomy::{Domain, MlMethod, Motif, UsageStatus};

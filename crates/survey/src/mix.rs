@@ -1,0 +1,116 @@
+//! From the survey portfolio to a runnable job mix.
+//!
+//! The scheduler's mixed traces ([`summit_sched::generate_mixed`]) draw
+//! programs and kernel kinds from a [`PortfolioMix`]. This module builds
+//! that mix *empirically* from the 662-project-year portfolio: program
+//! weights are allocated node-hours summed per program, kernel weights are
+//! project counts per motif group —
+//!
+//! * MD-flavored motifs (machine-learned potentials, steering) map to the
+//!   [`WorkloadKind::Md`] kernel;
+//! * mod-sim-coupled motifs (submodels, surrogates, ML⇄mod-sim loops) map
+//!   to the halo-exchange [`WorkloadKind::Stencil`] kernel;
+//! * everything else that uses ML (analysis, classification, math/CS,
+//!   fault detection, …) maps to [`WorkloadKind::Training`].
+//!
+//! The portfolio is deterministic, so the mix — and any trace drawn from
+//! it at a fixed seed — is bit-stable (pinned by test).
+
+use summit_sched::trace::PortfolioMix;
+use summit_sched::workload::WorkloadKind;
+use summit_sched::Program;
+
+use crate::portfolio::ProjectRecord;
+use crate::taxonomy::Motif;
+
+/// Which facility kernel a motif's projects stand in for.
+pub fn kind_for_motif(motif: Motif) -> WorkloadKind {
+    match motif {
+        Motif::MdPotentials | Motif::Steering => WorkloadKind::Md,
+        Motif::Submodel | Motif::SurrogateModel | Motif::MlModsimLoop => WorkloadKind::Stencil,
+        _ => WorkloadKind::Training,
+    }
+}
+
+/// Build the empirical job mix of `records` (normally the full
+/// [`crate::build_portfolio`] output). Programs are weighted by allocated
+/// node-hours; kernels by ML-using project counts per motif group.
+///
+/// # Panics
+/// Panics if no record carries an allocation or a motif (an empty mix
+/// cannot be sampled).
+pub fn job_mix(records: &[ProjectRecord]) -> PortfolioMix {
+    let mut program_weights: Vec<(Program, f64)> = Vec::new();
+    for r in records {
+        match program_weights.iter_mut().find(|(p, _)| *p == r.program) {
+            Some((_, w)) => *w += r.allocation_node_hours,
+            None => program_weights.push((r.program, r.allocation_node_hours)),
+        }
+    }
+    let mut kind_weights: Vec<(WorkloadKind, f64)> =
+        WorkloadKind::ALL.into_iter().map(|k| (k, 0.0)).collect();
+    for motif in records.iter().filter_map(|r| r.motif) {
+        let kind = kind_for_motif(motif);
+        let slot = kind_weights
+            .iter_mut()
+            .find(|(k, _)| *k == kind)
+            .expect("every kind is pre-seeded");
+        slot.1 += 1.0;
+    }
+    assert!(
+        program_weights.iter().any(|(_, w)| *w > 0.0) && kind_weights.iter().any(|(_, w)| *w > 0.0),
+        "portfolio yields an empty mix"
+    );
+    PortfolioMix {
+        program_weights,
+        kind_weights,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::build;
+
+    #[test]
+    fn mix_covers_all_kernels_and_programs() {
+        let mix = job_mix(&build());
+        assert_eq!(mix.kind_weights.len(), 3);
+        assert!(mix.kind_weights.iter().all(|(_, w)| *w > 0.0));
+        // Every allocation program that grants hours appears.
+        for p in [
+            Program::Incite,
+            Program::Alcc,
+            Program::DirectorsDiscretionary,
+            Program::Ecp,
+        ] {
+            assert!(
+                mix.program_weights.iter().any(|(q, w)| *q == p && *w > 0.0),
+                "{p:?} missing from mix"
+            );
+        }
+    }
+
+    #[test]
+    fn incite_hours_dominate_the_mix() {
+        // INCITE grants the largest per-project allocations (600k); its
+        // node-hour weight must dominate every other single program.
+        let mix = job_mix(&build());
+        let weight = |p: Program| {
+            mix.program_weights
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map_or(0.0, |(_, w)| *w)
+        };
+        let incite = weight(Program::Incite);
+        for p in [
+            Program::Alcc,
+            Program::DirectorsDiscretionary,
+            Program::Ecp,
+            Program::CovidConsortium,
+            Program::GordonBell,
+        ] {
+            assert!(incite > weight(p), "INCITE should outweigh {p:?}");
+        }
+    }
+}

@@ -78,9 +78,15 @@ pub mod channel {
     }
 
     /// Create an unbounded MPMC channel.
+    ///
+    /// The queue pre-reserves a small constant capacity so that steady-state
+    /// traffic with bounded in-flight depth (the communicator's ring and
+    /// windowed collectives) never grows the queue after creation — queue
+    /// growth under scheduling skew would otherwise show up as an
+    /// allocation inside the hot-path allocation-count proofs.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(VecDeque::with_capacity(64)),
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
